@@ -1,0 +1,174 @@
+//! Node identifiers and complemented edges.
+
+use std::fmt;
+
+/// Identifier of a node in an [`Aig`](crate::Aig).
+///
+/// Node 0 is always the constant-false node; nodes `1..=num_inputs` are
+/// the primary inputs in creation order; higher ids are AND nodes in
+/// topological order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST: NodeId = NodeId(0);
+
+    /// Returns the dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A reference to a node with an optional complement (inverter) bit,
+/// encoded as `2 * node + complemented` (the AIGER convention).
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::{Aig, Edge};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// assert_eq!((!a).node(), a.node());
+/// assert!((!a).is_complemented());
+/// assert_eq!(!!a, a);
+/// assert_eq!(Edge::FALSE, !Edge::TRUE);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge(pub(crate) u32);
+
+impl Edge {
+    /// The constant-false edge.
+    pub const FALSE: Edge = Edge(0);
+    /// The constant-true edge.
+    pub const TRUE: Edge = Edge(1);
+
+    /// Creates an edge to `node`, complemented if `complement` is set.
+    pub const fn new(node: NodeId, complement: bool) -> Self {
+        Edge(node.0 * 2 + complement as u32)
+    }
+
+    /// Reconstructs an edge from its `2 * node + complement` code.
+    pub const fn from_code(code: u32) -> Self {
+        Edge(code)
+    }
+
+    /// Returns the `2 * node + complement` code.
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the node this edge points to.
+    pub const fn node(self) -> NodeId {
+        NodeId(self.0 / 2)
+    }
+
+    /// Returns `true` if this edge carries an inverter.
+    pub const fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns this edge with the complement bit cleared.
+    #[must_use]
+    pub const fn regular(self) -> Self {
+        Edge(self.0 & !1)
+    }
+
+    /// Returns `true` if this edge is one of the two constants.
+    pub const fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// Returns the constant value if this edge is constant.
+    pub const fn const_value(self) -> Option<bool> {
+        match self.0 {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Applies an extra complement if `complement` is set.
+    #[must_use]
+    pub const fn complement_if(self, complement: bool) -> Self {
+        Edge(self.0 ^ complement as u32)
+    }
+}
+
+impl std::ops::Not for Edge {
+    type Output = Edge;
+
+    fn not(self) -> Edge {
+        Edge(self.0 ^ 1)
+    }
+}
+
+impl From<NodeId> for Edge {
+    fn from(node: NodeId) -> Self {
+        Edge::new(node, false)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_complemented() {
+            write!(f, "!{}", self.node())
+        } else {
+            write!(f, "{}", self.node())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert!(Edge::FALSE.is_const());
+        assert!(Edge::TRUE.is_const());
+        assert_eq!(Edge::FALSE.const_value(), Some(false));
+        assert_eq!(Edge::TRUE.const_value(), Some(true));
+        assert_eq!(!Edge::FALSE, Edge::TRUE);
+        assert_eq!(Edge::FALSE.node(), NodeId::CONST);
+        assert_eq!(Edge::TRUE.node(), NodeId::CONST);
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let e = Edge::new(NodeId(7), false);
+        assert!(!e.is_complemented());
+        assert!((!e).is_complemented());
+        assert_eq!(!!e, e);
+        assert_eq!((!e).regular(), e);
+        assert_eq!(e.complement_if(true), !e);
+        assert_eq!(e.complement_if(false), e);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        let e = Edge::new(NodeId(5), true);
+        assert_eq!(e.code(), 11);
+        assert_eq!(Edge::from_code(11), e);
+    }
+
+    #[test]
+    fn non_const_edge() {
+        let e = Edge::new(NodeId(3), true);
+        assert!(!e.is_const());
+        assert_eq!(e.const_value(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Edge::new(NodeId(4), true).to_string(), "!n4");
+        assert_eq!(Edge::new(NodeId(4), false).to_string(), "n4");
+    }
+}

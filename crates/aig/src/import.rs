@@ -1,0 +1,261 @@
+//! ASCII AIGER import.
+
+use std::fmt;
+
+use crate::{Aig, Edge};
+
+/// Errors from parsing an ASCII AIGER (`aag`) file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseAigerError {
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file declares latches, which combinational AIGs do not have.
+    LatchesUnsupported,
+    /// A literal or count failed to parse as an integer.
+    BadNumber(String),
+    /// An input literal is complemented or out of sequence.
+    BadInput(String),
+    /// An AND definition is out of order or refers to later nodes.
+    BadAnd(String),
+    /// The file ended before all declared sections were read.
+    UnexpectedEof,
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::BadHeader(l) => write!(f, "malformed aag header: {l}"),
+            ParseAigerError::LatchesUnsupported => {
+                f.write_str("sequential aiger files (latches) are not supported")
+            }
+            ParseAigerError::BadNumber(t) => write!(f, "not a number: {t}"),
+            ParseAigerError::BadInput(l) => write!(f, "malformed input line: {l}"),
+            ParseAigerError::BadAnd(l) => write!(f, "malformed and line: {l}"),
+            ParseAigerError::UnexpectedEof => f.write_str("unexpected end of file"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAigerError {}
+
+impl Aig {
+    /// Parses an ASCII AIGER (`aag`) file as produced by
+    /// [`Aig::to_aiger_ascii`].
+    ///
+    /// Only combinational files are accepted (no latches). Node ids are
+    /// required in the canonical order: inputs `1..=I`, ANDs following
+    /// with fanins referring to earlier nodes — the format emitted by
+    /// this crate and by most tools after reencoding. Symbol-table
+    /// entries (`iN`, `oN`) become port names; missing names default to
+    /// `iN` / `oN`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseAigerError`] describing the first problem found.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cirlearn_aig::Aig;
+    ///
+    /// # fn main() -> Result<(), cirlearn_aig::ParseAigerError> {
+    /// let mut g = Aig::new();
+    /// let a = g.add_input("a");
+    /// let b = g.add_input("b");
+    /// let y = g.xor(a, b);
+    /// g.add_output(y, "y");
+    /// let text = g.to_aiger_ascii();
+    /// let back = Aig::from_aiger_ascii(&text)?;
+    /// assert_eq!(back.num_inputs(), 2);
+    /// assert_eq!(back.eval_bits(&[true, false]), vec![true]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_aiger_ascii(text: &str) -> Result<Aig, ParseAigerError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or(ParseAigerError::UnexpectedEof)?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        if fields.len() != 6 || fields[0] != "aag" {
+            return Err(ParseAigerError::BadHeader(header.to_owned()));
+        }
+        let parse = |t: &str| -> Result<usize, ParseAigerError> {
+            t.parse().map_err(|_| ParseAigerError::BadNumber(t.to_owned()))
+        };
+        let _max_var = parse(fields[1])?;
+        let num_inputs = parse(fields[2])?;
+        let num_latches = parse(fields[3])?;
+        let num_outputs = parse(fields[4])?;
+        let num_ands = parse(fields[5])?;
+        if num_latches != 0 {
+            return Err(ParseAigerError::LatchesUnsupported);
+        }
+
+        let mut aig = Aig::new();
+        let mut input_names: Vec<String> =
+            (0..num_inputs).map(|k| format!("i{k}")).collect();
+        let mut output_names: Vec<String> =
+            (0..num_outputs).map(|k| format!("o{k}")).collect();
+
+        // Inputs: literal 2*(k+1), positive.
+        for k in 0..num_inputs {
+            let line = lines.next().ok_or(ParseAigerError::UnexpectedEof)?;
+            let lit = parse(line.trim())?;
+            if lit != 2 * (k + 1) {
+                return Err(ParseAigerError::BadInput(line.to_owned()));
+            }
+        }
+        // Output literals, resolved after the ANDs are built.
+        let mut output_lits = Vec::with_capacity(num_outputs);
+        for _ in 0..num_outputs {
+            let line = lines.next().ok_or(ParseAigerError::UnexpectedEof)?;
+            output_lits.push(parse(line.trim())? as u32);
+        }
+        // ANDs in topological order.
+        let mut next_id = num_inputs as u32 + 1;
+        // Add inputs now that we know the count (names patched later).
+        let mut aig_inputs = Vec::with_capacity(num_inputs);
+        for k in 0..num_inputs {
+            aig_inputs.push(aig.add_input(format!("i{k}")));
+        }
+        for _ in 0..num_ands {
+            let line = lines.next().ok_or(ParseAigerError::UnexpectedEof)?;
+            let nums: Vec<&str> = line.split_whitespace().collect();
+            if nums.len() != 3 {
+                return Err(ParseAigerError::BadAnd(line.to_owned()));
+            }
+            let lhs = parse(nums[0])? as u32;
+            let f0 = parse(nums[1])? as u32;
+            let f1 = parse(nums[2])? as u32;
+            if lhs != next_id * 2 || f0 >= lhs || f1 >= lhs {
+                return Err(ParseAigerError::BadAnd(line.to_owned()));
+            }
+            let a = Edge::from_code(f0);
+            let b = Edge::from_code(f1);
+            let built = aig.and(a, b);
+            // Structural hashing or constant folding may compress the
+            // node away; keep ids aligned by remembering the mapping.
+            // For canonical files produced by this crate this never
+            // fires, but foreign files may contain foldable ANDs.
+            if built.node().index() as u32 != next_id {
+                // Remap: record an alias from the declared id to the
+                // folded edge by retro-patching output literals later.
+                // Simplest robust approach: rebuild without hashing is
+                // not available, so reject such files for now.
+                return Err(ParseAigerError::BadAnd(format!(
+                    "{line} (node folds to {built}; reencode the file)"
+                )));
+            }
+            next_id += 1;
+        }
+        // Symbol table and comments.
+        for line in lines {
+            if let Some(rest) = line.strip_prefix('i') {
+                if let Some((idx, name)) = rest.split_once(' ') {
+                    if let Ok(k) = idx.parse::<usize>() {
+                        if k < input_names.len() {
+                            input_names[k] = name.to_owned();
+                        }
+                    }
+                }
+            } else if let Some(rest) = line.strip_prefix('o') {
+                if let Some((idx, name)) = rest.split_once(' ') {
+                    if let Ok(k) = idx.parse::<usize>() {
+                        if k < output_names.len() {
+                            output_names[k] = name.to_owned();
+                        }
+                    }
+                }
+            } else if line.starts_with('c') {
+                break;
+            }
+        }
+
+        for (k, lit) in output_lits.into_iter().enumerate() {
+            aig.add_output(Edge::from_code(lit), output_names[k].clone());
+        }
+        // Patch input names via a rename pass (names are stored in
+        // creation order).
+        aig.rename_inputs(&input_names);
+        Ok(aig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("alpha");
+        let b = g.add_input("beta");
+        let c = g.add_input("gamma");
+        let t = g.xor(a, b);
+        let y = g.mux(c, t, !a);
+        g.add_output(y, "out0");
+        g.add_output(!t, "out1");
+        g
+    }
+
+    #[test]
+    fn roundtrip_preserves_function_and_names() {
+        let g = sample();
+        let text = g.to_aiger_ascii();
+        let back = Aig::from_aiger_ascii(&text).expect("own output parses");
+        assert_eq!(back.num_inputs(), 3);
+        assert_eq!(back.num_outputs(), 2);
+        assert_eq!(back.input_names(), g.input_names());
+        assert_eq!(back.outputs()[0].1, "out0");
+        for m in 0..8u32 {
+            let bits: Vec<bool> = (0..3).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(back.eval_bits(&bits), g.eval_bits(&bits), "m={m}");
+        }
+    }
+
+    #[test]
+    fn rejects_latches() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(
+            Aig::from_aiger_ascii(text),
+            Err(ParseAigerError::LatchesUnsupported)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            Aig::from_aiger_ascii("not an aiger file"),
+            Err(ParseAigerError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Aig::from_aiger_ascii(""),
+            Err(ParseAigerError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n"; // missing the and line
+        assert!(matches!(
+            Aig::from_aiger_ascii(text),
+            Err(ParseAigerError::UnexpectedEof)
+        ));
+    }
+
+    #[test]
+    fn constant_outputs_parse() {
+        let text = "aag 1 1 0 2 0\n2\n0\n1\ni0 x\no0 zero\no1 one\n";
+        let g = Aig::from_aiger_ascii(text).expect("valid");
+        assert_eq!(g.eval_bits(&[true]), vec![false, true]);
+        assert_eq!(g.outputs()[1].1, "one");
+    }
+
+    #[test]
+    fn default_names_when_symbols_missing() {
+        let text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+        let g = Aig::from_aiger_ascii(text).expect("valid");
+        assert_eq!(g.input_name(0), "i0");
+        assert_eq!(g.outputs()[0].1, "o0");
+        assert_eq!(g.eval_bits(&[true, true]), vec![true]);
+    }
+}

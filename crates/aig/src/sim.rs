@@ -1,0 +1,154 @@
+//! Bit-parallel and single-pattern simulation.
+
+use cirlearn_logic::{Assignment, SimVector};
+
+use crate::{Aig, Edge};
+
+impl Aig {
+    /// Simulates the whole graph on a block of patterns, returning one
+    /// [`SimVector`] per node (indexed by node id).
+    ///
+    /// `inputs[k]` holds the pattern bits of the `k`-th primary input.
+    /// All input vectors must have the same pattern count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs` or pattern counts differ.
+    pub fn simulate_nodes(&self, inputs: &[SimVector]) -> Vec<SimVector> {
+        assert_eq!(inputs.len(), self.num_inputs(), "wrong input count");
+        let patterns = inputs.first().map_or(0, SimVector::len);
+        let mut values = Vec::with_capacity(self.node_count());
+        values.push(SimVector::zeros(patterns));
+        for v in inputs {
+            assert_eq!(v.len(), patterns, "pattern counts differ across inputs");
+            values.push(v.clone());
+        }
+        for (_, a, b) in self.ands() {
+            let va = &values[a.node().index()];
+            let vb = &values[b.node().index()];
+            let v = SimVector::and2(va, a.is_complemented(), vb, b.is_complemented());
+            values.push(v);
+        }
+        values
+    }
+
+    /// Simulates the graph on a block of patterns, returning one
+    /// [`SimVector`] per primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs` or pattern counts differ.
+    pub fn simulate(&self, inputs: &[SimVector]) -> Vec<SimVector> {
+        let values = self.simulate_nodes(inputs);
+        self.outputs()
+            .iter()
+            .map(|(e, _)| resolve(&values, *e))
+            .collect()
+    }
+
+    /// Simulates a batch of full assignments, returning the output bits
+    /// of each assignment in order.
+    ///
+    /// This is the access pattern of a black-box oracle: rows in, rows
+    /// out. Internally the rows are transposed and evaluated 64 at a
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment is not exactly `num_inputs` wide.
+    pub fn eval_batch(&self, patterns: &[Assignment]) -> Vec<Vec<bool>> {
+        for p in patterns {
+            assert_eq!(p.len(), self.num_inputs(), "wrong assignment width");
+        }
+        let inputs: Vec<SimVector> = (0..self.num_inputs() as u32)
+            .map(|k| SimVector::column(patterns, k))
+            .collect();
+        let outputs = self.simulate(&inputs);
+        (0..patterns.len())
+            .map(|row| outputs.iter().map(|v| v.bit(row)).collect())
+            .collect()
+    }
+
+    /// Evaluates all outputs on one full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment is not exactly `num_inputs` wide.
+    pub fn eval(&self, assignment: &Assignment) -> Vec<bool> {
+        let bits: Vec<bool> = assignment.iter().collect();
+        self.eval_bits(&bits)
+    }
+}
+
+fn resolve(values: &[SimVector], e: Edge) -> SimVector {
+    let mut v = values[e.node().index()].clone();
+    if e.is_complemented() {
+        v.not_assign();
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_logic::Var;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_aig() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.xor(a, b);
+        let f = g.mux(c, ab, !a);
+        g.add_output(f, "f");
+        g.add_output(!ab, "g");
+        g
+    }
+
+    #[test]
+    fn simulate_matches_eval_bits() {
+        let g = sample_aig();
+        let mut rng = StdRng::seed_from_u64(11);
+        let patterns: Vec<Assignment> =
+            (0..200).map(|_| Assignment::random(3, &mut rng)).collect();
+        let batch = g.eval_batch(&patterns);
+        for (row, p) in patterns.iter().enumerate() {
+            let bits: Vec<bool> = p.iter().collect();
+            assert_eq!(batch[row], g.eval_bits(&bits), "row {row}");
+        }
+    }
+
+    #[test]
+    fn eval_matches_eval_bits() {
+        let g = sample_aig();
+        let mut a = Assignment::zeros(3);
+        a.set(Var::new(1), true);
+        assert_eq!(g.eval(&a), g.eval_bits(&[false, true, false]));
+    }
+
+    #[test]
+    fn simulate_complemented_output() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        g.add_output(!a, "na");
+        let inputs = vec![SimVector::from_bits([true, false, true])];
+        let out = g.simulate(&inputs);
+        assert_eq!(out[0].iter().collect::<Vec<_>>(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn empty_pattern_block() {
+        let g = sample_aig();
+        let out = g.eval_batch(&[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong input count")]
+    fn wrong_input_count_panics() {
+        let g = sample_aig();
+        g.simulate(&[SimVector::zeros(4)]);
+    }
+}

@@ -1,0 +1,38 @@
+//! A reduced ordered binary decision diagram (ROBDD) package.
+//!
+//! This is the substrate behind the `collapse` optimization pass (the
+//! paper applies ABC's `collapse` once during circuit optimization):
+//! a learned circuit cone is converted into a BDD, from which a compact
+//! irredundant SOP is re-extracted with the BDD variant of the
+//! Minato–Morreale ISOP procedure.
+//!
+//! The manager ([`Bdd`]) owns all nodes; functions are referenced by
+//! [`BddRef`] handles. Variables are ordered by ascending index from the
+//! root. Complement edges are deliberately omitted — the simplicity is
+//! worth the ~2x node overhead at the cone sizes this workspace
+//! collapses (<= 24 variables).
+//!
+//! # Examples
+//!
+//! ```
+//! use cirlearn_bdd::Bdd;
+//!
+//! let mut bdd = Bdd::new(3);
+//! let x0 = bdd.var(0);
+//! let x1 = bdd.var(1);
+//! let x2 = bdd.var(2);
+//! let f = {
+//!     let a = bdd.and(x0, x1);
+//!     bdd.or(a, x2)
+//! };
+//! assert_eq!(bdd.sat_count(f), 5); // |x0 x1 + x2| over 3 vars
+//! let sop = bdd.isop(f);
+//! assert_eq!(sop.cubes().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+
+pub use manager::{Bdd, BddRef};

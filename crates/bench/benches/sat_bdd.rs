@@ -1,0 +1,68 @@
+//! Microbenchmarks for the SAT and BDD substrates: equivalence-check
+//! miters (fraig's inner engine) and BDD build + ISOP (collapse's inner
+//! engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cirlearn_aig::Aig;
+use cirlearn_bdd::Bdd;
+use cirlearn_logic::TruthTable;
+use cirlearn_sat::check_equivalence;
+
+/// A w-bit ripple adder circuit.
+fn adder(w: usize) -> Aig {
+    let mut g = Aig::new();
+    let a = g.add_inputs("a", w);
+    let b = g.add_inputs("b", w);
+    let s = g.add_word(&a, &b);
+    for (i, e) in s.iter().enumerate() {
+        g.add_output(*e, format!("s{i}"));
+    }
+    g
+}
+
+/// The same function built with operand order swapped (different
+/// structure, same function).
+fn adder_swapped(w: usize) -> Aig {
+    let mut g = Aig::new();
+    let a = g.add_inputs("a", w);
+    let b = g.add_inputs("b", w);
+    let s = g.add_word(&b, &a);
+    for (i, e) in s.iter().enumerate() {
+        g.add_output(*e, format!("s{i}"));
+    }
+    g
+}
+
+fn bench_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_equivalence");
+    group.sample_size(10);
+    for &w in &[8usize, 16, 24] {
+        group.bench_with_input(BenchmarkId::new("adder_miter", w), &w, |bch, &w| {
+            let g1 = adder(w);
+            let g2 = adder_swapped(w);
+            bch.iter(|| black_box(check_equivalence(&g1, &g2).is_equivalent()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bdd");
+    group.sample_size(10);
+    for &n in &[10usize, 14] {
+        let tt = TruthTable::from_fn(n, |m| m.wrapping_mul(0x45d9_f3b3) >> 19 & 1 == 1);
+        group.bench_with_input(BenchmarkId::new("build_isop", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut bdd = Bdd::new(n);
+                let f = bdd.from_truth_table(&tt);
+                black_box(bdd.isop(f).cubes().len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equivalence, bench_bdd);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks for the optimization passes (paper §IV-E: the ABC
+//! substitution) on a deliberately redundant learned-SOP-style circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_synth::{balance, collapse, fraig, rewrite, CollapseConfig, FraigConfig};
+
+/// Builds a flat minterm-cover circuit of a function with heavy
+/// sharing — the shape an FBDT's leaf cubes produce before
+/// optimization.
+fn redundant_sop(num_vars: usize) -> Aig {
+    let mut g = Aig::new();
+    let inputs = g.add_inputs("x", num_vars);
+    let mut cubes = Vec::new();
+    for m in 0..1u32 << num_vars {
+        // Onset: (x0 & x1) | x2 written as minterms.
+        let f = (m & 1 == 1 && m >> 1 & 1 == 1) || m >> 2 & 1 == 1;
+        if f {
+            let lits: Vec<Edge> = (0..num_vars)
+                .map(|k| inputs[k].complement_if(m >> k & 1 == 0))
+                .collect();
+            cubes.push(g.and_many(&lits));
+        }
+    }
+    let y = g.or_many(&cubes);
+    g.add_output(y, "y");
+    g
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let aig = redundant_sop(10);
+    let mut group = c.benchmark_group("synthesis_passes");
+    group.sample_size(10);
+    group.bench_function("balance", |b| {
+        b.iter(|| black_box(balance(&aig).gate_count()))
+    });
+    group.bench_function("rewrite", |b| {
+        b.iter(|| black_box(rewrite(&aig).gate_count()))
+    });
+    group.bench_function("fraig", |b| {
+        let cfg = FraigConfig {
+            patterns: 512,
+            ..FraigConfig::default()
+        };
+        b.iter(|| black_box(fraig(&aig, &cfg).gate_count()))
+    });
+    group.bench_function("collapse", |b| {
+        b.iter(|| black_box(collapse(&aig, &CollapseConfig::default()).gate_count()))
+    });
+    group.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    use cirlearn_synth::map::map_gates;
+    let mut group = c.benchmark_group("tech_mapping");
+    // An XOR-rich circuit (adder) where mapping pays off most.
+    let mut adder = Aig::new();
+    let a = adder.add_inputs("a", 16);
+    let b = adder.add_inputs("b", 16);
+    let s = adder.add_word(&a, &b);
+    for (i, e) in s.iter().enumerate() {
+        adder.add_output(*e, format!("s{i}"));
+    }
+    group.bench_function("map_adder16", |bch| {
+        bch.iter(|| black_box(map_gates(&adder).gate_count()))
+    });
+    group.finish();
+}
+
+fn bench_espresso(c: &mut Criterion) {
+    use cirlearn_logic::TruthTable;
+    let mut group = c.benchmark_group("two_level");
+    group.sample_size(10);
+    for &n in &[6usize, 8] {
+        let tt = TruthTable::from_fn(n, |m| m.wrapping_mul(0x9E37_79B9) >> 27 & 1 == 1);
+        let minterms: cirlearn_logic::Sop = (0..1u64 << n)
+            .filter(|&m| tt.get(m))
+            .map(|m| {
+                cirlearn_logic::Cube::from_literals(
+                    (0..n as u32).map(|k| cirlearn_logic::Var::new(k).literal(m >> k & 1 == 1)),
+                )
+                .expect("consistent")
+            })
+            .collect();
+        group.bench_function(format!("espresso_minimize_{n}v"), |b| {
+            b.iter(|| black_box(cirlearn_synth::espresso::minimize(&minterms).cubes().len()))
+        });
+        group.bench_function(format!("isop_{n}v"), |b| {
+            b.iter(|| black_box(tt.isop().cubes().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_mapping, bench_espresso);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! End-to-end learning benchmarks on representative contest cases —
+//! the per-case runtime column of Table II, at reduced scale.
+//!
+//! One case per category is benchmarked: a template-solved DIAG and
+//! DATA case (fast path), and a small ECO and NEQ case (FBDT /
+//! exhaustive path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::contest_suite;
+
+fn bench_cases(c: &mut Criterion) {
+    let suite = contest_suite();
+    let mut group = c.benchmark_group("table2_cases");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(20));
+    for name in ["case_16", "case_12", "case_13", "case_10"] {
+        let case = suite
+            .iter()
+            .find(|cse| cse.name == name)
+            .expect("case exists")
+            .clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut oracle = case.build();
+                let mut cfg = LearnerConfig::fast();
+                cfg.time_budget = Duration::from_secs(10);
+                let result = Learner::new(cfg).learn(&mut oracle);
+                black_box(result.circuit.gate_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cases);
+criterion_main!(benches);

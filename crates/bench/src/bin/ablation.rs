@@ -1,0 +1,84 @@
+//! Regenerates the paper's §V preprocessing ablation: learning the
+//! DIAG and DATA cases with name grouping + template matching turned
+//! off.
+//!
+//! The paper reports that without preprocessing six of the eight
+//! DIAG/DATA cases stay above 99.7% accuracy (the FBDT is robust), two
+//! drop to ~20%, and circuit size / runtime increase by 28× / 227× on
+//! average. This binary prints the with/without comparison per case so
+//! those three effects can be checked.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cirlearn-bench --bin ablation [--full]
+//! ```
+
+use std::time::{Duration, Instant};
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{contest_suite, evaluate_accuracy, EvalConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let (budget, eval_patterns) = if full {
+        (Duration::from_secs(300), 500_000)
+    } else {
+        (Duration::from_secs(15), 20_000)
+    };
+
+    let suite = contest_suite();
+    let targets: Vec<_> = suite
+        .iter()
+        .filter(|c| {
+            matches!(
+                c.category,
+                cirlearn_oracle::Category::Diag | cirlearn_oracle::Category::Data
+            )
+        })
+        .collect();
+
+    println!(
+        "{:<9} {:<5} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8} | {:>7} {:>7}",
+        "case", "type", "size+", "acc%+", "time+", "size-", "acc%-", "time-", "size x", "time x"
+    );
+
+    let mut size_ratios = Vec::new();
+    let mut time_ratios = Vec::new();
+    for case in targets {
+        let run = |preprocessing: bool| {
+            let mut oracle = case.build();
+            let mut cfg = LearnerConfig::fast();
+            cfg.preprocessing = preprocessing;
+            cfg.time_budget = budget;
+            let start = Instant::now();
+            let result = Learner::new(cfg).learn(&mut oracle);
+            let secs = start.elapsed().as_secs_f64();
+            let acc = evaluate_accuracy(
+                oracle.reveal(),
+                &result.circuit,
+                &EvalConfig {
+                    patterns_per_group: eval_patterns,
+                    ..EvalConfig::default()
+                },
+            );
+            (cirlearn_synth::map::map_gates(&result.circuit).gate_count(), acc.percent(), secs)
+        };
+        let (s_on, a_on, t_on) = run(true);
+        let (s_off, a_off, t_off) = run(false);
+        let size_x = s_off as f64 / s_on.max(1) as f64;
+        let time_x = t_off / t_on.max(1e-3);
+        size_ratios.push(size_x);
+        time_ratios.push(time_x);
+        println!(
+            "{:<9} {:<5} | {:>10} {:>8.3} {:>8.1} | {:>10} {:>8.3} {:>8.1} | {:>7.1} {:>7.1}",
+            case.name, case.category, s_on, a_on, t_on, s_off, a_off, t_off, size_x, time_x
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\naverage increase without preprocessing: size {:.1}x, time {:.1}x (paper: 28x, 227x)",
+        avg(&size_ratios),
+        avg(&time_ratios)
+    );
+}

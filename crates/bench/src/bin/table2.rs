@@ -1,0 +1,61 @@
+//! Regenerates the paper's Table II: per-case size / accuracy / time
+//! for our learner and the two second-place-style baselines over the
+//! 20-case contest suite.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p cirlearn-bench --bin table2 [--full] [--ours-only] [case ...]
+//! ```
+//!
+//! The default (quick) scale uses reduced budgets and 3×20k evaluation
+//! patterns; `--full` switches to the contest's 3×500k patterns and
+//! generous budgets. Absolute numbers differ from the paper (synthetic
+//! benchmarks, different machine); the comparison *shape* — who wins,
+//! by what order of magnitude, which cases stay unsolved — is the
+//! reproduction target (see EXPERIMENTS.md).
+
+use cirlearn_bench::{print_table, run_case, Contestant, Scale};
+use cirlearn_oracle::contest_suite;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ours_only = args.iter().any(|a| a == "--ours-only");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let contestants: Vec<Contestant> = if ours_only {
+        vec![Contestant::Ours]
+    } else {
+        vec![Contestant::Ours, Contestant::GreedyDt, Contestant::SampleSop]
+    };
+
+    let suite = contest_suite();
+    let cases: Vec<_> = suite
+        .iter()
+        .filter(|c| wanted.is_empty() || wanted.iter().any(|w| *w == c.name))
+        .collect();
+
+    eprintln!(
+        "running {} case(s) x {} contestant(s) at {} scale",
+        cases.len(),
+        contestants.len(),
+        if full { "full" } else { "quick" }
+    );
+
+    let mut rows = Vec::new();
+    for case in cases {
+        for &c in &contestants {
+            eprintln!("  {} / {c} ...", case.name);
+            let row = run_case(case, c, &scale);
+            eprintln!(
+                "    size={} accuracy={:.3}% time={:.1}s queries={}",
+                row.size, row.accuracy, row.seconds, row.queries
+            );
+            rows.push(row);
+        }
+    }
+    println!();
+    print_table(&rows, &contestants);
+}

@@ -1,0 +1,196 @@
+//! Shared harness for regenerating the paper's evaluation.
+//!
+//! The binaries [`table2`](../table2/index.html) and
+//! [`ablation`](../ablation/index.html) use this library to run
+//! learners over the contest suite and print Table II-style rows
+//! (size / accuracy / time per case and per contestant).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use cirlearn::baseline::{GreedyDtLearner, SampleSopLearner};
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{evaluate_accuracy, ContestCase, EvalConfig};
+
+/// Which learner produced a row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contestant {
+    /// The paper's approach (this crate's [`Learner`]).
+    Ours,
+    /// Baseline (i): greedy decision tree, no preprocessing.
+    GreedyDt,
+    /// Baseline (ii): sampled-minterm SOP memorization.
+    SampleSop,
+}
+
+impl std::fmt::Display for Contestant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Contestant::Ours => "ours",
+            Contestant::GreedyDt => "2nd-(i)",
+            Contestant::SampleSop => "2nd-(ii)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One table row: the three columns the paper reports per contestant.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Case name.
+    pub case: String,
+    /// Case category.
+    pub category: String,
+    /// Inputs / outputs of the case.
+    pub pi: usize,
+    /// Outputs of the case.
+    pub po: usize,
+    /// Who produced this row.
+    pub contestant: Contestant,
+    /// Gate count of the produced circuit.
+    pub size: usize,
+    /// Accuracy percentage (0–100).
+    pub accuracy: f64,
+    /// Wall-clock seconds spent learning.
+    pub seconds: f64,
+    /// Oracle queries spent.
+    pub queries: u64,
+}
+
+/// Harness effort scale.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Learner wall-clock budget per case.
+    pub budget: Duration,
+    /// Evaluation patterns per group (paper: 500 000).
+    pub eval_patterns: usize,
+}
+
+impl Scale {
+    /// Quick harness scale (CI-friendly; minutes for the whole table).
+    pub fn quick() -> Self {
+        Scale {
+            budget: Duration::from_secs(15),
+            eval_patterns: 20_000,
+        }
+    }
+
+    /// Paper-faithful scale (500 k patterns per group; generous
+    /// budgets). Expect a long run.
+    pub fn full() -> Self {
+        Scale {
+            budget: Duration::from_secs(300),
+            eval_patterns: 500_000,
+        }
+    }
+}
+
+/// Runs one contestant on one case and returns the row.
+pub fn run_case(case: &ContestCase, contestant: Contestant, scale: &Scale) -> Row {
+    let mut oracle = case.build();
+    let start = Instant::now();
+    let result = match contestant {
+        Contestant::Ours => {
+            let mut cfg = LearnerConfig::fast();
+            cfg.time_budget = scale.budget;
+            Learner::new(cfg).learn(&mut oracle)
+        }
+        Contestant::GreedyDt => GreedyDtLearner {
+            time_budget: scale.budget,
+            ..GreedyDtLearner::default()
+        }
+        .learn(&mut oracle),
+        Contestant::SampleSop => SampleSopLearner::default().learn(&mut oracle),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    let acc = evaluate_accuracy(
+        oracle.reveal(),
+        &result.circuit,
+        &EvalConfig {
+            patterns_per_group: scale.eval_patterns,
+            ..EvalConfig::default()
+        },
+    );
+    Row {
+        case: case.name.to_owned(),
+        category: case.category.to_string(),
+        pi: case.num_inputs,
+        po: case.num_outputs,
+        contestant,
+        // Contest metric: 2-input primitive gates after technology
+        // mapping (XOR/MUX detection), not raw AND nodes.
+        size: cirlearn_synth::map::map_gates(&result.circuit).gate_count(),
+        accuracy: acc.percent(),
+        seconds,
+        queries: result.queries,
+    }
+}
+
+/// Prints rows grouped per case in the paper's column layout.
+pub fn print_table(rows: &[Row], contestants: &[Contestant]) {
+    print!("{:<9} {:<5} {:>4} {:>4} |", "case", "type", "#PI", "#PO");
+    for c in contestants {
+        print!(" {:>24} |", format!("{c}: size/acc%/time(s)"));
+    }
+    println!();
+    let mut cases: Vec<&str> = rows.iter().map(|r| r.case.as_str()).collect();
+    cases.dedup();
+    for case in cases {
+        let any = rows.iter().find(|r| r.case == case).expect("case exists");
+        print!(
+            "{:<9} {:<5} {:>4} {:>4} |",
+            any.case, any.category, any.pi, any.po
+        );
+        for c in contestants {
+            match rows.iter().find(|r| r.case == case && r.contestant == *c) {
+                Some(r) => print!(
+                    " {:>9} {:>7.3} {:>6.1} |",
+                    r.size, r.accuracy, r.seconds
+                ),
+                None => print!(" {:>24} |", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_oracle::contest_suite;
+
+    #[test]
+    fn quick_row_on_smallest_case() {
+        // case_16: DIAG 26x4, solved by templates in well under the
+        // budget.
+        let suite = contest_suite();
+        let case = suite.iter().find(|c| c.name == "case_16").expect("exists");
+        let scale = Scale {
+            budget: Duration::from_secs(10),
+            eval_patterns: 2_000,
+        };
+        let row = run_case(case, Contestant::Ours, &scale);
+        assert_eq!(row.po, 4);
+        assert!(row.accuracy > 99.9, "accuracy {}", row.accuracy);
+        assert!(row.size < 500, "size {}", row.size);
+    }
+
+    #[test]
+    fn table_printer_handles_missing_rows() {
+        let rows = vec![Row {
+            case: "case_x".into(),
+            category: "ECO".into(),
+            pi: 3,
+            po: 1,
+            contestant: Contestant::Ours,
+            size: 5,
+            accuracy: 100.0,
+            seconds: 0.1,
+            queries: 42,
+        }];
+        // Must not panic with a contestant that has no row.
+        print_table(&rows, &[Contestant::Ours, Contestant::GreedyDt]);
+    }
+}

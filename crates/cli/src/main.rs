@@ -1,0 +1,349 @@
+//! `cirlearn` — the command-line front end of the circuit-learning
+//! toolkit.
+//!
+//! ```text
+//! cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
+//!                [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+//! cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
+//! cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
+//! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
+//! cirlearn opt <input.aag> [-o out.aag] [--budget SECS]
+//! cirlearn stats <input.aag>
+//! ```
+//!
+//! `learn` treats the input circuit as a black box (only its query
+//! interface is used), runs the DAC'20 pipeline and writes the learned
+//! circuit; `eval` scores a candidate with the contest's three-way
+//! biased pattern mix; `gen` emits a synthetic benchmark of the given
+//! contest category.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_aig::Aig;
+use cirlearn_oracle::{evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
+                 [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+  cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
+                 [-o learned.aag] [--budget SECS] [--seed N]
+  cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
+  cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
+  cirlearn opt <input.aag> [-o out.aag] [--budget SECS]
+  cirlearn stats <input.aag>";
+
+/// Minimal flag parser: returns positional arguments and a lookup for
+/// `--flag value` / `--flag` options.
+struct Opts {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if value_flags.contains(&name) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} expects a value"))?;
+                    flags.push((name.to_owned(), Some(v.clone())));
+                } else {
+                    flags.push((name.to_owned(), None));
+                }
+            } else if a == "-o" {
+                let v = it.next().ok_or("-o expects a file name")?;
+                flags.push(("o".to_owned(), Some(v.clone())));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Opts { positional, flags })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn present(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing subcommand".to_owned());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "learn" => cmd_learn(rest),
+        "learn-bb" => cmd_learn_bb(rest),
+        "eval" => cmd_eval(rest),
+        "gen" => cmd_gen(rest),
+        "opt" => cmd_opt(rest),
+        "stats" => cmd_stats(rest),
+        other => Err(format!("unknown subcommand {other}")),
+    }
+}
+
+fn read_aig(path: &str) -> Result<Aig, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Aig::from_aiger_ascii(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_learn(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["budget", "seed", "verilog"])?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("learn expects exactly one input file".to_owned());
+    };
+    let hidden = read_aig(input)?;
+    let mut oracle = CircuitOracle::new(hidden);
+
+    let mut config = if opts.present("paper-scale") {
+        LearnerConfig::default()
+    } else {
+        LearnerConfig::fast()
+    };
+    config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
+    config.seed = opts.number("seed", config.seed)?;
+    if opts.present("no-preprocessing") {
+        config.preprocessing = false;
+    }
+    config.verbose = opts.present("verbose");
+
+    eprintln!(
+        "learning {} ({} inputs, {} outputs) ...",
+        input,
+        oracle.num_inputs(),
+        oracle.num_outputs()
+    );
+    let result = Learner::new(config).learn(&mut oracle);
+    for s in &result.outputs {
+        eprintln!(
+            "  output {:>3} ({}): {} (support {})",
+            s.output, s.name, s.strategy, s.support_size
+        );
+    }
+    eprintln!(
+        "learned {} gates in {:.1?} with {} queries",
+        result.circuit.gate_count(),
+        result.elapsed,
+        result.queries
+    );
+    let acc = evaluate_accuracy(
+        oracle.reveal(),
+        &result.circuit,
+        &EvalConfig {
+            patterns_per_group: 20_000,
+            ..EvalConfig::default()
+        },
+    );
+    let mapped = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
+    println!(
+        "size={mapped} aig_ands={} accuracy={} time={:.3}s queries={}",
+        result.circuit.gate_count(),
+        acc,
+        result.elapsed.as_secs_f64(),
+        result.queries
+    );
+    if let Some(path) = opts.value("o") {
+        write_file(path, &result.circuit.to_aiger_ascii())?;
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = opts.value("verilog") {
+        write_file(path, &result.circuit.to_verilog("learned"))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Learns an *external* black box over the line protocol of
+/// [`cirlearn_oracle::ProcessOracle`]. Accuracy cannot be reported (no
+/// golden circuit); the learned AIGER is the deliverable.
+fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["cmd", "args", "inputs", "outputs", "budget", "seed"])?;
+    let program = opts.value("cmd").ok_or("learn-bb requires --cmd")?;
+    let split_names = |s: &str| -> Vec<String> {
+        s.split(',').map(|t| t.trim().to_owned()).filter(|t| !t.is_empty()).collect()
+    };
+    let inputs = split_names(opts.value("inputs").ok_or("learn-bb requires --inputs")?);
+    let outputs = split_names(opts.value("outputs").ok_or("learn-bb requires --outputs")?);
+    if inputs.is_empty() || outputs.is_empty() {
+        return Err("empty --inputs or --outputs".to_owned());
+    }
+    let extra_args: Vec<String> = opts
+        .value("args")
+        .map(|a| a.split_whitespace().map(str::to_owned).collect())
+        .unwrap_or_default();
+    let arg_refs: Vec<&str> = extra_args.iter().map(String::as_str).collect();
+    let mut oracle =
+        cirlearn_oracle::ProcessOracle::spawn(program, &arg_refs, inputs, outputs)
+            .map_err(|e| e.to_string())?;
+
+    let mut config = LearnerConfig::fast();
+    config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
+    config.seed = opts.number("seed", config.seed)?;
+    let result = Learner::new(config).learn(&mut oracle);
+    for s in &result.outputs {
+        eprintln!(
+            "  output {:>3} ({}): {} (support {})",
+            s.output, s.name, s.strategy, s.support_size
+        );
+    }
+    let mapped = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
+    println!(
+        "size={mapped} aig_ands={} time={:.3}s queries={}",
+        result.circuit.gate_count(),
+        result.elapsed.as_secs_f64(),
+        result.queries
+    );
+    if let Some(path) = opts.value("o") {
+        write_file(path, &result.circuit.to_aiger_ascii())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["patterns", "seed"])?;
+    let [golden_path, candidate_path] = opts.positional.as_slice() else {
+        return Err("eval expects two input files".to_owned());
+    };
+    let golden = read_aig(golden_path)?;
+    let candidate = read_aig(candidate_path)?;
+    if golden.num_inputs() != candidate.num_inputs()
+        || golden.num_outputs() != candidate.num_outputs()
+    {
+        return Err(format!(
+            "interface mismatch: {}x{} vs {}x{}",
+            golden.num_inputs(),
+            golden.num_outputs(),
+            candidate.num_inputs(),
+            candidate.num_outputs()
+        ));
+    }
+    let acc = evaluate_accuracy(
+        &golden,
+        &candidate,
+        &EvalConfig {
+            patterns_per_group: opts.number("patterns", 100_000usize)?,
+            seed: opts.number("seed", 0xE7A1u64)?,
+            ..EvalConfig::default()
+        },
+    );
+    println!(
+        "accuracy={} hits={} total={} meets_bar={}",
+        acc,
+        acc.hits,
+        acc.total,
+        acc.meets_contest_bar()
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["seed"])?;
+    let [category, pi, po] = opts.positional.as_slice() else {
+        return Err("gen expects: <category> <#PI> <#PO>".to_owned());
+    };
+    let pi: usize = pi.parse().map_err(|_| format!("bad #PI {pi}"))?;
+    let po: usize = po.parse().map_err(|_| format!("bad #PO {po}"))?;
+    let seed = opts.number("seed", 1u64)?;
+    let cat = match category.to_ascii_lowercase().as_str() {
+        "neq" => generate::Category::Neq,
+        "eco" => generate::Category::Eco,
+        "diag" => generate::Category::Diag,
+        "data" => generate::Category::Data,
+        other => return Err(format!("unknown category {other} (neq|eco|diag|data)")),
+    };
+    let oracle = generate::case(cat, pi, po, seed);
+    let text = oracle.reveal().to_aiger_ascii();
+    match opts.value("o") {
+        Some(path) => {
+            write_file(path, &text)?;
+            eprintln!(
+                "wrote {path}: {} ({} gates)",
+                cat,
+                oracle.reveal().gate_count()
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &["budget"])?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("opt expects exactly one input file".to_owned());
+    };
+    let aig = read_aig(input)?;
+    let cfg = cirlearn_synth::OptimizeConfig {
+        time_budget: Duration::from_secs_f64(opts.number("budget", 60.0)?),
+        ..cirlearn_synth::OptimizeConfig::default()
+    };
+    let before = aig.gate_count();
+    let best = cirlearn_synth::optimize(&aig, &cfg);
+    println!("gates: {before} -> {}", best.gate_count());
+    if let Some(path) = opts.value("o") {
+        write_file(path, &best.to_aiger_ascii())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    let [input] = opts.positional.as_slice() else {
+        return Err("stats expects exactly one input file".to_owned());
+    };
+    let aig = read_aig(input)?;
+    println!(
+        "inputs={} outputs={} gates={} mapped={} depth={} nodes={}",
+        aig.num_inputs(),
+        aig.num_outputs(),
+        aig.gate_count(),
+        cirlearn_synth::map::map_gates(&aig).gate_count(),
+        aig.depth(),
+        aig.node_count()
+    );
+    for (k, (_, name)) in aig.outputs().iter().enumerate() {
+        let sup = aig.output_support(k);
+        println!("  output {k} ({name}): structural support {}", sup.len());
+    }
+    Ok(())
+}

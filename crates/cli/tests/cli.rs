@@ -1,0 +1,98 @@
+//! End-user integration: drive the `cirlearn` binary through a full
+//! generate → inspect → learn → evaluate round trip.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cirlearn"))
+}
+
+fn tempdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn gen_learn_eval_roundtrip() {
+    let dir = tempdir();
+    let hidden = dir.join("hidden.aag");
+    let learned = dir.join("learned.aag");
+    let verilog = dir.join("learned.v");
+
+    // gen
+    let out = bin()
+        .args(["gen", "diag", "24", "2", "--seed", "11", "-o"])
+        .arg(&hidden)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(hidden.exists());
+
+    // stats
+    let out = bin().arg("stats").arg(&hidden).output().expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inputs=24"), "{stdout}");
+    assert!(stdout.contains("outputs=2"), "{stdout}");
+
+    // learn
+    let out = bin()
+        .args(["learn"])
+        .arg(&hidden)
+        .args(["--budget", "20", "-o"])
+        .arg(&learned)
+        .arg("--verilog")
+        .arg(&verilog)
+        .output()
+        .expect("run learn");
+    assert!(out.status.success(), "learn failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("accuracy=100.000%"), "{stdout}");
+    assert!(learned.exists() && verilog.exists());
+    let v = std::fs::read_to_string(&verilog).expect("read verilog");
+    assert!(v.starts_with("module learned ("));
+
+    // eval
+    let out = bin()
+        .arg("eval")
+        .arg(&hidden)
+        .arg(&learned)
+        .args(["--patterns", "5000"])
+        .output()
+        .expect("run eval");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("meets_bar=true"), "{stdout}");
+
+    // opt is a no-op-or-better on the learned circuit
+    let out = bin()
+        .arg("opt")
+        .arg(&learned)
+        .args(["--budget", "5"])
+        .output()
+        .expect("run opt");
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = bin()
+        .args(["stats", "/nonexistent/file.aag"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: reading"), "{stderr}");
+}

@@ -1,0 +1,95 @@
+//! Wall-clock budgeting.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget with checkpoints, used to reproduce the paper's
+/// anytime behaviour (the contest imposed a hard time limit; the
+/// algorithm early-stops tree construction and still emits a circuit).
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::new(Duration::from_secs(60));
+/// assert!(!budget.exhausted());
+/// assert!(budget.remaining() <= Duration::from_secs(60));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    start: Instant,
+    limit: Duration,
+}
+
+impl Budget {
+    /// Starts a budget of the given length now.
+    pub fn new(limit: Duration) -> Self {
+        Budget {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// A budget that never runs out (for tests and unconstrained runs).
+    pub fn unlimited() -> Self {
+        Budget::new(Duration::from_secs(u64::MAX / 4))
+    }
+
+    /// Elapsed time since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Time left, saturating at zero.
+    pub fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.start.elapsed())
+    }
+
+    /// Whether the budget has run out.
+    pub fn exhausted(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// Returns a sub-budget capped at `fraction` of the *remaining*
+    /// time — how the learner portions tree construction across the
+    /// outputs still to be learned.
+    pub fn fraction_of_remaining(&self, fraction: f64) -> Budget {
+        let rem = self.remaining();
+        Budget::new(rem.mul_f64(fraction.clamp(0.0, 1.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_budget_is_exhausted() {
+        let b = Budget::new(Duration::ZERO);
+        assert!(b.exhausted());
+        assert_eq!(b.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn unlimited_is_not_exhausted() {
+        assert!(!Budget::unlimited().exhausted());
+    }
+
+    #[test]
+    fn fraction_is_bounded() {
+        let b = Budget::new(Duration::from_secs(10));
+        let half = b.fraction_of_remaining(0.5);
+        assert!(half.remaining() <= Duration::from_secs(5));
+        let clamped = b.fraction_of_remaining(7.0);
+        assert!(clamped.remaining() <= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn elapsed_monotone() {
+        let b = Budget::new(Duration::from_secs(1));
+        let e1 = b.elapsed();
+        let e2 = b.elapsed();
+        assert!(e2 >= e1);
+    }
+}

@@ -1,0 +1,623 @@
+//! The end-to-end learning pipeline (paper Fig. 1).
+
+use std::time::Duration;
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_oracle::Oracle;
+use cirlearn_synth::{optimize, OptimizeConfig};
+
+use crate::budget::Budget;
+use crate::fbdt::{build_fbdt, learn_exhaustive, FbdtConfig, LearnedCover};
+use crate::naming::{group_names, Grouping};
+use crate::sampling::{seeded_rng, SamplingConfig};
+use crate::support::identify_support;
+use crate::template::{
+    match_comparator_const, match_comparator_pair, match_linear, TemplateConfig,
+};
+
+/// Which algorithm produced an output's circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Matched by the linear-arithmetic template.
+    LinearTemplate,
+    /// Matched by the comparator template.
+    ComparatorTemplate,
+    /// Exhaustively enumerated (small support).
+    Exhaustive,
+    /// Learned by FBDT construction.
+    Fbdt,
+    /// Learned over a compressed input space after a hidden comparator
+    /// was detected and delegated (paper §IV-B1, Fig. 3).
+    CompressedFbdt,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Strategy::LinearTemplate => "linear",
+            Strategy::ComparatorTemplate => "comparator",
+            Strategy::Exhaustive => "exhaustive",
+            Strategy::Fbdt => "fbdt",
+            Strategy::CompressedFbdt => "compressed-fbdt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-output learning statistics.
+#[derive(Debug, Clone)]
+pub struct OutputStats {
+    /// Output position.
+    pub output: usize,
+    /// Output port name.
+    pub name: String,
+    /// Winning strategy.
+    pub strategy: Strategy,
+    /// Size of the estimated support (0 for template matches).
+    pub support_size: usize,
+    /// Leaves the FBDT had to force on budget exhaustion.
+    pub forced_leaves: usize,
+}
+
+/// The result of a [`Learner::learn`] run.
+#[derive(Debug, Clone)]
+pub struct LearnResult {
+    /// The learned circuit, with the oracle's port names.
+    pub circuit: Aig,
+    /// Per-output statistics, in output order.
+    pub outputs: Vec<OutputStats>,
+    /// Total wall-clock time spent.
+    pub elapsed: Duration,
+    /// Total oracle queries spent.
+    pub queries: u64,
+}
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone)]
+pub struct LearnerConfig {
+    /// Master switch for steps 1–2 (name grouping + templates); turned
+    /// off for the paper's §V preprocessing ablation.
+    pub preprocessing: bool,
+    /// Support-identification sampling (paper: r = 7200).
+    pub support_sampling: SamplingConfig,
+    /// FBDT construction settings.
+    pub fbdt: FbdtConfig,
+    /// Template matching settings.
+    pub template: TemplateConfig,
+    /// Total wall-clock budget (the paper ran under 2700 s).
+    pub time_budget: Duration,
+    /// Optional total query budget: unlike wall-clock time it is
+    /// machine-independent, so budgeted runs reproduce exactly.
+    pub max_queries: Option<u64>,
+    /// Post-optimization settings; `None` skips optimization.
+    pub optimize: Option<OptimizeConfig>,
+    /// Covers larger than this many cubes skip espresso minimization
+    /// (factoring still applies) to bound post-processing time.
+    pub espresso_cube_limit: usize,
+    /// RNG seed for the whole run.
+    pub seed: u64,
+    /// Emit per-stage progress on stderr.
+    pub verbose: bool,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        LearnerConfig {
+            preprocessing: true,
+            support_sampling: SamplingConfig::support_default(),
+            fbdt: FbdtConfig::default(),
+            template: TemplateConfig::default(),
+            time_budget: Duration::from_secs(2700),
+            max_queries: None,
+            optimize: Some(OptimizeConfig::default()),
+            espresso_cube_limit: 256,
+            seed: 0x1CCAD,
+            verbose: false,
+        }
+    }
+}
+
+impl LearnerConfig {
+    /// A CI-scale configuration: reduced sampling, small budgets.
+    pub fn fast() -> Self {
+        LearnerConfig {
+            preprocessing: true,
+            support_sampling: SamplingConfig::fast(),
+            fbdt: FbdtConfig::fast(),
+            template: TemplateConfig {
+                validate_samples: 192,
+                ..TemplateConfig::default()
+            },
+            time_budget: Duration::from_secs(30),
+            max_queries: None,
+            optimize: Some(OptimizeConfig {
+                time_budget: Duration::from_secs(2),
+                max_rounds: 1,
+                enable_redundancy_removal: false,
+                ..OptimizeConfig::default()
+            }),
+            espresso_cube_limit: 128,
+            seed: 0x1CCAD,
+            verbose: false,
+        }
+    }
+}
+
+/// The circuit learner: runs grouping, template matching, support
+/// identification, FBDT construction and optimization.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    config: LearnerConfig,
+}
+
+impl Learner {
+    /// Creates a learner with the given configuration.
+    pub fn new(config: LearnerConfig) -> Self {
+        Learner { config }
+    }
+
+    /// Convenience constructor with the paper's default settings.
+    pub fn with_defaults() -> Self {
+        Learner::new(LearnerConfig::default())
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &LearnerConfig {
+        &self.config
+    }
+
+    /// Learns a circuit for the black box.
+    ///
+    /// Always returns a complete circuit with one output per oracle
+    /// output; on budget exhaustion the remaining outputs degrade to
+    /// majority-vote approximations (the paper's early-stop behaviour)
+    /// rather than being dropped.
+    pub fn learn<O: Oracle + ?Sized>(&mut self, oracle: &mut O) -> LearnResult {
+        let budget = Budget::new(self.config.time_budget);
+        let mut rng = seeded_rng(self.config.seed);
+        let start_queries = oracle.queries();
+        let num_outputs = oracle.num_outputs();
+
+        let mut circuit = Aig::new();
+        for name in oracle.input_names() {
+            circuit.add_input(name.clone());
+        }
+        let output_names: Vec<String> = oracle.output_names().to_vec();
+        let mut edges: Vec<Option<Edge>> = vec![None; num_outputs];
+        let mut strategies: Vec<Option<Strategy>> = vec![None; num_outputs];
+        let mut support_sizes: Vec<usize> = vec![0; num_outputs];
+        let mut forced: Vec<usize> = vec![0; num_outputs];
+
+        // Steps 1–2: name based grouping + template matching.
+        let in_grouping = self
+            .config
+            .preprocessing
+            .then(|| group_names(oracle.input_names()));
+        if let Some(grouping) = &in_grouping {
+            if self.config.verbose {
+                eprintln!(
+                    "[cirlearn] grouping: {} buses, {} scalars",
+                    grouping.groups.len(),
+                    grouping.scalars.len()
+                );
+                for g in &grouping.groups {
+                    eprintln!("[cirlearn]   bus {} width {}", g.stem, g.width());
+                }
+            }
+            let out_grouping = group_names(&output_names);
+            self.match_templates(
+                oracle,
+                grouping,
+                &out_grouping,
+                &mut circuit,
+                &mut edges,
+                &mut strategies,
+                &mut rng,
+            );
+        }
+
+        // Steps 3–4 for the remaining outputs.
+        let remaining: Vec<usize> = (0..num_outputs).filter(|&o| edges[o].is_none()).collect();
+        if self.config.verbose {
+            eprintln!(
+                "[cirlearn] templates matched {} of {} outputs",
+                num_outputs - remaining.len(),
+                num_outputs
+            );
+        }
+        for (k, &o) in remaining.iter().enumerate() {
+            let info =
+                identify_support(oracle, o, &self.config.support_sampling, &mut rng);
+            support_sizes[o] = info.support.len();
+            if self.config.verbose {
+                eprintln!(
+                    "[cirlearn] output {o} ({}): support {} truth_ratio {:.3}",
+                    output_names[o],
+                    info.support.len(),
+                    info.truth_ratio
+                );
+            }
+            let share = 1.0 / (remaining.len() - k) as f64;
+            let node_budget = budget.fraction_of_remaining(share);
+            let edge = if info.support.len() <= self.config.fbdt.exhaustive_threshold {
+                strategies[o] = Some(Strategy::Exhaustive);
+                let (cover, _) = learn_exhaustive(oracle, o, &info.support, &mut rng);
+                let var_map = identity_var_map(&circuit);
+                self.cover_to_edge(&cover, &mut circuit, &var_map)
+            } else if let Some(edge) = self.try_compressed(
+                oracle,
+                o,
+                in_grouping.as_ref(),
+                &info.support,
+                &node_budget,
+                &mut circuit,
+                &mut rng,
+            ) {
+                strategies[o] = Some(Strategy::CompressedFbdt);
+                edge
+            } else {
+                strategies[o] = Some(Strategy::Fbdt);
+                // Portion any query budget over the outputs still to do.
+                let mut fbdt_cfg = self.config.fbdt.clone();
+                if let Some(total) = self.config.max_queries {
+                    let used = oracle.queries() - start_queries;
+                    let left = total.saturating_sub(used);
+                    fbdt_cfg.max_queries = Some(left / (remaining.len() - k) as u64);
+                }
+                let (cover, stats) = build_fbdt(
+                    oracle,
+                    o,
+                    &info.support,
+                    info.truth_ratio,
+                    &fbdt_cfg,
+                    &node_budget,
+                    &mut rng,
+                );
+                forced[o] = stats.forced_leaves;
+                let var_map = identity_var_map(&circuit);
+                self.cover_to_edge(&cover, &mut circuit, &var_map)
+            };
+            edges[o] = Some(edge);
+        }
+
+        for (o, name) in output_names.iter().enumerate() {
+            circuit.add_output(edges[o].expect("every output is learned"), name.clone());
+        }
+        let mut circuit = circuit.cleanup();
+
+        // Step 5: circuit optimization.
+        if let Some(opt_cfg) = &self.config.optimize {
+            let before = circuit.gate_count();
+            let mut cfg = opt_cfg.clone();
+            cfg.time_budget = cfg.time_budget.min(budget.remaining());
+            circuit = optimize(&circuit, &cfg);
+            if self.config.verbose {
+                eprintln!(
+                    "[cirlearn] optimization: {before} -> {} AND nodes",
+                    circuit.gate_count()
+                );
+            }
+        }
+
+        let outputs = (0..num_outputs)
+            .map(|o| OutputStats {
+                output: o,
+                name: output_names[o].clone(),
+                strategy: strategies[o].expect("strategy recorded"),
+                support_size: support_sizes[o],
+                forced_leaves: forced[o],
+            })
+            .collect();
+        LearnResult {
+            circuit,
+            outputs,
+            elapsed: budget.elapsed(),
+            queries: oracle.queries() - start_queries,
+        }
+    }
+
+    /// Runs template matching (step 2), filling in edges for every
+    /// output a template explains.
+    #[allow(clippy::too_many_arguments)]
+    fn match_templates<O: Oracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        in_grouping: &Grouping,
+        out_grouping: &Grouping,
+        circuit: &mut Aig,
+        edges: &mut [Option<Edge>],
+        strategies: &mut [Option<Strategy>],
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        if in_grouping.groups.is_empty() {
+            return;
+        }
+        // For linear matching, scalar inputs participate as singleton
+        // pseudo-buses: a lone wire can still carry a coefficient.
+        let mut linear_groups = in_grouping.groups.clone();
+        for &pos in &in_grouping.scalars {
+            linear_groups.push(crate::naming::VarGroup {
+                stem: oracle.input_names()[pos].clone(),
+                positions: vec![pos],
+                bits: vec![0],
+            });
+        }
+        // Linear arithmetic over output buses first: one match explains
+        // a whole bus of outputs.
+        for out_group in &out_grouping.groups {
+            if out_group.width() < 2 {
+                continue;
+            }
+            if let Some(m) = match_linear(
+                oracle,
+                out_group,
+                &linear_groups,
+                &self.config.template,
+                rng,
+            ) {
+                let words = m.build(circuit, &linear_groups);
+                for (edge, &pos) in words.iter().zip(&m.output_group.positions) {
+                    edges[pos] = Some(*edge);
+                    strategies[pos] = Some(Strategy::LinearTemplate);
+                }
+            }
+        }
+        // Comparators for the remaining single outputs.
+        for o in 0..edges.len() {
+            if edges[o].is_some() {
+                continue;
+            }
+            let matched = match_comparator_pair(
+                oracle,
+                o,
+                &in_grouping.groups,
+                &self.config.template,
+                rng,
+            )
+            .or_else(|| {
+                match_comparator_const(
+                    oracle,
+                    o,
+                    &in_grouping.groups,
+                    &self.config.template,
+                    rng,
+                )
+            });
+            if let Some(m) = matched {
+                let edge = m.build(circuit, &in_grouping.groups);
+                edges[o] = Some(edge);
+                strategies[o] = Some(Strategy::ComparatorTemplate);
+            }
+        }
+    }
+
+    /// Attempts the paper's §IV-B1 input compression: if a hidden
+    /// comparator is detected for this output, learn the output over
+    /// the compressed input space (delegate bit instead of the bus
+    /// bits) and build the composition `F'(kept, O_s)` with the
+    /// comparator subcircuit feeding the delegate variable.
+    #[allow(clippy::too_many_arguments)]
+    fn try_compressed<O: Oracle + ?Sized>(
+        &self,
+        oracle: &mut O,
+        output: usize,
+        in_grouping: Option<&Grouping>,
+        support: &[usize],
+        node_budget: &Budget,
+        circuit: &mut Aig,
+        rng: &mut rand::rngs::StdRng,
+    ) -> Option<Edge> {
+        let grouping = in_grouping?;
+        // Only worth probing when some bus lies (mostly) inside the
+        // estimated support.
+        let candidate_groups: Vec<crate::naming::VarGroup> = grouping
+            .groups
+            .iter()
+            .filter(|g| {
+                let inside = g.positions.iter().filter(|p| support.contains(p)).count();
+                inside * 10 >= g.width() * 7
+            })
+            .cloned()
+            .collect();
+        if candidate_groups.len() < 2 {
+            return None;
+        }
+        let delegate = crate::compress::find_hidden_comparator(
+            oracle,
+            output,
+            &candidate_groups,
+            &self.config.template,
+            rng,
+        )?;
+
+        // Build the comparator subcircuit (the delegate's function).
+        let lhs: Vec<Edge> = delegate
+            .lhs_positions
+            .iter()
+            .map(|&p| circuit.input_edge(p))
+            .collect();
+        let rhs: Vec<Edge> = match &delegate.rhs_positions {
+            Some(r) => r.iter().map(|&p| circuit.input_edge(p)).collect(),
+            None => circuit.const_word(delegate.constant, lhs.len()),
+        };
+        let os_edge = delegate.predicate.build(circuit, &lhs, &rhs);
+
+        // Learn the output over the compressed space.
+        let mut compressed = crate::compress::DelegateOracle::new(oracle, vec![delegate]);
+        let info = identify_support(
+            &mut compressed,
+            output,
+            &self.config.support_sampling,
+            rng,
+        );
+        let cover = if info.support.len() <= self.config.fbdt.exhaustive_threshold {
+            let (cover, _) = learn_exhaustive(&mut compressed, output, &info.support, rng);
+            cover
+        } else {
+            let (cover, _) = build_fbdt(
+                &mut compressed,
+                output,
+                &info.support,
+                info.truth_ratio,
+                &self.config.fbdt,
+                node_budget,
+                rng,
+            );
+            cover
+        };
+        // Virtual variable k maps to the kept input's edge; the final
+        // virtual variable is the delegate's comparator output.
+        let mut var_map: Vec<Edge> = compressed
+            .kept_positions()
+            .iter()
+            .map(|&p| circuit.input_edge(p))
+            .collect();
+        var_map.push(os_edge);
+        Some(self.cover_to_edge(&cover, circuit, &var_map))
+    }
+
+    /// Converts a learned cover into circuit structure: espresso
+    /// minimization (size-guarded), algebraic factoring, and final
+    /// complementation for offset covers. Cover variable `x_k` maps to
+    /// `var_map[k]`.
+    fn cover_to_edge(&self, cover: &LearnedCover, circuit: &mut Aig, var_map: &[Edge]) -> Edge {
+        let edge = if cover.sop.cubes().len() <= self.config.espresso_cube_limit {
+            cirlearn_synth::factor::sop_to_circuit(&cover.sop, circuit, var_map)
+        } else {
+            let expr = cirlearn_synth::factor::factor(&cover.sop);
+            expr.to_aig(circuit, var_map)
+        };
+        edge.complement_if(cover.complemented)
+    }
+}
+
+/// The identity variable map: cover variable `x_k` is primary input `k`.
+fn identity_var_map(circuit: &Aig) -> Vec<Edge> {
+    (0..circuit.num_inputs())
+        .map(|p| circuit.input_edge(p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_oracle::{evaluate_accuracy, generate, CircuitOracle, EvalConfig};
+
+    fn check_exact(oracle: &CircuitOracle, result: &LearnResult) -> bool {
+        cirlearn_sat::check_equivalence(oracle.reveal(), &result.circuit).is_equivalent()
+    }
+
+    #[test]
+    fn learns_small_random_logic_exactly() {
+        let mut oracle = generate::eco_case_with_support(16, 3, 6, 42);
+        let mut learner = Learner::new(LearnerConfig::fast());
+        let result = learner.learn(&mut oracle);
+        assert!(check_exact(&oracle, &result), "small ECO must be exact");
+        assert!(result
+            .outputs
+            .iter()
+            .all(|s| s.strategy == Strategy::Exhaustive));
+    }
+
+    #[test]
+    fn learns_diag_case_via_templates() {
+        let mut oracle = generate::diag_case(20, 3, 5);
+        let mut learner = Learner::new(LearnerConfig::fast());
+        let result = learner.learn(&mut oracle);
+        assert!(
+            result
+                .outputs
+                .iter()
+                .all(|s| s.strategy == Strategy::ComparatorTemplate),
+            "DIAG outputs should match the comparator template: {:?}",
+            result.outputs
+        );
+        let acc = evaluate_accuracy(
+            oracle.reveal(),
+            &result.circuit,
+            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+        );
+        assert_eq!(acc.hits, acc.total, "template match must be exact");
+    }
+
+    #[test]
+    fn learns_data_case_via_linear_template() {
+        let mut oracle = generate::data_case(12, 8, 9);
+        let mut learner = Learner::new(LearnerConfig::fast());
+        let result = learner.learn(&mut oracle);
+        assert!(
+            result
+                .outputs
+                .iter()
+                .all(|s| s.strategy == Strategy::LinearTemplate),
+            "DATA outputs should match the linear template: {:?}",
+            result.outputs
+        );
+        assert!(check_exact(&oracle, &result));
+    }
+
+    #[test]
+    fn preprocessing_off_still_learns() {
+        let mut oracle = generate::diag_case(12, 1, 31);
+        let mut cfg = LearnerConfig::fast();
+        cfg.preprocessing = false;
+        let mut learner = Learner::new(cfg);
+        let result = learner.learn(&mut oracle);
+        assert!(matches!(
+            result.outputs[0].strategy,
+            Strategy::Exhaustive | Strategy::Fbdt
+        ));
+        let acc = evaluate_accuracy(
+            oracle.reveal(),
+            &result.circuit,
+            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+        );
+        assert!(acc.ratio() > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn output_count_and_names_preserved() {
+        let mut oracle = generate::eco_case(14, 4, 77);
+        let mut learner = Learner::new(LearnerConfig::fast());
+        let result = learner.learn(&mut oracle);
+        assert_eq!(result.circuit.num_outputs(), 4);
+        let names: Vec<&str> = result
+            .circuit
+            .outputs()
+            .iter()
+            .map(|(_, n)| n.as_str())
+            .collect();
+        assert_eq!(names, oracle.output_names().iter().map(String::as_str).collect::<Vec<_>>());
+        assert!(result.queries > 0);
+    }
+}
+
+#[cfg(test)]
+mod query_budget_tests {
+    use super::*;
+    use cirlearn_oracle::generate;
+
+    #[test]
+    fn query_budget_is_respected_and_deterministic() {
+        let run = |cap: u64| {
+            let mut oracle = generate::neq_case_with_support(30, 2, 24, 321);
+            let mut cfg = LearnerConfig::fast();
+            cfg.max_queries = Some(cap);
+            cfg.optimize = None;
+            let r = Learner::new(cfg).learn(&mut oracle);
+            (r.queries, r.circuit.gate_count())
+        };
+        let (q1, g1) = run(60_000);
+        let (q2, g2) = run(60_000);
+        assert_eq!((q1, g1), (q2, g2), "same budget must reproduce exactly");
+        // The budget caps FBDT queries; support identification and the
+        // per-node sampling of the final forced leaves still run, so
+        // allow bounded overshoot rather than an exact ceiling.
+        assert!(q1 < 200_000, "queries {q1} far beyond the 60k budget");
+        // A tighter budget must not use more queries.
+        let (q3, _) = run(20_000);
+        assert!(q3 <= q1, "tighter budget used more queries: {q3} > {q1}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Circuit learning for logic regression on high-dimensional Boolean
+//! space.
+//!
+//! This crate implements the winning approach of the 2019 ICCAD CAD
+//! Contest Problem A as described in *Chen, Huang, Lee, Jiang —
+//! "Circuit Learning for Logic Regression on High Dimensional Boolean
+//! Space", DAC 2020*: given only black-box query access to an unknown
+//! Boolean function `F : B^|I| → B^|O|`, learn a compact circuit of
+//! 2-input gates matching `F` with high accuracy.
+//!
+//! The pipeline (paper Fig. 1):
+//!
+//! 1. [`naming`] — name-based grouping recovers bus vectors from port
+//!    names,
+//! 2. [`template`] — comparator and linear-arithmetic template matching
+//!    solves datapath-like outputs outright,
+//! 3. [`support`] — `PatternSampling` identifies the inputs each output
+//!    actually depends on,
+//! 4. [`fbdt`] — a free binary decision tree, expanded in levelized
+//!    order by cofactoring on the most significant input, yields an SOP
+//!    cover (small supports are instead enumerated exhaustively),
+//! 5. circuit optimization via [`cirlearn_synth`].
+//!
+//! The [`Learner`] type runs the whole pipeline; [`baseline`] provides
+//! the two contestant-like reference learners used to regenerate the
+//! paper's Table II comparison.
+//!
+//! # Examples
+//!
+//! ```
+//! use cirlearn::{Learner, LearnerConfig};
+//! use cirlearn_oracle::generate;
+//!
+//! // A small DIAG-style black box: comparator over named buses.
+//! let mut oracle = generate::diag_case(12, 1, 7);
+//! let mut learner = Learner::new(LearnerConfig::fast());
+//! let result = learner.learn(&mut oracle);
+//! assert_eq!(result.circuit.num_inputs(), 12);
+//! assert_eq!(result.circuit.num_outputs(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+mod budget;
+pub mod compress;
+pub mod fbdt;
+mod learner;
+pub mod naming;
+pub mod sampling;
+pub mod support;
+pub mod template;
+
+pub use budget::Budget;
+pub use learner::{LearnResult, Learner, LearnerConfig, OutputStats, Strategy};

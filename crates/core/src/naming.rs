@@ -1,0 +1,227 @@
+//! Name-based grouping (paper §IV-A).
+//!
+//! Industrial netlists name datapath bits systematically: `a[3]`,
+//! `a_3`, `a3`, `data<7>` … Grouping ports whose names share a common
+//! stem recovers the bus vectors `v̄` the templates of §IV-B operate on.
+//! Each recovered group is ordered most-significant-bit first, so the
+//! group read as a binary number is the paper's `N_v̄`.
+
+use std::collections::HashMap;
+
+/// A recovered bus: a named vector of port positions, MSB first.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn::naming::group_names;
+///
+/// let names = ["a[2]", "a[0]", "a[1]", "clk"];
+/// let grouping = group_names(&names.map(String::from));
+/// assert_eq!(grouping.groups.len(), 1);
+/// assert_eq!(grouping.groups[0].stem, "a");
+/// // MSB (a[2]) first: positions into the original name list.
+/// assert_eq!(grouping.groups[0].positions, vec![0, 2, 1]);
+/// assert_eq!(grouping.scalars, vec![3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarGroup {
+    /// The shared name stem (e.g. `a` for `a[3]`).
+    pub stem: String,
+    /// Port positions of the member bits, most significant first.
+    pub positions: Vec<usize>,
+    /// The bit indices parsed from the names, aligned with
+    /// `positions` (descending).
+    pub bits: Vec<u32>,
+}
+
+impl VarGroup {
+    /// The width of the bus.
+    pub fn width(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+/// The result of name-based grouping over a port list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Grouping {
+    /// Recovered buses, in order of first appearance.
+    pub groups: Vec<VarGroup>,
+    /// Positions of ports that joined no group.
+    pub scalars: Vec<usize>,
+}
+
+/// Splits a port name into a stem and a bit index.
+///
+/// Recognized forms: `stem[3]`, `stem<3>`, `stem(3)`, `stem_3` and a
+/// trailing bare number `stem3`. Returns `None` for names without a
+/// parsable index.
+pub fn parse_indexed_name(name: &str) -> Option<(&str, u32)> {
+    let name = name.trim();
+    // Bracketed forms.
+    for (open, close) in [('[', ']'), ('<', '>'), ('(', ')')] {
+        if let Some(rest) = name.strip_suffix(close) {
+            if let Some(pos) = rest.rfind(open) {
+                let idx: u32 = rest[pos + 1..].parse().ok()?;
+                let stem = &rest[..pos];
+                if stem.is_empty() {
+                    return None;
+                }
+                return Some((stem, idx));
+            }
+        }
+    }
+    // Underscore form: stem_3.
+    if let Some(pos) = name.rfind('_') {
+        if let Ok(idx) = name[pos + 1..].parse::<u32>() {
+            let stem = &name[..pos];
+            if !stem.is_empty() {
+                return Some((stem, idx));
+            }
+        }
+    }
+    // Trailing digits: stem3.
+    let digits = name.len() - name.chars().rev().take_while(char::is_ascii_digit).count();
+    if digits < name.len() && digits > 0 {
+        let idx: u32 = name[digits..].parse().ok()?;
+        return Some((&name[..digits], idx));
+    }
+    None
+}
+
+/// Groups port names into bus vectors (paper Fig. 2).
+///
+/// A group forms when at least two ports share a stem with distinct
+/// parsable bit indices. Members are ordered by descending bit index,
+/// i.e. MSB first, matching the binary-encoding convention `N_v̄`.
+/// Ports with duplicate indices in the same stem, or with no index,
+/// stay scalars.
+pub fn group_names(names: &[String]) -> Grouping {
+    let mut by_stem: HashMap<&str, Vec<(u32, usize)>> = HashMap::new();
+    let mut order: Vec<&str> = Vec::new();
+    let mut parsed: Vec<Option<(&str, u32)>> = Vec::with_capacity(names.len());
+    for (pos, name) in names.iter().enumerate() {
+        let p = parse_indexed_name(name);
+        parsed.push(p);
+        if let Some((stem, idx)) = p {
+            let entry = by_stem.entry(stem).or_default();
+            if entry.is_empty() {
+                order.push(stem);
+            }
+            entry.push((idx, pos));
+        }
+    }
+
+    let mut grouping = Grouping::default();
+    let mut grouped_positions: Vec<bool> = vec![false; names.len()];
+    for stem in order {
+        let mut members = by_stem.remove(stem).expect("stem recorded");
+        members.sort_by_key(|&(idx, _)| std::cmp::Reverse(idx));
+        let distinct = {
+            let mut idxs: Vec<u32> = members.iter().map(|&(i, _)| i).collect();
+            idxs.dedup();
+            idxs.len() == members.len()
+        };
+        if members.len() >= 2 && distinct {
+            for &(_, pos) in &members {
+                grouped_positions[pos] = true;
+            }
+            grouping.groups.push(VarGroup {
+                stem: stem.to_owned(),
+                bits: members.iter().map(|&(i, _)| i).collect(),
+                positions: members.iter().map(|&(_, p)| p).collect(),
+            });
+        }
+    }
+    grouping.scalars = (0..names.len()).filter(|&p| !grouped_positions[p]).collect();
+    grouping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!(parse_indexed_name("a[3]"), Some(("a", 3)));
+        assert_eq!(parse_indexed_name("data<12>"), Some(("data", 12)));
+        assert_eq!(parse_indexed_name("q(0)"), Some(("q", 0)));
+        assert_eq!(parse_indexed_name("bus_7"), Some(("bus", 7)));
+        assert_eq!(parse_indexed_name("a2"), Some(("a", 2)));
+        assert_eq!(parse_indexed_name("clk"), None);
+        assert_eq!(parse_indexed_name("123"), None);
+        assert_eq!(parse_indexed_name("[3]"), None);
+        assert_eq!(parse_indexed_name("x[y]"), None);
+    }
+
+    #[test]
+    fn paper_fig2_example() {
+        // Fig. 2: a2, a1, a0 form vector ā with a2 the MSB;
+        // (a2,a1,a0) = (1,1,0) encodes N = 6.
+        let g = group_names(&strs(&["a2", "a1", "a0"]));
+        assert_eq!(g.groups.len(), 1);
+        let group = &g.groups[0];
+        assert_eq!(group.stem, "a");
+        assert_eq!(group.positions, vec![0, 1, 2]); // a2 first
+        assert_eq!(group.bits, vec![2, 1, 0]);
+        // Reading (1,1,0) MSB-first gives 6.
+        let bits = [true, true, false];
+        let n = group
+            .positions
+            .iter()
+            .fold(0u64, |acc, &p| acc << 1 | bits[p] as u64);
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn multiple_buses_and_scalars() {
+        let g = group_names(&strs(&["x[1]", "y[0]", "x[0]", "en", "y[1]", "rst"]));
+        assert_eq!(g.groups.len(), 2);
+        assert_eq!(g.groups[0].stem, "x");
+        assert_eq!(g.groups[0].positions, vec![0, 2]);
+        assert_eq!(g.groups[1].stem, "y");
+        assert_eq!(g.groups[1].positions, vec![4, 1]);
+        assert_eq!(g.scalars, vec![3, 5]);
+    }
+
+    #[test]
+    fn single_member_stays_scalar() {
+        let g = group_names(&strs(&["lone[0]", "other"]));
+        assert!(g.groups.is_empty());
+        assert_eq!(g.scalars, vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicate_indices_break_group() {
+        let g = group_names(&strs(&["d[1]", "d[1]", "d[0]"]));
+        assert!(g.groups.is_empty());
+        assert_eq!(g.scalars.len(), 3);
+    }
+
+    #[test]
+    fn underscore_and_plain_suffix_forms() {
+        let g = group_names(&strs(&["cnt_2", "cnt_0", "cnt_1"]));
+        assert_eq!(g.groups.len(), 1);
+        assert_eq!(g.groups[0].positions, vec![0, 2, 1]);
+        let g2 = group_names(&strs(&["q3", "q1", "q2", "q0"]));
+        assert_eq!(g2.groups.len(), 1);
+        assert_eq!(g2.groups[0].bits, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn wide_sparse_indices_still_group() {
+        let g = group_names(&strs(&["v[31]", "v[7]", "v[15]"]));
+        assert_eq!(g.groups.len(), 1);
+        assert_eq!(g.groups[0].bits, vec![31, 15, 7]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = group_names(&[]);
+        assert!(g.groups.is_empty());
+        assert!(g.scalars.is_empty());
+    }
+}

@@ -1,0 +1,736 @@
+//! Template matching (paper §IV-B).
+//!
+//! Two template families (paper Table I):
+//!
+//! * **Comparator** — `z = N_v̄₁ ⋈ N_v̄₂` or `z = N_v̄₁ ⋈ b` with
+//!   `⋈ ∈ {=, ≠, <, ≤, >, ≥}`,
+//! * **Linear arithmetic** — `N_z̄ = Σ aᵢ·N_v̄ᵢ + b` (modulo `2^|z̄|`).
+//!
+//! Matching is purely behavioural: candidate predicates are tested by
+//! sampling the black box with *directed* bus values (equal pairs,
+//! off-by-one pairs, random pairs) so the six predicates become
+//! distinguishable, then validated on independent random assignments.
+//! Constants are recovered by binary search on the flip boundary for
+//! the ordered predicates and by a (guarded) sweep for equality — the
+//! paper's "binary search strategy".
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_logic::{Assignment, Var};
+use cirlearn_oracle::Oracle;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::naming::VarGroup;
+
+/// The six comparator predicates of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<` (unsigned)
+    Lt,
+    /// `≤` (unsigned)
+    Le,
+    /// `>` (unsigned)
+    Gt,
+    /// `≥` (unsigned)
+    Ge,
+}
+
+impl Predicate {
+    /// All predicates, in a fixed order.
+    pub const ALL: [Predicate; 6] = [
+        Predicate::Eq,
+        Predicate::Ne,
+        Predicate::Lt,
+        Predicate::Le,
+        Predicate::Gt,
+        Predicate::Ge,
+    ];
+
+    /// Evaluates the predicate on two unsigned integers.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            Predicate::Eq => a == b,
+            Predicate::Ne => a != b,
+            Predicate::Lt => a < b,
+            Predicate::Le => a <= b,
+            Predicate::Gt => a > b,
+            Predicate::Ge => a >= b,
+        }
+    }
+
+    /// Builds the comparator subcircuit for two MSB-first words.
+    pub fn build(self, aig: &mut Aig, a: &[Edge], b: &[Edge]) -> Edge {
+        match self {
+            Predicate::Eq => aig.cmp_eq(a, b),
+            Predicate::Ne => aig.cmp_ne(a, b),
+            Predicate::Lt => aig.cmp_ult(a, b),
+            Predicate::Le => aig.cmp_ule(a, b),
+            Predicate::Gt => aig.cmp_ugt(a, b),
+            Predicate::Ge => aig.cmp_uge(a, b),
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Predicate::Eq => "==",
+            Predicate::Ne => "!=",
+            Predicate::Lt => "<",
+            Predicate::Le => "<=",
+            Predicate::Gt => ">",
+            Predicate::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The right-hand side of a matched comparator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    /// Another input bus (index into the grouping's group list).
+    Group(usize),
+    /// A recovered constant.
+    Constant(u64),
+}
+
+/// A matched comparator template for one output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparatorMatch {
+    /// Output position the template explains.
+    pub output: usize,
+    /// Index of the left-hand bus in the input grouping.
+    pub lhs_group: usize,
+    /// Right-hand side: bus or constant.
+    pub rhs: Rhs,
+    /// The matched predicate.
+    pub predicate: Predicate,
+}
+
+/// A matched linear-arithmetic template for an output bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearMatch {
+    /// The output bus (positions into the oracle's outputs, MSB first).
+    pub output_group: VarGroup,
+    /// `(coefficient mod 2^width, input group index)` per term.
+    pub terms: Vec<(u64, usize)>,
+    /// The constant offset `b` (mod `2^width`).
+    pub offset: u64,
+    /// The modulus width `|z̄|`.
+    pub width: usize,
+}
+
+/// Configuration for template matching.
+#[derive(Debug, Clone)]
+pub struct TemplateConfig {
+    /// Directed value pairs tested per rest-assignment.
+    pub pair_samples: usize,
+    /// Independent rest-assignments (values for the non-bus inputs).
+    pub rest_samples: usize,
+    /// Final validation assignments.
+    pub validate_samples: usize,
+    /// Maximum bus width for the equality-constant sweep (`2^w` probes).
+    pub const_sweep_width: usize,
+}
+
+impl Default for TemplateConfig {
+    fn default() -> Self {
+        TemplateConfig {
+            pair_samples: 24,
+            rest_samples: 4,
+            validate_samples: 512,
+            const_sweep_width: 12,
+        }
+    }
+}
+
+/// Reads the integer value of a bus group from an assignment.
+fn read_group(a: &Assignment, group: &VarGroup) -> u64 {
+    let vars: Vec<Var> = group.positions.iter().map(|&p| Var::new(p as u32)).collect();
+    a.read_vector(&vars)
+}
+
+/// Writes an integer into a bus group of an assignment.
+fn write_group(a: &mut Assignment, group: &VarGroup, value: u64) {
+    let vars: Vec<Var> = group.positions.iter().map(|&p| Var::new(p as u32)).collect();
+    a.write_vector(&vars, value);
+}
+
+fn group_mask(group: &VarGroup) -> u64 {
+    if group.width() >= 64 {
+        !0
+    } else {
+        (1u64 << group.width()) - 1
+    }
+}
+
+/// Tries to match output `output` as a comparator over two input buses.
+///
+/// Returns the first predicate that survives directed testing under
+/// every rest-assignment and final random validation.
+pub fn match_comparator_pair<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    output: usize,
+    groups: &[VarGroup],
+    config: &TemplateConfig,
+    rng: &mut StdRng,
+) -> Option<ComparatorMatch> {
+    let n = oracle.num_inputs();
+    for (li, lhs) in groups.iter().enumerate() {
+        for (ri, rhs) in groups.iter().enumerate() {
+            if li == ri {
+                continue;
+            }
+            let mut candidates: Vec<Predicate> = Predicate::ALL.to_vec();
+            let lmask = group_mask(lhs);
+            let rmask = group_mask(rhs);
+            'rest: for _ in 0..config.rest_samples {
+                let rest = Assignment::random(n, rng);
+                let mut patterns = Vec::new();
+                let mut values = Vec::new();
+                for k in 0..config.pair_samples {
+                    let x = rng.gen::<u64>() & lmask & rmask;
+                    let (na, nb) = match k % 4 {
+                        0 => (x, x),                          // equal
+                        1 => (x, x.wrapping_add(1) & rmask),  // just above
+                        2 => (x.wrapping_add(1) & lmask, x),  // just below
+                        _ => (rng.gen::<u64>() & lmask, rng.gen::<u64>() & rmask),
+                    };
+                    let mut a = rest.clone();
+                    write_group(&mut a, lhs, na);
+                    write_group(&mut a, rhs, nb);
+                    patterns.push(a);
+                    values.push((na, nb));
+                }
+                let outs = oracle.query_batch(&patterns);
+                for (row, &(na, nb)) in outs.iter().zip(&values) {
+                    let z = row[output];
+                    candidates.retain(|p| p.eval(na, nb) == z);
+                    if candidates.is_empty() {
+                        break 'rest;
+                    }
+                }
+            }
+            let Some(&predicate) = candidates.first() else {
+                continue;
+            };
+            // Validate on fully random assignments (buses included).
+            if validate_comparator(oracle, output, lhs, Some(rhs), 0, predicate, config, rng) {
+                return Some(ComparatorMatch {
+                    output,
+                    lhs_group: li,
+                    rhs: Rhs::Group(ri),
+                    predicate,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// Tries to match output `output` as a comparison of one bus against a
+/// constant, recovering the constant by binary search (ordered
+/// predicates) or a guarded sweep (equality predicates).
+pub fn match_comparator_const<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    output: usize,
+    groups: &[VarGroup],
+    config: &TemplateConfig,
+    rng: &mut StdRng,
+) -> Option<ComparatorMatch> {
+    let n = oracle.num_inputs();
+    for (li, lhs) in groups.iter().enumerate() {
+        if lhs.width() > 63 {
+            continue;
+        }
+        let max = group_mask(lhs);
+        let rest = Assignment::random(n, rng);
+        let probe = |oracle: &mut O, value: u64, rest: &Assignment| -> bool {
+            let mut a = rest.clone();
+            write_group(&mut a, lhs, value);
+            oracle.query(&a)[output]
+        };
+        let f0 = probe(oracle, 0, &rest);
+        let fmax = probe(oracle, max, &rest);
+
+        let candidate: Option<(Predicate, u64)> = if f0 != fmax {
+            // Monotone boundary: binary search the first flip.
+            let (mut lo, mut hi) = (0u64, max);
+            // Invariant: f(lo) == f0, f(hi) == fmax != f0.
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if probe(oracle, mid, &rest) == f0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            // Flip between lo and hi = lo + 1.
+            if f0 {
+                // 1 for small values: z = (N < hi)  (== N ≤ lo).
+                Some((Predicate::Lt, hi))
+            } else {
+                // 0 for small values: z = (N ≥ hi).
+                Some((Predicate::Ge, hi))
+            }
+        } else if lhs.width() <= config.const_sweep_width {
+            // Possible equality predicate: sweep all values.
+            let patterns: Vec<Assignment> = (0..=max)
+                .map(|v| {
+                    let mut a = rest.clone();
+                    write_group(&mut a, lhs, v);
+                    a
+                })
+                .collect();
+            let outs = oracle.query_batch(&patterns);
+            let flipped: Vec<u64> = outs
+                .iter()
+                .enumerate()
+                .filter(|(_, row)| row[output] != f0)
+                .map(|(v, _)| v as u64)
+                .collect();
+            match (flipped.as_slice(), f0) {
+                ([b], false) => Some((Predicate::Eq, *b)),
+                ([b], true) => Some((Predicate::Ne, *b)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+
+        let Some((predicate, constant)) = candidate else {
+            continue;
+        };
+        if validate_comparator(oracle, output, lhs, None, constant, predicate, config, rng) {
+            return Some(ComparatorMatch {
+                output,
+                lhs_group: li,
+                rhs: Rhs::Constant(constant),
+                predicate,
+            });
+        }
+    }
+    None
+}
+
+/// Validates a comparator hypothesis on independent random assignments,
+/// including directed equal/off-by-one bus values so the boundary is
+/// stressed.
+#[allow(clippy::too_many_arguments)]
+fn validate_comparator<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    output: usize,
+    lhs: &VarGroup,
+    rhs_group: Option<&VarGroup>,
+    rhs_const: u64,
+    predicate: Predicate,
+    config: &TemplateConfig,
+    rng: &mut StdRng,
+) -> bool {
+    let n = oracle.num_inputs();
+    let lmask = group_mask(lhs);
+    let mut patterns = Vec::with_capacity(config.validate_samples);
+    let mut expected = Vec::with_capacity(config.validate_samples);
+    for k in 0..config.validate_samples {
+        let mut a = Assignment::random(n, rng);
+        // Every third sample stresses the boundary region.
+        if k % 3 == 0 {
+            match rhs_group {
+                Some(r) => {
+                    let x = rng.gen::<u64>() & lmask & group_mask(r);
+                    let delta = rng.gen_range(0..3);
+                    write_group(&mut a, lhs, x);
+                    write_group(&mut a, r, x.wrapping_add(delta).min(group_mask(r)));
+                }
+                None => {
+                    let delta = rng.gen_range(0..5) as i64 - 2;
+                    let v = (rhs_const as i64 + delta).clamp(0, lmask as i64) as u64;
+                    write_group(&mut a, lhs, v);
+                }
+            }
+        }
+        let na = read_group(&a, lhs);
+        let nb = match rhs_group {
+            Some(r) => read_group(&a, r),
+            None => rhs_const,
+        };
+        expected.push(predicate.eval(na, nb));
+        patterns.push(a);
+    }
+    let outs = oracle.query_batch(&patterns);
+    outs.iter()
+        .zip(&expected)
+        .all(|(row, &want)| row[output] == want)
+}
+
+/// Tries to match an output bus as linear arithmetic over the input
+/// buses (paper §IV-B2).
+///
+/// The offset is read off at the all-zero input; each coefficient by
+/// setting a single bus to 1; the hypothesis is then validated on
+/// random assignments (scalar inputs randomized too, which also
+/// certifies the bus's independence from them).
+pub fn match_linear<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    output_group: &VarGroup,
+    input_groups: &[VarGroup],
+    config: &TemplateConfig,
+    rng: &mut StdRng,
+) -> Option<LinearMatch> {
+    let n = oracle.num_inputs();
+    let width = output_group.width().min(63);
+    let modmask = if width >= 64 { !0u64 } else { (1u64 << width) - 1 };
+    let read_z = |row: &[bool]| -> u64 {
+        output_group
+            .positions
+            .iter()
+            .fold(0u64, |acc, &p| acc << 1 | row[p] as u64)
+            & modmask
+    };
+
+    // b from the all-zero assignment.
+    let zeros = Assignment::zeros(n);
+    let offset = read_z(&oracle.query(&zeros));
+
+    // aᵢ from unit probes.
+    let mut terms = Vec::new();
+    for (gi, group) in input_groups.iter().enumerate() {
+        let mut a = Assignment::zeros(n);
+        write_group(&mut a, group, 1);
+        let coeff = read_z(&oracle.query(&a)).wrapping_sub(offset) & modmask;
+        if coeff != 0 {
+            terms.push((coeff, gi));
+        }
+    }
+
+    // Validate the hypothesis on random assignments.
+    let mut patterns = Vec::with_capacity(config.validate_samples);
+    for _ in 0..config.validate_samples {
+        patterns.push(Assignment::random(n, rng));
+    }
+    let outs = oracle.query_batch(&patterns);
+    for (a, row) in patterns.iter().zip(&outs) {
+        let mut want = offset;
+        for &(coeff, gi) in &terms {
+            let v = read_group(a, &input_groups[gi]);
+            want = want.wrapping_add(coeff.wrapping_mul(v)) & modmask;
+        }
+        if read_z(row) != want {
+            return None;
+        }
+    }
+    Some(LinearMatch {
+        output_group: output_group.clone(),
+        terms,
+        offset,
+        width,
+    })
+}
+
+impl ComparatorMatch {
+    /// Builds the matched comparator in `aig`, whose inputs must be the
+    /// oracle's inputs in order.
+    pub fn build(&self, aig: &mut Aig, groups: &[VarGroup]) -> Edge {
+        let lhs: Vec<Edge> = groups[self.lhs_group]
+            .positions
+            .iter()
+            .map(|&p| aig.input_edge(p))
+            .collect();
+        let rhs: Vec<Edge> = match &self.rhs {
+            Rhs::Group(gi) => groups[*gi]
+                .positions
+                .iter()
+                .map(|&p| aig.input_edge(p))
+                .collect(),
+            Rhs::Constant(c) => aig.const_word(*c, groups[self.lhs_group].width()),
+        };
+        self.predicate.build(aig, &lhs, &rhs)
+    }
+}
+
+impl LinearMatch {
+    /// Builds the matched linear arithmetic in `aig`, returning the
+    /// output-bus edges MSB first (aligned with
+    /// `self.output_group.positions`).
+    pub fn build(&self, aig: &mut Aig, groups: &[VarGroup]) -> Vec<Edge> {
+        let terms: Vec<(i64, Vec<Edge>)> = self
+            .terms
+            .iter()
+            .map(|&(coeff, gi)| {
+                let word: Vec<Edge> = groups[gi]
+                    .positions
+                    .iter()
+                    .map(|&p| aig.input_edge(p))
+                    .collect();
+                (self.signed_coeff(coeff), word)
+            })
+            .collect();
+        aig.scale_sum(&terms, self.signed_coeff(self.offset), self.width)
+    }
+
+    /// Interprets a recovered residue as a signed constant: residues in
+    /// the upper half of `2^width` rebuild as their (cheap) negative
+    /// equivalent — `-2` costs one subtractor instead of the 25
+    /// shift-adds its positive residue would need.
+    fn signed_coeff(&self, residue: u64) -> i64 {
+        let half = 1u64 << (self.width - 1);
+        if self.width < 64 && residue >= half {
+            residue as i64 - (1i64 << self.width)
+        } else {
+            residue as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naming::group_names;
+    use crate::sampling::seeded_rng;
+    use cirlearn_oracle::{generate, CircuitOracle};
+
+    /// Builds a hand-made comparator oracle `z = (a ⋈ b)` over two
+    /// 4-bit buses plus two noise inputs.
+    fn cmp_oracle(pred: Predicate) -> (CircuitOracle, Vec<VarGroup>) {
+        let mut g = Aig::new();
+        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
+        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let _n0 = g.add_input("noise0");
+        let _n1 = g.add_input("noise1");
+        let z = pred.build(&mut g, &a, &b);
+        g.add_output(z, "z");
+        let oracle = CircuitOracle::new(g);
+        let grouping = group_names(oracle.input_names());
+        (oracle, grouping.groups)
+    }
+
+    #[test]
+    fn predicate_eval_table() {
+        assert!(Predicate::Eq.eval(3, 3) && !Predicate::Eq.eval(3, 4));
+        assert!(Predicate::Ne.eval(3, 4) && !Predicate::Ne.eval(3, 3));
+        assert!(Predicate::Lt.eval(2, 3) && !Predicate::Lt.eval(3, 3));
+        assert!(Predicate::Le.eval(3, 3) && !Predicate::Le.eval(4, 3));
+        assert!(Predicate::Gt.eval(4, 3) && !Predicate::Gt.eval(3, 3));
+        assert!(Predicate::Ge.eval(3, 3) && !Predicate::Ge.eval(2, 3));
+    }
+
+    #[test]
+    fn matches_every_pair_predicate() {
+        for (i, pred) in Predicate::ALL.into_iter().enumerate() {
+            let (mut oracle, groups) = cmp_oracle(pred);
+            let mut rng = seeded_rng(100 + i as u64);
+            let m = match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
+                .unwrap_or_else(|| panic!("no match for {pred}"));
+            // The matched predicate must agree with the oracle
+            // everywhere (some predicates coincide under bus swap).
+            let mut check_rng = seeded_rng(999);
+            assert!(
+                validate_comparator(
+                    &mut oracle,
+                    0,
+                    &groups[m.lhs_group],
+                    match &m.rhs {
+                        Rhs::Group(gi) => Some(&groups[*gi]),
+                        Rhs::Constant(_) => None,
+                    },
+                    0,
+                    m.predicate,
+                    &TemplateConfig::default(),
+                    &mut check_rng,
+                ),
+                "match for {pred} fails validation"
+            );
+        }
+    }
+
+    #[test]
+    fn matched_pair_circuit_is_equivalent() {
+        let (mut oracle, groups) = cmp_oracle(Predicate::Le);
+        let mut rng = seeded_rng(7);
+        let m = match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
+            .expect("le matches");
+        let mut learned = Aig::new();
+        for name in oracle.input_names() {
+            learned.add_input(name.clone());
+        }
+        let z = m.build(&mut learned, &groups);
+        learned.add_output(z, "z");
+        assert!(
+            cirlearn_sat::check_equivalence(oracle.reveal(), &learned).is_equivalent(),
+            "matched circuit differs from hidden circuit"
+        );
+    }
+
+    fn const_oracle(pred: Predicate, constant: u64) -> (CircuitOracle, Vec<VarGroup>) {
+        let mut g = Aig::new();
+        let a: Vec<Edge> = (0..6).map(|k| g.add_input(format!("v[{}]", 5 - k))).collect();
+        let _noise = g.add_input("en");
+        let c = g.const_word(constant, 6);
+        let z = pred.build(&mut g, &a, &c);
+        g.add_output(z, "z");
+        let oracle = CircuitOracle::new(g);
+        let grouping = group_names(oracle.input_names());
+        (oracle, grouping.groups)
+    }
+
+    #[test]
+    fn recovers_threshold_constants() {
+        for (pred, c) in [
+            (Predicate::Lt, 23u64),
+            (Predicate::Le, 40),
+            (Predicate::Gt, 17),
+            (Predicate::Ge, 33),
+        ] {
+            let (mut oracle, groups) = const_oracle(pred, c);
+            let mut rng = seeded_rng(c);
+            let m = match_comparator_const(
+                &mut oracle,
+                0,
+                &groups,
+                &TemplateConfig::default(),
+                &mut rng,
+            )
+            .unwrap_or_else(|| panic!("no const match for {pred} {c}"));
+            // Build and check exact equivalence.
+            let mut learned = Aig::new();
+            for name in oracle.input_names() {
+                learned.add_input(name.clone());
+            }
+            let z = m.build(&mut learned, &groups);
+            learned.add_output(z, "z");
+            assert!(
+                cirlearn_sat::check_equivalence(oracle.reveal(), &learned).is_equivalent(),
+                "{pred} {c}: learned constant comparator differs"
+            );
+        }
+    }
+
+    #[test]
+    fn recovers_equality_constants_by_sweep() {
+        for (pred, c) in [(Predicate::Eq, 45u64), (Predicate::Ne, 9)] {
+            let (mut oracle, groups) = const_oracle(pred, c);
+            let mut rng = seeded_rng(c + 1);
+            let m = match_comparator_const(
+                &mut oracle,
+                0,
+                &groups,
+                &TemplateConfig::default(),
+                &mut rng,
+            )
+            .unwrap_or_else(|| panic!("no const match for {pred} {c}"));
+            assert_eq!(m.predicate, pred);
+            assert_eq!(m.rhs, Rhs::Constant(c));
+        }
+    }
+
+    #[test]
+    fn non_comparator_output_is_rejected() {
+        // Parity of the bus is no comparator.
+        let mut g = Aig::new();
+        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
+        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let mut z = a[0];
+        for &e in a[1..].iter().chain(&b) {
+            z = g.xor(z, e);
+        }
+        g.add_output(z, "z");
+        let mut oracle = CircuitOracle::new(g);
+        let groups = group_names(oracle.input_names()).groups;
+        let mut rng = seeded_rng(55);
+        assert!(match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
+            .is_none());
+        assert!(match_comparator_const(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn linear_template_recovers_coefficients() {
+        let mut g = Aig::new();
+        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
+        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let z = g.scale_sum(&[(3, a), (5, b)], 7, 6);
+        for (k, e) in z.iter().enumerate() {
+            g.add_output(*e, format!("z[{}]", 5 - k));
+        }
+        let mut oracle = CircuitOracle::new(g);
+        let in_groups = group_names(oracle.input_names()).groups;
+        let out_groups = group_names(oracle.output_names()).groups;
+        assert_eq!(out_groups.len(), 1);
+        let mut rng = seeded_rng(77);
+        let m = match_linear(
+            &mut oracle,
+            &out_groups[0],
+            &in_groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .expect("linear function matches");
+        assert_eq!(m.offset, 7);
+        assert_eq!(m.width, 6);
+        let mut coeffs: Vec<u64> = m.terms.iter().map(|&(c, _)| c).collect();
+        coeffs.sort_unstable();
+        assert_eq!(coeffs, vec![3, 5]);
+
+        // Rebuild and verify exact equivalence.
+        let mut learned = Aig::new();
+        for name in oracle.input_names() {
+            learned.add_input(name.clone());
+        }
+        let zs = m.build(&mut learned, &in_groups);
+        for (k, e) in zs.iter().enumerate() {
+            learned.add_output(*e, format!("z[{}]", 5 - k));
+        }
+        assert!(cirlearn_sat::check_equivalence(oracle.reveal(), &learned).is_equivalent());
+    }
+
+    #[test]
+    fn linear_rejects_nonlinear_functions() {
+        // z = a * b is not linear.
+        let mut g = Aig::new();
+        let a: Vec<Edge> = (0..3).map(|k| g.add_input(format!("a[{}]", 2 - k))).collect();
+        let b: Vec<Edge> = (0..3).map(|k| g.add_input(format!("b[{}]", 2 - k))).collect();
+        // Product via repeated conditional adds: z = sum over bits of b.
+        let mut acc = g.const_word(0, 6);
+        for (i, &bit) in b.iter().enumerate() {
+            let shifted = g.mul_const_word(&a, 1 << (2 - i), 6);
+            let gated: Vec<Edge> = shifted.iter().map(|&e| g.and(e, bit)).collect();
+            acc = g.add_word(&acc, &gated);
+        }
+        for (k, e) in acc.iter().enumerate() {
+            g.add_output(*e, format!("z[{}]", 5 - k));
+        }
+        let mut oracle = CircuitOracle::new(g);
+        let in_groups = group_names(oracle.input_names()).groups;
+        let out_groups = group_names(oracle.output_names()).groups;
+        let mut rng = seeded_rng(78);
+        assert!(match_linear(
+            &mut oracle,
+            &out_groups[0],
+            &in_groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn matches_generated_data_case() {
+        let mut oracle = generate::data_case(12, 6, 3);
+        let in_groups = group_names(&oracle.input_names().to_vec()).groups;
+        let out_groups = group_names(&oracle.output_names().to_vec()).groups;
+        assert!(!out_groups.is_empty());
+        let mut rng = seeded_rng(4);
+        let m = match_linear(
+            &mut oracle,
+            &out_groups[0],
+            &in_groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        );
+        assert!(m.is_some(), "generated DATA case must match the template");
+    }
+}

@@ -1,0 +1,384 @@
+//! Cubes: conjunctions of literals.
+
+use std::fmt;
+
+use crate::{Literal, Var};
+
+/// A cube — a conjunction of literals over distinct variables, kept
+/// sorted by variable index.
+///
+/// Cubes are the central object of the paper's FBDT learner: every tree
+/// node carries the cube of decisions on the path from the root, and the
+/// learned function is the disjunction of the leaf cubes. The empty cube
+/// ([`Cube::top`]) is the constant-1 function.
+///
+/// A cube containing both phases of a variable would be constant 0;
+/// constructors return `None` instead of ever building such a cube, so a
+/// `Cube` value is always satisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Cube, Var};
+///
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// let cube = Cube::top()
+///     .and_literal(a.positive()).expect("consistent")
+///     .and_literal(b.negative()).expect("consistent");
+/// assert_eq!(cube.len(), 2);
+/// assert_eq!(cube.to_string(), "x0 & !x1");
+/// assert!(cube.and_literal(a.negative()).is_none()); // a & !a = 0
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cube {
+    /// Sorted by variable; at most one literal per variable.
+    literals: Vec<Literal>,
+}
+
+impl Cube {
+    /// Returns the empty cube, i.e. the constant-1 function.
+    pub fn top() -> Self {
+        Cube::default()
+    }
+
+    /// Builds a cube from literals, or `None` if two literals of the same
+    /// variable with opposite phases make the conjunction constant 0.
+    ///
+    /// Duplicate literals are collapsed.
+    pub fn from_literals<I: IntoIterator<Item = Literal>>(literals: I) -> Option<Self> {
+        let mut lits: Vec<Literal> = literals.into_iter().collect();
+        lits.sort();
+        lits.dedup();
+        for pair in lits.windows(2) {
+            if pair[0].var() == pair[1].var() {
+                return None; // opposite phases of the same variable
+            }
+        }
+        Some(Cube { literals: lits })
+    }
+
+    /// Builds the minterm cube matching `assignment` restricted to `vars`:
+    /// each variable appears in the phase it has in the assignment.
+    pub fn minterm(vars: &[Var], assignment: &crate::Assignment) -> Self {
+        let mut literals: Vec<Literal> = vars
+            .iter()
+            .map(|&v| v.literal(assignment.get(v)))
+            .collect();
+        literals.sort();
+        literals.dedup();
+        Cube { literals }
+    }
+
+    /// Returns the conjunction of this cube with one more literal, or
+    /// `None` if the result would be constant 0.
+    #[must_use]
+    pub fn and_literal(&self, literal: Literal) -> Option<Self> {
+        match self.phase_of(literal.var()) {
+            Some(phase) if phase == literal.polarity() => Some(self.clone()),
+            Some(_) => None,
+            None => {
+                let mut literals = self.literals.clone();
+                let pos = literals
+                    .binary_search(&literal)
+                    .unwrap_or_else(|insert_at| insert_at);
+                literals.insert(pos, literal);
+                Some(Cube { literals })
+            }
+        }
+    }
+
+    /// Returns the conjunction of two cubes, or `None` if they conflict.
+    #[must_use]
+    pub fn intersect(&self, other: &Cube) -> Option<Self> {
+        let mut literals =
+            Vec::with_capacity(self.literals.len() + other.literals.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.literals.len() && j < other.literals.len() {
+            let (a, b) = (self.literals[i], other.literals[j]);
+            if a.var() == b.var() {
+                if a != b {
+                    return None;
+                }
+                literals.push(a);
+                i += 1;
+                j += 1;
+            } else if a.var() < b.var() {
+                literals.push(a);
+                i += 1;
+            } else {
+                literals.push(b);
+                j += 1;
+            }
+        }
+        literals.extend_from_slice(&self.literals[i..]);
+        literals.extend_from_slice(&other.literals[j..]);
+        Some(Cube { literals })
+    }
+
+    /// Returns the literals of this cube, sorted by variable.
+    pub fn literals(&self) -> &[Literal] {
+        &self.literals
+    }
+
+    /// Returns the number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// Returns `true` for the empty (constant-1) cube.
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+
+    /// Returns the phase in which `var` appears, or `None` if it does not.
+    ///
+    /// `Some(true)` means the positive literal is present.
+    pub fn phase_of(&self, var: Var) -> Option<bool> {
+        self.literals
+            .binary_search_by_key(&var, |l| l.var())
+            .ok()
+            .map(|i| self.literals[i].polarity())
+    }
+
+    /// Returns `true` if `var` appears in this cube (in either phase).
+    pub fn contains_var(&self, var: Var) -> bool {
+        self.phase_of(var).is_some()
+    }
+
+    /// Iterates over the variables constrained by this cube.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.literals.iter().map(|l| l.var())
+    }
+
+    /// Returns `true` if every assignment satisfying `self` also
+    /// satisfies `other` (i.e. `self ⇒ other`; `other`'s literal set is a
+    /// subset of `self`'s).
+    pub fn implies(&self, other: &Cube) -> bool {
+        let mut i = 0;
+        for &lit in &other.literals {
+            loop {
+                if i == self.literals.len() {
+                    return false;
+                }
+                if self.literals[i] == lit {
+                    i += 1;
+                    break;
+                }
+                if self.literals[i].var() >= lit.var() {
+                    return false;
+                }
+                i += 1;
+            }
+        }
+        true
+    }
+
+    /// Returns the number of variables on which the two cubes have
+    /// opposite phases (the *distance* of the espresso literature).
+    ///
+    /// Distance 0 means the cubes intersect; distance 1 means they can be
+    /// merged by the consensus rule.
+    pub fn distance(&self, other: &Cube) -> usize {
+        let (mut i, mut j, mut d) = (0, 0, 0);
+        while i < self.literals.len() && j < other.literals.len() {
+            let (a, b) = (self.literals[i], other.literals[j]);
+            if a.var() == b.var() {
+                if a != b {
+                    d += 1;
+                }
+                i += 1;
+                j += 1;
+            } else if a.var() < b.var() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        d
+    }
+
+    /// Returns the smallest cube containing both cubes (literal-set
+    /// intersection, keeping only literals present in both with the same
+    /// phase).
+    #[must_use]
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        let (mut i, mut j) = (0, 0);
+        let mut literals = Vec::new();
+        while i < self.literals.len() && j < other.literals.len() {
+            let (a, b) = (self.literals[i], other.literals[j]);
+            if a.var() == b.var() {
+                if a == b {
+                    literals.push(a);
+                }
+                i += 1;
+                j += 1;
+            } else if a.var() < b.var() {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        Cube { literals }
+    }
+
+    /// Returns this cube with `var` removed, if present.
+    #[must_use]
+    pub fn without_var(&self, var: Var) -> Cube {
+        Cube {
+            literals: self
+                .literals
+                .iter()
+                .copied()
+                .filter(|l| l.var() != var)
+                .collect(),
+        }
+    }
+
+    /// Evaluates the cube under per-variable values supplied by `value_of`.
+    pub fn eval_with<F: FnMut(Var) -> bool>(&self, mut value_of: F) -> bool {
+        self.literals.iter().all(|l| l.eval(value_of(l.var())))
+    }
+}
+
+impl fmt::Display for Cube {
+    /// Formats as `x0 & !x1 & x2`; the empty cube prints as `1`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.literals.is_empty() {
+            return f.write_str("1");
+        }
+        for (i, lit) in self.literals.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" & ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Assignment;
+
+    fn v(i: u32) -> Var {
+        Var::new(i)
+    }
+
+    #[test]
+    fn top_is_constant_one() {
+        let t = Cube::top();
+        assert!(t.is_empty());
+        assert_eq!(t.to_string(), "1");
+        assert!(t.eval_with(|_| false));
+    }
+
+    #[test]
+    fn from_literals_dedupes_and_sorts() {
+        let c = Cube::from_literals([v(3).positive(), v(1).negative(), v(3).positive()])
+            .expect("consistent");
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.literals()[0], v(1).negative());
+        assert_eq!(c.literals()[1], v(3).positive());
+    }
+
+    #[test]
+    fn contradiction_detected() {
+        assert!(Cube::from_literals([v(2).positive(), v(2).negative()]).is_none());
+    }
+
+    #[test]
+    fn and_literal_cases() {
+        let c = Cube::from_literals([v(1).positive()]).expect("consistent");
+        // Same literal: unchanged.
+        assert_eq!(c.and_literal(v(1).positive()).expect("same"), c);
+        // Opposite phase: contradiction.
+        assert!(c.and_literal(v(1).negative()).is_none());
+        // New variable: inserted in order.
+        let d = c.and_literal(v(0).negative()).expect("consistent");
+        assert_eq!(d.literals()[0].var(), v(0));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn intersect_merges_or_conflicts() {
+        let a = Cube::from_literals([v(0).positive(), v(2).negative()]).expect("ok");
+        let b = Cube::from_literals([v(1).positive(), v(2).negative()]).expect("ok");
+        let ab = a.intersect(&b).expect("compatible");
+        assert_eq!(ab.len(), 3);
+        let c = Cube::from_literals([v(2).positive()]).expect("ok");
+        assert!(a.intersect(&c).is_none());
+        // Intersection with top is identity.
+        assert_eq!(a.intersect(&Cube::top()).expect("ok"), a);
+    }
+
+    #[test]
+    fn phase_and_membership() {
+        let c = Cube::from_literals([v(5).negative()]).expect("ok");
+        assert_eq!(c.phase_of(v(5)), Some(false));
+        assert_eq!(c.phase_of(v(4)), None);
+        assert!(c.contains_var(v(5)));
+        assert!(!c.contains_var(v(0)));
+    }
+
+    #[test]
+    fn implies_subset_semantics() {
+        let big = Cube::from_literals([v(0).positive(), v(1).negative(), v(2).positive()])
+            .expect("ok");
+        let small = Cube::from_literals([v(1).negative()]).expect("ok");
+        assert!(big.implies(&small));
+        assert!(!small.implies(&big));
+        assert!(big.implies(&Cube::top()));
+        let other_phase = Cube::from_literals([v(1).positive()]).expect("ok");
+        assert!(!big.implies(&other_phase));
+        // Reflexive.
+        assert!(big.implies(&big));
+    }
+
+    #[test]
+    fn distance_counts_phase_conflicts() {
+        let a = Cube::from_literals([v(0).positive(), v(1).positive()]).expect("ok");
+        let b = Cube::from_literals([v(0).negative(), v(1).negative()]).expect("ok");
+        assert_eq!(a.distance(&b), 2);
+        let c = Cube::from_literals([v(0).positive(), v(2).positive()]).expect("ok");
+        assert_eq!(a.distance(&c), 0);
+        assert_eq!(a.distance(&Cube::top()), 0);
+    }
+
+    #[test]
+    fn supercube_keeps_common_literals() {
+        let a = Cube::from_literals([v(0).positive(), v(1).positive()]).expect("ok");
+        let b = Cube::from_literals([v(0).positive(), v(1).negative()]).expect("ok");
+        let s = a.supercube(&b);
+        assert_eq!(s.literals(), &[v(0).positive()]);
+    }
+
+    #[test]
+    fn minterm_matches_assignment() {
+        let mut asg = Assignment::zeros(4);
+        asg.set(v(1), true);
+        asg.set(v(3), true);
+        let vars: Vec<Var> = (0..4).map(Var::new).collect();
+        let m = Cube::minterm(&vars, &asg);
+        assert_eq!(m.len(), 4);
+        assert!(asg.satisfies(&m));
+        let mut other = asg.clone();
+        other.flip(v(0));
+        assert!(!other.satisfies(&m));
+    }
+
+    #[test]
+    fn without_var_removes_only_that_var() {
+        let c = Cube::from_literals([v(0).positive(), v(1).negative()]).expect("ok");
+        let d = c.without_var(v(1));
+        assert_eq!(d.literals(), &[v(0).positive()]);
+        assert_eq!(c.without_var(v(9)), c);
+    }
+
+    #[test]
+    fn display_form() {
+        let c = Cube::from_literals([v(2).positive(), v(0).negative()]).expect("ok");
+        assert_eq!(c.to_string(), "!x0 & x2");
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type shared by the logic foundations.
+
+use std::fmt;
+
+/// A specialized result type for logic operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the logic foundation types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A truth table was requested for more variables than the word-packed
+    /// representation supports.
+    TooManyVars {
+        /// The number of variables requested.
+        requested: usize,
+        /// The maximum supported number of variables.
+        max: usize,
+    },
+    /// Two operands of a binary operation have different variable counts.
+    ArityMismatch {
+        /// Variable count of the left operand.
+        left: usize,
+        /// Variable count of the right operand.
+        right: usize,
+    },
+    /// A variable index is out of range for the operation.
+    VarOutOfRange {
+        /// The offending variable index.
+        var: u32,
+        /// The number of variables in scope.
+        num_vars: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::TooManyVars { requested, max } => {
+                write!(f, "truth table over {requested} variables exceeds the maximum of {max}")
+            }
+            Error::ArityMismatch { left, right } => {
+                write!(f, "operands have mismatched variable counts {left} and {right}")
+            }
+            Error::VarOutOfRange { var, num_vars } => {
+                write!(f, "variable x{var} out of range for {num_vars} variables")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let msgs = [
+            Error::TooManyVars { requested: 40, max: 24 }.to_string(),
+            Error::ArityMismatch { left: 3, right: 4 }.to_string(),
+            Error::VarOutOfRange { var: 9, num_vars: 4 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

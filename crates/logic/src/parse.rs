@@ -1,0 +1,175 @@
+//! Text parsing for cubes and SOP expressions.
+//!
+//! The grammar mirrors the `Display` output of [`Cube`] and [`Sop`]:
+//!
+//! ```text
+//! sop     := "0" | cube ( "|" cube )*
+//! cube    := "1" | literal ( "&" literal )*
+//! literal := "!"? "x" <index>
+//! ```
+//!
+//! Whitespace around operators is optional. Parsing round-trips with
+//! formatting, which makes textual fixtures in tests and CLI input
+//! convenient.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::{Cube, Literal, Sop, Var};
+
+/// Error from parsing a [`Cube`] or [`Sop`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseBooleanError {
+    /// A token was not a literal of the form `x3` / `!x3`.
+    BadLiteral(String),
+    /// The same variable appeared in both phases within one cube.
+    ContradictoryCube(String),
+    /// The input was empty.
+    Empty,
+}
+
+impl fmt::Display for ParseBooleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBooleanError::BadLiteral(t) => write!(f, "not a literal: {t}"),
+            ParseBooleanError::ContradictoryCube(c) => {
+                write!(f, "cube contains a variable in both phases: {c}")
+            }
+            ParseBooleanError::Empty => f.write_str("empty boolean expression"),
+        }
+    }
+}
+
+impl std::error::Error for ParseBooleanError {}
+
+fn parse_literal(token: &str) -> Result<Literal, ParseBooleanError> {
+    let t = token.trim();
+    let (negated, rest) = match t.strip_prefix('!') {
+        Some(r) => (true, r.trim()),
+        None => (false, t),
+    };
+    let idx = rest
+        .strip_prefix('x')
+        .and_then(|d| d.parse::<u32>().ok())
+        .ok_or_else(|| ParseBooleanError::BadLiteral(token.to_owned()))?;
+    Ok(Literal::new(Var::new(idx), negated))
+}
+
+impl FromStr for Cube {
+    type Err = ParseBooleanError;
+
+    /// Parses `x0 & !x1 & x2` (or `1` for the empty cube).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cirlearn_logic::Cube;
+    ///
+    /// let c: Cube = "x0 & !x2".parse()?;
+    /// assert_eq!(c.to_string(), "x0 & !x2");
+    /// # Ok::<(), cirlearn_logic::ParseBooleanError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Err(ParseBooleanError::Empty);
+        }
+        if t == "1" {
+            return Ok(Cube::top());
+        }
+        let lits = t
+            .split('&')
+            .map(parse_literal)
+            .collect::<Result<Vec<_>, _>>()?;
+        Cube::from_literals(lits)
+            .ok_or_else(|| ParseBooleanError::ContradictoryCube(s.to_owned()))
+    }
+}
+
+impl FromStr for Sop {
+    type Err = ParseBooleanError;
+
+    /// Parses `x0 & !x1 | x2` (or `0` / `1` for the constants).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cirlearn_logic::Sop;
+    ///
+    /// let s: Sop = "x0 & !x1 | x2".parse()?;
+    /// assert_eq!(s.cubes().len(), 2);
+    /// assert_eq!(s.to_string(), "x0 & !x1 | x2");
+    /// # Ok::<(), cirlearn_logic::ParseBooleanError>(())
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Err(ParseBooleanError::Empty);
+        }
+        if t == "0" {
+            return Ok(Sop::zero());
+        }
+        t.split('|')
+            .map(Cube::from_str)
+            .collect::<Result<Vec<_>, _>>()
+            .map(Sop::from_cubes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TruthTable;
+
+    #[test]
+    fn literal_forms() {
+        assert_eq!(parse_literal("x3"), Ok(Var::new(3).positive()));
+        assert_eq!(parse_literal("!x3"), Ok(Var::new(3).negative()));
+        assert_eq!(parse_literal(" ! x12 "), Ok(Var::new(12).negative()));
+        assert!(parse_literal("y3").is_err());
+        assert!(parse_literal("x").is_err());
+        assert!(parse_literal("x-1").is_err());
+    }
+
+    #[test]
+    fn cube_roundtrip() {
+        for text in ["1", "x0", "!x1", "x0 & !x1 & x5"] {
+            let c: Cube = text.parse().expect("valid");
+            assert_eq!(c.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn contradictory_cube_rejected() {
+        let err = "x0 & !x0".parse::<Cube>().unwrap_err();
+        assert!(matches!(err, ParseBooleanError::ContradictoryCube(_)));
+    }
+
+    #[test]
+    fn sop_roundtrip_and_semantics() {
+        for text in ["0", "1", "x0", "x0 & !x1 | x2", "!x0 | x0 & x1 | x2 & x3"] {
+            let s: Sop = text.parse().expect("valid");
+            assert_eq!(s.to_string(), text);
+        }
+        let s: Sop = "x0 & x1 | !x2".parse().expect("valid");
+        let tt = TruthTable::from_sop(3, &s);
+        for m in 0..8u64 {
+            let expect = (m & 1 == 1 && m >> 1 & 1 == 1) || m >> 2 & 1 == 0;
+            assert_eq!(tt.get(m), expect, "m={m}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_flexible() {
+        let a: Sop = "x0&!x1|x2".parse().expect("valid");
+        let b: Sop = "  x0  &  !x1  |  x2  ".parse().expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_is_an_error() {
+        assert_eq!("".parse::<Sop>().unwrap_err(), ParseBooleanError::Empty);
+        assert_eq!("  ".parse::<Cube>().unwrap_err(), ParseBooleanError::Empty);
+    }
+}

@@ -1,0 +1,253 @@
+//! Sum-of-products expressions.
+
+use std::fmt;
+
+use crate::{Cube, Var};
+
+/// A sum-of-products (SOP) expression: a disjunction of [`Cube`]s.
+///
+/// The FBDT learner of the paper produces its result in this form (the
+/// disjunction of the constant-1 leaf cubes) before circuit construction
+/// and optimization. An empty SOP is the constant-0 function; an SOP
+/// containing the empty cube is constant 1.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Cube, Sop, Var};
+///
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// let mut sop = Sop::zero();
+/// sop.push(Cube::from_literals([a.positive()]).expect("consistent"));
+/// sop.push(Cube::from_literals([a.positive(), b.negative()]).expect("consistent"));
+/// assert_eq!(sop.cubes().len(), 2);
+/// sop.make_single_cube_minimal();
+/// assert_eq!(sop.cubes().len(), 1); // a & !b is contained in a
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sop {
+    cubes: Vec<Cube>,
+}
+
+impl Sop {
+    /// Returns the constant-0 SOP (no cubes).
+    pub fn zero() -> Self {
+        Sop::default()
+    }
+
+    /// Returns the constant-1 SOP (the single empty cube).
+    pub fn one() -> Self {
+        Sop {
+            cubes: vec![Cube::top()],
+        }
+    }
+
+    /// Builds an SOP from an iterator of cubes.
+    pub fn from_cubes<I: IntoIterator<Item = Cube>>(cubes: I) -> Self {
+        Sop {
+            cubes: cubes.into_iter().collect(),
+        }
+    }
+
+    /// Returns the cubes of this SOP.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Returns `true` if this SOP has no cubes (constant 0).
+    pub fn is_zero(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Returns `true` if some cube is empty, making the SOP constant 1.
+    pub fn is_one(&self) -> bool {
+        self.cubes.iter().any(Cube::is_empty)
+    }
+
+    /// Appends a cube to the disjunction.
+    pub fn push(&mut self, cube: Cube) {
+        self.cubes.push(cube);
+    }
+
+    /// Returns the total number of literals over all cubes.
+    pub fn literal_count(&self) -> usize {
+        self.cubes.iter().map(Cube::len).sum()
+    }
+
+    /// Returns the set of variables appearing in any cube, sorted.
+    pub fn support(&self) -> Vec<Var> {
+        let mut vars: Vec<Var> = self.cubes.iter().flat_map(|c| c.vars()).collect();
+        vars.sort();
+        vars.dedup();
+        vars
+    }
+
+    /// Evaluates the SOP under per-variable values supplied by `value_of`.
+    pub fn eval_with<F: FnMut(Var) -> bool>(&self, mut value_of: F) -> bool {
+        self.cubes.iter().any(|c| c.eval_with(&mut value_of))
+    }
+
+    /// Removes cubes that are contained in (imply) another cube of the
+    /// SOP, i.e. performs single-cube containment minimization.
+    ///
+    /// The function represented is unchanged. Equal cubes are collapsed
+    /// to one.
+    pub fn make_single_cube_minimal(&mut self) {
+        // Sort by ascending literal count so containers come first.
+        self.cubes.sort_by_key(Cube::len);
+        self.cubes.dedup();
+        let mut kept: Vec<Cube> = Vec::with_capacity(self.cubes.len());
+        'outer: for cube in self.cubes.drain(..) {
+            for k in &kept {
+                if cube.implies(k) {
+                    continue 'outer;
+                }
+            }
+            kept.push(cube);
+        }
+        self.cubes = kept;
+    }
+
+    /// Iterates over the cubes.
+    pub fn iter(&self) -> std::slice::Iter<'_, Cube> {
+        self.cubes.iter()
+    }
+}
+
+impl IntoIterator for Sop {
+    type Item = Cube;
+    type IntoIter = std::vec::IntoIter<Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Sop {
+    type Item = &'a Cube;
+    type IntoIter = std::slice::Iter<'a, Cube>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.cubes.iter()
+    }
+}
+
+impl FromIterator<Cube> for Sop {
+    fn from_iter<I: IntoIterator<Item = Cube>>(iter: I) -> Self {
+        Sop::from_cubes(iter)
+    }
+}
+
+impl Extend<Cube> for Sop {
+    fn extend<I: IntoIterator<Item = Cube>>(&mut self, iter: I) {
+        self.cubes.extend(iter);
+    }
+}
+
+impl fmt::Display for Sop {
+    /// Formats as `x0 & !x1 | x2`; constant 0 prints as `0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cubes.is_empty() {
+            return f.write_str("0");
+        }
+        for (i, cube) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "{cube}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Literal;
+
+    fn lit(var: u32, neg: bool) -> Literal {
+        Literal::new(Var::new(var), neg)
+    }
+
+    fn cube(lits: &[(u32, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, n)| lit(v, n))).expect("consistent")
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Sop::zero().is_zero());
+        assert!(!Sop::zero().is_one());
+        assert!(Sop::one().is_one());
+        assert!(!Sop::one().is_zero());
+        assert_eq!(Sop::zero().to_string(), "0");
+        assert_eq!(Sop::one().to_string(), "1");
+    }
+
+    #[test]
+    fn eval_is_disjunction_of_cubes() {
+        let s = Sop::from_cubes([cube(&[(0, false)]), cube(&[(1, true)])]); // x0 | !x1
+        assert!(s.eval_with(|v| v.index() == 0));
+        assert!(s.eval_with(|_| false)); // !x1 satisfied
+        assert!(!s.eval_with(|v| v.index() == 1));
+    }
+
+    #[test]
+    fn support_is_sorted_unique() {
+        let s = Sop::from_cubes([cube(&[(3, false), (1, true)]), cube(&[(1, false)])]);
+        let sup: Vec<u32> = s.support().iter().map(|v| v.index()).collect();
+        assert_eq!(sup, vec![1, 3]);
+    }
+
+    #[test]
+    fn literal_count_sums_cubes() {
+        let s = Sop::from_cubes([cube(&[(0, false), (1, false)]), cube(&[(2, true)])]);
+        assert_eq!(s.literal_count(), 3);
+    }
+
+    #[test]
+    fn single_cube_containment() {
+        let mut s = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]), // x0 & x1, contained in x0
+            cube(&[(0, false)]),
+            cube(&[(0, false)]), // duplicate
+            cube(&[(2, true)]),
+        ]);
+        s.make_single_cube_minimal();
+        assert_eq!(s.cubes().len(), 2);
+        assert!(s.cubes().contains(&cube(&[(0, false)])));
+        assert!(s.cubes().contains(&cube(&[(2, true)])));
+    }
+
+    #[test]
+    fn containment_with_top_collapses_to_one() {
+        let mut s = Sop::from_cubes([Cube::top(), cube(&[(0, false)])]);
+        s.make_single_cube_minimal();
+        assert_eq!(s.cubes().len(), 1);
+        assert!(s.is_one());
+    }
+
+    #[test]
+    fn minimization_preserves_function() {
+        let mut s = Sop::from_cubes([
+            cube(&[(0, false), (1, true)]),
+            cube(&[(0, false)]),
+            cube(&[(1, false), (2, false)]),
+        ]);
+        let orig = s.clone();
+        s.make_single_cube_minimal();
+        for bits in 0..8u32 {
+            let val = |v: Var| bits >> v.index() & 1 == 1;
+            assert_eq!(s.eval_with(val), orig.eval_with(val), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: Sop = [cube(&[(0, false)])].into_iter().collect();
+        s.extend([cube(&[(1, false)])]);
+        assert_eq!(s.cubes().len(), 2);
+        let back: Vec<Cube> = s.into_iter().collect();
+        assert_eq!(back.len(), 2);
+    }
+}

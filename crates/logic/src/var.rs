@@ -1,0 +1,225 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a dense non-negative index.
+///
+/// Variables are cheap value types; the mapping from indices to names
+/// (port names of a black-box, node names of a netlist) is kept by the
+/// structure that owns the variables.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::Var;
+///
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.to_string(), "x3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Creates the variable with the given dense index.
+    pub const fn new(index: u32) -> Self {
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the positive-phase literal of this variable.
+    pub const fn positive(self) -> Literal {
+        Literal::new(self, false)
+    }
+
+    /// Returns the negative-phase literal of this variable.
+    pub const fn negative(self) -> Literal {
+        Literal::new(self, true)
+    }
+
+    /// Returns the literal of this variable in the given phase.
+    ///
+    /// `value == true` yields the positive literal, so a cube built from
+    /// `lit(v, value)` for each bit of a minterm is satisfied exactly by
+    /// that minterm.
+    pub const fn literal(self, value: bool) -> Literal {
+        Literal::new(self, !value)
+    }
+}
+
+impl From<u32> for Var {
+    fn from(index: u32) -> Self {
+        Var::new(index)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a phase.
+///
+/// Internally encoded as `2 * var + negated`, the convention used by
+/// AIGER, ABC and most SAT solvers, so literals order first by variable
+/// and then positive-before-negative.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Literal, Var};
+///
+/// let a = Var::new(0);
+/// assert_eq!(a.positive().to_string(), "x0");
+/// assert_eq!(a.negative().to_string(), "!x0");
+/// assert_eq!(a.positive().complement(), a.negative());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal(u32);
+
+impl Literal {
+    /// Creates a literal from a variable and a negation flag.
+    pub const fn new(var: Var, negated: bool) -> Self {
+        Literal(var.0 * 2 + negated as u32)
+    }
+
+    /// Reconstructs a literal from its `2 * var + negated` encoding.
+    pub const fn from_code(code: u32) -> Self {
+        Literal(code)
+    }
+
+    /// Returns the `2 * var + negated` encoding of this literal.
+    pub const fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the variable of this literal.
+    pub const fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// Returns `true` if this is a negative-phase literal.
+    pub const fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns the value of the variable that satisfies this literal.
+    pub const fn polarity(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns the literal of the same variable in the opposite phase.
+    #[must_use]
+    pub const fn complement(self) -> Self {
+        Literal(self.0 ^ 1)
+    }
+
+    /// Evaluates the literal under the given value of its variable.
+    pub const fn eval(self, value: bool) -> bool {
+        value != self.is_negated()
+    }
+}
+
+impl From<Var> for Literal {
+    fn from(var: Var) -> Self {
+        var.positive()
+    }
+}
+
+impl std::ops::Not for Literal {
+    type Output = Literal;
+
+    fn not(self) -> Literal {
+        self.complement()
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!{}", self.var())
+        } else {
+            write!(f, "{}", self.var())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_roundtrip() {
+        for i in [0u32, 1, 7, 1000] {
+            assert_eq!(Var::new(i).index(), i);
+            assert_eq!(Var::from(i), Var::new(i));
+        }
+    }
+
+    #[test]
+    fn literal_encoding_matches_aiger_convention() {
+        let v = Var::new(5);
+        assert_eq!(v.positive().code(), 10);
+        assert_eq!(v.negative().code(), 11);
+        assert_eq!(Literal::from_code(11), v.negative());
+    }
+
+    #[test]
+    fn literal_phase_accessors() {
+        let v = Var::new(2);
+        assert!(!v.positive().is_negated());
+        assert!(v.negative().is_negated());
+        assert!(v.positive().polarity());
+        assert!(!v.negative().polarity());
+    }
+
+    #[test]
+    fn complement_is_involutive() {
+        let l = Var::new(9).negative();
+        assert_eq!(l.complement().complement(), l);
+        assert_eq!(!!l, l);
+        assert_ne!(l.complement(), l);
+        assert_eq!(l.complement().var(), l.var());
+    }
+
+    #[test]
+    fn literal_eval() {
+        let v = Var::new(0);
+        assert!(v.positive().eval(true));
+        assert!(!v.positive().eval(false));
+        assert!(!v.negative().eval(true));
+        assert!(v.negative().eval(false));
+    }
+
+    #[test]
+    fn literal_from_value_phase() {
+        let v = Var::new(4);
+        // literal(v, true) must be satisfied when v = 1.
+        assert!(v.literal(true).eval(true));
+        assert!(v.literal(false).eval(false));
+    }
+
+    #[test]
+    fn ordering_groups_by_variable() {
+        let a = Var::new(0);
+        let b = Var::new(1);
+        let mut lits = vec![b.negative(), a.negative(), b.positive(), a.positive()];
+        lits.sort();
+        assert_eq!(
+            lits,
+            vec![a.positive(), a.negative(), b.positive(), b.negative()]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let v = Var::new(12);
+        assert_eq!(format!("{}", v.positive()), "x12");
+        assert_eq!(format!("{}", v.negative()), "!x12");
+    }
+}

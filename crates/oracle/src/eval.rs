@@ -1,0 +1,222 @@
+//! The contest accuracy metric.
+//!
+//! Paper §V: each submitted circuit is tested with 1500k assignments —
+//! 500k with a higher ratio of 1s, 500k with a higher ratio of 0s and
+//! 500k uniformly random — and accuracy is the *hit rate*: the fraction
+//! of assignments on which **all** outputs match the golden circuit.
+
+use cirlearn_aig::Aig;
+use cirlearn_logic::Assignment;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`evaluate_accuracy`].
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Patterns per group (the contest used 500 000 per group; tests
+    /// use far fewer).
+    pub patterns_per_group: usize,
+    /// Probability of a 1 in the "higher ratio of 1s" group.
+    pub high_ratio: f64,
+    /// Probability of a 1 in the "higher ratio of 0s" group.
+    pub low_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            patterns_per_group: 20_000,
+            high_ratio: 0.75,
+            low_ratio: 0.25,
+            seed: 0xE7A1,
+        }
+    }
+}
+
+/// The outcome of an accuracy evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accuracy {
+    /// Assignments on which every output matched.
+    pub hits: u64,
+    /// Total assignments tested.
+    pub total: u64,
+}
+
+impl Accuracy {
+    /// Hit rate in `[0, 1]`.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// Hit rate as the percentage the paper reports (3 decimals).
+    pub fn percent(&self) -> f64 {
+        self.ratio() * 100.0
+    }
+
+    /// Whether the contest's hard constraint (≥ 99.99%) is met.
+    pub fn meets_contest_bar(&self) -> bool {
+        self.ratio() >= 0.9999
+    }
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}%", self.percent())
+    }
+}
+
+/// Measures the hit rate of `candidate` against `golden` with the
+/// contest's three-way pattern mix.
+///
+/// A *hit* requires all outputs to match on the assignment. Patterns
+/// are evaluated in batches with bit-parallel simulation.
+///
+/// # Panics
+///
+/// Panics if the circuits disagree in input or output count.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_oracle::{evaluate_accuracy, EvalConfig};
+///
+/// let mut golden = Aig::new();
+/// let a = golden.add_input("a");
+/// let b = golden.add_input("b");
+/// let y = golden.xor(a, b);
+/// golden.add_output(y, "y");
+///
+/// let perfect = golden.clone();
+/// let acc = evaluate_accuracy(&golden, &perfect, &EvalConfig { patterns_per_group: 100, ..EvalConfig::default() });
+/// assert_eq!(acc.percent(), 100.0);
+/// assert!(acc.meets_contest_bar());
+/// ```
+pub fn evaluate_accuracy(golden: &Aig, candidate: &Aig, config: &EvalConfig) -> Accuracy {
+    assert_eq!(
+        golden.num_inputs(),
+        candidate.num_inputs(),
+        "input counts differ"
+    );
+    assert_eq!(
+        golden.num_outputs(),
+        candidate.num_outputs(),
+        "output counts differ"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = golden.num_inputs();
+    let mut hits = 0u64;
+    let mut total = 0u64;
+    const CHUNK: usize = 4096;
+    for ratio in [Some(config.high_ratio), Some(config.low_ratio), None] {
+        let mut remaining = config.patterns_per_group;
+        while remaining > 0 {
+            let take = remaining.min(CHUNK);
+            let patterns: Vec<Assignment> = (0..take)
+                .map(|_| match ratio {
+                    Some(r) => Assignment::random_biased(n, r, &mut rng),
+                    None => Assignment::random(n, &mut rng),
+                })
+                .collect();
+            let g = golden.eval_batch(&patterns);
+            let c = candidate.eval_batch(&patterns);
+            hits += g.iter().zip(&c).filter(|(a, b)| a == b).count() as u64;
+            total += take as u64;
+            remaining -= take;
+        }
+    }
+    Accuracy { hits, total }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor2() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        g
+    }
+
+    #[test]
+    fn perfect_candidate_scores_100() {
+        let g = xor2();
+        let acc = evaluate_accuracy(&g, &g.clone(), &EvalConfig::default());
+        assert_eq!(acc.hits, acc.total);
+        assert!(acc.meets_contest_bar());
+        assert_eq!(acc.to_string(), "100.000%");
+    }
+
+    #[test]
+    fn wrong_candidate_scores_low() {
+        let g = xor2();
+        let mut bad = Aig::new();
+        let a = bad.add_input("a");
+        let b = bad.add_input("b");
+        let y = bad.and(a, b);
+        bad.add_output(y, "y");
+        let acc = evaluate_accuracy(&g, &bad, &EvalConfig::default());
+        assert!(!acc.meets_contest_bar());
+        // XOR and AND agree on 2 of 4 uniform patterns; biased groups
+        // shift the exact number, but it must be well below 100%.
+        assert!(acc.ratio() < 0.9);
+        assert!(acc.ratio() > 0.1);
+    }
+
+    #[test]
+    fn multi_output_requires_all_to_match() {
+        let mut golden = Aig::new();
+        let a = golden.add_input("a");
+        golden.add_output(a, "y0");
+        golden.add_output(!a, "y1");
+        // Candidate matches y0 but always gets y1 wrong.
+        let mut cand = Aig::new();
+        let a2 = cand.add_input("a");
+        cand.add_output(a2, "y0");
+        cand.add_output(a2, "y1");
+        let acc = evaluate_accuracy(&golden, &cand, &EvalConfig::default());
+        assert_eq!(acc.hits, 0, "one wrong output spoils the pattern");
+    }
+
+    #[test]
+    fn biased_groups_catch_skewed_errors() {
+        // Candidate differs from golden only on the all-ones minterm
+        // of 8 inputs; the high-ratio group finds it far more often.
+        let mut golden = Aig::new();
+        let inputs = golden.add_inputs("x", 8);
+        let all = golden.and_many(&inputs);
+        golden.add_output(all, "y");
+        let mut cand = Aig::new();
+        let _ = cand.add_inputs("x", 8);
+        cand.add_output(cirlearn_aig::Edge::FALSE, "y");
+        let cfg = EvalConfig { patterns_per_group: 10_000, ..EvalConfig::default() };
+        let acc = evaluate_accuracy(&golden, &cand, &cfg);
+        // 0.75^8 ≈ 10% of high-ratio patterns hit the bad minterm;
+        // uniform patterns almost never do (1/256).
+        assert!(acc.ratio() < 0.999);
+        assert!(!acc.meets_contest_bar());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = xor2();
+        let mut near = Aig::new();
+        let a = near.add_input("a");
+        let b = near.add_input("b");
+        let y = near.or(a, b);
+        near.add_output(y, "y");
+        let cfg = EvalConfig { patterns_per_group: 500, ..EvalConfig::default() };
+        let a1 = evaluate_accuracy(&g, &near, &cfg);
+        let a2 = evaluate_accuracy(&g, &near, &cfg);
+        assert_eq!(a1, a2);
+    }
+}

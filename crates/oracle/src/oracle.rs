@@ -1,0 +1,196 @@
+//! The black-box query interface.
+
+use cirlearn_aig::Aig;
+use cirlearn_logic::Assignment;
+
+/// A black-box input-output relation generator.
+///
+/// Matches the contest's interface exactly: the box accepts a *full*
+/// assignment to its primary inputs and returns a full assignment to
+/// its outputs. Nothing else — no partial queries, no structure, no
+/// satisfiability questions. Implementations count queries so
+/// experiments can report sampling effort.
+pub trait Oracle {
+    /// Number of primary inputs.
+    fn num_inputs(&self) -> usize;
+
+    /// Number of primary outputs.
+    fn num_outputs(&self) -> usize;
+
+    /// Port names of the inputs, in input order.
+    ///
+    /// The contest exposes names; the paper's preprocessing mines them
+    /// for bus structure.
+    fn input_names(&self) -> &[String];
+
+    /// Port names of the outputs, in output order.
+    fn output_names(&self) -> &[String];
+
+    /// Evaluates the hidden function on one full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `input.len() != num_inputs()`.
+    fn query(&mut self, input: &Assignment) -> Vec<bool>;
+
+    /// Evaluates a batch of assignments.
+    ///
+    /// The default implementation loops over [`Oracle::query`];
+    /// implementations with bit-parallel evaluators should override it.
+    fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
+        inputs.iter().map(|a| self.query(a)).collect()
+    }
+
+    /// Number of single-pattern queries served so far (batches count
+    /// per pattern).
+    fn queries(&self) -> u64;
+}
+
+/// An oracle wrapping a hidden combinational circuit.
+///
+/// The circuit is deliberately inaccessible: only the port names and
+/// the query interface are public, mirroring the contest setup. Tests
+/// and the evaluation harness may use [`CircuitOracle::reveal`] to
+/// compare a learned circuit against the hidden one.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_logic::Assignment;
+/// use cirlearn_oracle::{CircuitOracle, Oracle};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let y = aig.xor(a, b);
+/// aig.add_output(y, "y");
+/// let mut oracle = CircuitOracle::new(aig);
+///
+/// let mut pat = Assignment::zeros(2);
+/// pat.set(cirlearn_logic::Var::new(0), true);
+/// assert_eq!(oracle.query(&pat), vec![true]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitOracle {
+    circuit: Aig,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    queries: u64,
+}
+
+impl CircuitOracle {
+    /// Wraps a circuit as a black box.
+    pub fn new(circuit: Aig) -> Self {
+        let input_names = circuit.input_names().to_vec();
+        let output_names = circuit
+            .outputs()
+            .iter()
+            .map(|(_, name)| name.clone())
+            .collect();
+        CircuitOracle {
+            circuit,
+            input_names,
+            output_names,
+            queries: 0,
+        }
+    }
+
+    /// Exposes the hidden circuit — for evaluation harnesses and tests
+    /// only; the learner must never call this.
+    pub fn reveal(&self) -> &Aig {
+        &self.circuit
+    }
+
+    /// Resets the query counter.
+    pub fn reset_queries(&mut self) {
+        self.queries = 0;
+    }
+}
+
+impl Oracle for CircuitOracle {
+    fn num_inputs(&self) -> usize {
+        self.circuit.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.circuit.num_outputs()
+    }
+
+    fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    fn query(&mut self, input: &Assignment) -> Vec<bool> {
+        self.queries += 1;
+        self.circuit.eval(input)
+    }
+
+    fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
+        self.queries += inputs.len() as u64;
+        self.circuit.eval_batch(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_logic::Var;
+
+    fn sample() -> CircuitOracle {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y0 = g.and(a, b);
+        let y1 = g.or(a, b);
+        g.add_output(y0, "and");
+        g.add_output(y1, "or");
+        CircuitOracle::new(g)
+    }
+
+    #[test]
+    fn names_are_exposed() {
+        let o = sample();
+        assert_eq!(o.input_names(), &["a".to_owned(), "b".into()]);
+        assert_eq!(o.output_names(), &["and".to_owned(), "or".into()]);
+        assert_eq!(o.num_inputs(), 2);
+        assert_eq!(o.num_outputs(), 2);
+    }
+
+    #[test]
+    fn queries_are_counted() {
+        let mut o = sample();
+        let z = Assignment::zeros(2);
+        o.query(&z);
+        o.query(&z);
+        assert_eq!(o.queries(), 2);
+        o.query_batch(&[z.clone(), z.clone(), z.clone()]);
+        assert_eq!(o.queries(), 5);
+        o.reset_queries();
+        assert_eq!(o.queries(), 0);
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let mut o = sample();
+        let mut pats = Vec::new();
+        for m in 0..4u32 {
+            let mut a = Assignment::zeros(2);
+            a.set(Var::new(0), m & 1 == 1);
+            a.set(Var::new(1), m >> 1 & 1 == 1);
+            pats.push(a);
+        }
+        let batch = o.query_batch(&pats);
+        for (i, p) in pats.iter().enumerate() {
+            assert_eq!(batch[i], o.query(p), "pattern {i}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Driving an external executable as the black box.
+//!
+//! The contest distributed its IO generators as opaque executables.
+//! [`ProcessOracle`] speaks a minimal line protocol with any such
+//! program, so the learner can run against real black boxes — not just
+//! the in-process [`CircuitOracle`](crate::CircuitOracle):
+//!
+//! ```text
+//! --> 0110...      one line per query: |I| characters of 0/1
+//! <-- 1001...      one line per answer: |O| characters of 0/1
+//! ```
+//!
+//! The child is spawned once and queried over stdin/stdout; port names
+//! and widths are supplied by the caller (the contest shipped them in a
+//! side file).
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use cirlearn_logic::Assignment;
+
+use crate::Oracle;
+
+/// Errors from spawning or talking to the external black box.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProcessOracleError {
+    /// The child process could not be started.
+    Spawn(std::io::Error),
+    /// The child closed its pipes or an I/O error occurred.
+    Io(std::io::Error),
+    /// The child answered with the wrong number of output bits.
+    BadAnswer(String),
+}
+
+impl std::fmt::Display for ProcessOracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessOracleError::Spawn(e) => write!(f, "spawning black box: {e}"),
+            ProcessOracleError::Io(e) => write!(f, "talking to black box: {e}"),
+            ProcessOracleError::BadAnswer(l) => write!(f, "malformed black-box answer: {l}"),
+        }
+    }
+}
+
+impl std::error::Error for ProcessOracleError {}
+
+/// A black-box oracle backed by an external process.
+///
+/// # Examples
+///
+/// Using a tiny shell script as the unknown system (output = first
+/// input bit):
+///
+/// ```no_run
+/// use cirlearn_oracle::{Oracle, ProcessOracle};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut oracle = ProcessOracle::spawn(
+///     "./my_blackbox",
+///     &[],
+///     vec!["a".into(), "b".into()],
+///     vec!["y".into()],
+/// )?;
+/// let pattern = cirlearn_logic::Assignment::zeros(2);
+/// let out = oracle.query(&pattern);
+/// assert_eq!(out.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProcessOracle {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+    input_names: Vec<String>,
+    output_names: Vec<String>,
+    queries: u64,
+}
+
+impl ProcessOracle {
+    /// Spawns `program` with `args` and wires up the query protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessOracleError::Spawn`] when the program cannot be
+    /// started.
+    pub fn spawn(
+        program: &str,
+        args: &[&str],
+        input_names: Vec<String>,
+        output_names: Vec<String>,
+    ) -> Result<Self, ProcessOracleError> {
+        let mut child = Command::new(program)
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(ProcessOracleError::Spawn)?;
+        let stdin = child.stdin.take().expect("stdin piped");
+        let stdout = BufReader::new(child.stdout.take().expect("stdout piped"));
+        Ok(ProcessOracle {
+            child,
+            stdin,
+            stdout,
+            input_names,
+            output_names,
+            queries: 0,
+        })
+    }
+
+    /// Sends one query, propagating protocol errors.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed answers are reported; the infallible
+    /// [`Oracle::query`] wrapper panics instead (the black box dying
+    /// mid-run is unrecoverable for a learning session anyway).
+    pub fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, ProcessOracleError> {
+        assert_eq!(input.len(), self.input_names.len(), "wrong input width");
+        let line: String = input.iter().map(|b| if b { '1' } else { '0' }).collect();
+        writeln!(self.stdin, "{line}").map_err(ProcessOracleError::Io)?;
+        self.stdin.flush().map_err(ProcessOracleError::Io)?;
+        let mut answer = String::new();
+        self.stdout
+            .read_line(&mut answer)
+            .map_err(ProcessOracleError::Io)?;
+        let bits: Vec<bool> = answer
+            .trim()
+            .chars()
+            .map(|c| match c {
+                '0' => Ok(false),
+                '1' => Ok(true),
+                _ => Err(()),
+            })
+            .collect::<Result<_, _>>()
+            .map_err(|_| ProcessOracleError::BadAnswer(answer.clone()))?;
+        if bits.len() != self.output_names.len() {
+            return Err(ProcessOracleError::BadAnswer(answer));
+        }
+        self.queries += 1;
+        Ok(bits)
+    }
+}
+
+impl Drop for ProcessOracle {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Oracle for ProcessOracle {
+    fn num_inputs(&self) -> usize {
+        self.input_names.len()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.output_names.len()
+    }
+
+    fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the child process violates the protocol; use
+    /// [`ProcessOracle::try_query`] for a fallible call.
+    fn query(&mut self, input: &Assignment) -> Vec<bool> {
+        self.try_query(input)
+            .unwrap_or_else(|e| panic!("black-box process failed: {e}"))
+    }
+
+    fn queries(&self) -> u64 {
+        self.queries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_logic::Var;
+
+    /// A shell one-liner black box: y0 = first bit, y1 = NOT first bit.
+    fn spawn_sh() -> ProcessOracle {
+        ProcessOracle::spawn(
+            "sh",
+            &[
+                "-c",
+                r#"while read line; do
+                       first=$(printf %.1s "$line")
+                       if [ "$first" = 1 ]; then echo 10; else echo 01; fi
+                   done"#,
+            ],
+            vec!["a".into(), "b".into(), "c".into()],
+            vec!["y0".into(), "y1".into()],
+        )
+        .expect("sh is available")
+    }
+
+    #[test]
+    fn round_trips_queries() {
+        let mut o = spawn_sh();
+        assert_eq!(o.num_inputs(), 3);
+        assert_eq!(o.num_outputs(), 2);
+        let zeros = Assignment::zeros(3);
+        assert_eq!(o.query(&zeros), vec![false, true]);
+        let mut ones = Assignment::zeros(3);
+        ones.set(Var::new(0), true);
+        assert_eq!(o.query(&ones), vec![true, false]);
+        assert_eq!(o.queries(), 2);
+    }
+
+    #[test]
+    fn batch_uses_single_process() {
+        let mut o = spawn_sh();
+        let patterns: Vec<Assignment> = (0..8)
+            .map(|k| {
+                let mut a = Assignment::zeros(3);
+                a.set(Var::new(0), k % 2 == 1);
+                a
+            })
+            .collect();
+        let outs = o.query_batch(&patterns);
+        for (k, row) in outs.iter().enumerate() {
+            assert_eq!(row[0], k % 2 == 1);
+        }
+        assert_eq!(o.queries(), 8);
+    }
+
+    #[test]
+    fn spawn_failure_is_reported() {
+        let r = ProcessOracle::spawn(
+            "/nonexistent/black_box_binary",
+            &[],
+            vec!["a".into()],
+            vec!["y".into()],
+        );
+        assert!(matches!(r, Err(ProcessOracleError::Spawn(_))));
+    }
+
+}

@@ -1,0 +1,407 @@
+//! Tseitin encoding of AIGs and equivalence checking.
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_logic::Assignment;
+
+use crate::{Lit, SolveResult, Solver};
+
+/// An incremental CNF encoding of an [`Aig`].
+///
+/// Every node gets a solver variable; AND nodes are constrained by the
+/// usual three Tseitin clauses. The encoding supports repeated
+/// equivalence queries under assumptions, which is how fraiging proves
+/// (or refutes) candidate node equivalences without rebuilding the CNF.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_sat::{AigCnf, SolveResult};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let ab = aig.and(a, b);
+/// let ba = aig.and(b, a); // hashed to the same node
+/// aig.add_output(ab, "y");
+///
+/// let mut cnf = AigCnf::new(&aig);
+/// let sel = cnf.add_difference_selector(ab, ba);
+/// // The two edges are identical, so asserting a difference is UNSAT.
+/// assert_eq!(cnf.solve_with_assumptions(&[sel]), SolveResult::Unsat);
+/// ```
+#[derive(Debug)]
+pub struct AigCnf {
+    solver: Solver,
+    node_lits: Vec<Lit>,
+    num_inputs: usize,
+}
+
+impl AigCnf {
+    /// Encodes the given AIG.
+    pub fn new(aig: &Aig) -> Self {
+        let mut solver = Solver::new();
+        let input_lits: Vec<Lit> = (0..aig.num_inputs()).map(|_| solver.new_var()).collect();
+        let node_lits = encode(&mut solver, aig, &input_lits);
+        AigCnf {
+            solver,
+            node_lits,
+            num_inputs: aig.num_inputs(),
+        }
+    }
+
+    /// Returns the solver literal corresponding to an AIG edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge does not belong to the encoded AIG.
+    pub fn lit(&self, edge: Edge) -> Lit {
+        let base = self.node_lits[edge.node().index()];
+        if edge.is_complemented() {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// Permanently asserts that `edge` evaluates to 1.
+    pub fn assert_edge(&mut self, edge: Edge) {
+        let l = self.lit(edge);
+        self.solver.add_clause(&[l]);
+    }
+
+    /// Creates a selector literal `t` with `t → (e1 ≠ e2)`.
+    ///
+    /// Solving with assumption `t` asks whether the two edges can
+    /// differ: `Unsat` proves them functionally equivalent, `Sat` yields
+    /// a distinguishing input via [`AigCnf::model_inputs`]. Because the
+    /// constraint is guarded by `t`, it is inert in later queries.
+    pub fn add_difference_selector(&mut self, e1: Edge, e2: Edge) -> Lit {
+        let t = self.solver.new_var();
+        let x = self.solver.new_var();
+        let (a, b) = (self.lit(e1), self.lit(e2));
+        // x <-> a xor b
+        self.solver.add_clause(&[!x, a, b]);
+        self.solver.add_clause(&[!x, !a, !b]);
+        self.solver.add_clause(&[x, !a, b]);
+        self.solver.add_clause(&[x, a, !b]);
+        // t -> x
+        self.solver.add_clause(&[!t, x]);
+        t
+    }
+
+    /// Solves the current constraints.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solver.solve()
+    }
+
+    /// Solves under assumptions (typically difference selectors).
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.solver.solve_with_assumptions(assumptions)
+    }
+
+    /// After `Sat`, extracts the primary-input assignment of the model.
+    pub fn model_inputs(&self) -> Assignment {
+        Assignment::from_bits(
+            self.node_lits[1..=self.num_inputs]
+                .iter()
+                .map(|&l| self.solver.value(l)),
+        )
+    }
+
+    /// Gives access to the underlying solver.
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        &mut self.solver
+    }
+}
+
+/// Encodes `aig` into `solver`, mapping primary input `k` to
+/// `input_lits[k]`. Returns the literal of every node.
+fn encode(solver: &mut Solver, aig: &Aig, input_lits: &[Lit]) -> Vec<Lit> {
+    assert_eq!(input_lits.len(), aig.num_inputs(), "wrong input literal count");
+    let mut node_lits: Vec<Lit> = Vec::with_capacity(aig.node_count());
+    // Constant node: a fresh variable pinned to false.
+    let const_lit = solver.new_var();
+    solver.add_clause(&[!const_lit]);
+    node_lits.push(const_lit);
+    node_lits.extend_from_slice(input_lits);
+    for (_, a, b) in aig.ands() {
+        let n = solver.new_var();
+        let la = lit_of(&node_lits, a);
+        let lb = lit_of(&node_lits, b);
+        // n <-> la & lb
+        solver.add_clause(&[!n, la]);
+        solver.add_clause(&[!n, lb]);
+        solver.add_clause(&[n, !la, !lb]);
+        node_lits.push(n);
+    }
+    node_lits
+}
+
+fn lit_of(node_lits: &[Lit], e: Edge) -> Lit {
+    let base = node_lits[e.node().index()];
+    if e.is_complemented() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// The verdict of [`check_equivalence`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Equivalence {
+    /// The two circuits compute the same function on every output.
+    Equivalent,
+    /// A primary-input assignment on which some output differs.
+    Counterexample(Assignment),
+}
+
+impl Equivalence {
+    /// Returns `true` for [`Equivalence::Equivalent`].
+    pub fn is_equivalent(&self) -> bool {
+        matches!(self, Equivalence::Equivalent)
+    }
+}
+
+/// Checks combinational equivalence of two AIGs over the same inputs by
+/// solving their miter.
+///
+/// Inputs are matched by position, outputs by position.
+///
+/// # Panics
+///
+/// Panics if the two AIGs differ in input or output count.
+pub fn check_equivalence(left: &Aig, right: &Aig) -> Equivalence {
+    assert_eq!(
+        left.num_inputs(),
+        right.num_inputs(),
+        "circuits have different input counts"
+    );
+    assert_eq!(
+        left.num_outputs(),
+        right.num_outputs(),
+        "circuits have different output counts"
+    );
+    let mut solver = Solver::new();
+    let input_lits: Vec<Lit> = (0..left.num_inputs()).map(|_| solver.new_var()).collect();
+    let l_nodes = encode(&mut solver, left, &input_lits);
+    let r_nodes = encode(&mut solver, right, &input_lits);
+
+    // Miter: OR over per-output XORs must be 1.
+    let mut xors = Vec::with_capacity(left.num_outputs());
+    for (lo, ro) in left.outputs().iter().zip(right.outputs()) {
+        let a = lit_of(&l_nodes, lo.0);
+        let b = lit_of(&r_nodes, ro.0);
+        let x = solver.new_var();
+        solver.add_clause(&[!x, a, b]);
+        solver.add_clause(&[!x, !a, !b]);
+        solver.add_clause(&[x, !a, b]);
+        solver.add_clause(&[x, a, !b]);
+        xors.push(x);
+    }
+    solver.add_clause(&xors);
+
+    match solver.solve() {
+        SolveResult::Unsat => Equivalence::Equivalent,
+        SolveResult::Sat => Equivalence::Counterexample(Assignment::from_bits(
+            input_lits.iter().map(|&l| solver.value(l)),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_aig() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        g
+    }
+
+    /// XOR built the "other way": (a|b) & !(a&b).
+    fn xor_aig_alt() -> Aig {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let or = g.or(a, b);
+        let and = g.and(a, b);
+        let y = g.and(or, !and);
+        g.add_output(y, "y");
+        g
+    }
+
+    #[test]
+    fn equivalent_structures() {
+        assert_eq!(check_equivalence(&xor_aig(), &xor_aig_alt()), Equivalence::Equivalent);
+    }
+
+    #[test]
+    fn inequivalent_yields_counterexample() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.or(a, b);
+        g.add_output(y, "y");
+        let verdict = check_equivalence(&xor_aig(), &g);
+        match verdict {
+            Equivalence::Counterexample(cex) => {
+                // XOR and OR differ exactly on a=b=1.
+                let bits: Vec<bool> = cex.iter().collect();
+                assert_eq!(bits, vec![true, true]);
+            }
+            Equivalence::Equivalent => panic!("xor and or reported equivalent"),
+        }
+    }
+
+    #[test]
+    fn multi_output_equivalence() {
+        let build = |swap: bool| {
+            let mut g = Aig::new();
+            let a = g.add_input("a");
+            let b = g.add_input("b");
+            let c = g.add_input("c");
+            let s = g.xor(a, b);
+            let s2 = g.xor(s, c);
+            let maj = {
+                let ab = g.and(a, b);
+                let ac = g.and(a, c);
+                let bc = g.and(b, c);
+                let t = g.or(ab, ac);
+                g.or(t, bc)
+            };
+            if swap {
+                // Same functions built in a different order.
+                g.add_output(s2, "sum");
+                g.add_output(maj, "carry");
+            } else {
+                g.add_output(s2, "sum");
+                g.add_output(maj, "carry");
+            }
+            g
+        };
+        assert!(check_equivalence(&build(false), &build(true)).is_equivalent());
+    }
+
+    #[test]
+    fn multi_output_difference_detected() {
+        let mut g1 = Aig::new();
+        let a = g1.add_input("a");
+        g1.add_output(a, "y0");
+        g1.add_output(!a, "y1");
+        let mut g2 = Aig::new();
+        let a2 = g2.add_input("a");
+        g2.add_output(a2, "y0");
+        g2.add_output(a2, "y1"); // differs on y1
+        match check_equivalence(&g1, &g2) {
+            Equivalence::Counterexample(cex) => {
+                let bits: Vec<bool> = cex.iter().collect();
+                // y1 differs whenever !a != a, i.e. always; any input works.
+                assert_eq!(bits.len(), 1);
+            }
+            Equivalence::Equivalent => panic!("should differ"),
+        }
+    }
+
+    #[test]
+    fn constant_circuits() {
+        let mut g1 = Aig::new();
+        let a = g1.add_input("a");
+        let f = g1.and(a, !a); // constant 0
+        g1.add_output(f, "y");
+        let mut g2 = Aig::new();
+        let _ = g2.add_input("a");
+        g2.add_output(Edge::FALSE, "y");
+        assert!(check_equivalence(&g1, &g2).is_equivalent());
+        let mut g3 = Aig::new();
+        let _ = g3.add_input("a");
+        g3.add_output(Edge::TRUE, "y");
+        assert!(!check_equivalence(&g1, &g3).is_equivalent());
+    }
+
+    #[test]
+    fn difference_selector_is_reusable() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let f1 = g.and(a, b);
+        let f2 = g.and(a, !b);
+        let or12 = g.or(f1, f2); // = a
+        g.add_output(or12, "y");
+
+        let mut cnf = AigCnf::new(&g);
+        // a & b differs from a & !b.
+        let s1 = cnf.add_difference_selector(f1, f2);
+        assert_eq!(cnf.solve_with_assumptions(&[s1]), SolveResult::Sat);
+        let cex = cnf.model_inputs();
+        let bits: Vec<bool> = cex.iter().collect();
+        assert!(bits[0], "difference requires a=1");
+        // or12 is equivalent to input a.
+        let s2 = cnf.add_difference_selector(or12, a);
+        assert_eq!(cnf.solve_with_assumptions(&[s2]), SolveResult::Unsat);
+        // First selector still usable afterwards.
+        assert_eq!(cnf.solve_with_assumptions(&[s1]), SolveResult::Sat);
+        // And the un-assumed solver remains satisfiable.
+        assert_eq!(cnf.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn assert_edge_pins_output() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.and(a, b);
+        g.add_output(y, "y");
+        let mut cnf = AigCnf::new(&g);
+        cnf.assert_edge(y);
+        assert_eq!(cnf.solve(), SolveResult::Sat);
+        let m = cnf.model_inputs();
+        let bits: Vec<bool> = m.iter().collect();
+        assert_eq!(bits, vec![true, true]);
+    }
+
+    #[test]
+    fn equivalence_with_counterexample_verified_by_simulation() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for round in 0..20 {
+            // Two random 5-input AIGs; compare and verify the verdict by
+            // exhaustive simulation.
+            let build = |rng: &mut StdRng| {
+                let mut g = Aig::new();
+                let mut pool: Vec<Edge> = (0..5).map(|i| g.add_input(format!("x{i}"))).collect();
+                for _ in 0..15 {
+                    let i = rng.gen_range(0..pool.len());
+                    let j = rng.gen_range(0..pool.len());
+                    let a = pool[i].complement_if(rng.gen_bool(0.5));
+                    let b = pool[j].complement_if(rng.gen_bool(0.5));
+                    let n = g.and(a, b);
+                    pool.push(n);
+                }
+                let out = *pool.last().expect("nonempty");
+                g.add_output(out, "y");
+                g
+            };
+            let g1 = build(&mut rng);
+            let g2 = build(&mut rng);
+            let verdict = check_equivalence(&g1, &g2);
+            let mut truly_equal = true;
+            for m in 0..32u32 {
+                let bits: Vec<bool> = (0..5).map(|k| m >> k & 1 == 1).collect();
+                if g1.eval_bits(&bits) != g2.eval_bits(&bits) {
+                    truly_equal = false;
+                    break;
+                }
+            }
+            assert_eq!(verdict.is_equivalent(), truly_equal, "round {round}");
+            if let Equivalence::Counterexample(cex) = verdict {
+                let bits: Vec<bool> = cex.iter().collect();
+                assert_ne!(g1.eval_bits(&bits), g2.eval_bits(&bits), "round {round}: bad cex");
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! DIMACS CNF interop.
+//!
+//! The solver can load the standard `p cnf` format and print formulas
+//! back, so it doubles as a standalone SAT tool and can exchange
+//! instances with external solvers for cross-checking.
+
+use std::fmt::Write as _;
+
+use crate::{Lit, Solver};
+
+/// Errors from parsing DIMACS CNF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDimacsError {
+    /// The `p cnf <vars> <clauses>` header is missing or malformed.
+    BadHeader(String),
+    /// A token was not an integer literal.
+    BadLiteral(String),
+    /// A literal references a variable beyond the declared count.
+    VarOutOfRange(i64),
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(l) => write!(f, "malformed dimacs header: {l}"),
+            ParseDimacsError::BadLiteral(t) => write!(f, "not a dimacs literal: {t}"),
+            ParseDimacsError::VarOutOfRange(v) => {
+                write!(f, "literal {v} beyond the declared variable count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+impl Solver {
+    /// Builds a solver from DIMACS CNF text.
+    ///
+    /// Comment lines (`c …`) are skipped; clauses are zero-terminated
+    /// integer lists, possibly spanning lines. Returns the solver and
+    /// the literals of variables `1..=n` in order (positive phase), so
+    /// callers can map DIMACS variable `i` to `lits[i - 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseDimacsError`] on the first malformed token.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cirlearn_sat::{SolveResult, Solver};
+    ///
+    /// let (mut solver, lits) = Solver::from_dimacs(
+    ///     "c a tiny instance\np cnf 2 2\n1 2 0\n-1 0\n",
+    /// )?;
+    /// assert_eq!(solver.solve(), SolveResult::Sat);
+    /// assert!(solver.value(lits[1])); // x2 must hold
+    /// # Ok::<(), cirlearn_sat::ParseDimacsError>(())
+    /// ```
+    pub fn from_dimacs(text: &str) -> Result<(Solver, Vec<Lit>), ParseDimacsError> {
+        let mut solver = Solver::new();
+        let mut lits: Vec<Lit> = Vec::new();
+        let mut declared = 0usize;
+        let mut seen_header = false;
+        let mut clause: Vec<Lit> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('c') {
+                continue;
+            }
+            if line.starts_with('p') {
+                let fields: Vec<&str> = line.split_whitespace().collect();
+                if fields.len() != 4 || fields[1] != "cnf" {
+                    return Err(ParseDimacsError::BadHeader(line.to_owned()));
+                }
+                declared = fields[2]
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadHeader(line.to_owned()))?;
+                lits = (0..declared).map(|_| solver.new_var()).collect();
+                seen_header = true;
+                continue;
+            }
+            if !seen_header {
+                return Err(ParseDimacsError::BadHeader(line.to_owned()));
+            }
+            for token in line.split_whitespace() {
+                let v: i64 = token
+                    .parse()
+                    .map_err(|_| ParseDimacsError::BadLiteral(token.to_owned()))?;
+                if v == 0 {
+                    solver.add_clause(&clause);
+                    clause.clear();
+                } else {
+                    let idx = v.unsigned_abs() as usize;
+                    if idx == 0 || idx > declared {
+                        return Err(ParseDimacsError::VarOutOfRange(v));
+                    }
+                    let l = lits[idx - 1];
+                    clause.push(if v < 0 { !l } else { l });
+                }
+            }
+        }
+        if !clause.is_empty() {
+            solver.add_clause(&clause);
+        }
+        Ok((solver, lits))
+    }
+
+    /// Prints the problem clauses (not learned ones) in DIMACS CNF
+    /// format.
+    ///
+    /// Clauses simplified away during [`Solver::add_clause`]
+    /// (tautologies, satisfied-at-level-0) are not reproduced; the
+    /// printed instance is equisatisfiable with what the solver holds.
+    pub fn to_dimacs(&self) -> String {
+        let clauses = self.problem_clauses();
+        let mut s = format!("p cnf {} {}\n", self.num_vars(), clauses.len());
+        for c in clauses {
+            for l in c {
+                let v = l.var() as i64 + 1;
+                let _ = write!(s, "{} ", if l.is_negated() { -v } else { v });
+            }
+            s.push_str("0\n");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_and_solves() {
+        let text = "c comment\np cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let (mut s, lits) = Solver::from_dimacs(text).expect("valid");
+        assert_eq!(lits.len(), 3);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(!s.value(lits[0])); // -1 forced
+        assert!(!s.value(lits[1])); // 1 -2 with x1 false forces -2
+        assert!(s.value(lits[2])); // 2 3 with x2 false forces 3
+    }
+
+    #[test]
+    fn multiline_clauses() {
+        let text = "p cnf 2 1\n1\n2 0\n";
+        let (mut s, lits) = Solver::from_dimacs(text).expect("valid");
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert!(s.value(lits[0]) || s.value(lits[1]));
+    }
+
+    #[test]
+    fn unsat_instance() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let (mut s, _) = Solver::from_dimacs(text).expect("valid");
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            Solver::from_dimacs("p cnf x y\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Solver::from_dimacs("1 2 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            Solver::from_dimacs("p cnf 1 1\n1 two 0\n"),
+            Err(ParseDimacsError::BadLiteral(_))
+        ));
+        assert!(matches!(
+            Solver::from_dimacs("p cnf 1 1\n5 0\n"),
+            Err(ParseDimacsError::VarOutOfRange(5))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_preserves_satisfiability() {
+        let text = "p cnf 4 4\n1 2 0\n-1 3 0\n-2 -3 0\n3 4 0\n";
+        let (s1, _) = Solver::from_dimacs(text).expect("valid");
+        let printed = s1.to_dimacs();
+        let (mut s2, _) = Solver::from_dimacs(&printed).expect("own output parses");
+        let (mut s1, _) = Solver::from_dimacs(text).expect("valid");
+        assert_eq!(s1.solve(), s2.solve());
+    }
+}

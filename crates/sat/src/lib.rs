@@ -1,0 +1,40 @@
+//! A self-contained CDCL SAT solver with AIG bindings.
+//!
+//! The paper's toolchain relies on ABC, whose fraiging and verification
+//! steps are powered by an internal SAT solver. This crate provides the
+//! equivalent substrate:
+//!
+//! * [`Solver`] — a conflict-driven clause-learning solver with two
+//!   watched literals, first-UIP learning, VSIDS branching, phase saving
+//!   and Luby restarts,
+//! * [`AigCnf`] — an incremental Tseitin encoding of an
+//!   [`Aig`](cirlearn_aig::Aig) suitable for repeated equivalence
+//!   queries (as fraiging issues),
+//! * [`check_equivalence`] — a miter-based combinational equivalence
+//!   check between two AIGs, returning a counterexample when they
+//!   differ.
+//!
+//! # Examples
+//!
+//! ```
+//! use cirlearn_sat::{Solver, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[a, b]);
+//! s.add_clause(&[!a]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert!(s.value(b));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cnf;
+mod dimacs;
+mod solver;
+
+pub use cnf::{check_equivalence, AigCnf, Equivalence};
+pub use dimacs::ParseDimacsError;
+pub use solver::{Lit, SolveResult, Solver};

@@ -1,0 +1,167 @@
+//! AND-tree balancing.
+
+use cirlearn_aig::{Aig, Edge};
+
+/// Rebuilds the AIG with every maximal AND tree reconstructed as a
+/// balanced tree (ABC's `balance`).
+///
+/// Balancing reduces logic depth and, thanks to structural hashing
+/// during the rebuild, often removes duplicated partial products. OR
+/// trees are covered implicitly: an OR tree is an AND tree in the
+/// complemented domain of the AIG.
+///
+/// The result computes the same functions; if balancing happens to grow
+/// the node count (possible when a shared subtree is split), the caller
+/// can compare [`Aig::gate_count`]s and keep the original — as
+/// [`optimize`](crate::optimize) does.
+pub fn balance(aig: &Aig) -> Aig {
+    let mut out = Aig::with_inputs_like(aig);
+    let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Edge::from_code(i as u32 * 2);
+    }
+    // Fanout counts decide where trees are cut: a node with multiple
+    // fanouts stays a tree boundary so its logic is shared, not
+    // duplicated.
+    let mut fanout = vec![0usize; aig.node_count()];
+    for (_, a, b) in aig.ands() {
+        fanout[a.node().index()] += 1;
+        fanout[b.node().index()] += 1;
+    }
+    for (e, _) in aig.outputs() {
+        fanout[e.node().index()] += 1;
+    }
+
+    for (n, _, _) in aig.ands() {
+        // Collect the leaves of the maximal single-fanout AND tree
+        // rooted here.
+        let mut leaves: Vec<Edge> = Vec::new();
+        collect_and_leaves(aig, Edge::new(n, false), &fanout, true, &mut leaves);
+        let mapped: Vec<Edge> = leaves
+            .iter()
+            .map(|l| map[l.node().index()].complement_if(l.is_complemented()))
+            .collect();
+        map[n.index()] = out.and_many(&mapped);
+    }
+    for (e, name) in aig.outputs() {
+        let ne = map[e.node().index()].complement_if(e.is_complemented());
+        out.add_output(ne, name.clone());
+    }
+    out.cleanup()
+}
+
+/// Descends through non-complemented AND fanins whose only fanout is
+/// this tree, gathering the tree's leaf edges.
+fn collect_and_leaves(aig: &Aig, e: Edge, fanout: &[usize], is_root: bool, leaves: &mut Vec<Edge>) {
+    let n = e.node();
+    let expandable = aig.is_and(n)
+        && !e.is_complemented()
+        && (is_root || fanout[n.index()] == 1);
+    if expandable {
+        let [a, b] = aig.fanins(n);
+        collect_and_leaves(aig, a, fanout, false, leaves);
+        collect_and_leaves(aig, b, fanout, false, leaves);
+    } else {
+        leaves.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a long AND chain a0 & a1 & … & a(n-1) left to right.
+    fn chain(n: usize) -> Aig {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", n);
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = g.and(acc, i);
+        }
+        g.add_output(acc, "y");
+        g
+    }
+
+    fn depth(aig: &Aig) -> usize {
+        let mut d = vec![0usize; aig.node_count()];
+        for (n, a, b) in aig.ands() {
+            d[n.index()] = 1 + d[a.node().index()].max(d[b.node().index()]);
+        }
+        aig.outputs()
+            .iter()
+            .map(|(e, _)| d[e.node().index()])
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn chain_becomes_logarithmic() {
+        let g = chain(16);
+        assert_eq!(depth(&g), 15);
+        let b = balance(&g);
+        assert_eq!(depth(&b), 4);
+        assert_eq!(b.gate_count(), 15);
+        for m in [0u32, 0xffff, 0x1234, 0x8001] {
+            let bits: Vec<bool> = (0..16).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(b.eval_bits(&bits), g.eval_bits(&bits));
+        }
+    }
+
+    #[test]
+    fn or_chain_balances_too() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 8);
+        let mut acc = inputs[0];
+        for &i in &inputs[1..] {
+            acc = g.or(acc, i);
+        }
+        g.add_output(acc, "y");
+        let b = balance(&g);
+        assert!(depth(&b) <= 3 + 1, "depth {}", depth(&b));
+        for m in 0..256u32 {
+            let bits: Vec<bool> = (0..8).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(b.eval_bits(&bits), g.eval_bits(&bits), "m={m}");
+        }
+    }
+
+    #[test]
+    fn shared_nodes_are_not_duplicated() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let shared = g.and(inputs[0], inputs[1]);
+        let f1 = g.and(shared, inputs[2]);
+        let f2 = g.and(shared, inputs[3]);
+        g.add_output(f1, "f1");
+        g.add_output(f2, "f2");
+        let b = balance(&g);
+        assert_eq!(b.gate_count(), 3, "shared AND must stay shared");
+        for m in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(b.eval_bits(&bits), g.eval_bits(&bits));
+        }
+    }
+
+    #[test]
+    fn balance_preserves_random_functions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for round in 0..10 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..25 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.3));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.3));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            let out = *pool.last().expect("nonempty");
+            g.add_output(out, "y");
+            let bal = balance(&g);
+            for m in 0..64u32 {
+                let bits: Vec<bool> = (0..6).map(|k| m >> k & 1 == 1).collect();
+                assert_eq!(bal.eval_bits(&bits), g.eval_bits(&bits), "round {round} m={m}");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! BDD collapse: global two-level re-extraction of output cones.
+//!
+//! ABC's `collapse` (which the paper runs once during optimization)
+//! rebuilds each output from its *global* function, wiping out any
+//! structural bias left by the learner. We reproduce it by converting
+//! each output cone to a BDD, extracting an irredundant SOP with the
+//! BDD ISOP procedure, factoring it, and rebuilding. Cones whose
+//! support or BDD size exceeds the configured guards keep their original
+//! structure — mirroring how collapse is only applied where BDDs stay
+//! tractable.
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_bdd::{Bdd, BddRef};
+
+use crate::factor;
+
+/// Configuration for [`collapse`].
+#[derive(Debug, Clone)]
+pub struct CollapseConfig {
+    /// Maximum structural support of a cone to attempt collapsing.
+    pub max_support: usize,
+    /// Abort threshold on BDD manager nodes per cone.
+    pub max_bdd_nodes: usize,
+    /// Abort threshold on extracted cover cubes per cone — arithmetic
+    /// cones have exponential covers and must keep their structure.
+    pub max_cubes: usize,
+}
+
+impl Default for CollapseConfig {
+    fn default() -> Self {
+        CollapseConfig {
+            max_support: 24,
+            max_bdd_nodes: 200_000,
+            max_cubes: 2_000,
+        }
+    }
+}
+
+/// Collapses every tractable output cone through a BDD and rebuilds it
+/// from a factored irredundant SOP. Returns the smaller of the original
+/// and the collapsed circuit.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::{collapse, CollapseConfig};
+///
+/// // A redundantly built function: x0 & x1 | x0 & !x1  ==  x0.
+/// let mut aig = Aig::new();
+/// let x0 = aig.add_input("x0");
+/// let x1 = aig.add_input("x1");
+/// let a = aig.and(x0, x1);
+/// let b = aig.and(x0, !x1);
+/// let y = aig.or(a, b);
+/// aig.add_output(y, "y");
+/// let c = collapse(&aig, &CollapseConfig::default());
+/// assert_eq!(c.gate_count(), 0); // collapses to the input itself
+/// ```
+pub fn collapse(aig: &Aig, config: &CollapseConfig) -> Aig {
+    let mut out = Aig::with_inputs_like(aig);
+    // Map from old nodes to new edges for outputs that are *not*
+    // collapsed (they are copied structurally).
+    let mut copy_map: Vec<Option<Edge>> = vec![None; aig.node_count()];
+    copy_map[0] = Some(Edge::FALSE);
+    for i in 1..=aig.num_inputs() {
+        copy_map[i] = Some(Edge::from_code(i as u32 * 2));
+    }
+
+    for (e, name) in aig.outputs() {
+        let support = aig.structural_support(*e);
+        let collapsed = if support.len() <= config.max_support {
+            build_bdd_cone(aig, *e, &support, config.max_bdd_nodes).and_then(|(mut bdd, f)| {
+                let sop = bdd.isop_bounded(f, config.max_cubes)?;
+                let expr = factor::factor(&sop);
+                let var_map: Vec<Edge> = support
+                    .iter()
+                    .map(|&pos| out.input_edge(pos))
+                    .collect();
+                Some(expr.to_aig(&mut out, &var_map))
+            })
+        } else {
+            None
+        };
+        let new_edge = match collapsed {
+            Some(edge) => edge,
+            None => copy_cone(aig, *e, &mut out, &mut copy_map),
+        };
+        out.add_output(new_edge, name.clone());
+    }
+    let out = out.cleanup();
+    if out.gate_count() < aig.gate_count() {
+        out
+    } else {
+        aig.cleanup()
+    }
+}
+
+/// Builds the BDD of a cone over variables indexed by position within
+/// `support`. Returns `None` if the manager exceeds the node budget.
+fn build_bdd_cone(
+    aig: &Aig,
+    root: Edge,
+    support: &[usize],
+    max_nodes: usize,
+) -> Option<(Bdd, BddRef)> {
+    let mut bdd = Bdd::new(support.len());
+    let mut values: Vec<Option<BddRef>> = vec![None; aig.node_count()];
+    values[0] = Some(BddRef::FALSE);
+    for (k, &pos) in support.iter().enumerate() {
+        let node = aig.input_edge(pos).node();
+        values[node.index()] = Some(bdd.var(k as u32));
+    }
+    for (n, a, b) in aig.ands() {
+        let (Some(va), Some(vb)) = (values[a.node().index()], values[b.node().index()]) else {
+            continue;
+        };
+        let fa = if a.is_complemented() { bdd.not(va) } else { va };
+        let fb = if b.is_complemented() { bdd.not(vb) } else { vb };
+        values[n.index()] = Some(bdd.and(fa, fb));
+        if bdd.node_count() > max_nodes {
+            return None;
+        }
+    }
+    let v = values[root.node().index()]?;
+    let f = if root.is_complemented() { bdd.not(v) } else { v };
+    Some((bdd, f))
+}
+
+/// Structurally copies the cone of `root` into `out`, reusing the map.
+fn copy_cone(aig: &Aig, root: Edge, out: &mut Aig, map: &mut [Option<Edge>]) -> Edge {
+    for (n, a, b) in aig.ands() {
+        if map[n.index()].is_some() {
+            continue;
+        }
+        let (Some(ma), Some(mb)) = (map[a.node().index()], map[b.node().index()]) else {
+            continue;
+        };
+        let na = ma.complement_if(a.is_complemented());
+        let nb = mb.complement_if(b.is_complemented());
+        map[n.index()] = Some(out.and(na, nb));
+    }
+    map[root.node().index()]
+        .expect("cone nodes are mapped in topological order")
+        .complement_if(root.is_complemented())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_sat::check_equivalence;
+
+    #[test]
+    fn collapses_redundant_cover() {
+        // Minterm-style construction of x0 | x1 over 3 vars: 4 cubes.
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 3);
+        let mut cubes = Vec::new();
+        for m in 0..8u32 {
+            if m & 1 == 1 || m >> 1 & 1 == 1 {
+                let lits: Vec<Edge> = (0..3)
+                    .map(|k| inputs[k].complement_if(m >> k & 1 == 0))
+                    .collect();
+                cubes.push(g.and_many(&lits));
+            }
+        }
+        let y = g.or_many(&cubes);
+        g.add_output(y, "y");
+        let c = collapse(&g, &CollapseConfig::default());
+        assert!(check_equivalence(&g, &c).is_equivalent());
+        assert_eq!(c.gate_count(), 1, "x0 | x1 is a single gate");
+    }
+
+    #[test]
+    fn preserves_multi_output_functions() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let s = g.xor(a, b);
+        let s2 = g.xor(s, c);
+        let ab = g.and(a, b);
+        let sc = g.and(s, c);
+        let carry = g.or(ab, sc);
+        g.add_output(s2, "sum");
+        g.add_output(carry, "carry");
+        let col = collapse(&g, &CollapseConfig::default());
+        assert!(check_equivalence(&g, &col).is_equivalent());
+        assert!(col.gate_count() <= g.gate_count());
+    }
+
+    #[test]
+    fn wide_cones_are_left_alone() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 30);
+        let y = g.and_many(&inputs);
+        g.add_output(y, "y");
+        let cfg = CollapseConfig { max_support: 24, ..CollapseConfig::default() };
+        let c = collapse(&g, &cfg);
+        assert!(check_equivalence(&g, &c).is_equivalent());
+        assert_eq!(c.gate_count(), g.gate_count());
+    }
+
+    #[test]
+    fn node_budget_guard_falls_back_to_copy() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 8);
+        // A multiplier-like structure with an intentionally tiny budget.
+        let a = g.mul_const_word(&inputs[..4].to_vec(), 5, 6);
+        let b = g.mul_const_word(&inputs[4..].to_vec(), 3, 6);
+        let lt = g.cmp_ult(&a, &b);
+        g.add_output(lt, "lt");
+        let cfg = CollapseConfig { max_support: 24, max_bdd_nodes: 8, ..CollapseConfig::default() };
+        let c = collapse(&g, &cfg);
+        assert!(check_equivalence(&g, &c).is_equivalent());
+    }
+
+    #[test]
+    fn mixed_collapsed_and_copied_outputs() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 26);
+        // Output 0: small cone (collapsible). Output 1: wide cone.
+        let small = {
+            let t = g.and(inputs[0], inputs[1]);
+            let u = g.and(inputs[0], !inputs[1]);
+            g.or(t, u)
+        };
+        let wide = g.or_many(&inputs);
+        g.add_output(small, "small");
+        g.add_output(wide, "wide");
+        let cfg = CollapseConfig { max_support: 10, ..CollapseConfig::default() };
+        let c = collapse(&g, &cfg);
+        assert!(check_equivalence(&g, &c).is_equivalent());
+    }
+}

@@ -1,0 +1,559 @@
+//! Heuristic two-level minimization in the espresso style.
+//!
+//! The minimizer works on cube covers without ever materializing truth
+//! tables, so it scales to the wide supports produced by the FBDT
+//! learner. Its core is a recursive *tautology check* (Shannon splitting
+//! on the most binate variable with the unate-cover leaf rule), on top
+//! of which sit the classic loop phases:
+//!
+//! * **expand** — raise each cube (drop literals) while it stays
+//!   contained in the original function,
+//! * **irredundant** — drop cubes covered by the rest of the cover,
+//! * **reduce** — shrink each cube to the smallest cube still covering
+//!   its essential minterms (those no other cube covers), so the next
+//!   expand can escape the current local optimum.
+//!
+//! Reduce relies on [`complement`], the recursive unate-style cover
+//! complementation.
+
+use cirlearn_logic::{Cube, Literal, Sop, Var};
+
+/// Returns `true` if the cover is a tautology (covers every minterm).
+///
+/// Uses Shannon splitting on the most binate variable; a unate cover is
+/// a tautology exactly when it contains the universal cube.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Cube, Sop, Var};
+/// use cirlearn_synth::espresso::tautology;
+///
+/// let x = Var::new(0);
+/// let cover = Sop::from_cubes([
+///     Cube::from_literals([x.positive()]).expect("consistent"),
+///     Cube::from_literals([x.negative()]).expect("consistent"),
+/// ]);
+/// assert!(tautology(&cover));
+/// ```
+pub fn tautology(cover: &Sop) -> bool {
+    if cover.is_one() {
+        return true;
+    }
+    if cover.is_zero() {
+        return false;
+    }
+    match most_binate_var(cover) {
+        // Unate, no universal cube: not a tautology.
+        None => false,
+        Some(v) => {
+            let pos = cofactor_cover(cover, v.positive());
+            if !tautology(&pos) {
+                return false;
+            }
+            let neg = cofactor_cover(cover, v.negative());
+            tautology(&neg)
+        }
+    }
+}
+
+/// Returns `true` if every minterm of `cube` is covered by `cover`.
+pub fn cube_covered(cube: &Cube, cover: &Sop) -> bool {
+    let mut reduced = cover.clone();
+    for lit in cube.literals() {
+        reduced = cofactor_cover(&reduced, *lit);
+    }
+    tautology(&reduced)
+}
+
+/// Cofactors a cover on a single literal: cubes containing the opposite
+/// literal are dropped, the literal itself is removed from the rest.
+fn cofactor_cover(cover: &Sop, lit: Literal) -> Sop {
+    cover
+        .cubes()
+        .iter()
+        .filter(|c| c.phase_of(lit.var()) != Some(!lit.polarity()))
+        .map(|c| c.without_var(lit.var()))
+        .collect()
+}
+
+/// Picks the variable appearing in the most cubes counting both phases,
+/// provided it is binate (appears in both phases); `None` for a unate
+/// cover.
+fn most_binate_var(cover: &Sop) -> Option<Var> {
+    use std::collections::HashMap;
+    let mut pos_count: HashMap<Var, usize> = HashMap::new();
+    let mut neg_count: HashMap<Var, usize> = HashMap::new();
+    for cube in cover.cubes() {
+        for lit in cube.literals() {
+            if lit.is_negated() {
+                *neg_count.entry(lit.var()).or_default() += 1;
+            } else {
+                *pos_count.entry(lit.var()).or_default() += 1;
+            }
+        }
+    }
+    pos_count
+        .iter()
+        .filter_map(|(v, &p)| {
+            let n = *neg_count.get(v)?;
+            Some((*v, p + n, p.min(n)))
+        })
+        // Highest total occurrences; tie-break toward balance, then
+        // lowest index for determinism.
+        .max_by_key(|&(v, total, balanced)| (total, balanced, std::cmp::Reverse(v)))
+        .map(|(v, _, _)| v)
+}
+
+/// The expand phase: tries to drop literals from every cube, keeping
+/// the cube inside the original function `reference`.
+///
+/// Literals are attempted in descending frequency over the cover, so
+/// commonly shared literals are kept and rare ones dropped first.
+fn expand(cover: &Sop, reference: &Sop) -> Sop {
+    // Literal frequency across the cover (for the heuristic order).
+    use std::collections::HashMap;
+    let mut freq: HashMap<Literal, usize> = HashMap::new();
+    for cube in cover.cubes() {
+        for lit in cube.literals() {
+            *freq.entry(*lit).or_default() += 1;
+        }
+    }
+    let mut out = Sop::zero();
+    for cube in cover.cubes() {
+        let mut current = cube.clone();
+        // Try dropping the rarest literals first.
+        let mut lits: Vec<Literal> = current.literals().to_vec();
+        lits.sort_by_key(|l| freq.get(l).copied().unwrap_or(0));
+        for lit in lits {
+            let candidate = current.without_var(lit.var());
+            if cube_covered(&candidate, reference) {
+                current = candidate;
+            }
+        }
+        out.push(current);
+    }
+    out
+}
+
+/// Complements a cover by recursive Shannon expansion on the most
+/// binate variable (falling back to any variable of a unate cover).
+///
+/// The result covers exactly the minterms the input does not. Both the
+/// input and the output are covers over the same (implicit) variable
+/// universe; variables absent from both are unconstrained.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Cube, Sop, Var};
+/// use cirlearn_synth::espresso::complement;
+///
+/// let x = Var::new(0);
+/// let cover = Sop::from_cubes([Cube::from_literals([x.positive()]).expect("ok")]);
+/// let comp = complement(&cover);
+/// assert_eq!(comp.cubes().len(), 1);
+/// assert_eq!(comp.cubes()[0].literals(), &[x.negative()]);
+/// ```
+pub fn complement(cover: &Sop) -> Sop {
+    if cover.is_one() {
+        return Sop::zero();
+    }
+    if cover.is_zero() {
+        return Sop::one();
+    }
+    // Splitting variable: most binate, else any occurring variable.
+    let var = most_binate_var(cover).unwrap_or_else(|| {
+        cover.cubes()[0]
+            .literals()
+            .first()
+            .expect("non-constant cover has literals")
+            .var()
+    });
+    // ¬f = x·¬(f|x) ∨ ¬x·¬(f|¬x)
+    let f1c = complement(&cofactor_cover(cover, var.positive()));
+    let f0c = complement(&cofactor_cover(cover, var.negative()));
+    let mut out = Sop::zero();
+    // Cubes present in both branch complements need no literal.
+    for c in f1c.cubes() {
+        if f0c.cubes().contains(c) {
+            out.push(c.clone());
+        } else {
+            out.push(c.and_literal(var.positive()).expect("var eliminated by cofactor"));
+        }
+    }
+    for c in f0c.cubes() {
+        if !f1c.cubes().contains(c) {
+            out.push(c.and_literal(var.negative()).expect("var eliminated by cofactor"));
+        }
+    }
+    out.make_single_cube_minimal();
+    out
+}
+
+/// The reduce phase: shrinks each cube to the smallest cube containing
+/// its *essential* minterms (those the rest of the cover misses), so a
+/// following expand can move to a different prime. The function is
+/// preserved.
+fn reduce(cover: &Sop) -> Sop {
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Espresso order: biggest cubes (fewest literals) first.
+    cubes.sort_by_key(Cube::len);
+    for i in 0..cubes.len() {
+        // Rest of the (current) cover, cofactored into cube i's
+        // subspace.
+        let rest: Sop = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let mut rest_in_cube = rest;
+        for lit in cubes[i].literals() {
+            rest_in_cube = cofactor_cover(&rest_in_cube, *lit);
+        }
+        if tautology(&rest_in_cube) {
+            // Fully covered by the others (irredundant will drop it).
+            continue;
+        }
+        let essential = complement(&rest_in_cube);
+        if essential.is_zero() {
+            continue;
+        }
+        // Bounding cube of the essential part, then re-anchored inside
+        // cube i.
+        let bound = essential
+            .cubes()
+            .iter()
+            .skip(1)
+            .fold(essential.cubes()[0].clone(), |acc, c| acc.supercube(c));
+        if let Some(reduced) = cubes[i].intersect(&bound) {
+            cubes[i] = reduced;
+        }
+    }
+    Sop::from_cubes(cubes)
+}
+
+/// The irredundant phase: drops every cube covered by the others.
+fn irredundant(cover: &Sop) -> Sop {
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Try to drop bigger cubes first (more literals = more specific).
+    cubes.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut keep: Vec<bool> = vec![true; cubes.len()];
+    for i in 0..cubes.len() {
+        let rest: Sop = cubes
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i && keep[j])
+            .map(|(_, c)| c.clone())
+            .collect();
+        if cube_covered(&cubes[i], &rest) {
+            keep[i] = false;
+        }
+    }
+    cubes
+        .into_iter()
+        .zip(keep)
+        .filter(|(_, k)| *k)
+        .map(|(c, _)| c)
+        .collect()
+}
+
+/// Minimizes a cover with the expand/irredundant loop.
+///
+/// The result represents the same Boolean function with at most as many
+/// cubes and usually far fewer literals.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Sop, TruthTable};
+/// use cirlearn_synth::espresso::minimize;
+///
+/// // The minterm cover of x0 (4 minterms over 3 vars).
+/// let tt = TruthTable::from_fn(3, |m| m & 1 == 1);
+/// let minterms: Sop = (0..8u64)
+///     .filter(|&m| tt.get(m))
+///     .map(|m| {
+///         use cirlearn_logic::{Cube, Var};
+///         Cube::from_literals((0..3).map(|k| Var::new(k).literal(m >> k & 1 == 1)))
+///             .expect("consistent")
+///     })
+///     .collect();
+/// let min = minimize(&minterms);
+/// assert_eq!(min.cubes().len(), 1);
+/// assert_eq!(min.literal_count(), 1);
+/// assert_eq!(TruthTable::from_sop(3, &min), tt);
+/// ```
+pub fn minimize(cover: &Sop) -> Sop {
+    if cover.is_zero() {
+        return Sop::zero();
+    }
+    if cover.is_one() || tautology(cover) {
+        return Sop::one();
+    }
+    let reference = cover.clone();
+    let mut current = cover.clone();
+    current.make_single_cube_minimal();
+
+    // Initial expand + irredundant.
+    let mut current = {
+        let mut irr = irredundant(&expand(&current, &reference));
+        irr.make_single_cube_minimal();
+        if cost(&irr) < cost(&current) {
+            irr
+        } else {
+            current
+        }
+    };
+    let mut best_cost = cost(&current);
+
+    // Classic loop: reduce → expand → irredundant, until no gain.
+    // Cover complementation can blow up on large covers; reduce is
+    // skipped beyond this guard (expand + irredundant alone remain).
+    const REDUCE_CUBE_LIMIT: usize = 96;
+    for _ in 0..8 {
+        if current.cubes().len() > REDUCE_CUBE_LIMIT {
+            break;
+        }
+        let reduced = reduce(&current);
+        let mut candidate = irredundant(&expand(&reduced, &reference));
+        candidate.make_single_cube_minimal();
+        let c = cost(&candidate);
+        if c < best_cost {
+            best_cost = c;
+            current = candidate;
+        } else {
+            break;
+        }
+    }
+    current
+}
+
+/// Cover cost: cubes weighted above literals, matching the gate cost of
+/// a two-level implementation.
+fn cost(cover: &Sop) -> usize {
+    cover.cubes().len() * 1000 + cover.literal_count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_logic::TruthTable;
+
+    fn lit(v: u32, neg: bool) -> Literal {
+        Literal::new(Var::new(v), neg)
+    }
+
+    fn cube(lits: &[(u32, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, n)| lit(v, n))).expect("consistent")
+    }
+
+    fn minterm_cover(tt: &TruthTable) -> Sop {
+        (0..1u64 << tt.num_vars())
+            .filter(|&m| tt.get(m))
+            .map(|m| {
+                Cube::from_literals(
+                    (0..tt.num_vars() as u32).map(|k| Var::new(k).literal(m >> k & 1 == 1)),
+                )
+                .expect("consistent")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tautology_base_cases() {
+        assert!(tautology(&Sop::one()));
+        assert!(!tautology(&Sop::zero()));
+        assert!(!tautology(&Sop::from_cubes([cube(&[(0, false)])])));
+    }
+
+    #[test]
+    fn tautology_split_cases() {
+        // x | !x
+        let t = Sop::from_cubes([cube(&[(0, false)]), cube(&[(0, true)])]);
+        assert!(tautology(&t));
+        // x | !x&y is not a tautology
+        let nt = Sop::from_cubes([cube(&[(0, false)]), cube(&[(0, true), (1, false)])]);
+        assert!(!tautology(&nt));
+        // x&y | x&!y | !x = 1
+        let t2 = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]),
+            cube(&[(0, false), (1, true)]),
+            cube(&[(0, true)]),
+        ]);
+        assert!(tautology(&t2));
+    }
+
+    #[test]
+    fn tautology_agrees_with_truth_tables_randomly() {
+        let mut state = 7u64;
+        for trial in 0..40 {
+            // Random cover over 5 vars with up to 8 cubes.
+            let mut cubes = Vec::new();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(trial);
+            let ncubes = (state >> 13) % 8 + 1;
+            for i in 0..ncubes {
+                let mut lits = Vec::new();
+                for v in 0..5u32 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i + v as u64);
+                    match (state >> 33) % 3 {
+                        0 => lits.push(lit(v, false)),
+                        1 => lits.push(lit(v, true)),
+                        _ => {}
+                    }
+                }
+                if let Some(c) = Cube::from_literals(lits) {
+                    cubes.push(c);
+                }
+            }
+            let cover = Sop::from_cubes(cubes);
+            let tt = TruthTable::from_sop(5, &cover);
+            assert_eq!(tautology(&cover), tt.is_one(), "trial {trial}: {cover}");
+        }
+    }
+
+    #[test]
+    fn cube_covered_simple() {
+        let cover = Sop::from_cubes([cube(&[(0, false)]), cube(&[(1, false)])]); // x0 | x1
+        assert!(cube_covered(&cube(&[(0, false), (1, true)]), &cover));
+        assert!(cube_covered(&cube(&[(0, false)]), &cover));
+        assert!(!cube_covered(&cube(&[(2, false)]), &cover));
+        assert!(!cube_covered(&Cube::top(), &cover));
+    }
+
+    #[test]
+    fn minimize_minterms_of_single_literal() {
+        let tt = TruthTable::from_fn(4, |m| m >> 2 & 1 == 0); // !x2
+        let min = minimize(&minterm_cover(&tt));
+        assert_eq!(TruthTable::from_sop(4, &min), tt);
+        assert_eq!(min.cubes().len(), 1);
+        assert_eq!(min.literal_count(), 1);
+    }
+
+    #[test]
+    fn minimize_majority_from_minterms() {
+        let tt = TruthTable::from_fn(3, |m| m.count_ones() >= 2);
+        let min = minimize(&minterm_cover(&tt));
+        assert_eq!(TruthTable::from_sop(3, &min), tt);
+        assert_eq!(min.cubes().len(), 3);
+        assert_eq!(min.literal_count(), 6);
+    }
+
+    #[test]
+    fn minimize_constant_covers() {
+        assert!(minimize(&Sop::zero()).is_zero());
+        assert!(minimize(&Sop::one()).is_one());
+        // A cover that is secretly a tautology.
+        let t = Sop::from_cubes([cube(&[(0, false)]), cube(&[(0, true)])]);
+        assert!(minimize(&t).is_one());
+    }
+
+    #[test]
+    fn minimize_preserves_function_randomly() {
+        let mut state = 99u64;
+        for trial in 0..25 {
+            let tt = TruthTable::from_fn(6, |m| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(m + trial);
+                state >> 43 & 1 == 1
+            });
+            let cover = minterm_cover(&tt);
+            let min = minimize(&cover);
+            assert_eq!(TruthTable::from_sop(6, &min), tt, "trial {trial}");
+            assert!(min.cubes().len() <= cover.cubes().len());
+        }
+    }
+
+    #[test]
+    fn minimize_never_worse_than_isop() {
+        // Feeding an already-irredundant ISOP through espresso must not
+        // increase cost.
+        let tt = TruthTable::from_fn(5, |m| (m * 13 + 1) % 11 < 4);
+        let isop = tt.isop();
+        let min = minimize(&isop);
+        assert_eq!(TruthTable::from_sop(5, &min), tt);
+        assert!(min.cubes().len() <= isop.cubes().len());
+        assert!(min.literal_count() <= isop.literal_count());
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        let mut state = 5u64;
+        for trial in 0..30 {
+            let mut cubes = Vec::new();
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(trial);
+            let ncubes = (state >> 17) % 6 + 1;
+            for i in 0..ncubes {
+                let mut lits = Vec::new();
+                for v in 0..5u32 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i + v as u64);
+                    match (state >> 29) % 3 {
+                        0 => lits.push(lit(v, false)),
+                        1 => lits.push(lit(v, true)),
+                        _ => {}
+                    }
+                }
+                if let Some(c) = Cube::from_literals(lits) {
+                    cubes.push(c);
+                }
+            }
+            let cover = Sop::from_cubes(cubes);
+            let comp = complement(&cover);
+            let tt = TruthTable::from_sop(5, &cover);
+            assert_eq!(
+                TruthTable::from_sop(5, &comp),
+                !tt,
+                "trial {trial}: {cover}"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_constants() {
+        assert!(complement(&Sop::zero()).is_one());
+        assert!(complement(&Sop::one()).is_zero());
+    }
+
+    #[test]
+    fn reduce_expand_escapes_local_minimum() {
+        // A cover of primes that is not minimum: reduce must allow the
+        // loop to reshuffle. Function: x0 x1 + !x0 x2 + x1 x2 (the
+        // consensus term x1 x2 is redundant).
+        let cover = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]),
+            cube(&[(0, true), (2, false)]),
+            cube(&[(1, false), (2, false)]),
+        ]);
+        let min = minimize(&cover);
+        let tt = TruthTable::from_sop(3, &cover);
+        assert_eq!(TruthTable::from_sop(3, &min), tt);
+        assert_eq!(min.cubes().len(), 2, "consensus cube must be dropped");
+    }
+
+    #[test]
+    fn reduce_preserves_function_randomly() {
+        let mut state = 77u64;
+        for trial in 0..15 {
+            let tt = TruthTable::from_fn(5, |m| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(m * 5 + trial);
+                state >> 41 & 1 == 1
+            });
+            let sop = tt.isop();
+            let reduced = reduce(&sop);
+            assert_eq!(TruthTable::from_sop(5, &reduced), tt, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn redundant_cube_removed() {
+        // x0&x1 | x0&!x1 | x0  ->  x0
+        let cover = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]),
+            cube(&[(0, false), (1, true)]),
+            cube(&[(0, false)]),
+        ]);
+        let min = minimize(&cover);
+        assert_eq!(min.cubes().len(), 1);
+        assert_eq!(min.cubes()[0], cube(&[(0, false)]));
+    }
+}

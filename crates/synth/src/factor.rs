@@ -1,0 +1,311 @@
+//! Algebraic factoring of sum-of-products covers.
+//!
+//! A flat SOP such as `ab + ac + ad` costs one AND per cube plus the OR
+//! tree; its factored form `a(b + c + d)` shares the common literal.
+//! This module implements quick factoring by recursive weak division on
+//! the most frequent literal — the core of the classic SIS
+//! `quick_factor` — and converts the resulting expression tree into an
+//! AIG.
+//!
+//! Factoring is what turns the learner's two-level covers into genuinely
+//! small multi-level circuits; together with [`espresso`](crate::espresso)
+//! it accounts for most of the size reductions the paper attributes to
+//! ABC postprocessing.
+
+use std::collections::HashMap;
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_logic::{Cube, Literal, Sop};
+
+/// A factored Boolean expression.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_logic::{Cube, Sop, Var};
+/// use cirlearn_synth::factor::{factor, Expr};
+///
+/// let a = Var::new(0);
+/// let b = Var::new(1);
+/// let c = Var::new(2);
+/// // ab + ac
+/// let sop = Sop::from_cubes([
+///     Cube::from_literals([a.positive(), b.positive()]).expect("consistent"),
+///     Cube::from_literals([a.positive(), c.positive()]).expect("consistent"),
+/// ]);
+/// let e = factor(&sop);
+/// assert_eq!(e.literal_count(), 3); // a(b + c)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A Boolean constant.
+    Const(bool),
+    /// A single literal.
+    Lit(Literal),
+    /// Conjunction of subexpressions.
+    And(Vec<Expr>),
+    /// Disjunction of subexpressions.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Counts literal occurrences in the expression — the classic cost
+    /// measure of factored forms.
+    pub fn literal_count(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Lit(_) => 1,
+            Expr::And(es) | Expr::Or(es) => es.iter().map(Expr::literal_count).sum(),
+        }
+    }
+
+    /// Evaluates the expression under per-variable values.
+    pub fn eval_with<F: FnMut(cirlearn_logic::Var) -> bool + Copy>(&self, value_of: F) -> bool {
+        match self {
+            Expr::Const(b) => *b,
+            Expr::Lit(l) => {
+                let mut f = value_of;
+                l.eval(f(l.var()))
+            }
+            Expr::And(es) => es.iter().all(|e| e.eval_with(value_of)),
+            Expr::Or(es) => es.iter().any(|e| e.eval_with(value_of)),
+        }
+    }
+
+    /// Builds the expression in an AIG, mapping variable `x_k` to
+    /// `var_map[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal's variable has no entry in `var_map`.
+    pub fn to_aig(&self, aig: &mut Aig, var_map: &[Edge]) -> Edge {
+        match self {
+            Expr::Const(false) => Edge::FALSE,
+            Expr::Const(true) => Edge::TRUE,
+            Expr::Lit(l) => var_map[l.var().index() as usize].complement_if(l.is_negated()),
+            Expr::And(es) => {
+                let edges: Vec<Edge> = es.iter().map(|e| e.to_aig(aig, var_map)).collect();
+                aig.and_many(&edges)
+            }
+            Expr::Or(es) => {
+                let edges: Vec<Edge> = es.iter().map(|e| e.to_aig(aig, var_map)).collect();
+                aig.or_many(&edges)
+            }
+        }
+    }
+}
+
+/// Factors a cover into a multi-level expression by recursive weak
+/// division on the most frequent literal.
+///
+/// The returned expression computes exactly the same function as `sop`.
+pub fn factor(sop: &Sop) -> Expr {
+    if sop.is_zero() {
+        return Expr::Const(false);
+    }
+    if sop.is_one() {
+        return Expr::Const(true);
+    }
+    factor_cubes(sop.cubes())
+}
+
+fn factor_cubes(cubes: &[Cube]) -> Expr {
+    if cubes.is_empty() {
+        return Expr::Const(false);
+    }
+    if cubes.iter().any(Cube::is_empty) {
+        return Expr::Const(true);
+    }
+    if cubes.len() == 1 {
+        return cube_expr(&cubes[0]);
+    }
+    // Most frequent literal as the divisor.
+    let mut freq: HashMap<Literal, usize> = HashMap::new();
+    for c in cubes {
+        for l in c.literals() {
+            *freq.entry(*l).or_default() += 1;
+        }
+    }
+    let (&best, &count) = freq
+        .iter()
+        .max_by_key(|&(l, &n)| (n, std::cmp::Reverse(*l)))
+        .expect("nonempty cubes have literals");
+    if count < 2 {
+        // Nothing shared: flat OR of cube ANDs.
+        return Expr::Or(cubes.iter().map(cube_expr).collect());
+    }
+    // Divide by `best`: quotient = cubes containing it (literal
+    // removed), remainder = the other cubes.
+    let mut quotient = Vec::new();
+    let mut remainder = Vec::new();
+    for c in cubes {
+        if c.literals().contains(&best) {
+            quotient.push(c.without_var(best.var()));
+        } else {
+            remainder.push(c.clone());
+        }
+    }
+    let q = factor_cubes(&quotient);
+    let divided = match q {
+        Expr::Const(true) => Expr::Lit(best),
+        q => Expr::And(vec![Expr::Lit(best), q]),
+    };
+    if remainder.is_empty() {
+        divided
+    } else {
+        let r = factor_cubes(&remainder);
+        match r {
+            Expr::Or(mut es) => {
+                es.insert(0, divided);
+                Expr::Or(es)
+            }
+            r => Expr::Or(vec![divided, r]),
+        }
+    }
+}
+
+fn cube_expr(cube: &Cube) -> Expr {
+    match cube.literals() {
+        [] => Expr::Const(true),
+        [l] => Expr::Lit(*l),
+        lits => Expr::And(lits.iter().map(|&l| Expr::Lit(l)).collect()),
+    }
+}
+
+/// Minimizes an SOP with [`espresso`](crate::espresso), factors it, and
+/// builds the result in an AIG — the standard route from a learned
+/// cover to a circuit.
+///
+/// Returns the root edge.
+pub fn sop_to_circuit(sop: &Sop, aig: &mut Aig, var_map: &[Edge]) -> Edge {
+    let minimized = crate::espresso::minimize(sop);
+    let expr = factor(&minimized);
+    expr.to_aig(aig, var_map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_logic::{TruthTable, Var};
+
+    fn cube(lits: &[(u32, bool)]) -> Cube {
+        Cube::from_literals(lits.iter().map(|&(v, n)| Literal::new(Var::new(v), n)))
+            .expect("consistent")
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(factor(&Sop::zero()), Expr::Const(false));
+        assert_eq!(factor(&Sop::one()), Expr::Const(true));
+    }
+
+    #[test]
+    fn single_cube() {
+        let s = Sop::from_cubes([cube(&[(0, false), (1, true)])]);
+        let e = factor(&s);
+        assert_eq!(e.literal_count(), 2);
+        let tt = TruthTable::from_sop(2, &s);
+        for m in 0..4u64 {
+            assert_eq!(e.eval_with(|v| m >> v.index() & 1 == 1), tt.get(m));
+        }
+    }
+
+    #[test]
+    fn common_literal_is_shared() {
+        // ab + ac + ad -> a(b+c+d): 4 literals instead of 6.
+        let s = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]),
+            cube(&[(0, false), (2, false)]),
+            cube(&[(0, false), (3, false)]),
+        ]);
+        let e = factor(&s);
+        assert_eq!(e.literal_count(), 4);
+        let tt = TruthTable::from_sop(4, &s);
+        for m in 0..16u64 {
+            assert_eq!(e.eval_with(|v| m >> v.index() & 1 == 1), tt.get(m), "m={m}");
+        }
+    }
+
+    #[test]
+    fn nested_factoring() {
+        // abc + abd + e -> ab(c+d) + e: 5 literals instead of 7.
+        let s = Sop::from_cubes([
+            cube(&[(0, false), (1, false), (2, false)]),
+            cube(&[(0, false), (1, false), (3, false)]),
+            cube(&[(4, false)]),
+        ]);
+        let e = factor(&s);
+        assert_eq!(e.literal_count(), 5);
+    }
+
+    #[test]
+    fn factoring_preserves_function_randomly() {
+        let mut state = 3u64;
+        for trial in 0..30 {
+            let tt = TruthTable::from_fn(6, |m| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(m * 3 + trial);
+                state >> 38 & 1 == 1
+            });
+            let sop = tt.isop();
+            let e = factor(&sop);
+            for m in 0..64u64 {
+                assert_eq!(
+                    e.eval_with(|v| m >> v.index() & 1 == 1),
+                    tt.get(m),
+                    "trial {trial} m={m}"
+                );
+            }
+            assert!(e.literal_count() <= sop.literal_count());
+        }
+    }
+
+    #[test]
+    fn to_aig_matches_expression() {
+        let s = Sop::from_cubes([
+            cube(&[(0, false), (1, false)]),
+            cube(&[(0, false), (2, true)]),
+            cube(&[(1, true), (2, false)]),
+        ]);
+        let e = factor(&s);
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 3);
+        let root = e.to_aig(&mut g, &inputs);
+        g.add_output(root, "f");
+        for m in 0..8u64 {
+            let bits: Vec<bool> = (0..3).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(
+                g.eval_bits(&bits)[0],
+                e.eval_with(|v| m >> v.index() & 1 == 1),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn sop_to_circuit_is_smaller_than_flat() {
+        // Minterm cover of a function with lots of sharing.
+        let tt = TruthTable::from_fn(5, |m| m & 1 == 1 && m.count_ones() >= 2);
+        let minterms: Sop = (0..32u64)
+            .filter(|&m| tt.get(m))
+            .map(|m| {
+                Cube::from_literals((0..5).map(|k| Var::new(k).literal(m >> k & 1 == 1)))
+                    .expect("consistent")
+            })
+            .collect();
+        let mut flat = Aig::new();
+        let inputs = flat.add_inputs("x", 5);
+        let f = flat.add_sop(&minterms, &inputs);
+        flat.add_output(f, "f");
+
+        let mut fac = Aig::new();
+        let inputs2 = fac.add_inputs("x", 5);
+        let f2 = sop_to_circuit(&minterms, &mut fac, &inputs2);
+        fac.add_output(f2, "f");
+
+        assert!(fac.gate_count() < flat.gate_count());
+        for m in 0..32u64 {
+            let bits: Vec<bool> = (0..5).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(fac.eval_bits(&bits)[0], tt.get(m), "m={m}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Functional reduction of AIGs (fraiging).
+//!
+//! The fraig transformation [Mishchenko et al., 2005] merges nodes that
+//! compute the same function (up to complement). Candidate equivalences
+//! are discovered by random bit-parallel simulation; every merge is then
+//! *proved* by a SAT equivalence query, so the transformation is exact.
+//!
+//! The paper relies on ABC's fraiging to remove the isomorphic subtrees
+//! an FBDT necessarily duplicates (a tree shares nothing); this pass is
+//! what makes the tree-shaped learner output competitive in gate count.
+
+use std::collections::HashMap;
+
+use cirlearn_aig::{Aig, Edge, NodeId};
+use cirlearn_logic::SimVector;
+use cirlearn_sat::{AigCnf, SolveResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for [`fraig`].
+#[derive(Debug, Clone)]
+pub struct FraigConfig {
+    /// Number of random simulation patterns used to form candidate
+    /// equivalence classes.
+    pub patterns: usize,
+    /// Seed for the simulation patterns.
+    pub seed: u64,
+    /// Upper bound on SAT equivalence queries (guards runtime on huge
+    /// graphs); candidates beyond the budget are left unmerged.
+    pub max_sat_queries: usize,
+}
+
+impl Default for FraigConfig {
+    fn default() -> Self {
+        FraigConfig {
+            patterns: 2048,
+            seed: 0xF4A16,
+            max_sat_queries: 50_000,
+        }
+    }
+}
+
+/// Merges functionally equivalent nodes, returning the reduced AIG.
+///
+/// Nodes whose simulation signatures coincide (up to complement) become
+/// merge candidates; a candidate is merged only after a SAT proof of
+/// equivalence, so the output is always functionally identical to the
+/// input. Constant nodes are detected the same way (signature compared
+/// against the constant-false node).
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::{fraig, FraigConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// // Two structurally different XOR implementations.
+/// let x1 = aig.xor(a, b);
+/// let or = aig.or(a, b);
+/// let nand = !aig.and(a, b);
+/// let x2 = aig.and(or, nand);
+/// let y = aig.and(x1, x2); // = x1 = x2
+/// aig.add_output(y, "y");
+/// let reduced = fraig(&aig, &FraigConfig::default());
+/// assert!(reduced.gate_count() < aig.gate_count());
+/// ```
+pub fn fraig(aig: &Aig, config: &FraigConfig) -> Aig {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let patterns = config.patterns.max(64);
+    let inputs: Vec<SimVector> = (0..aig.num_inputs())
+        .map(|_| SimVector::random(patterns, &mut rng))
+        .collect();
+    let signatures = aig.simulate_nodes(&inputs);
+
+    // Group nodes by canonical signature (complement-normalized so a
+    // node and its inverse land in the same class).
+    let mut classes: HashMap<Vec<u64>, Vec<(NodeId, bool)>> = HashMap::new();
+    let all_nodes = std::iter::once(NodeId::CONST).chain(aig.ands().map(|(n, _, _)| n));
+    for n in all_nodes {
+        let sig = &signatures[n.index()];
+        let (key, phase) = canonical_signature(sig);
+        classes.entry(key).or_default().push((n, phase));
+    }
+
+    // Prove candidates with SAT, collecting node -> (representative
+    // edge in the old AIG).
+    let mut cnf = AigCnf::new(aig);
+    let mut merged: HashMap<NodeId, Edge> = HashMap::new();
+    let mut queries = 0usize;
+    for members in classes.values() {
+        if members.len() < 2 {
+            continue;
+        }
+        // Lowest id is the representative (it precedes the others in
+        // topological order).
+        let (rep, rep_phase) = *members
+            .iter()
+            .min_by_key(|(n, _)| n.index())
+            .expect("nonempty class");
+        let rep_edge = Edge::new(rep, false);
+        for &(n, phase) in members {
+            if n == rep || queries >= config.max_sat_queries {
+                continue;
+            }
+            queries += 1;
+            // Same canonical phase means candidate-equal; different
+            // means candidate-complement.
+            let target = rep_edge.complement_if(phase != rep_phase);
+            let sel = cnf.add_difference_selector(Edge::new(n, false), target);
+            if cnf.solve_with_assumptions(&[sel]) == SolveResult::Unsat {
+                merged.insert(n, target);
+            }
+        }
+    }
+
+    // Rebuild with substitutions.
+    let mut out = Aig::with_inputs_like(aig);
+    let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Edge::from_code(i as u32 * 2);
+    }
+    for (n, a, b) in aig.ands() {
+        let new_edge = if let Some(target) = merged.get(&n) {
+            map[target.node().index()].complement_if(target.is_complemented())
+        } else {
+            let na = map[a.node().index()].complement_if(a.is_complemented());
+            let nb = map[b.node().index()].complement_if(b.is_complemented());
+            out.and(na, nb)
+        };
+        map[n.index()] = new_edge;
+    }
+    for (e, name) in aig.outputs() {
+        let ne = map[e.node().index()].complement_if(e.is_complemented());
+        out.add_output(ne, name.clone());
+    }
+    out.cleanup()
+}
+
+/// Normalizes a signature so complementary signatures share a key.
+/// Returns the key and whether the signature was complemented.
+fn canonical_signature(sig: &SimVector) -> (Vec<u64>, bool) {
+    let words = sig.words();
+    let complement = words.first().map_or(false, |w| w & 1 == 1);
+    if complement {
+        let mut c = sig.clone();
+        c.not_assign();
+        (c.words().to_vec(), true)
+    } else {
+        (words.to_vec(), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_sat::check_equivalence;
+
+    #[test]
+    fn merges_duplicate_xor_structures() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let x1 = g.xor(a, b);
+        let or = g.or(a, b);
+        let nand = !g.and(a, b);
+        let x2 = g.and(or, nand);
+        let y = g.or(x1, x2);
+        g.add_output(y, "y");
+        let r = fraig(&g, &FraigConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        // y == xor(a, b): 3 AND nodes suffice.
+        assert!(r.gate_count() <= 3, "gate_count = {}", r.gate_count());
+    }
+
+    #[test]
+    fn detects_constant_nodes() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        // (a & b) & (!a | !b) == 0, built without the trivial rule firing.
+        let ab = g.and(a, b);
+        let n = g.or(!a, !b);
+        let zero = g.and(ab, n);
+        let y = g.or(zero, b); // == b
+        g.add_output(y, "y");
+        let r = fraig(&g, &FraigConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert_eq!(r.gate_count(), 0, "y should collapse to input b");
+    }
+
+    #[test]
+    fn merges_complement_pairs() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let xor = g.xor(a, b);
+        // xnor built separately (not as !xor).
+        let ab = g.and(a, b);
+        let nanb = g.and(!a, !b);
+        let xnor = g.or(ab, nanb);
+        let f = g.and(xor, xnor); // constant 0
+        g.add_output(f, "y");
+        let r = fraig(&g, &FraigConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert_eq!(r.gate_count(), 0);
+    }
+
+    #[test]
+    fn preserves_random_circuits() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..8 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..5).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..30 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            for k in 0..3 {
+                let e = pool[pool.len() - 1 - k];
+                g.add_output(e, format!("y{k}"));
+            }
+            let r = fraig(&g, &FraigConfig { patterns: 256, seed: round, max_sat_queries: 10_000 });
+            assert!(
+                check_equivalence(&g, &r).is_equivalent(),
+                "round {round}: fraig changed the function"
+            );
+            assert!(r.gate_count() <= g.gate_count());
+        }
+    }
+
+    #[test]
+    fn idempotent_on_reduced_graphs() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        let r1 = fraig(&g, &FraigConfig::default());
+        let r2 = fraig(&r1, &FraigConfig::default());
+        assert_eq!(r1.gate_count(), r2.gate_count());
+    }
+}

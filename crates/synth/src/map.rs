@@ -1,0 +1,478 @@
+//! Technology mapping to 2-input primitive gates.
+//!
+//! The contest counts circuit size in *2-input primitive gates* —
+//! `and`, `or`, `xor` and their complements all cost 1. An AIG
+//! represents an XOR as three AND nodes, so reporting raw AND counts
+//! overstates XOR-rich circuits. This mapper covers the AIG with
+//! primitive gates (detecting the standard XOR/XNOR and MUX shapes) and
+//! yields a [`GateNetlist`] whose [`GateNetlist::gate_count`] is the
+//! contest metric.
+//!
+//! Mapping is structural and greedy: every AND node whose fanins form
+//! the two-product XOR/MUX pattern — and whose internal product nodes
+//! have no other fanout — collapses into one gate.
+
+use cirlearn_aig::{Aig, Edge, NodeId};
+
+/// The primitive gate kinds of the mapped netlist.
+///
+/// Inverters are absorbed: each gate input and the gate output carry
+/// their own polarity, as the contest's `not`-free costing implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// 2-input AND (with per-input/output polarities: covers NAND, NOR,
+    /// OR …).
+    And,
+    /// 2-input XOR (polarities fold into XNOR).
+    Xor,
+    /// 2-to-1 multiplexer `sel ? a : b` (3 pins).
+    Mux,
+}
+
+impl std::fmt::Display for GateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            GateKind::And => "and",
+            GateKind::Xor => "xor",
+            GateKind::Mux => "mux",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A signal in the mapped netlist: a gate output, a primary input, or a
+/// constant, with a complement flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappedSignal {
+    /// Constant false (complement for true).
+    Const {
+        /// Whether the constant is inverted (i.e. true).
+        complement: bool,
+    },
+    /// Primary input by position.
+    Input {
+        /// Input position.
+        position: usize,
+        /// Inverted?
+        complement: bool,
+    },
+    /// Output of mapped gate `index`.
+    Gate {
+        /// Index into [`GateNetlist::gates`].
+        index: usize,
+        /// Inverted?
+        complement: bool,
+    },
+}
+
+impl MappedSignal {
+    fn complement_if(self, c: bool) -> Self {
+        match self {
+            MappedSignal::Const { complement } => MappedSignal::Const { complement: complement ^ c },
+            MappedSignal::Input { position, complement } => MappedSignal::Input {
+                position,
+                complement: complement ^ c,
+            },
+            MappedSignal::Gate { index, complement } => MappedSignal::Gate {
+                index,
+                complement: complement ^ c,
+            },
+        }
+    }
+}
+
+/// One mapped gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappedGate {
+    /// The primitive kind.
+    pub kind: GateKind,
+    /// Input pins (2 for and/xor; 3 for mux as `[sel, then, else]`).
+    pub inputs: Vec<MappedSignal>,
+}
+
+/// A netlist of 2-input primitive gates — the contest's cost model.
+#[derive(Debug, Clone, Default)]
+pub struct GateNetlist {
+    /// Gates in topological order.
+    pub gates: Vec<MappedGate>,
+    /// Output signals, in circuit output order, with names.
+    pub outputs: Vec<(MappedSignal, String)>,
+}
+
+impl GateNetlist {
+    /// The contest size metric: number of primitive gates, with a MUX
+    /// counted as its classic 3-gate realization.
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .map(|g| match g.kind {
+                GateKind::And | GateKind::Xor => 1,
+                GateKind::Mux => 3,
+            })
+            .sum()
+    }
+
+    /// Number of mapped cells (a MUX counts once).
+    pub fn cell_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Evaluates the netlist on one input pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is shorter than the largest referenced input.
+    pub fn eval_bits(&self, bits: &[bool]) -> Vec<bool> {
+        let mut values = Vec::with_capacity(self.gates.len());
+        let read = |s: MappedSignal, values: &Vec<bool>| -> bool {
+            match s {
+                MappedSignal::Const { complement } => complement,
+                MappedSignal::Input { position, complement } => bits[position] ^ complement,
+                MappedSignal::Gate { index, complement } => values[index] ^ complement,
+            }
+        };
+        for g in &self.gates {
+            let v = match g.kind {
+                GateKind::And => read(g.inputs[0], &values) && read(g.inputs[1], &values),
+                GateKind::Xor => read(g.inputs[0], &values) != read(g.inputs[1], &values),
+                GateKind::Mux => {
+                    if read(g.inputs[0], &values) {
+                        read(g.inputs[1], &values)
+                    } else {
+                        read(g.inputs[2], &values)
+                    }
+                }
+            };
+            values.push(v);
+        }
+        self.outputs
+            .iter()
+            .map(|(s, _)| read(*s, &values))
+            .collect()
+    }
+}
+
+/// Maps an AIG onto 2-input primitive gates with XOR/MUX detection.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::map::{map_gates, GateKind};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let y = aig.xor(a, b); // 3 AND nodes
+/// aig.add_output(y, "y");
+/// let netlist = map_gates(&aig);
+/// assert_eq!(netlist.gate_count(), 1);
+/// assert_eq!(netlist.gates[0].kind, GateKind::Xor);
+/// ```
+pub fn map_gates(aig: &Aig) -> GateNetlist {
+    let aig = aig.cleanup();
+    // Fanout counts decide whether internal product nodes are free to
+    // be swallowed by an XOR/MUX pattern.
+    let mut fanout = vec![0usize; aig.node_count()];
+    for (_, a, b) in aig.ands() {
+        fanout[a.node().index()] += 1;
+        fanout[b.node().index()] += 1;
+    }
+    for (e, _) in aig.outputs() {
+        fanout[e.node().index()] += 1;
+    }
+
+    let mut netlist = GateNetlist::default();
+    let mut map: Vec<Option<MappedSignal>> = vec![None; aig.node_count()];
+    map[NodeId::CONST.index()] = Some(MappedSignal::Const { complement: false });
+    for pos in 0..aig.num_inputs() {
+        map[aig.input_edge(pos).node().index()] = Some(MappedSignal::Input {
+            position: pos,
+            complement: false,
+        });
+    }
+
+    let signal = |e: Edge, map: &Vec<Option<MappedSignal>>| -> Option<MappedSignal> {
+        map[e.node().index()].map(|s| s.complement_if(e.is_complemented()))
+    };
+
+    // Phase 1 — pattern marking, parents before children (reverse
+    // topological order), so a node swallowed by its parent never
+    // swallows its own children in turn.
+    let ands: Vec<(NodeId, Edge, Edge)> = aig.ands().collect();
+    let mut swallowed = vec![false; aig.node_count()];
+    let mut shape_of: Vec<Option<Shape>> = (0..aig.node_count()).map(|_| None).collect();
+    for &(n, a, b) in ands.iter().rev() {
+        if swallowed[n.index()] {
+            continue;
+        }
+        let matched = detect_or_of_products(&aig, n, a, b, &fanout)
+            .and_then(|(p, q)| classify(p, q));
+        if let Some(shape) = matched {
+            shape_of[n.index()] = Some(shape);
+            swallowed[a.node().index()] = true;
+            swallowed[b.node().index()] = true;
+        }
+    }
+
+    // Phase 2 — emission in topological order.
+    for &(n, a, b) in &ands {
+        if swallowed[n.index()] {
+            continue;
+        }
+        if let Some(shape) = &shape_of[n.index()] {
+            match *shape {
+                Shape::Xor { x, y } => {
+                    let sx = signal(x, &map).expect("topological order");
+                    let sy = signal(y, &map).expect("topological order");
+                    let index = netlist.gates.len();
+                    netlist.gates.push(MappedGate {
+                        kind: GateKind::Xor,
+                        inputs: vec![sx, sy],
+                    });
+                    // n = NOR(x·y, !x·!y) = XOR(x, y).
+                    map[n.index()] = Some(MappedSignal::Gate { index, complement: false });
+                    continue;
+                }
+                Shape::Mux { sel, then_e, else_e } => {
+                    let ss = signal(sel, &map).expect("topological order");
+                    let st = signal(then_e, &map).expect("topological order");
+                    let se = signal(else_e, &map).expect("topological order");
+                    let index = netlist.gates.len();
+                    netlist.gates.push(MappedGate {
+                        kind: GateKind::Mux,
+                        inputs: vec![ss, st, se],
+                    });
+                    // n = NOR(sel·t, !sel·e) = !MUX(sel, t, e).
+                    map[n.index()] = Some(MappedSignal::Gate { index, complement: true });
+                    continue;
+                }
+            }
+        }
+        // Default: a plain AND gate.
+        let sa = signal(a, &map).expect("topological order");
+        let sb = signal(b, &map).expect("topological order");
+        let index = netlist.gates.len();
+        netlist.gates.push(MappedGate {
+            kind: GateKind::And,
+            inputs: vec![sa, sb],
+        });
+        map[n.index()] = Some(MappedSignal::Gate { index, complement: false });
+    }
+
+    for (e, name) in aig.outputs() {
+        let s = signal(*e, &map).expect("outputs are mapped");
+        netlist.outputs.push((s, name.clone()));
+    }
+    netlist
+}
+
+/// The two product terms of a detected OR-of-products node.
+type Products = ((Edge, Edge), (Edge, Edge));
+
+/// Checks whether `n = !(!P · !Q)` (i.e. `P ∨ Q`) for AND products
+/// `P = x·y`, `Q = u·v` whose nodes have no external fanout.
+fn detect_or_of_products(
+    aig: &Aig,
+    _n: NodeId,
+    a: Edge,
+    b: Edge,
+    fanout: &[usize],
+) -> Option<Products> {
+    // n's fanins must both be complemented AND nodes with fanout 1.
+    if !a.is_complemented() || !b.is_complemented() {
+        return None;
+    }
+    if !aig.is_and(a.node()) || !aig.is_and(b.node()) {
+        return None;
+    }
+    if fanout[a.node().index()] != 1 || fanout[b.node().index()] != 1 {
+        return None;
+    }
+    let [x, y] = aig.fanins(a.node());
+    let [u, v] = aig.fanins(b.node());
+    Some(((x, y), (u, v)))
+}
+
+enum Shape {
+    Xor {
+        x: Edge,
+        y: Edge,
+    },
+    Mux {
+        sel: Edge,
+        then_e: Edge,
+        else_e: Edge,
+    },
+}
+
+/// Classifies the OR of two products as XOR or MUX.
+///
+/// With `n = (x·y) ∨ (u·v)` — note `n` itself is the complement of the
+/// stored AND node, handled by the caller mapping `n` positively:
+///
+/// * XOR: `{x, y} = {p, !q}`, `{u, v} = {!p, q}` gives `p ⊕ q`,
+/// * MUX: products share one variable in opposite phases (the select).
+fn classify(p: (Edge, Edge), q: (Edge, Edge)) -> Option<Shape> {
+    let (x, y) = p;
+    let (u, v) = q;
+    // XOR check: products pair the same two variables with fully
+    // opposite phases.
+    let same_pair = (x.node() == u.node() && y.node() == v.node())
+        || (x.node() == v.node() && y.node() == u.node());
+    if same_pair {
+        let (u2, v2) = if x.node() == u.node() { (u, v) } else { (v, u) };
+        if x == !u2 && y == !v2 {
+            // Products are (x·y) and (!x·!y); the caller's node is
+            // their NOR, which is exactly XOR(x, y).
+            return Some(Shape::Xor { x, y });
+        }
+        return None;
+    }
+    // MUX check: exactly one shared variable, in opposite phases.
+    for (sel, then_e) in [(x, y), (y, x)] {
+        for (osel, else_e) in [(u, v), (v, u)] {
+            if sel == !osel {
+                return Some(Shape::Mux {
+                    sel,
+                    then_e,
+                    else_e,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_equiv(aig: &Aig, netlist: &GateNetlist) {
+        let n = aig.num_inputs();
+        assert!(n <= 12, "exhaustive check bound");
+        for m in 0..1u64 << n {
+            let bits: Vec<bool> = (0..n).map(|k| m >> k & 1 == 1).collect();
+            assert_eq!(
+                netlist.eval_bits(&bits),
+                aig.eval_bits(&bits),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn xor_maps_to_one_gate() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        let nl = map_gates(&g);
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.gates[0].kind, GateKind::Xor);
+        check_equiv(&g, &nl);
+    }
+
+    #[test]
+    fn xnor_maps_to_one_gate() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xnor(a, b);
+        g.add_output(y, "y");
+        let nl = map_gates(&g);
+        assert_eq!(nl.gate_count(), 1);
+        check_equiv(&g, &nl);
+    }
+
+    #[test]
+    fn mux_maps_to_one_cell() {
+        let mut g = Aig::new();
+        let s = g.add_input("s");
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.mux(s, a, b);
+        g.add_output(y, "y");
+        let nl = map_gates(&g);
+        assert_eq!(nl.cell_count(), 1);
+        assert_eq!(nl.gates[0].kind, GateKind::Mux);
+        check_equiv(&g, &nl);
+    }
+
+    #[test]
+    fn plain_logic_stays_and_gates() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let y = g.or(ab, c);
+        g.add_output(y, "y");
+        let nl = map_gates(&g);
+        assert_eq!(nl.gate_count(), 2);
+        assert!(nl.gates.iter().all(|gate| gate.kind == GateKind::And));
+        check_equiv(&g, &nl);
+    }
+
+    #[test]
+    fn adder_maps_smaller_than_aig() {
+        let mut g = Aig::new();
+        let a = g.add_inputs("a", 4);
+        let b = g.add_inputs("b", 4);
+        let s = g.add_word(&a, &b);
+        for (i, e) in s.iter().enumerate() {
+            g.add_output(*e, format!("s{i}"));
+        }
+        let nl = map_gates(&g);
+        assert!(
+            nl.gate_count() < g.gate_count(),
+            "mapped {} vs aig {}",
+            nl.gate_count(),
+            g.gate_count()
+        );
+        check_equiv(&g, &nl);
+    }
+
+    #[test]
+    fn shared_products_are_not_swallowed() {
+        // The internal product feeds a second output, so the XOR
+        // pattern must NOT swallow it.
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let p = g.and(a, !b);
+        let q = g.and(!a, b);
+        let y = g.or(p, q); // xor shape
+        g.add_output(y, "y");
+        g.add_output(p, "p"); // extra fanout on the product
+        let nl = map_gates(&g);
+        check_equiv(&g, &nl);
+        // All three nodes must survive as AND cells.
+        assert_eq!(nl.gate_count(), 3);
+    }
+
+    #[test]
+    fn random_circuits_map_equivalently() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(8);
+        for round in 0..10 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..25 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+                let n = if rng.gen_bool(0.3) { g.xor(a, b) } else { g.and(a, b) };
+                pool.push(n);
+            }
+            for k in 0..2 {
+                let e = pool[pool.len() - 1 - k];
+                g.add_output(e, format!("y{k}"));
+            }
+            let nl = map_gates(&g);
+            check_equiv(&g, &nl);
+            assert!(nl.gate_count() <= g.gate_count(), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! SAT-based redundancy removal.
+//!
+//! The paper's optimization script includes ABC's don't-care-based
+//! passes (`dc2`, `mfs` family): a connection is *redundant* when
+//! replacing it by a constant cannot be observed at any output — the
+//! circuit's satisfiability/observability don't cares hide it. This
+//! pass tests, for every AND fanin, whether tying it to constant 1
+//! (which turns the AND into a wire) changes any output; the test is a
+//! SAT miter, so accepted removals are exact.
+
+use std::time::{Duration, Instant};
+
+use cirlearn_aig::{Aig, Edge, NodeId};
+use cirlearn_sat::{check_equivalence, Equivalence};
+
+/// Configuration for [`redundancy_removal`].
+#[derive(Debug, Clone)]
+pub struct RedundancyConfig {
+    /// Skip the pass entirely above this many AND nodes (each candidate
+    /// costs one SAT miter).
+    pub max_nodes: usize,
+    /// Upper bound on accepted removals per call (each acceptance
+    /// rebuilds the working circuit).
+    pub max_removals: usize,
+    /// Internal wall-clock budget; the scan stops cleanly when it runs
+    /// out (each candidate costs a SAT miter).
+    pub time_budget: Duration,
+}
+
+impl Default for RedundancyConfig {
+    fn default() -> Self {
+        RedundancyConfig {
+            max_nodes: 1_500,
+            max_removals: 64,
+            time_budget: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Removes SAT-provably redundant AND fanins. The result is always
+/// functionally equivalent and never larger.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::{redundancy_removal, RedundancyConfig};
+///
+/// // y = a & (a | b): the (a | b) branch is redundant.
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let or = aig.or(a, b);
+/// let y = aig.and(a, or);
+/// aig.add_output(y, "y");
+/// let r = redundancy_removal(&aig, &RedundancyConfig::default());
+/// assert_eq!(r.gate_count(), 0); // y == a
+/// ```
+pub fn redundancy_removal(aig: &Aig, config: &RedundancyConfig) -> Aig {
+    let mut current = aig.cleanup();
+    if current.and_count() > config.max_nodes {
+        return current;
+    }
+    let deadline = Instant::now() + config.time_budget;
+    let mut removals = 0;
+    'restart: while removals < config.max_removals {
+        let ands: Vec<(NodeId, Edge, Edge)> = current.ands().collect();
+        for (n, a, b) in ands {
+            if Instant::now() >= deadline {
+                return current;
+            }
+            for (victim, keep) in [(a, b), (b, a)] {
+                let _ = victim;
+                let candidate = rebuild_with_wire(&current, n, keep);
+                if candidate.gate_count() >= current.gate_count() {
+                    continue;
+                }
+                if check_equivalence(&current, &candidate) == Equivalence::Equivalent {
+                    current = candidate;
+                    removals += 1;
+                    // Node ids shifted; restart the scan.
+                    continue 'restart;
+                }
+            }
+        }
+        break;
+    }
+    current
+}
+
+/// Rebuilds the AIG with node `n` replaced by the edge `keep` (i.e.
+/// the other fanin treated as constant 1).
+fn rebuild_with_wire(aig: &Aig, target: NodeId, keep: Edge) -> Aig {
+    let mut out = Aig::with_inputs_like(aig);
+    let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Edge::from_code(i as u32 * 2);
+    }
+    for (n, a, b) in aig.ands() {
+        let na = map[a.node().index()].complement_if(a.is_complemented());
+        let nb = map[b.node().index()].complement_if(b.is_complemented());
+        map[n.index()] = if n == target {
+            map[keep.node().index()].complement_if(keep.is_complemented())
+        } else {
+            out.and(na, nb)
+        };
+    }
+    for (e, name) in aig.outputs() {
+        let ne = map[e.node().index()].complement_if(e.is_complemented());
+        out.add_output(ne, name.clone());
+    }
+    out.cleanup()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_classic_redundancy() {
+        // y = (a & b) | (a & !b & c) — the !b literal is NOT redundant,
+        // but y = a & (b | (b | c)) has one: b | (b | c) == b | c.
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let inner = g.or(b, c);
+        let outer = g.or(b, inner);
+        let y = g.and(a, outer);
+        g.add_output(y, "y");
+        let r = redundancy_removal(&g, &RedundancyConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert!(r.gate_count() <= 2, "got {}", r.gate_count());
+    }
+
+    #[test]
+    fn keeps_irredundant_circuits() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        let r = redundancy_removal(&g, &RedundancyConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert_eq!(r.gate_count(), 3);
+    }
+
+    #[test]
+    fn respects_node_guard() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let y = g.and_many(&inputs);
+        g.add_output(y, "y");
+        let cfg = RedundancyConfig { max_nodes: 0, ..RedundancyConfig::default() };
+        let r = redundancy_removal(&g, &cfg);
+        assert_eq!(r.gate_count(), g.gate_count());
+    }
+
+    #[test]
+    fn random_circuits_stay_equivalent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        for round in 0..6 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..5).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..20 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            let out = *pool.last().expect("nonempty");
+            g.add_output(out, "y");
+            let r = redundancy_removal(&g, &RedundancyConfig::default());
+            assert!(
+                check_equivalence(&g, &r).is_equivalent(),
+                "round {round}: redundancy removal changed the function"
+            );
+            assert!(r.gate_count() <= g.gate_count());
+        }
+    }
+}

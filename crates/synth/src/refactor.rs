@@ -1,0 +1,253 @@
+//! Large-cone refactoring.
+//!
+//! Where [`rewrite`](crate::rewrite) works on 4-input cuts, `refactor`
+//! (ABC's pass of the same name) takes one *large* cut per node — grown
+//! from the node's fanins until a leaf bound is hit — computes its
+//! global function with a BDD, and resynthesizes it from a factored
+//! irredundant cover. Replacements are accepted when they add fewer
+//! nodes than the cone's reclaimable volume.
+
+use std::collections::HashSet;
+
+use cirlearn_aig::{Aig, Edge, NodeId};
+use cirlearn_bdd::Bdd;
+
+use crate::factor;
+
+/// Configuration for [`refactor`].
+#[derive(Debug, Clone)]
+pub struct RefactorConfig {
+    /// Maximum leaves of the refactoring cut.
+    pub max_leaves: usize,
+    /// Cube bound for the extracted cover (arithmetic cones explode).
+    pub max_cubes: usize,
+}
+
+impl Default for RefactorConfig {
+    fn default() -> Self {
+        RefactorConfig {
+            max_leaves: 10,
+            max_cubes: 64,
+        }
+    }
+}
+
+/// Refactors every node's large cut; the result computes the same
+/// functions and never has more gates than the input.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::{refactor, RefactorConfig};
+///
+/// // A 5-input AND built in a skewed, duplicated way.
+/// let mut aig = Aig::new();
+/// let x = aig.add_inputs("x", 5);
+/// let t1 = aig.and(x[0], x[1]);
+/// let t2 = aig.and(t1, x[2]);
+/// let t1b = aig.and(x[1], x[0]); // shares with t1 via hashing
+/// let t3 = aig.and(t1b, x[3]);
+/// let t4 = aig.and(t2, t3);
+/// let y = aig.and(t4, x[4]);
+/// aig.add_output(y, "y");
+/// let r = refactor(&aig, &RefactorConfig::default());
+/// assert_eq!(r.gate_count(), 4); // plain 5-input AND tree
+/// ```
+pub fn refactor(aig: &Aig, config: &RefactorConfig) -> Aig {
+    let mut out = Aig::with_inputs_like(aig);
+    let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Edge::from_code(i as u32 * 2);
+    }
+    // Fanout counts for MFFC-style reclaim estimation.
+    let mut fanout = vec![0usize; aig.node_count()];
+    for (_, a, b) in aig.ands() {
+        fanout[a.node().index()] += 1;
+        fanout[b.node().index()] += 1;
+    }
+    for (e, _) in aig.outputs() {
+        fanout[e.node().index()] += 1;
+    }
+
+    for (n, a, b) in aig.ands() {
+        let before = out.node_count();
+        let na = map[a.node().index()].complement_if(a.is_complemented());
+        let nb = map[b.node().index()].complement_if(b.is_complemented());
+        let copy_edge = out.and(na, nb);
+        let copy_delta = (out.node_count() - before) as isize;
+
+        let mut best_edge = copy_edge;
+
+        if let Some((leaves, volume)) = grow_cut(aig, n, config.max_leaves, &fanout) {
+            if leaves.len() >= 3 {
+                if let Some(sop) = cone_cover(aig, n, &leaves, config.max_cubes) {
+                    let expr = factor::factor(&sop);
+                    let leaf_edges: Vec<Edge> =
+                        leaves.iter().map(|l| map[l.index()]).collect();
+                    let before = out.node_count();
+                    let cand = expr.to_aig(&mut out, &leaf_edges);
+                    let delta = (out.node_count() - before) as isize;
+                    if delta - (volume as isize) < copy_delta {
+                        best_edge = cand;
+                    }
+                }
+            }
+        }
+        map[n.index()] = best_edge;
+    }
+    for (e, name) in aig.outputs() {
+        let ne = map[e.node().index()].complement_if(e.is_complemented());
+        out.add_output(ne, name.clone());
+    }
+    let out = out.cleanup();
+    if out.gate_count() < aig.gate_count() {
+        out
+    } else {
+        aig.cleanup()
+    }
+}
+
+/// Grows a cut from `root`'s fanins, expanding the single-fanout node
+/// with the largest id (deepest) first, until `max_leaves` would be
+/// exceeded. Returns the sorted leaves and the number of single-fanout
+/// AND nodes inside the cone (the reclaimable volume).
+fn grow_cut(
+    aig: &Aig,
+    root: NodeId,
+    max_leaves: usize,
+    fanout: &[usize],
+) -> Option<(Vec<NodeId>, usize)> {
+    let mut leaves: HashSet<NodeId> = HashSet::new();
+    let [a, b] = aig.fanins(root);
+    leaves.insert(a.node());
+    leaves.insert(b.node());
+    let mut volume = 1usize;
+    loop {
+        // Expand the deepest expandable leaf whose expansion keeps the
+        // cut within bounds. Prefer single-fanout nodes (their logic is
+        // reclaimable) but allow shared ones when the bound permits.
+        let mut candidates: Vec<NodeId> = leaves
+            .iter()
+            .copied()
+            .filter(|&l| aig.is_and(l))
+            .collect();
+        candidates.sort_by_key(|l| std::cmp::Reverse(l.index()));
+        let mut expanded = false;
+        for l in candidates {
+            let [fa, fb] = aig.fanins(l);
+            let mut next = leaves.clone();
+            next.remove(&l);
+            next.insert(fa.node());
+            next.insert(fb.node());
+            if next.len() <= max_leaves {
+                if fanout[l.index()] == 1 {
+                    volume += 1;
+                }
+                leaves = next;
+                expanded = true;
+                break;
+            }
+        }
+        if !expanded {
+            break;
+        }
+    }
+    let mut sorted: Vec<NodeId> = leaves.into_iter().collect();
+    sorted.sort_unstable();
+    Some((sorted, volume))
+}
+
+/// Computes the cover of `root` over the cut leaves via a BDD and a
+/// bounded ISOP; `None` when the cover exceeds `max_cubes`.
+fn cone_cover(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    max_cubes: usize,
+) -> Option<cirlearn_logic::Sop> {
+    let mut bdd = Bdd::new(leaves.len());
+    let mut values: Vec<Option<cirlearn_bdd::BddRef>> = vec![None; aig.node_count()];
+    values[NodeId::CONST.index()] = Some(cirlearn_bdd::BddRef::FALSE);
+    for (k, &l) in leaves.iter().enumerate() {
+        values[l.index()] = Some(bdd.var(k as u32));
+    }
+    // Evaluate the cone between leaves and root in topological order.
+    for (n, a, b) in aig.ands() {
+        if values[n.index()].is_some() || n.index() > root.index() {
+            continue;
+        }
+        let (Some(va), Some(vb)) = (values[a.node().index()], values[b.node().index()])
+        else {
+            continue;
+        };
+        let fa = if a.is_complemented() { bdd.not(va) } else { va };
+        let fb = if b.is_complemented() { bdd.not(vb) } else { vb };
+        values[n.index()] = Some(bdd.and(fa, fb));
+    }
+    let f = values[root.index()]?;
+    bdd.isop_bounded(f, max_cubes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_sat::check_equivalence;
+
+    #[test]
+    fn refactors_duplicated_logic() {
+        let mut g = Aig::new();
+        let x = g.add_inputs("x", 4);
+        // (x0 & x1) | (x0 & x1 & x2) | x3, built without sharing hints.
+        let t1 = g.and(x[0], x[1]);
+        let t2 = {
+            let a = g.and(x[1], x[2]);
+            g.and(x[0], a)
+        };
+        let o1 = g.or(t1, t2);
+        let y = g.or(o1, x[3]);
+        g.add_output(y, "y");
+        let r = refactor(&g, &RefactorConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        // x0 x1 + x3 : 2 gates.
+        assert!(r.gate_count() <= 2, "got {}", r.gate_count());
+    }
+
+    #[test]
+    fn never_grows_random_circuits() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for round in 0..6 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..30 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            let out_edge = *pool.last().expect("nonempty");
+            g.add_output(out_edge, "y");
+            let r = refactor(&g, &RefactorConfig::default());
+            assert!(r.gate_count() <= g.gate_count(), "round {round}");
+            assert!(
+                check_equivalence(&g, &r).is_equivalent(),
+                "round {round}: refactor changed the function"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_multi_output_word_circuits() {
+        let mut g = Aig::new();
+        let a = g.add_inputs("a", 4);
+        let b = g.add_inputs("b", 4);
+        let s = g.add_word(&a, &b);
+        for (i, e) in s.iter().enumerate() {
+            g.add_output(*e, format!("s{i}"));
+        }
+        let r = refactor(&g, &RefactorConfig::default());
+        assert!(check_equivalence(&g, &r).is_equivalent());
+    }
+}

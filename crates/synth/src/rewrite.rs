@@ -1,0 +1,343 @@
+//! DAG-aware cut rewriting.
+//!
+//! For every AND node the pass enumerates 4-feasible cuts, computes the
+//! cut function (a ≤ 4-variable truth table), and resynthesizes it from
+//! an irredundant SOP, accepting the replacement when it adds fewer
+//! nodes to the rebuilt graph than copying the node would — counting
+//! the node's maximum fanout-free cone (MFFC) as reclaimable. This is
+//! the rewriting discipline of ABC's `rewrite`, with the precomputed
+//! NPN subgraph library replaced by on-the-fly ISOP + factoring (the
+//! deviation is recorded in DESIGN.md).
+//!
+//! The pass is conservative: the rebuilt graph is compared against the
+//! input and the smaller one is returned, so `rewrite` never increases
+//! gate count.
+
+use std::collections::HashMap;
+
+use cirlearn_aig::{Aig, Edge, NodeId};
+use cirlearn_logic::{TruthTable, Var};
+
+use crate::factor;
+
+/// Maximum cut width.
+const CUT_SIZE: usize = 4;
+/// Maximum cuts stored per node.
+const CUTS_PER_NODE: usize = 8;
+
+/// Rewrites the AIG with 4-input cut resynthesis. The result computes
+/// the same functions and never has more gates than the input.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::rewrite;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// // mux(a, b, b) is just b.
+/// let m = aig.mux(a, b, b);
+/// aig.add_output(m, "y");
+/// let r = rewrite(&aig);
+/// assert_eq!(r.gate_count(), 0);
+/// ```
+pub fn rewrite(aig: &Aig) -> Aig {
+    let cuts = enumerate_cuts(aig);
+    let fanouts = fanout_lists(aig);
+    // One resynthesis per NPN class: the factored expression of the
+    // canonical representative serves every equivalent cut function.
+    let mut library: HashMap<(usize, Vec<u64>), factor::Expr> = HashMap::new();
+
+    let mut out = Aig::with_inputs_like(aig);
+    let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
+    for i in 0..=aig.num_inputs() {
+        map[i] = Edge::from_code(i as u32 * 2);
+    }
+
+    for (n, a, b) in aig.ands() {
+        // Candidate 0: plain copy.
+        let before = out.node_count();
+        let na = map[a.node().index()].complement_if(a.is_complemented());
+        let nb = map[b.node().index()].complement_if(b.is_complemented());
+        let copy_edge = out.and(na, nb);
+        let copy_delta = out.node_count() - before;
+
+        let mut best_edge = copy_edge;
+        let mut best_score = copy_delta as isize;
+
+        for cut in &cuts[n.index()] {
+            if cut.len() < 2 || (cut.len() == 1 && cut[0] == n) {
+                continue;
+            }
+            if cut.iter().any(|&l| l == n) {
+                continue; // trivial cut
+            }
+            let tt = cut_function(aig, n, cut);
+            let reclaim = mffc_size(aig, n, cut, &fanouts) as isize;
+            let before = out.node_count();
+            let leaf_edges: Vec<Edge> = cut
+                .iter()
+                .map(|l| map[l.index()])
+                .collect();
+            let cand = build_from_tt(&tt, &mut out, &leaf_edges, &mut library);
+            let delta = (out.node_count() - before) as isize;
+            let score = delta - reclaim;
+            if score < best_score {
+                best_score = score;
+                best_edge = cand;
+            }
+        }
+        map[n.index()] = best_edge;
+    }
+    for (e, name) in aig.outputs() {
+        let ne = map[e.node().index()].complement_if(e.is_complemented());
+        out.add_output(ne, name.clone());
+    }
+    let out = out.cleanup();
+    if out.gate_count() < aig.gate_count() {
+        out
+    } else {
+        aig.cleanup()
+    }
+}
+
+/// Enumerates up to [`CUTS_PER_NODE`] cuts of width ≤ [`CUT_SIZE`] per
+/// node, bottom-up. Each cut is a sorted list of leaf nodes; the
+/// trivial cut `{n}` is always included.
+fn enumerate_cuts(aig: &Aig) -> Vec<Vec<Vec<NodeId>>> {
+    let mut cuts: Vec<Vec<Vec<NodeId>>> = vec![Vec::new(); aig.node_count()];
+    cuts[NodeId::CONST.index()] = vec![vec![NodeId::CONST]];
+    for pos in 0..aig.num_inputs() {
+        let node = aig.input_edge(pos).node();
+        cuts[node.index()] = vec![vec![node]];
+    }
+    for (n, a, b) in aig.ands() {
+        let mut set: Vec<Vec<NodeId>> = vec![vec![n]];
+        for ca in &cuts[a.node().index()] {
+            for cb in &cuts[b.node().index()] {
+                let mut merged: Vec<NodeId> = ca.iter().chain(cb).copied().collect();
+                merged.sort_unstable();
+                merged.dedup();
+                if merged.len() <= CUT_SIZE && !set.contains(&merged) {
+                    set.push(merged);
+                }
+            }
+        }
+        set.sort_by_key(Vec::len);
+        set.truncate(CUTS_PER_NODE);
+        cuts[n.index()] = set;
+    }
+    cuts
+}
+
+/// Computes the function of node `root` over the cut leaves
+/// (leaf `k` ↦ variable `x_k`).
+fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> TruthTable {
+    let mut memo: HashMap<NodeId, TruthTable> = HashMap::new();
+    for (k, &l) in leaves.iter().enumerate() {
+        memo.insert(
+            l,
+            TruthTable::var(leaves.len(), Var::new(k as u32)).expect("cut is small"),
+        );
+    }
+    eval_tt(aig, root, leaves.len(), &mut memo)
+}
+
+fn eval_tt(
+    aig: &Aig,
+    node: NodeId,
+    num_vars: usize,
+    memo: &mut HashMap<NodeId, TruthTable>,
+) -> TruthTable {
+    if let Some(t) = memo.get(&node) {
+        return t.clone();
+    }
+    if node == NodeId::CONST {
+        return TruthTable::zeros(num_vars).expect("cut is small");
+    }
+    debug_assert!(aig.is_and(node), "cut leaves must cover all inputs");
+    let [a, b] = aig.fanins(node);
+    let ta = {
+        let t = eval_tt(aig, a.node(), num_vars, memo);
+        if a.is_complemented() {
+            !t
+        } else {
+            t
+        }
+    };
+    let tb = {
+        let t = eval_tt(aig, b.node(), num_vars, memo);
+        if b.is_complemented() {
+            !t
+        } else {
+            t
+        }
+    };
+    let t = ta & tb;
+    memo.insert(node, t.clone());
+    t
+}
+
+/// Number of AND nodes in the cone of `root` above `leaves` whose every
+/// fanout stays inside that cone (the reclaimable MFFC volume).
+fn mffc_size(aig: &Aig, root: NodeId, leaves: &[NodeId], fanouts: &[Vec<NodeId>]) -> usize {
+    // Collect the cone.
+    let mut cone: Vec<NodeId> = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if cone.contains(&n) || leaves.contains(&n) || !aig.is_and(n) {
+            continue;
+        }
+        cone.push(n);
+        let [a, b] = aig.fanins(n);
+        stack.push(a.node());
+        stack.push(b.node());
+    }
+    // Internal nodes (≠ root) count only when all fanouts are in-cone.
+    cone.iter()
+        .filter(|&&n| {
+            n == root || fanouts[n.index()].iter().all(|f| cone.contains(f))
+        })
+        .count()
+}
+
+fn fanout_lists(aig: &Aig) -> Vec<Vec<NodeId>> {
+    let mut lists: Vec<Vec<NodeId>> = vec![Vec::new(); aig.node_count()];
+    for (n, a, b) in aig.ands() {
+        lists[a.node().index()].push(n);
+        lists[b.node().index()].push(n);
+    }
+    lists
+}
+
+/// Builds a ≤4-variable function over the given leaf edges, reusing one
+/// factored resynthesis per NPN class.
+///
+/// The cut function is canonized; the library maps the canonical truth
+/// table to a factored expression of the *canonical* function. The
+/// instance is then recovered through the transform: with
+/// `canon(x) = oneg ⊕ f(y)`, `y[perm[i]] = x[i] ⊕ ineg[i]`, building
+/// `canon` over the remapped/complemented leaf edges and complementing
+/// the result yields exactly `f` over the original leaves.
+fn build_from_tt(
+    tt: &TruthTable,
+    out: &mut Aig,
+    leaf_edges: &[Edge],
+    library: &mut HashMap<(usize, Vec<u64>), factor::Expr>,
+) -> Edge {
+    let (canon, t) = tt
+        .npn_canonical()
+        .expect("cut width is within NPN limits");
+    let expr = library
+        .entry((canon.num_vars(), canon.words().to_vec()))
+        .or_insert_with(|| factor::factor(&canon.isop()))
+        .clone();
+    // canon's variable i reads leaf perm[i], complemented per ineg.
+    let var_map: Vec<Edge> = t
+        .perm
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| leaf_edges[p as usize].complement_if(t.input_neg >> i & 1 == 1))
+        .collect();
+    expr.to_aig(out, &var_map).complement_if(t.output_neg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_sat::check_equivalence;
+
+    #[test]
+    fn removes_redundant_mux() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m = g.mux(a, b, b);
+        g.add_output(m, "y");
+        let r = rewrite(&g);
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert_eq!(r.gate_count(), 0);
+    }
+
+    #[test]
+    fn compacts_sum_of_minterms() {
+        // All four minterms of (a, b) with output 1 except a=b=1: = !(a&b).
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let m0 = g.and(!a, !b);
+        let m1 = g.and(a, !b);
+        let m2 = g.and(!a, b);
+        let t = g.or(m0, m1);
+        let y = g.or(t, m2);
+        g.add_output(y, "y");
+        let r = rewrite(&g);
+        assert!(check_equivalence(&g, &r).is_equivalent());
+        assert!(r.gate_count() <= 1, "got {}", r.gate_count());
+    }
+
+    #[test]
+    fn never_grows() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for round in 0..8 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..40 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            let out_edge = *pool.last().expect("nonempty");
+            g.add_output(out_edge, "y");
+            let r = rewrite(&g);
+            assert!(r.gate_count() <= g.gate_count(), "round {round}");
+            assert!(
+                check_equivalence(&g, &r).is_equivalent(),
+                "round {round}: rewrite changed the function"
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_multi_output() {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let s = g.add_word(&inputs[..2].to_vec(), &inputs[2..].to_vec());
+        for (i, e) in s.iter().enumerate() {
+            g.add_output(*e, format!("s{i}"));
+        }
+        let r = rewrite(&g);
+        assert!(check_equivalence(&g, &r).is_equivalent());
+    }
+}
+
+#[cfg(test)]
+mod npn_build_tests {
+    use super::*;
+    use cirlearn_aig::Aig;
+
+    #[test]
+    fn npn_library_build_matches_function() {
+        let mut state = 12345u64;
+        for trial in 0..50 {
+            let tt = TruthTable::from_fn(4, |m| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(m + trial);
+                state >> 33 & 1 == 1
+            });
+            let mut g = Aig::new();
+            let leaves = g.add_inputs("x", 4);
+            let mut lib = HashMap::new();
+            let e = build_from_tt(&tt, &mut g, &leaves, &mut lib);
+            g.add_output(e, "y");
+            for m in 0..16u64 {
+                let bits: Vec<bool> = (0..4).map(|k| m >> k & 1 == 1).collect();
+                assert_eq!(g.eval_bits(&bits)[0], tt.get(m), "trial {trial} m={m}");
+            }
+        }
+    }
+}

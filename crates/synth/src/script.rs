@@ -1,0 +1,229 @@
+//! Optimization script runner.
+
+use std::time::{Duration, Instant};
+
+use cirlearn_aig::Aig;
+
+use crate::{
+    balance, collapse, fraig, redundancy_removal, refactor, rewrite, CollapseConfig,
+    FraigConfig, RedundancyConfig, RefactorConfig,
+};
+
+/// Configuration for [`optimize`].
+///
+/// The defaults mirror the paper's postprocessing setup: a compression
+/// script run repeatedly under a 60-second budget with one collapse
+/// attempt.
+#[derive(Debug, Clone)]
+pub struct OptimizeConfig {
+    /// Wall-clock budget for the whole script (the paper allots 60 s).
+    pub time_budget: Duration,
+    /// Maximum number of script rounds (each round = balance, rewrite,
+    /// fraig).
+    pub max_rounds: usize,
+    /// Whether to run the (single) collapse attempt.
+    pub enable_collapse: bool,
+    /// Whether to run the (single) SAT redundancy-removal attempt.
+    pub enable_redundancy_removal: bool,
+    /// Guards for the collapse pass.
+    pub collapse: CollapseConfig,
+    /// Settings for the fraig pass.
+    pub fraig: FraigConfig,
+    /// Settings for the refactor pass.
+    pub refactor: RefactorConfig,
+    /// Guards for redundancy removal.
+    pub redundancy: RedundancyConfig,
+}
+
+impl Default for OptimizeConfig {
+    fn default() -> Self {
+        OptimizeConfig {
+            time_budget: Duration::from_secs(60),
+            max_rounds: 3,
+            enable_collapse: true,
+            enable_redundancy_removal: true,
+            collapse: CollapseConfig::default(),
+            fraig: FraigConfig::default(),
+            refactor: RefactorConfig::default(),
+            redundancy: RedundancyConfig::default(),
+        }
+    }
+}
+
+/// Runs the optimization script on a circuit and returns the smallest
+/// equivalent circuit found.
+///
+/// The script alternates [`balance`], [`rewrite`] and [`fraig`] rounds
+/// (the `compress2rs` spirit) and attempts one BDD [`collapse`] — like
+/// the paper's single heavy `collapse` call. Every pass preserves the
+/// functions; the best intermediate (by [`Aig::gate_count`]) is
+/// returned.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::{optimize, OptimizeConfig};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// let b = aig.add_input("b");
+/// let t = aig.and(a, b);
+/// let u = aig.and(a, !b);
+/// let y = aig.or(t, u); // == a
+/// aig.add_output(y, "y");
+/// let best = optimize(&aig, &OptimizeConfig::default());
+/// assert_eq!(best.gate_count(), 0);
+/// ```
+pub fn optimize(aig: &Aig, config: &OptimizeConfig) -> Aig {
+    let deadline = Instant::now() + config.time_budget;
+    let mut current = aig.cleanup();
+    let mut best = current.clone();
+
+    let mut collapsed = false;
+    let mut swept = false;
+    for _round in 0..config.max_rounds {
+        let start_count = best.gate_count();
+
+        for pass in [
+            PassKind::Balance,
+            PassKind::Rewrite,
+            PassKind::Refactor,
+            PassKind::Fraig,
+            PassKind::Collapse,
+            PassKind::Redundancy,
+        ] {
+            if Instant::now() >= deadline {
+                return best;
+            }
+            if pass == PassKind::Collapse && (collapsed || !config.enable_collapse) {
+                continue;
+            }
+            if pass == PassKind::Redundancy
+                && (swept || !config.enable_redundancy_removal)
+            {
+                continue;
+            }
+            let next = match pass {
+                PassKind::Balance => balance(&current),
+                PassKind::Rewrite => rewrite(&current),
+                PassKind::Refactor => refactor(&current, &config.refactor),
+                PassKind::Fraig => fraig(&current, &config.fraig),
+                PassKind::Collapse => {
+                    collapsed = true;
+                    collapse(&current, &config.collapse)
+                }
+                PassKind::Redundancy => {
+                    swept = true;
+                    redundancy_removal(&current, &config.redundancy)
+                }
+            };
+            if next.gate_count() <= current.gate_count() {
+                current = next;
+            }
+            if current.gate_count() < best.gate_count() {
+                best = current.clone();
+            }
+        }
+
+        if best.gate_count() >= start_count {
+            break; // converged
+        }
+    }
+    best
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PassKind {
+    Balance,
+    Rewrite,
+    Refactor,
+    Fraig,
+    Collapse,
+    Redundancy,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_aig::Edge;
+    use cirlearn_sat::check_equivalence;
+
+    #[test]
+    fn optimizes_redundant_sop() {
+        // Flat minterm cover of a 4-var function with heavy sharing.
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let mut cubes = Vec::new();
+        for m in 0..16u32 {
+            if m & 1 == 1 {
+                let lits: Vec<Edge> = (0..4)
+                    .map(|k| inputs[k].complement_if(m >> k & 1 == 0))
+                    .collect();
+                cubes.push(g.and_many(&lits));
+            }
+        }
+        let y = g.or_many(&cubes);
+        g.add_output(y, "y"); // == x0
+        let best = optimize(&g, &OptimizeConfig::default());
+        assert!(check_equivalence(&g, &best).is_equivalent());
+        assert_eq!(best.gate_count(), 0);
+    }
+
+    #[test]
+    fn respects_zero_budget() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.and(a, b);
+        g.add_output(y, "y");
+        let cfg = OptimizeConfig {
+            time_budget: Duration::from_secs(0),
+            ..OptimizeConfig::default()
+        };
+        let best = optimize(&g, &cfg);
+        assert!(check_equivalence(&g, &best).is_equivalent());
+    }
+
+    #[test]
+    fn never_increases_gate_count() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for round in 0..5 {
+            let mut g = Aig::new();
+            let mut pool: Vec<Edge> = (0..6).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..50 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.4));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            for k in 0..2 {
+                let e = pool[pool.len() - 1 - k];
+                g.add_output(e, format!("y{k}"));
+            }
+            let best = optimize(&g, &OptimizeConfig::default());
+            assert!(best.gate_count() <= g.gate_count(), "round {round}");
+            assert!(
+                check_equivalence(&g, &best).is_equivalent(),
+                "round {round}: optimization changed the function"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_collapse_is_honored() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        let cfg = OptimizeConfig {
+            enable_collapse: false,
+            ..OptimizeConfig::default()
+        };
+        let best = optimize(&g, &cfg);
+        assert!(check_equivalence(&g, &best).is_equivalent());
+    }
+}

@@ -1,0 +1,71 @@
+//! Learning an *external process* as the black box — the contest's
+//! actual deployment shape (opaque executables).
+//!
+//! A throwaway shell script plays the unknown system: it reads one
+//! line of 0/1 input bits and answers with one line of output bits
+//! (`y = (a XOR b) OR en`). The learner only sees the pipe.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example blackbox_process
+//! ```
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{Oracle, ProcessOracle};
+use cirlearn_synth::map::map_gates;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "unknown" system, as a shell process. Bits arrive in input
+    // order: a, b, en, pad0, pad1.
+    let script = r#"while read line; do
+        a=$(printf %s "$line" | cut -c1)
+        b=$(printf %s "$line" | cut -c2)
+        en=$(printf %s "$line" | cut -c3)
+        if [ "$a" != "$b" ] || [ "$en" = 1 ]; then echo 1; else echo 0; fi
+    done"#;
+    let mut oracle = ProcessOracle::spawn(
+        "sh",
+        &["-c", script],
+        vec!["a".into(), "b".into(), "en".into(), "pad0".into(), "pad1".into()],
+        vec!["y".into()],
+    )?;
+
+    let mut cfg = LearnerConfig::fast();
+    // Every query is a pipe round-trip: keep sampling modest.
+    cfg.support_sampling.rounds = 64;
+    let result = Learner::new(cfg).learn(&mut oracle);
+
+    for s in &result.outputs {
+        println!(
+            "output {} ({}): strategy={} support={}",
+            s.output, s.name, s.strategy, s.support_size
+        );
+    }
+    let mapped = map_gates(&result.circuit);
+    println!(
+        "learned in {:?} with {} pipe queries: {} primitive gates",
+        result.elapsed,
+        result.queries,
+        mapped.gate_count()
+    );
+
+    // Check the learned circuit against the process on every input.
+    let mut wrong = 0;
+    for m in 0..32u32 {
+        let mut a = cirlearn_logic::Assignment::zeros(5);
+        for k in 0..5 {
+            if m >> k & 1 == 1 {
+                a.set(cirlearn_logic::Var::new(k), true);
+            }
+        }
+        let want = oracle.query(&a);
+        let bits: Vec<bool> = a.iter().collect();
+        if result.circuit.eval_bits(&bits) != want {
+            wrong += 1;
+        }
+    }
+    println!("exhaustive check: {} of 32 patterns wrong", wrong);
+    assert_eq!(wrong, 0, "the black box must be learned exactly");
+    Ok(())
+}

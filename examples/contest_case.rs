@@ -1,0 +1,74 @@
+//! Run one case of the contest suite end to end.
+//!
+//! Picks a case from the 20-case roster (paper Table II), instantiates
+//! its hidden circuit, learns it, and reports size / accuracy / time —
+//! the three columns of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example contest_case [case_name]
+//! # e.g.
+//! cargo run --release --example contest_case case_16
+//! ```
+
+use std::time::Duration;
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{contest_suite, evaluate_accuracy, EvalConfig};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "case_16".to_owned());
+    let suite = contest_suite();
+    let case = suite
+        .iter()
+        .find(|c| c.name == wanted)
+        .unwrap_or_else(|| {
+            eprintln!("unknown case {wanted}; available:");
+            for c in &suite {
+                eprintln!("  {} ({} {}x{})", c.name, c.category, c.num_inputs, c.num_outputs);
+            }
+            std::process::exit(1);
+        });
+
+    println!(
+        "{}: {} with {} inputs, {} outputs{}",
+        case.name,
+        case.category,
+        case.num_inputs,
+        case.num_outputs,
+        if case.hidden { " (hidden at the contest)" } else { "" }
+    );
+
+    let mut oracle = case.build();
+    println!("hidden circuit has {} gates (unknown to the learner)", oracle.reveal().gate_count());
+
+    let mut config = LearnerConfig::fast();
+    config.time_budget = Duration::from_secs(60);
+    let mut learner = Learner::new(config);
+    let result = learner.learn(&mut oracle);
+
+    let mut by_strategy = std::collections::BTreeMap::new();
+    for s in &result.outputs {
+        *by_strategy.entry(s.strategy.to_string()).or_insert(0usize) += 1;
+    }
+    println!("strategies: {by_strategy:?}");
+
+    let acc = evaluate_accuracy(
+        oracle.reveal(),
+        &result.circuit,
+        &EvalConfig {
+            patterns_per_group: 100_000,
+            ..EvalConfig::default()
+        },
+    );
+    let mapped = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
+    println!(
+        "size = {:>6} primitive gates ({} AIG ands)   accuracy = {:>8}   time = {:>6.1?}   queries = {}",
+        mapped,
+        result.circuit.gate_count(),
+        acc.to_string(),
+        result.elapsed,
+        result.queries,
+    );
+}

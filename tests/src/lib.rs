@@ -1,0 +1,1 @@
+//! Integration test package for the cirlearn workspace; see `tests/`.

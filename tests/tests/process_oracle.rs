@@ -1,0 +1,51 @@
+//! End-to-end learning against an external process black box — the
+//! contest's actual deployment shape (opaque executables).
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{Oracle, ProcessOracle};
+
+/// A shell black box: y = (a AND b) OR c over named inputs.
+fn spawn_blackbox() -> ProcessOracle {
+    ProcessOracle::spawn(
+        "sh",
+        &[
+            "-c",
+            r#"while read line; do
+                   a=$(printf %s "$line" | cut -c1)
+                   b=$(printf %s "$line" | cut -c2)
+                   c=$(printf %s "$line" | cut -c3)
+                   if { [ "$a" = 1 ] && [ "$b" = 1 ]; } || [ "$c" = 1 ]; then
+                       echo 1
+                   else
+                       echo 0
+                   fi
+               done"#,
+        ],
+        vec!["a".into(), "b".into(), "c".into(), "noise".into()],
+        vec!["y".into()],
+    )
+    .expect("sh is available")
+}
+
+#[test]
+fn learner_recovers_a_process_black_box() {
+    let mut oracle = spawn_blackbox();
+    let mut cfg = LearnerConfig::fast();
+    // Keep query volume small: each query is a pipe round-trip.
+    cfg.support_sampling.rounds = 64;
+    let result = Learner::new(cfg).learn(&mut oracle);
+    assert_eq!(result.circuit.num_inputs(), 4);
+    // Verify the learned circuit against the process exhaustively.
+    for m in 0..16u32 {
+        let mut a = cirlearn_logic::Assignment::zeros(4);
+        for k in 0..4 {
+            if m >> k & 1 == 1 {
+                a.set(cirlearn_logic::Var::new(k), true);
+            }
+        }
+        let want = oracle.query(&a);
+        let bits: Vec<bool> = a.iter().collect();
+        assert_eq!(result.circuit.eval_bits(&bits), want, "m={m}");
+    }
+    assert!(result.queries > 0);
+}

@@ -1,0 +1,300 @@
+//! Property-based tests over the workspace's core invariants.
+
+use cirlearn_aig::Aig;
+use cirlearn_bdd::Bdd;
+use cirlearn_logic::{Assignment, Cube, Literal, Sop, TruthTable, Var};
+use proptest::prelude::*;
+
+/// Strategy: a truth table over `n` variables from random words.
+fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {
+    prop::collection::vec(any::<u64>(), 1 << n.saturating_sub(6).max(0))
+        .prop_map(move |words| {
+            TruthTable::from_fn(n, |m| words[(m / 64) as usize] >> (m % 64) & 1 == 1)
+        })
+}
+
+/// Strategy: a random cube over `n` variables (possibly empty).
+fn cube(n: u32) -> impl Strategy<Value = Cube> {
+    prop::collection::vec((0..n, any::<bool>()), 0..=n as usize).prop_map(|lits| {
+        let mut c = Cube::top();
+        for (v, neg) in lits {
+            if let Some(next) = c.and_literal(Literal::new(Var::new(v), neg)) {
+                c = next;
+            }
+        }
+        c
+    })
+}
+
+/// Strategy: a random SOP over `n` variables.
+fn sop(n: u32, max_cubes: usize) -> impl Strategy<Value = Sop> {
+    prop::collection::vec(cube(n), 0..=max_cubes).prop_map(Sop::from_cubes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn isop_reconstructs_truth_table(tt in truth_table(7)) {
+        let sop = tt.isop();
+        prop_assert_eq!(TruthTable::from_sop(7, &sop), tt);
+    }
+
+    #[test]
+    fn espresso_preserves_function(s in sop(6, 10)) {
+        let tt = TruthTable::from_sop(6, &s);
+        let min = cirlearn_synth::espresso::minimize(&s);
+        prop_assert_eq!(TruthTable::from_sop(6, &min), tt);
+        prop_assert!(min.cubes().len() <= s.cubes().len().max(1));
+    }
+
+    #[test]
+    fn factoring_preserves_function(s in sop(6, 10)) {
+        let tt = TruthTable::from_sop(6, &s);
+        let expr = cirlearn_synth::factor::factor(&s);
+        for m in 0..64u64 {
+            prop_assert_eq!(
+                expr.eval_with(|v| m >> v.index() & 1 == 1),
+                tt.get(m),
+                "mismatch at {}", m
+            );
+        }
+        prop_assert!(expr.literal_count() <= s.literal_count());
+    }
+
+    #[test]
+    fn bdd_matches_truth_table_ops(a in truth_table(6), b in truth_table(6)) {
+        let mut bdd = Bdd::new(6);
+        let fa = bdd.from_truth_table(&a);
+        let fb = bdd.from_truth_table(&b);
+        let and = bdd.and(fa, fb);
+        let or = bdd.or(fa, fb);
+        let xor = bdd.xor(fa, fb);
+        prop_assert_eq!(bdd.to_truth_table(and).expect("small"), a.clone() & b.clone());
+        prop_assert_eq!(bdd.to_truth_table(or).expect("small"), a.clone() | b.clone());
+        prop_assert_eq!(bdd.to_truth_table(xor).expect("small"), a.clone() ^ b.clone());
+        // Canonicity: sat_count matches count_ones.
+        prop_assert_eq!(bdd.sat_count(fa), a.count_ones());
+    }
+
+    #[test]
+    fn aig_sop_matches_semantics(s in sop(6, 8)) {
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 6);
+        let f = g.add_sop(&s, &inputs);
+        g.add_output(f, "f");
+        let tt = TruthTable::from_sop(6, &s);
+        for m in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|k| m >> k & 1 == 1).collect();
+            prop_assert_eq!(g.eval_bits(&bits)[0], tt.get(m));
+        }
+    }
+
+    #[test]
+    fn cube_intersection_is_conjunction(a in cube(5), b in cube(5)) {
+        for m in 0..32u64 {
+            let val = |v: Var| m >> v.index() & 1 == 1;
+            let lhs = a.eval_with(val) && b.eval_with(val);
+            let rhs = a.intersect(&b).map_or(false, |c| c.eval_with(val));
+            prop_assert_eq!(lhs, rhs, "m={}", m);
+        }
+    }
+
+    #[test]
+    fn cube_implication_is_semantic(a in cube(5), b in cube(5)) {
+        let implies_syntactic = a.implies(&b);
+        let implies_semantic = (0..32u64).all(|m| {
+            let val = |v: Var| m >> v.index() & 1 == 1;
+            !a.eval_with(val) || b.eval_with(val)
+        });
+        // Syntactic implication is sound (semantic may be strictly
+        // weaker only when `a` is unsatisfiable, which cubes never are).
+        prop_assert_eq!(implies_syntactic, implies_semantic);
+    }
+
+    #[test]
+    fn assignment_vector_roundtrip(value in 0u64..256, offset in 0usize..4) {
+        let vars: Vec<Var> = (0..8).map(|k| Var::new((k + offset) as u32)).collect();
+        let mut a = Assignment::zeros(16);
+        a.write_vector(&vars, value);
+        prop_assert_eq!(a.read_vector(&vars), value);
+    }
+
+    #[test]
+    fn simulation_agrees_with_single_eval(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut pool: Vec<cirlearn_aig::Edge> =
+            (0..5).map(|i| g.add_input(format!("x{i}"))).collect();
+        for _ in 0..20 {
+            let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+            let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+            let n = g.and(a, b);
+            pool.push(n);
+        }
+        let out = *pool.last().expect("nonempty");
+        g.add_output(out, "y");
+        let patterns: Vec<Assignment> =
+            (0..100).map(|_| Assignment::random(5, &mut rng)).collect();
+        let batch = g.eval_batch(&patterns);
+        for (k, p) in patterns.iter().enumerate() {
+            prop_assert_eq!(&batch[k], &g.eval(p));
+        }
+    }
+
+    #[test]
+    fn sat_agrees_with_exhaustive_equivalence(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let build = |rng: &mut StdRng| {
+            let mut g = Aig::new();
+            let mut pool: Vec<cirlearn_aig::Edge> =
+                (0..4).map(|i| g.add_input(format!("x{i}"))).collect();
+            for _ in 0..10 {
+                let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+                let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+                let n = g.and(a, b);
+                pool.push(n);
+            }
+            let out = *pool.last().expect("nonempty");
+            g.add_output(out, "y");
+            g
+        };
+        let g1 = build(&mut rng);
+        let g2 = build(&mut rng);
+        let same = (0..16u32).all(|m| {
+            let bits: Vec<bool> = (0..4).map(|k| m >> k & 1 == 1).collect();
+            g1.eval_bits(&bits) == g2.eval_bits(&bits)
+        });
+        prop_assert_eq!(
+            cirlearn_sat::check_equivalence(&g1, &g2).is_equivalent(),
+            same
+        );
+    }
+
+    #[test]
+    fn bdd_isop_is_exact(tt in truth_table(6)) {
+        let mut bdd = Bdd::new(6);
+        let f = bdd.from_truth_table(&tt);
+        let sop = bdd.isop(f);
+        prop_assert_eq!(TruthTable::from_sop(6, &sop), tt);
+    }
+
+    #[test]
+    fn tautology_check_is_exact(s in sop(5, 12)) {
+        let tt = TruthTable::from_sop(5, &s);
+        prop_assert_eq!(cirlearn_synth::espresso::tautology(&s), tt.is_one());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn npn_canonical_is_class_invariant(seed in any::<u64>()) {
+        use cirlearn_logic::npn::npn_class;
+        use cirlearn_logic::NpnTransform;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = TruthTable::from_fn(4, |_| rng.gen_bool(0.5));
+        // Apply a random NPN transform; the canonical form must not move.
+        let mut perm: Vec<u8> = (0..4).collect();
+        for i in (1..4).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let t = NpnTransform {
+            perm,
+            input_neg: rng.gen_range(0..16),
+            output_neg: rng.gen_bool(0.5),
+        };
+        let g = t.apply(&f);
+        prop_assert_eq!(
+            npn_class(&f).expect("small"),
+            npn_class(&g).expect("small")
+        );
+    }
+
+    #[test]
+    fn sat_assumptions_are_sound(seed in any::<u64>()) {
+        use cirlearn_sat::{SolveResult, Solver};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 6usize;
+        let m = rng.gen_range(5..25);
+        let clauses: Vec<Vec<(usize, bool)>> = (0..m)
+            .map(|_| {
+                (0..3)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let assumptions: Vec<(usize, bool)> = (0..rng.gen_range(0..3))
+            .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+            .collect();
+
+        // Brute force under the assumptions.
+        let mut brute_sat = false;
+        'outer: for model in 0..1u32 << n {
+            for &(v, neg) in &assumptions {
+                if (model >> v & 1 == 1) == neg {
+                    continue 'outer;
+                }
+            }
+            if clauses
+                .iter()
+                .all(|c| c.iter().any(|&(v, neg)| (model >> v & 1 == 1) != neg))
+            {
+                brute_sat = true;
+                break;
+            }
+        }
+
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+        for c in &clauses {
+            let lits: Vec<_> = c
+                .iter()
+                .map(|&(v, neg)| if neg { !vars[v] } else { vars[v] })
+                .collect();
+            s.add_clause(&lits);
+        }
+        let assumption_lits: Vec<_> = assumptions
+            .iter()
+            .map(|&(v, neg)| if neg { !vars[v] } else { vars[v] })
+            .collect();
+        let got = s.solve_with_assumptions(&assumption_lits) == SolveResult::Sat;
+        prop_assert_eq!(got, brute_sat);
+        // The solver remains reusable afterwards.
+        let _ = s.solve();
+    }
+
+    #[test]
+    fn aiger_roundtrip_preserves_function(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = Aig::new();
+        let mut pool: Vec<cirlearn_aig::Edge> =
+            (0..4).map(|i| g.add_input(format!("in{i}"))).collect();
+        for _ in 0..12 {
+            let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+            let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
+            let n = g.and(a, b);
+            pool.push(n);
+        }
+        let out = *pool.last().expect("nonempty");
+        g.add_output(out, "y");
+        let g = g.cleanup();
+        let back = Aig::from_aiger_ascii(&g.to_aiger_ascii()).expect("roundtrip parses");
+        for m in 0..16u32 {
+            let bits: Vec<bool> = (0..4).map(|k| m >> k & 1 == 1).collect();
+            prop_assert_eq!(back.eval_bits(&bits), g.eval_bits(&bits));
+        }
+    }
+}

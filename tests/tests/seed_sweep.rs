@@ -1,0 +1,60 @@
+//! Robustness sweep: the learner must hold its per-category quality
+//! bars across many generator seeds, not just the suite's fixed ones.
+
+use cirlearn::{Learner, LearnerConfig};
+use cirlearn_oracle::{evaluate_accuracy, generate, EvalConfig};
+
+fn accuracy_with_rounds(oracle: &mut cirlearn_oracle::CircuitOracle, rounds: usize) -> f64 {
+    let mut cfg = LearnerConfig::fast();
+    // Support identification is statistical (S' under-approximates S);
+    // the quality bar of these sweeps assumes paper-adjacent sampling
+    // effort, so raise r above the CI-fast default where needed.
+    cfg.support_sampling.rounds = rounds;
+    let mut learner = Learner::new(cfg);
+    let result = learner.learn(oracle);
+    evaluate_accuracy(
+        oracle.reveal(),
+        &result.circuit,
+        &EvalConfig {
+            patterns_per_group: 2_500,
+            ..EvalConfig::default()
+        },
+    )
+    .ratio()
+}
+
+#[test]
+fn diag_is_exact_across_seeds() {
+    for seed in [1u64, 7, 19, 42, 1234] {
+        let mut oracle = generate::diag_case(24, 2, seed);
+        let acc = accuracy_with_rounds(&mut oracle, 240);
+        assert_eq!(acc, 1.0, "seed {seed}: DIAG accuracy {acc}");
+    }
+}
+
+#[test]
+fn data_is_exact_across_seeds() {
+    for seed in [2u64, 8, 21, 77, 5150] {
+        let mut oracle = generate::data_case(14, 6, seed);
+        let acc = accuracy_with_rounds(&mut oracle, 240);
+        assert_eq!(acc, 1.0, "seed {seed}: DATA accuracy {acc}");
+    }
+}
+
+#[test]
+fn small_eco_meets_bar_across_seeds() {
+    for seed in [3u64, 9, 23, 81, 911] {
+        let mut oracle = generate::eco_case_with_support(20, 3, 8, seed);
+        let acc = accuracy_with_rounds(&mut oracle, 1200);
+        assert!(acc >= 0.9999, "seed {seed}: ECO accuracy {acc}");
+    }
+}
+
+#[test]
+fn small_neq_meets_bar_across_seeds() {
+    for seed in [4u64, 11, 29, 83, 999] {
+        let mut oracle = generate::neq_case_with_support(24, 2, 8, seed);
+        let acc = accuracy_with_rounds(&mut oracle, 1200);
+        assert!(acc >= 0.999, "seed {seed}: NEQ accuracy {acc}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Category-level expectations over the contest suite at reduced scale
+//! — a fast proxy for the full `table2` harness, run in CI.
+
+use std::time::Duration;
+
+use cirlearn::{Learner, LearnerConfig, Strategy};
+use cirlearn_oracle::{contest_suite, evaluate_accuracy, Category, EvalConfig};
+
+fn learn_case(name: &str, budget_secs: u64) -> (cirlearn::LearnResult, f64) {
+    let suite = contest_suite();
+    let case = suite.iter().find(|c| c.name == name).expect("case exists");
+    let mut oracle = case.build();
+    let mut cfg = LearnerConfig::fast();
+    cfg.time_budget = Duration::from_secs(budget_secs);
+    let result = Learner::new(cfg).learn(&mut oracle);
+    let acc = evaluate_accuracy(
+        oracle.reveal(),
+        &result.circuit,
+        &EvalConfig {
+            patterns_per_group: 4_000,
+            ..EvalConfig::default()
+        },
+    );
+    (result, acc.ratio())
+}
+
+#[test]
+fn diag_case_16_solves_via_templates() {
+    let (result, acc) = learn_case("case_16", 10);
+    assert_eq!(acc, 1.0, "case_16 accuracy {acc}");
+    assert!(result
+        .outputs
+        .iter()
+        .all(|s| s.strategy == Strategy::ComparatorTemplate));
+}
+
+#[test]
+fn data_case_12_solves_via_linear_template() {
+    let (result, acc) = learn_case("case_12", 20);
+    assert_eq!(acc, 1.0, "case_12 accuracy {acc}");
+    assert!(result
+        .outputs
+        .iter()
+        .all(|s| s.strategy == Strategy::LinearTemplate));
+}
+
+#[test]
+fn easy_eco_case_13_is_exact_and_tiny() {
+    let (result, acc) = learn_case("case_13", 10);
+    assert_eq!(acc, 1.0, "case_13 accuracy {acc}");
+    assert!(result.circuit.gate_count() < 100);
+}
+
+#[test]
+fn easy_neq_case_10_is_exact() {
+    let (_, acc) = learn_case("case_10", 10);
+    assert_eq!(acc, 1.0, "case_10 accuracy {acc}");
+}
+
+#[test]
+fn hard_neq_case_14_fails_the_bar() {
+    // The paper's case_14 reached only 28% after 2700 s; under a small
+    // budget the analogue must stay far below the contest bar — if it
+    // ever "solves", the benchmark generator has degenerated.
+    let (result, acc) = learn_case("case_14", 6);
+    assert!(acc < 0.999, "case_14 should stay hard, got {acc}");
+    assert!(
+        result.outputs.iter().any(|s| s.forced_leaves > 0),
+        "budget pressure should force leaves"
+    );
+}
+
+#[test]
+fn category_census_matches_paper() {
+    let suite = contest_suite();
+    let count = |c: Category| suite.iter().filter(|x| x.category == c).count();
+    assert_eq!(
+        (count(Category::Eco), count(Category::Diag), count(Category::Neq), count(Category::Data)),
+        (7, 6, 5, 2)
+    );
+}
