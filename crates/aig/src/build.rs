@@ -187,7 +187,7 @@ fn shift_left(word: &[Edge], by: usize) -> Vec<Edge> {
         return vec![Edge::FALSE; width];
     }
     let mut out = word[by..].to_vec();
-    out.extend(std::iter::repeat(Edge::FALSE).take(by));
+    out.extend(std::iter::repeat_n(Edge::FALSE, by));
     out
 }
 
@@ -205,7 +205,13 @@ mod tests {
 
     /// Builds an AIG with two input words of the given widths and runs
     /// `check` on every input combination.
-    fn exhaustive2(wa: usize, wb: usize, build: impl Fn(&mut Aig, &[Edge], &[Edge]) -> Vec<Edge>, expect: impl Fn(u64, u64) -> u64, out_width: usize) {
+    fn exhaustive2(
+        wa: usize,
+        wb: usize,
+        build: impl Fn(&mut Aig, &[Edge], &[Edge]) -> Vec<Edge>,
+        expect: impl Fn(u64, u64) -> u64,
+        out_width: usize,
+    ) {
         let mut g = Aig::new();
         let a = g.add_inputs("a", wa);
         let b = g.add_inputs("b", wb);
@@ -256,7 +262,13 @@ mod tests {
 
     #[test]
     fn subtractor_exhaustive() {
-        exhaustive2(4, 4, |g, a, b| g.sub_word(a, b), |x, y| x.wrapping_sub(y), 4);
+        exhaustive2(
+            4,
+            4,
+            |g, a, b| g.sub_word(a, b),
+            |x, y| x.wrapping_sub(y),
+            4,
+        );
     }
 
     #[test]
@@ -269,7 +281,10 @@ mod tests {
         }
         for va in 0..16u64 {
             let bits: Vec<bool> = (0..4).rev().map(|k| va >> k & 1 == 1).collect();
-            let got: u64 = g.eval_bits(&bits).iter().fold(0, |acc, &b| acc << 1 | b as u64);
+            let got: u64 = g
+                .eval_bits(&bits)
+                .iter()
+                .fold(0, |acc, &b| acc << 1 | b as u64);
             assert_eq!(got, va.wrapping_neg() & 0xf);
         }
     }
@@ -285,8 +300,10 @@ mod tests {
             }
             for va in 0..16u64 {
                 let bits: Vec<bool> = (0..4).rev().map(|j| va >> j & 1 == 1).collect();
-                let got: u64 =
-                    g.eval_bits(&bits).iter().fold(0, |acc, &b| acc << 1 | b as u64);
+                let got: u64 = g
+                    .eval_bits(&bits)
+                    .iter()
+                    .fold(0, |acc, &b| acc << 1 | b as u64);
                 let expect = (va as i64 * k) as u64 & 0x3f;
                 assert_eq!(got, expect, "k={k} a={va}");
             }
@@ -311,8 +328,10 @@ mod tests {
                 for k in (0..3).rev() {
                     bits.push(vb >> k & 1 == 1);
                 }
-                let got: u64 =
-                    g.eval_bits(&bits).iter().fold(0, |acc, &b| acc << 1 | b as u64);
+                let got: u64 = g
+                    .eval_bits(&bits)
+                    .iter()
+                    .fold(0, |acc, &b| acc << 1 | b as u64);
                 let expect = (3 * va - 2 * vb + 5) as u64 & 0xff;
                 assert_eq!(got, expect, "a={va} b={vb}");
             }
@@ -322,7 +341,8 @@ mod tests {
     #[test]
     fn comparators_exhaustive() {
         type CmpFn = fn(&mut Aig, &[Edge], &[Edge]) -> Edge;
-        let cases: Vec<(CmpFn, fn(u64, u64) -> bool)> = vec![
+        type CmpCase = (CmpFn, fn(u64, u64) -> bool);
+        let cases: Vec<CmpCase> = vec![
             (Aig::cmp_eq, |x, y| x == y),
             (Aig::cmp_ne, |x, y| x != y),
             (Aig::cmp_ult, |x, y| x < y),

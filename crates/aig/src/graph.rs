@@ -245,6 +245,30 @@ impl Aig {
         count
     }
 
+    /// Returns the number of AND nodes in the transitive fanin cone of
+    /// the `position`-th output. Cones of different outputs may share
+    /// nodes, so the per-output cone sizes can sum to more than
+    /// [`Aig::gate_count`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position ≥ num_outputs`.
+    pub fn output_cone_size(&self, position: usize) -> usize {
+        let mut mark = vec![false; self.fanins.len()];
+        let mut stack = vec![self.outputs[position].0.node()];
+        let mut count = 0;
+        while let Some(n) = stack.pop() {
+            if mark[n.index()] || !self.is_and(n) {
+                continue;
+            }
+            mark[n.index()] = true;
+            count += 1;
+            stack.push(self.fanins[n.index()][0].node());
+            stack.push(self.fanins[n.index()][1].node());
+        }
+        count
+    }
+
     /// Returns the logic level of every node (inputs and the constant
     /// at level 0; an AND is one above its deepest fanin).
     pub fn node_levels(&self) -> Vec<usize> {
@@ -344,9 +368,8 @@ impl Aig {
     /// Iterates over the AND nodes in topological order as
     /// `(node, fanin0, fanin1)`.
     pub fn ands(&self) -> impl Iterator<Item = (NodeId, Edge, Edge)> + '_ {
-        (self.num_inputs + 1..self.fanins.len()).map(move |i| {
-            (NodeId(i as u32), self.fanins[i][0], self.fanins[i][1])
-        })
+        (self.num_inputs + 1..self.fanins.len())
+            .map(move |i| (NodeId(i as u32), self.fanins[i][0], self.fanins[i][1]))
     }
 
     /// Evaluates all outputs on a single input pattern given as a bit
@@ -389,8 +412,8 @@ impl Aig {
         }
         let mut out = Aig::with_inputs_like(self);
         let mut map: Vec<Edge> = vec![Edge::FALSE; self.fanins.len()];
-        for i in 0..=self.num_inputs {
-            map[i] = Edge::new(NodeId(i as u32), false);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_inputs + 1) {
+            *m = Edge::new(NodeId(i as u32), false);
         }
         for i in self.num_inputs + 1..self.fanins.len() {
             if keep[i] {
@@ -477,6 +500,24 @@ mod tests {
         assert_eq!(g.and(a, a), a);
         assert_eq!(g.and(a, !a), Edge::FALSE);
         assert_eq!(g.and_count(), 0);
+    }
+
+    #[test]
+    fn output_cone_sizes_count_shared_nodes_per_output() {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let c = g.add_input("c");
+        let ab = g.and(a, b);
+        let abc = g.and(ab, c);
+        g.add_output(ab, "y0");
+        g.add_output(abc, "y1");
+        g.add_output(a, "y2");
+        assert_eq!(g.output_cone_size(0), 1);
+        assert_eq!(g.output_cone_size(1), 2);
+        assert_eq!(g.output_cone_size(2), 0);
+        // Shared nodes count once globally but per output in cones.
+        assert_eq!(g.gate_count(), 2);
     }
 
     #[test]

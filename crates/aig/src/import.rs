@@ -80,7 +80,8 @@ impl Aig {
             return Err(ParseAigerError::BadHeader(header.to_owned()));
         }
         let parse = |t: &str| -> Result<usize, ParseAigerError> {
-            t.parse().map_err(|_| ParseAigerError::BadNumber(t.to_owned()))
+            t.parse()
+                .map_err(|_| ParseAigerError::BadNumber(t.to_owned()))
         };
         let _max_var = parse(fields[1])?;
         let num_inputs = parse(fields[2])?;
@@ -92,10 +93,8 @@ impl Aig {
         }
 
         let mut aig = Aig::new();
-        let mut input_names: Vec<String> =
-            (0..num_inputs).map(|k| format!("i{k}")).collect();
-        let mut output_names: Vec<String> =
-            (0..num_outputs).map(|k| format!("o{k}")).collect();
+        let mut input_names: Vec<String> = (0..num_inputs).map(|k| format!("i{k}")).collect();
+        let mut output_names: Vec<String> = (0..num_outputs).map(|k| format!("o{k}")).collect();
 
         // Inputs: literal 2*(k+1), positive.
         for k in 0..num_inputs {

@@ -111,8 +111,7 @@ mod tests {
     fn simulate_matches_eval_bits() {
         let g = sample_aig();
         let mut rng = StdRng::seed_from_u64(11);
-        let patterns: Vec<Assignment> =
-            (0..200).map(|_| Assignment::random(3, &mut rng)).collect();
+        let patterns: Vec<Assignment> = (0..200).map(|_| Assignment::random(3, &mut rng)).collect();
         let batch = g.eval_batch(&patterns);
         for (row, p) in patterns.iter().enumerate() {
             let bits: Vec<bool> = p.iter().collect();

@@ -89,12 +89,15 @@ impl Aig {
         position: usize,
         build_replacement: impl FnOnce(&mut Aig) -> Edge,
     ) -> Aig {
-        assert!(position < self.num_inputs(), "input {position} out of range");
+        assert!(
+            position < self.num_inputs(),
+            "input {position} out of range"
+        );
         let mut out = Aig::with_inputs_like(self);
         let replacement = build_replacement(&mut out);
         let mut map: Vec<Edge> = vec![Edge::FALSE; self.node_count()];
-        for i in 0..=self.num_inputs() {
-            map[i] = Edge::from_code(i as u32 * 2);
+        for (i, m) in map.iter_mut().enumerate().take(self.num_inputs() + 1) {
+            *m = Edge::from_code(i as u32 * 2);
         }
         map[self.input_edge(position).node().index()] = replacement;
         for (n, a, b) in self.ands() {
@@ -150,7 +153,10 @@ mod tests {
         let (cone, support) = g.extract_cone(!f);
         assert_eq!(support, vec![0, 2, 3]);
         assert_eq!(cone.num_inputs(), 3);
-        assert_eq!(cone.input_names(), &["a".to_owned(), "b".into(), "c".into()]);
+        assert_eq!(
+            cone.input_names(),
+            &["a".to_owned(), "b".into(), "c".into()]
+        );
         for m in 0..16u32 {
             let bits: Vec<bool> = (0..4).map(|i| m >> i & 1 == 1).collect();
             let full = g.eval_bits(&bits)[1];

@@ -60,8 +60,16 @@ impl Bdd {
     pub fn new(num_vars: usize) -> Self {
         Bdd {
             nodes: vec![
-                Node { var: TERMINAL_VAR, low: BddRef::FALSE, high: BddRef::FALSE },
-                Node { var: TERMINAL_VAR, low: BddRef::TRUE, high: BddRef::TRUE },
+                Node {
+                    var: TERMINAL_VAR,
+                    low: BddRef::FALSE,
+                    high: BddRef::FALSE,
+                },
+                Node {
+                    var: TERMINAL_VAR,
+                    low: BddRef::TRUE,
+                    high: BddRef::TRUE,
+                },
             ],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
@@ -162,10 +170,7 @@ impl Bdd {
         if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
             return r;
         }
-        let top = self
-            .var_of(f)
-            .min(self.var_of(g))
-            .min(self.var_of(h));
+        let top = self.var_of(f).min(self.var_of(g)).min(self.var_of(h));
         let (f0, f1) = self.cofactors(f, top);
         let (g0, g1) = self.cofactors(g, top);
         let (h0, h1) = self.cofactors(h, top);
@@ -235,7 +240,11 @@ impl Bdd {
         let mut cur = f;
         while !cur.is_const() {
             let n = self.nodes[cur.index()];
-            cur = if value_of(Var::new(n.var)) { n.high } else { n.low };
+            cur = if value_of(Var::new(n.var)) {
+                n.high
+            } else {
+                n.low
+            };
         }
         cur == BddRef::TRUE
     }
@@ -310,12 +319,15 @@ impl Bdd {
     /// # Panics
     ///
     /// Panics if the table has more variables than the manager.
+    // The manager is the node factory, so `from_*` takes `&mut self`
+    // here like in other BDD packages.
+    #[allow(clippy::wrong_self_convention)]
     pub fn from_truth_table(&mut self, tt: &TruthTable) -> BddRef {
         assert!(tt.num_vars() <= self.num_vars, "table wider than manager");
-        self.from_tt_rec(tt, 0)
+        self.build_tt_rec(tt, 0)
     }
 
-    fn from_tt_rec(&mut self, tt: &TruthTable, var: u32) -> BddRef {
+    fn build_tt_rec(&mut self, tt: &TruthTable, var: u32) -> BddRef {
         if tt.is_zero() {
             return BddRef::FALSE;
         }
@@ -325,11 +337,11 @@ impl Bdd {
         let v = Var::new(var);
         let low = {
             let t = tt.cofactor(v, false);
-            self.from_tt_rec(&t, var + 1)
+            self.build_tt_rec(&t, var + 1)
         };
         let high = {
             let t = tt.cofactor(v, true);
-            self.from_tt_rec(&t, var + 1)
+            self.build_tt_rec(&t, var + 1)
         };
         self.mk(var, low, high)
     }
@@ -537,7 +549,11 @@ mod tests {
         let h = b.var(2);
         let r = b.ite(f, g, h);
         for m in 0..8u64 {
-            let expect = if m & 1 == 1 { m >> 1 & 1 == 1 } else { m >> 2 & 1 == 1 };
+            let expect = if m & 1 == 1 {
+                m >> 1 & 1 == 1
+            } else {
+                m >> 2 & 1 == 1
+            };
             assert_eq!(b.eval_with(r, |v| m >> v.index() & 1 == 1), expect, "m={m}");
         }
     }

@@ -21,14 +21,7 @@ fn bench_pattern_sampling(c: &mut Criterion) {
             };
             let mut rng = seeded_rng(1);
             b.iter(|| {
-                let stats = pattern_sampling(
-                    &mut oracle,
-                    0,
-                    &Cube::top(),
-                    &probe,
-                    &cfg,
-                    &mut rng,
-                );
+                let stats = pattern_sampling(&mut oracle, 0, &Cube::top(), &probe, &cfg, &mut rng);
                 black_box(stats.truth_ratio)
             });
         });

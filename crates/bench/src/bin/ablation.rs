@@ -11,16 +11,25 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cirlearn-bench --bin ablation [--full]
+//! cargo run --release -p cirlearn-bench --bin ablation [--full] [--verbose]
 //! ```
+//!
+//! `--verbose` narrates each run through the telemetry reporter and
+//! prints a per-stage wall-clock / oracle-query breakdown, which makes
+//! the "time increases without preprocessing" effect attributable to a
+//! concrete stage (FBDT construction) instead of a single total.
 
 use std::time::{Duration, Instant};
 
 use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::{contest_suite, evaluate_accuracy, EvalConfig};
+use cirlearn_telemetry::{Level, Reporter, StderrReporter, Telemetry};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
+    let verbose = std::env::args().any(|a| a == "--verbose");
+    let level = if verbose { Level::Debug } else { Level::Warn };
+    let mut reporter = StderrReporter::new(level);
     let (budget, eval_patterns) = if full {
         (Duration::from_secs(300), 500_000)
     } else {
@@ -46,14 +55,27 @@ fn main() {
     let mut size_ratios = Vec::new();
     let mut time_ratios = Vec::new();
     for case in targets {
-        let run = |preprocessing: bool| {
+        let mut run = |preprocessing: bool| {
+            reporter.event(
+                Level::Debug,
+                "ablation",
+                &format!(
+                    "{} with preprocessing {} ...",
+                    case.name,
+                    if preprocessing { "on" } else { "off" }
+                ),
+            );
             let mut oracle = case.build();
             let mut cfg = LearnerConfig::fast();
             cfg.preprocessing = preprocessing;
             cfg.time_budget = budget;
+            let telemetry = Telemetry::new(Box::new(StderrReporter::new(level)));
             let start = Instant::now();
-            let result = Learner::new(cfg).learn(&mut oracle);
+            let result = Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle);
             let secs = start.elapsed().as_secs_f64();
+            if verbose {
+                eprint!("{}", telemetry.report().stage_breakdown());
+            }
             let acc = evaluate_accuracy(
                 oracle.reveal(),
                 &result.circuit,
@@ -62,7 +84,11 @@ fn main() {
                     ..EvalConfig::default()
                 },
             );
-            (cirlearn_synth::map::map_gates(&result.circuit).gate_count(), acc.percent(), secs)
+            (
+                cirlearn_synth::map::map_gates(&result.circuit).gate_count(),
+                acc.percent(),
+                secs,
+            )
         };
         let (s_on, a_on, t_on) = run(true);
         let (s_off, a_off, t_off) = run(false);

@@ -122,12 +122,8 @@ fn ablation_onset_offset() {
     };
     let (with_cubes, with_compl, _) = run(true);
     let (without_cubes, without_compl, _) = run(false);
-    println!(
-        "selection on : {with_cubes} cubes (complemented: {with_compl})"
-    );
-    println!(
-        "selection off: {without_cubes} cubes (complemented: {without_compl})"
-    );
+    println!("selection on : {with_cubes} cubes (complemented: {with_compl})");
+    println!("selection off: {without_cubes} cubes (complemented: {without_compl})");
     println!();
 }
 

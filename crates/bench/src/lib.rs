@@ -13,6 +13,7 @@ use std::time::{Duration, Instant};
 use cirlearn::baseline::{GreedyDtLearner, SampleSopLearner};
 use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::{evaluate_accuracy, ContestCase, EvalConfig};
+use cirlearn_telemetry::Telemetry;
 
 /// Which learner produced a row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,13 +90,28 @@ impl Scale {
 
 /// Runs one contestant on one case and returns the row.
 pub fn run_case(case: &ContestCase, contestant: Contestant, scale: &Scale) -> Row {
+    run_case_with(case, contestant, scale, &Telemetry::disabled())
+}
+
+/// Like [`run_case`], but records the paper pipeline's spans, counters
+/// and per-stage query attribution into `telemetry` (baselines are not
+/// instrumented; only the [`Contestant::Ours`] learner reports).
+pub fn run_case_with(
+    case: &ContestCase,
+    contestant: Contestant,
+    scale: &Scale,
+    telemetry: &Telemetry,
+) -> Row {
     let mut oracle = case.build();
+    telemetry.set_meta("case", case.name);
+    telemetry.set_meta("category", case.category);
+    telemetry.set_meta("contestant", contestant);
     let start = Instant::now();
     let result = match contestant {
         Contestant::Ours => {
             let mut cfg = LearnerConfig::fast();
             cfg.time_budget = scale.budget;
-            Learner::new(cfg).learn(&mut oracle)
+            Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle)
         }
         Contestant::GreedyDt => GreedyDtLearner {
             time_budget: scale.budget,
@@ -145,10 +161,7 @@ pub fn print_table(rows: &[Row], contestants: &[Contestant]) {
         );
         for c in contestants {
             match rows.iter().find(|r| r.case == case && r.contestant == *c) {
-                Some(r) => print!(
-                    " {:>9} {:>7.3} {:>6.1} |",
-                    r.size, r.accuracy, r.seconds
-                ),
+                Some(r) => print!(" {:>9} {:>7.3} {:>6.1} |", r.size, r.accuracy, r.seconds),
                 None => print!(" {:>24} |", "-"),
             }
         }

@@ -4,6 +4,7 @@
 //! ```text
 //! cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
 //!                [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+//!                [--report report.json] [--log-level LEVEL] [--verbose]
 //! cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
 //! cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
 //! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
@@ -16,13 +17,20 @@
 //! circuit; `eval` scores a candidate with the contest's three-way
 //! biased pattern mix; `gen` emits a synthetic benchmark of the given
 //! contest category.
+//!
+//! Telemetry: `--log-level` (error|warn|info|debug|trace) controls the
+//! pipeline narration on stderr (`--verbose` is an alias for `--log-level
+//! debug`); `--report <path>` writes a machine-readable JSON run report
+//! with per-stage wall clock and oracle-query breakdowns.
 
 use std::process::ExitCode;
+use std::str::FromStr;
 use std::time::Duration;
 
-use cirlearn::{Learner, LearnerConfig};
+use cirlearn::{LearnResult, Learner, LearnerConfig};
 use cirlearn_aig::Aig;
 use cirlearn_oracle::{evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle};
+use cirlearn_telemetry::{Level, StderrReporter, Telemetry};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,8 +48,10 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
                  [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+                 [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
                  [-o learned.aag] [--budget SECS] [--seed N]
+                 [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
   cirlearn opt <input.aag> [-o out.aag] [--budget SECS]
@@ -125,8 +135,51 @@ fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
 }
 
+/// Builds the telemetry handle from `--log-level` / `--verbose`.
+///
+/// Telemetry is always enabled in the CLI (the overhead is a handful of
+/// span timestamps per output); the level only controls what the stderr
+/// reporter prints.
+fn telemetry_of(opts: &Opts) -> Result<Telemetry, String> {
+    let level = match opts.value("log-level") {
+        Some(v) => Level::from_str(v)?,
+        None if opts.present("verbose") => Level::Debug,
+        None => Level::Warn,
+    };
+    Ok(Telemetry::new(Box::new(StderrReporter::new(level))))
+}
+
+/// Prints the per-output summary lines on stderr.
+fn print_output_summary(result: &LearnResult) {
+    for s in &result.outputs {
+        eprintln!(
+            "  output {:>3} ({}): {} (support {}, {} queries, {:.3}s, gates {} -> {})",
+            s.output,
+            s.name,
+            s.strategy,
+            s.support_size,
+            s.queries,
+            s.elapsed.as_secs_f64(),
+            s.gates_before_opt,
+            s.gates_after_opt
+        );
+    }
+}
+
+/// Writes the JSON run report when `--report <path>` was given, and
+/// prints the per-stage breakdown at the end of a run.
+fn finish_run(telemetry: &Telemetry, opts: &Opts) -> Result<(), String> {
+    let report = telemetry.report();
+    eprint!("{}", report.stage_breakdown());
+    if let Some(path) = opts.value("report") {
+        write_file(path, &report.to_json().to_pretty())?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn cmd_learn(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["budget", "seed", "verilog"])?;
+    let opts = Opts::parse(args, &["budget", "seed", "verilog", "report", "log-level"])?;
     let [input] = opts.positional.as_slice() else {
         return Err("learn expects exactly one input file".to_owned());
     };
@@ -143,7 +196,11 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
     if opts.present("no-preprocessing") {
         config.preprocessing = false;
     }
-    config.verbose = opts.present("verbose");
+    let telemetry = telemetry_of(&opts)?;
+    telemetry.set_meta("command", "learn");
+    telemetry.set_meta("case", input);
+    telemetry.set_meta("seed", config.seed);
+    telemetry.set_meta("budget_s", config.time_budget.as_secs_f64());
 
     eprintln!(
         "learning {} ({} inputs, {} outputs) ...",
@@ -151,13 +208,8 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         oracle.num_inputs(),
         oracle.num_outputs()
     );
-    let result = Learner::new(config).learn(&mut oracle);
-    for s in &result.outputs {
-        eprintln!(
-            "  output {:>3} ({}): {} (support {})",
-            s.output, s.name, s.strategy, s.support_size
-        );
-    }
+    let result = Learner::with_telemetry(config, telemetry.clone()).learn(&mut oracle);
+    print_output_summary(&result);
     eprintln!(
         "learned {} gates in {:.1?} with {} queries",
         result.circuit.gate_count(),
@@ -188,17 +240,32 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         write_file(path, &result.circuit.to_verilog("learned"))?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    finish_run(&telemetry, &opts)
 }
 
 /// Learns an *external* black box over the line protocol of
 /// [`cirlearn_oracle::ProcessOracle`]. Accuracy cannot be reported (no
 /// golden circuit); the learned AIGER is the deliverable.
 fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["cmd", "args", "inputs", "outputs", "budget", "seed"])?;
+    let opts = Opts::parse(
+        args,
+        &[
+            "cmd",
+            "args",
+            "inputs",
+            "outputs",
+            "budget",
+            "seed",
+            "report",
+            "log-level",
+        ],
+    )?;
     let program = opts.value("cmd").ok_or("learn-bb requires --cmd")?;
     let split_names = |s: &str| -> Vec<String> {
-        s.split(',').map(|t| t.trim().to_owned()).filter(|t| !t.is_empty()).collect()
+        s.split(',')
+            .map(|t| t.trim().to_owned())
+            .filter(|t| !t.is_empty())
+            .collect()
     };
     let inputs = split_names(opts.value("inputs").ok_or("learn-bb requires --inputs")?);
     let outputs = split_names(opts.value("outputs").ok_or("learn-bb requires --outputs")?);
@@ -210,20 +277,18 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
         .map(|a| a.split_whitespace().map(str::to_owned).collect())
         .unwrap_or_default();
     let arg_refs: Vec<&str> = extra_args.iter().map(String::as_str).collect();
-    let mut oracle =
-        cirlearn_oracle::ProcessOracle::spawn(program, &arg_refs, inputs, outputs)
-            .map_err(|e| e.to_string())?;
+    let mut oracle = cirlearn_oracle::ProcessOracle::spawn(program, &arg_refs, inputs, outputs)
+        .map_err(|e| e.to_string())?;
 
     let mut config = LearnerConfig::fast();
     config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
     config.seed = opts.number("seed", config.seed)?;
-    let result = Learner::new(config).learn(&mut oracle);
-    for s in &result.outputs {
-        eprintln!(
-            "  output {:>3} ({}): {} (support {})",
-            s.output, s.name, s.strategy, s.support_size
-        );
-    }
+    let telemetry = telemetry_of(&opts)?;
+    telemetry.set_meta("command", "learn-bb");
+    telemetry.set_meta("case", program);
+    telemetry.set_meta("seed", config.seed);
+    let result = Learner::with_telemetry(config, telemetry.clone()).learn(&mut oracle);
+    print_output_summary(&result);
     let mapped = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
     println!(
         "size={mapped} aig_ands={} time={:.3}s queries={}",
@@ -235,7 +300,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
         write_file(path, &result.circuit.to_aiger_ascii())?;
         eprintln!("wrote {path}");
     }
-    Ok(())
+    finish_run(&telemetry, &opts)
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {

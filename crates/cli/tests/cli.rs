@@ -27,7 +27,11 @@ fn gen_learn_eval_roundtrip() {
         .arg(&hidden)
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "gen failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "gen failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(hidden.exists());
 
     // stats
@@ -47,7 +51,11 @@ fn gen_learn_eval_roundtrip() {
         .arg(&verilog)
         .output()
         .expect("run learn");
-    assert!(out.status.success(), "learn failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "learn failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("accuracy=100.000%"), "{stdout}");
     assert!(learned.exists() && verilog.exists());
@@ -74,6 +82,62 @@ fn gen_learn_eval_roundtrip() {
         .output()
         .expect("run opt");
     assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn learn_report_stage_queries_sum_to_stdout_total() {
+    use cirlearn_telemetry::{counters, json::Json, RunReport};
+
+    // Own directory: gen_learn_eval_roundtrip removes the shared one.
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let hidden = dir.join("hidden.aag");
+    let report = dir.join("report.json");
+
+    let out = bin()
+        .args(["gen", "eco", "16", "2", "--seed", "31", "-o"])
+        .arg(&hidden)
+        .output()
+        .expect("run gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["learn"])
+        .arg(&hidden)
+        .args(["--budget", "30", "--report"])
+        .arg(&report)
+        .output()
+        .expect("run learn");
+    assert!(
+        out.status.success(),
+        "learn failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let queries: u64 = stdout
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix("queries="))
+        .expect("stdout reports queries=")
+        .parse()
+        .expect("queries= is a number");
+
+    let text = std::fs::read_to_string(&report).expect("report file written");
+    let json = Json::parse(&text).expect("report is valid JSON");
+    let run = RunReport::from_json(&json).expect("report matches the schema");
+    assert_eq!(
+        run.top_level_counter_sum(counters::ORACLE_QUERIES),
+        queries,
+        "per-stage queries in {report:?} must sum to the stdout total"
+    );
+    assert_eq!(run.counter(counters::ORACLE_QUERIES), queries);
+    assert!(!run.outputs.is_empty(), "report carries per-output stats");
+    assert_eq!(run.meta.get("command").map(String::as_str), Some("learn"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

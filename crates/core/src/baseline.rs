@@ -20,8 +20,8 @@ use cirlearn_oracle::Oracle;
 use rand::rngs::StdRng;
 
 use crate::budget::Budget;
-use crate::sampling::{pattern_sampling, seeded_rng, SamplingConfig};
 use crate::learner::LearnResult;
+use crate::sampling::{pattern_sampling, seeded_rng, SamplingConfig};
 use crate::{OutputStats, Strategy};
 
 /// Baseline (i): a greedy depth-first decision-tree learner without any
@@ -70,6 +70,8 @@ impl GreedyDtLearner {
         let num_outputs = oracle.num_outputs();
         let mut edges = Vec::with_capacity(num_outputs);
         for o in 0..num_outputs {
+            let out_start = std::time::Instant::now();
+            let queries_before = oracle.queries();
             let sop = self.learn_output(oracle, o, &cfg, &budget, &mut rng);
             // Flat SOP construction: no minimization, no factoring.
             edges.push(circuit.add_sop(&sop, &var_map));
@@ -79,13 +81,23 @@ impl GreedyDtLearner {
                 strategy: Strategy::Fbdt,
                 support_size: 0,
                 forced_leaves: 0,
+                elapsed: out_start.elapsed(),
+                queries: oracle.queries() - queries_before,
+                gates_before_opt: 0,
+                gates_after_opt: 0,
             });
         }
         for (o, e) in edges.into_iter().enumerate() {
             circuit.add_output(e, oracle.output_names()[o].clone());
         }
+        let circuit = circuit.cleanup();
+        for s in &mut stats {
+            // Baselines skip optimization: before == after.
+            s.gates_before_opt = circuit.output_cone_size(s.output);
+            s.gates_after_opt = s.gates_before_opt;
+        }
         LearnResult {
-            circuit: circuit.cleanup(),
+            circuit,
             outputs: stats,
             elapsed: budget.elapsed(),
             queries: oracle.queries() - start_queries,
@@ -181,17 +193,17 @@ impl SampleSopLearner {
         let mut stats = Vec::new();
         let mut edges = Vec::with_capacity(num_outputs);
         for o in 0..num_outputs {
+            let out_start = std::time::Instant::now();
+            let queries_before = oracle.queries();
             // Crude support estimate so minterms are over fewer vars.
             let probe: Vec<usize> = (0..n).collect();
             let cfg = SamplingConfig {
                 rounds: self.support_rounds,
                 ratios: vec![0.5],
             };
-            let sup_stats =
-                pattern_sampling(oracle, o, &Cube::top(), &probe, &cfg, &mut rng);
+            let sup_stats = pattern_sampling(oracle, o, &Cube::top(), &probe, &cfg, &mut rng);
             let support: Vec<usize> = sup_stats.support();
-            let support_vars: Vec<Var> =
-                support.iter().map(|&i| Var::new(i as u32)).collect();
+            let support_vars: Vec<Var> = support.iter().map(|&i| Var::new(i as u32)).collect();
 
             // Draw samples; keep the positive ones as minterm cubes.
             let n_inputs = oracle.num_inputs();
@@ -231,13 +243,23 @@ impl SampleSopLearner {
                 strategy: Strategy::Fbdt,
                 support_size: support.len(),
                 forced_leaves: 0,
+                elapsed: out_start.elapsed(),
+                queries: oracle.queries() - queries_before,
+                gates_before_opt: 0,
+                gates_after_opt: 0,
             });
         }
         for (o, e) in edges.into_iter().enumerate() {
             circuit.add_output(e, oracle.output_names()[o].clone());
         }
+        let circuit = circuit.cleanup();
+        for s in &mut stats {
+            // Baselines skip optimization: before == after.
+            s.gates_before_opt = circuit.output_cone_size(s.output);
+            s.gates_after_opt = s.gates_before_opt;
+        }
         LearnResult {
-            circuit: circuit.cleanup(),
+            circuit,
             outputs: stats,
             elapsed: budget.elapsed(),
             queries: oracle.queries() - start_queries,
@@ -259,7 +281,10 @@ mod tests {
         let acc = evaluate_accuracy(
             oracle.reveal(),
             &result.circuit,
-            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+            &EvalConfig {
+                patterns_per_group: 2000,
+                ..EvalConfig::default()
+            },
         );
         assert!(acc.ratio() > 0.95, "greedy DT accuracy {acc}");
     }
@@ -272,12 +297,18 @@ mod tests {
         let y = g.and_many(&inputs[..4]);
         g.add_output(y, "y");
         let mut oracle = cirlearn_oracle::CircuitOracle::new(g);
-        let baseline = SampleSopLearner { samples: 3000, ..SampleSopLearner::default() };
+        let baseline = SampleSopLearner {
+            samples: 3000,
+            ..SampleSopLearner::default()
+        };
         let result = baseline.learn(&mut oracle);
         let acc = evaluate_accuracy(
             oracle.reveal(),
             &result.circuit,
-            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+            &EvalConfig {
+                patterns_per_group: 2000,
+                ..EvalConfig::default()
+            },
         );
         assert!(acc.ratio() > 0.9, "memorizer accuracy {acc}");
     }
@@ -297,7 +328,10 @@ mod tests {
         };
         let theirs = baseline.learn(&mut oracle_b);
 
-        let eval = EvalConfig { patterns_per_group: 3000, ..EvalConfig::default() };
+        let eval = EvalConfig {
+            patterns_per_group: 3000,
+            ..EvalConfig::default()
+        };
         let acc_ours = evaluate_accuracy(oracle.reveal(), &ours.circuit, &eval);
         let acc_theirs = evaluate_accuracy(oracle_b.reveal(), &theirs.circuit, &eval);
         assert!(acc_ours.ratio() >= acc_theirs.ratio());

@@ -2,9 +2,16 @@
 
 use std::time::{Duration, Instant};
 
+use cirlearn_telemetry::Telemetry;
+
 /// A wall-clock budget with checkpoints, used to reproduce the paper's
 /// anytime behaviour (the contest imposed a hard time limit; the
 /// algorithm early-stops tree construction and still emits a circuit).
+///
+/// An unlimited budget is a real sentinel ([`Budget::limit`] returns
+/// `None`), not a huge finite duration, so arithmetic on limits can
+/// never overflow and reports can distinguish "plenty left" from
+/// "unconstrained".
 ///
 /// # Examples
 ///
@@ -15,11 +22,12 @@ use std::time::{Duration, Instant};
 /// let budget = Budget::new(Duration::from_secs(60));
 /// assert!(!budget.exhausted());
 /// assert!(budget.remaining() <= Duration::from_secs(60));
+/// assert!(Budget::unlimited().limit().is_none());
 /// ```
 #[derive(Debug, Clone, Copy)]
 pub struct Budget {
     start: Instant,
-    limit: Duration,
+    limit: Option<Duration>,
 }
 
 impl Budget {
@@ -27,13 +35,21 @@ impl Budget {
     pub fn new(limit: Duration) -> Self {
         Budget {
             start: Instant::now(),
-            limit,
+            limit: Some(limit),
         }
     }
 
     /// A budget that never runs out (for tests and unconstrained runs).
     pub fn unlimited() -> Self {
-        Budget::new(Duration::from_secs(u64::MAX / 4))
+        Budget {
+            start: Instant::now(),
+            limit: None,
+        }
+    }
+
+    /// The configured limit; `None` for an unlimited budget.
+    pub fn limit(&self) -> Option<Duration> {
+        self.limit
     }
 
     /// Elapsed time since the budget started.
@@ -41,22 +57,45 @@ impl Budget {
         self.start.elapsed()
     }
 
-    /// Time left, saturating at zero.
+    /// Time left, saturating at zero. An unlimited budget reports
+    /// [`Duration::MAX`].
     pub fn remaining(&self) -> Duration {
-        self.limit.saturating_sub(self.start.elapsed())
+        match self.limit {
+            Some(limit) => limit.saturating_sub(self.start.elapsed()),
+            None => Duration::MAX,
+        }
     }
 
-    /// Whether the budget has run out.
+    /// Time left, or `None` for an unlimited budget — the form budget
+    /// checkpoints record.
+    pub fn remaining_opt(&self) -> Option<Duration> {
+        self.limit
+            .map(|limit| limit.saturating_sub(self.start.elapsed()))
+    }
+
+    /// Whether the budget has run out (never, when unlimited).
     pub fn exhausted(&self) -> bool {
-        self.start.elapsed() >= self.limit
+        match self.limit {
+            Some(limit) => self.start.elapsed() >= limit,
+            None => false,
+        }
     }
 
     /// Returns a sub-budget capped at `fraction` of the *remaining*
     /// time — how the learner portions tree construction across the
-    /// outputs still to be learned.
+    /// outputs still to be learned. A fraction of an unlimited budget
+    /// is unlimited.
     pub fn fraction_of_remaining(&self, fraction: f64) -> Budget {
-        let rem = self.remaining();
-        Budget::new(rem.mul_f64(fraction.clamp(0.0, 1.0)))
+        match self.limit {
+            Some(_) => Budget::new(self.remaining().mul_f64(fraction.clamp(0.0, 1.0))),
+            None => Budget::unlimited(),
+        }
+    }
+
+    /// Records a named checkpoint (elapsed and remaining time) into the
+    /// telemetry stream, so stage deadlines show up in run reports.
+    pub fn checkpoint(&self, telemetry: &Telemetry, stage: &str) {
+        telemetry.checkpoint(stage, self.elapsed(), self.remaining_opt());
     }
 }
 
@@ -69,11 +108,19 @@ mod tests {
         let b = Budget::new(Duration::ZERO);
         assert!(b.exhausted());
         assert_eq!(b.remaining(), Duration::ZERO);
+        assert_eq!(b.remaining_opt(), Some(Duration::ZERO));
     }
 
     #[test]
-    fn unlimited_is_not_exhausted() {
-        assert!(!Budget::unlimited().exhausted());
+    fn unlimited_is_a_sentinel() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted());
+        assert_eq!(b.limit(), None);
+        assert_eq!(b.remaining(), Duration::MAX);
+        assert_eq!(b.remaining_opt(), None);
+        // Fractions of unlimited stay unlimited rather than becoming a
+        // huge finite limit that could overflow downstream arithmetic.
+        assert_eq!(b.fraction_of_remaining(0.01).limit(), None);
     }
 
     #[test]
@@ -91,5 +138,18 @@ mod tests {
         let e1 = b.elapsed();
         let e2 = b.elapsed();
         assert!(e2 >= e1);
+    }
+
+    #[test]
+    fn checkpoints_record_stage_and_remaining() {
+        let t = Telemetry::recording();
+        Budget::new(Duration::from_secs(3600)).checkpoint(&t, "support");
+        Budget::unlimited().checkpoint(&t, "fbdt");
+        let report = t.report();
+        assert_eq!(report.checkpoints.len(), 2);
+        assert_eq!(report.checkpoints[0].stage, "support");
+        assert!(report.checkpoints[0].remaining.is_some());
+        assert_eq!(report.checkpoints[1].stage, "fbdt");
+        assert_eq!(report.checkpoints[1].remaining, None);
     }
 }

@@ -84,7 +84,14 @@ fn find_witnesses(
     constant: u64,
 ) -> Option<((u64, u64), (u64, u64))> {
     let lmax = mask_of(lhs_width);
-    let candidates_l = [0u64, 1, constant, constant.wrapping_add(1), constant.wrapping_sub(1), lmax];
+    let candidates_l = [
+        0u64,
+        1,
+        constant,
+        constant.wrapping_add(1),
+        constant.wrapping_sub(1),
+        lmax,
+    ];
     let candidates_r: Vec<u64> = match rhs_width {
         Some(w) => vec![0, 1, mask_of(w)],
         None => vec![constant],
@@ -301,8 +308,12 @@ mod tests {
     /// whose output gates further logic: `z = v ? (c & d) : (c | e)`.
     fn gated_comparator() -> CircuitOracle {
         let mut g = Aig::new();
-        let a: Vec<_> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
-        let b: Vec<_> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let a: Vec<_> = (0..4)
+            .map(|k| g.add_input(format!("a[{}]", 3 - k)))
+            .collect();
+        let b: Vec<_> = (0..4)
+            .map(|k| g.add_input(format!("b[{}]", 3 - k)))
+            .collect();
         let c = g.add_input("c");
         let d = g.add_input("d");
         let e = g.add_input("e");
@@ -328,8 +339,14 @@ mod tests {
         let mut oracle = gated_comparator();
         let groups = group_names(oracle.input_names()).groups;
         let mut rng = seeded_rng(61);
-        let d = find_hidden_comparator(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .expect("hidden comparator must be found");
+        let d = find_hidden_comparator(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .expect("hidden comparator must be found");
         // Lt between the buses (or an equivalent form under swap).
         assert_eq!(d.lhs_positions.len(), 4);
         assert!(d.rhs_positions.as_ref().map(Vec::len) == Some(4));
@@ -339,8 +356,12 @@ mod tests {
     fn no_false_positive_on_parity() {
         // Output = parity of both buses: no comparator.
         let mut g = Aig::new();
-        let a: Vec<_> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
-        let b: Vec<_> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let a: Vec<_> = (0..4)
+            .map(|k| g.add_input(format!("a[{}]", 3 - k)))
+            .collect();
+        let b: Vec<_> = (0..4)
+            .map(|k| g.add_input(format!("b[{}]", 3 - k)))
+            .collect();
         let mut z = a[0];
         for &e in a[1..].iter().chain(&b) {
             z = g.xor(z, e);
@@ -364,8 +385,14 @@ mod tests {
         let mut oracle = gated_comparator();
         let groups = group_names(oracle.input_names()).groups;
         let mut rng = seeded_rng(63);
-        let d = find_hidden_comparator(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .expect("found");
+        let d = find_hidden_comparator(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .expect("found");
         let predicate = d.predicate;
         let lhs = d.lhs_positions.clone();
         let rhs = d.rhs_positions.clone().expect("pair");
@@ -403,8 +430,14 @@ mod tests {
         let mut oracle = gated_comparator();
         let groups = group_names(oracle.input_names()).groups;
         let mut rng = seeded_rng(64);
-        let d = find_hidden_comparator(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .expect("found");
+        let d = find_hidden_comparator(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .expect("found");
         let mut compressed = DelegateOracle::new(&mut oracle, vec![d]);
         // 4 virtual inputs: exhaustive conquest applies directly.
         let support: Vec<usize> = (0..4).collect();

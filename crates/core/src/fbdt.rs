@@ -140,6 +140,17 @@ pub struct FbdtStats {
     pub queries: u64,
 }
 
+impl FbdtStats {
+    /// Adds these statistics onto the telemetry counters
+    /// (`fbdt.splits`, `fbdt.leaves`, `fbdt.forced_leaves`).
+    pub fn record(&self, telemetry: &cirlearn_telemetry::Telemetry) {
+        use cirlearn_telemetry::counters;
+        telemetry.add(counters::FBDT_SPLITS, self.splits as u64);
+        telemetry.add(counters::FBDT_LEAVES, self.leaves as u64);
+        telemetry.add(counters::FBDT_FORCED_LEAVES, self.forced_leaves as u64);
+    }
+}
+
 /// Builds the FBDT for `output` over the given (approximate) support
 /// and returns the learned cover plus statistics.
 ///
@@ -276,10 +287,7 @@ pub fn learn_exhaustive<O: Oracle + ?Sized>(
     };
     // Remap local variables x_bit -> global input positions.
     let sop = remap_sop(&local, support);
-    (
-        LearnedCover { sop, complemented },
-        1u64 << k,
-    )
+    (LearnedCover { sop, complemented }, 1u64 << k)
 }
 
 fn cover_cost(sop: &Sop) -> usize {
@@ -320,7 +328,10 @@ mod tests {
         true
     }
 
-    fn oracle_of(f: impl Fn(&mut Aig, &[cirlearn_aig::Edge]) -> cirlearn_aig::Edge, n: usize) -> CircuitOracle {
+    fn oracle_of(
+        f: impl Fn(&mut Aig, &[cirlearn_aig::Edge]) -> cirlearn_aig::Edge,
+        n: usize,
+    ) -> CircuitOracle {
         let mut g = Aig::new();
         let inputs = g.add_inputs("x", n);
         let y = f(&mut g, &inputs);
@@ -369,10 +380,13 @@ mod tests {
 
     #[test]
     fn fbdt_learns_xor_exactly() {
-        let mut o = oracle_of(|g, i| {
-            let t = g.xor(i[0], i[2]);
-            g.xor(t, i[4])
-        }, 5);
+        let mut o = oracle_of(
+            |g, i| {
+                let t = g.xor(i[0], i[2]);
+                g.xor(t, i[4])
+            },
+            5,
+        );
         let mut rng = seeded_rng(23);
         let (cover, stats) = build_fbdt(
             &mut o,
@@ -424,7 +438,7 @@ mod tests {
         assert_eq!(stats.splits, 0);
         // Majority of an AND is 0: the learned cover is constant 0 —
         // which is still 75% accurate.
-        assert!(!cover.eval_with(|_| true) || cover.sop.is_zero() || true);
+        assert!(!cover.eval_with(|_| true));
     }
 
     #[test]

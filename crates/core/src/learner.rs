@@ -1,10 +1,11 @@
 //! The end-to-end learning pipeline (paper Fig. 1).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cirlearn_aig::{Aig, Edge};
-use cirlearn_oracle::Oracle;
-use cirlearn_synth::{optimize, OptimizeConfig};
+use cirlearn_oracle::{InstrumentedOracle, Oracle};
+use cirlearn_synth::{optimize_with, OptimizeConfig};
+use cirlearn_telemetry::{counters, Level, OutputReport, Telemetry};
 
 use crate::budget::Budget;
 use crate::fbdt::{build_fbdt, learn_exhaustive, FbdtConfig, LearnedCover};
@@ -57,6 +58,35 @@ pub struct OutputStats {
     pub support_size: usize,
     /// Leaves the FBDT had to force on budget exhaustion.
     pub forced_leaves: usize,
+    /// Wall clock spent learning this output (zero for template
+    /// matches, whose work happens in the shared template stage).
+    pub elapsed: Duration,
+    /// Oracle queries issued while learning this output (zero for
+    /// template matches — their validation queries are attributed to
+    /// the shared template stage).
+    pub queries: u64,
+    /// AND gates in this output's fanin cone before optimization.
+    pub gates_before_opt: usize,
+    /// AND gates in this output's fanin cone after optimization (equal
+    /// to `gates_before_opt` when optimization is disabled).
+    pub gates_after_opt: usize,
+}
+
+impl OutputStats {
+    /// The run-report form of these statistics.
+    pub fn to_report(&self) -> OutputReport {
+        OutputReport {
+            output: self.output as u64,
+            name: self.name.clone(),
+            strategy: self.strategy.to_string(),
+            support: self.support_size as u64,
+            forced_leaves: self.forced_leaves as u64,
+            queries: self.queries,
+            elapsed: self.elapsed,
+            gates_before_opt: self.gates_before_opt as u64,
+            gates_after_opt: self.gates_after_opt as u64,
+        }
+    }
 }
 
 /// The result of a [`Learner::learn`] run.
@@ -96,8 +126,6 @@ pub struct LearnerConfig {
     pub espresso_cube_limit: usize,
     /// RNG seed for the whole run.
     pub seed: u64,
-    /// Emit per-stage progress on stderr.
-    pub verbose: bool,
 }
 
 impl Default for LearnerConfig {
@@ -112,7 +140,6 @@ impl Default for LearnerConfig {
             optimize: Some(OptimizeConfig::default()),
             espresso_cube_limit: 256,
             seed: 0x1CCAD,
-            verbose: false,
         }
     }
 }
@@ -138,7 +165,6 @@ impl LearnerConfig {
             }),
             espresso_cube_limit: 128,
             seed: 0x1CCAD,
-            verbose: false,
         }
     }
 }
@@ -150,12 +176,26 @@ impl LearnerConfig {
 #[derive(Debug, Clone)]
 pub struct Learner {
     config: LearnerConfig,
+    telemetry: Telemetry,
 }
 
 impl Learner {
-    /// Creates a learner with the given configuration.
+    /// Creates a learner with the given configuration and telemetry
+    /// disabled.
     pub fn new(config: LearnerConfig) -> Self {
-        Learner { config }
+        Learner {
+            config,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Creates a learner that records spans, counters and events into
+    /// `telemetry`. Oracle queries are counted at the source and
+    /// attributed to the pipeline stage that issued them, so the run
+    /// report's top-level stage breakdown of `oracle.queries` sums to
+    /// [`LearnResult::queries`].
+    pub fn with_telemetry(config: LearnerConfig, telemetry: Telemetry) -> Self {
+        Learner { config, telemetry }
     }
 
     /// Convenience constructor with the paper's default settings.
@@ -168,6 +208,12 @@ impl Learner {
         &self.config
     }
 
+    /// Returns the telemetry handle (disabled unless constructed with
+    /// [`Learner::with_telemetry`]).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Learns a circuit for the black box.
     ///
     /// Always returns a complete circuit with one output per oracle
@@ -175,6 +221,11 @@ impl Learner {
     /// majority-vote approximations (the paper's early-stop behaviour)
     /// rather than being dropped.
     pub fn learn<O: Oracle + ?Sized>(&mut self, oracle: &mut O) -> LearnResult {
+        let telemetry = self.telemetry.clone();
+        // Count queries at the source: every query the pipeline issues
+        // from here on lands on the `oracle.queries` counter and is
+        // attributed to the stage span active when it was served.
+        let mut oracle = InstrumentedOracle::new(oracle, telemetry.clone());
         let budget = Budget::new(self.config.time_budget);
         let mut rng = seeded_rng(self.config.seed);
         let start_queries = oracle.queries();
@@ -189,6 +240,8 @@ impl Learner {
         let mut strategies: Vec<Option<Strategy>> = vec![None; num_outputs];
         let mut support_sizes: Vec<usize> = vec![0; num_outputs];
         let mut forced: Vec<usize> = vec![0; num_outputs];
+        let mut out_elapsed: Vec<Duration> = vec![Duration::ZERO; num_outputs];
+        let mut out_queries: Vec<u64> = vec![0; num_outputs];
 
         // Steps 1–2: name based grouping + template matching.
         let in_grouping = self
@@ -196,19 +249,21 @@ impl Learner {
             .preprocessing
             .then(|| group_names(oracle.input_names()));
         if let Some(grouping) = &in_grouping {
-            if self.config.verbose {
-                eprintln!(
-                    "[cirlearn] grouping: {} buses, {} scalars",
+            telemetry.event(
+                Level::Info,
+                &format!(
+                    "grouping: {} buses, {} scalars",
                     grouping.groups.len(),
                     grouping.scalars.len()
-                );
-                for g in &grouping.groups {
-                    eprintln!("[cirlearn]   bus {} width {}", g.stem, g.width());
-                }
+                ),
+            );
+            for g in &grouping.groups {
+                telemetry.event(Level::Debug, &format!("bus {} width {}", g.stem, g.width()));
             }
             let out_grouping = group_names(&output_names);
+            let _span = telemetry.span("templates");
             self.match_templates(
-                oracle,
+                &mut oracle,
                 grouping,
                 &out_grouping,
                 &mut circuit,
@@ -217,48 +272,60 @@ impl Learner {
                 &mut rng,
             );
         }
+        budget.checkpoint(&telemetry, "templates");
 
         // Steps 3–4 for the remaining outputs.
         let remaining: Vec<usize> = (0..num_outputs).filter(|&o| edges[o].is_none()).collect();
-        if self.config.verbose {
-            eprintln!(
-                "[cirlearn] templates matched {} of {} outputs",
+        telemetry.event(
+            Level::Info,
+            &format!(
+                "templates matched {} of {} outputs",
                 num_outputs - remaining.len(),
                 num_outputs
-            );
-        }
+            ),
+        );
         for (k, &o) in remaining.iter().enumerate() {
-            let info =
-                identify_support(oracle, o, &self.config.support_sampling, &mut rng);
+            let out_start = Instant::now();
+            let queries_before = oracle.queries();
+            let info = {
+                let _span = telemetry.span("support");
+                identify_support(&mut oracle, o, &self.config.support_sampling, &mut rng)
+            };
             support_sizes[o] = info.support.len();
-            if self.config.verbose {
-                eprintln!(
-                    "[cirlearn] output {o} ({}): support {} truth_ratio {:.3}",
+            telemetry.event(
+                Level::Debug,
+                &format!(
+                    "output {o} ({}): support {} truth_ratio {:.3}",
                     output_names[o],
                     info.support.len(),
                     info.truth_ratio
-                );
-            }
+                ),
+            );
             let share = 1.0 / (remaining.len() - k) as f64;
             let node_budget = budget.fraction_of_remaining(share);
             let edge = if info.support.len() <= self.config.fbdt.exhaustive_threshold {
                 strategies[o] = Some(Strategy::Exhaustive);
-                let (cover, _) = learn_exhaustive(oracle, o, &info.support, &mut rng);
+                let _span = telemetry.span("exhaustive");
+                let (cover, _) = learn_exhaustive(&mut oracle, o, &info.support, &mut rng);
                 let var_map = identity_var_map(&circuit);
                 self.cover_to_edge(&cover, &mut circuit, &var_map)
-            } else if let Some(edge) = self.try_compressed(
-                oracle,
-                o,
-                in_grouping.as_ref(),
-                &info.support,
-                &node_budget,
-                &mut circuit,
-                &mut rng,
-            ) {
+            } else if let Some(edge) = {
+                let _span = telemetry.span("compressed");
+                self.try_compressed(
+                    &mut oracle,
+                    o,
+                    in_grouping.as_ref(),
+                    &info.support,
+                    &node_budget,
+                    &mut circuit,
+                    &mut rng,
+                )
+            } {
                 strategies[o] = Some(Strategy::CompressedFbdt);
                 edge
             } else {
                 strategies[o] = Some(Strategy::Fbdt);
+                let _span = telemetry.span("fbdt");
                 // Portion any query budget over the outputs still to do.
                 let mut fbdt_cfg = self.config.fbdt.clone();
                 if let Some(total) = self.config.max_queries {
@@ -267,7 +334,7 @@ impl Learner {
                     fbdt_cfg.max_queries = Some(left / (remaining.len() - k) as u64);
                 }
                 let (cover, stats) = build_fbdt(
-                    oracle,
+                    &mut oracle,
                     o,
                     &info.support,
                     info.truth_ratio,
@@ -275,41 +342,65 @@ impl Learner {
                     &node_budget,
                     &mut rng,
                 );
+                stats.record(&telemetry);
+                if stats.forced_leaves > 0 {
+                    telemetry.event(
+                        Level::Warn,
+                        &format!(
+                            "output {o}: budget forced {} leaves to majority votes",
+                            stats.forced_leaves
+                        ),
+                    );
+                }
                 forced[o] = stats.forced_leaves;
                 let var_map = identity_var_map(&circuit);
                 self.cover_to_edge(&cover, &mut circuit, &var_map)
             };
             edges[o] = Some(edge);
+            out_elapsed[o] = out_start.elapsed();
+            out_queries[o] = oracle.queries() - queries_before;
         }
+        budget.checkpoint(&telemetry, "learning");
 
         for (o, name) in output_names.iter().enumerate() {
             circuit.add_output(edges[o].expect("every output is learned"), name.clone());
         }
         let mut circuit = circuit.cleanup();
+        let gates_before_opt: Vec<usize> = (0..num_outputs)
+            .map(|o| circuit.output_cone_size(o))
+            .collect();
 
         // Step 5: circuit optimization.
         if let Some(opt_cfg) = &self.config.optimize {
+            let _span = telemetry.span("optimize");
             let before = circuit.gate_count();
             let mut cfg = opt_cfg.clone();
             cfg.time_budget = cfg.time_budget.min(budget.remaining());
-            circuit = optimize(&circuit, &cfg);
-            if self.config.verbose {
-                eprintln!(
-                    "[cirlearn] optimization: {before} -> {} AND nodes",
+            circuit = optimize_with(&circuit, &cfg, &telemetry);
+            telemetry.event(
+                Level::Info,
+                &format!(
+                    "optimization: {before} -> {} AND nodes",
                     circuit.gate_count()
-                );
-            }
+                ),
+            );
         }
+        budget.checkpoint(&telemetry, "optimize");
 
-        let outputs = (0..num_outputs)
+        let outputs: Vec<OutputStats> = (0..num_outputs)
             .map(|o| OutputStats {
                 output: o,
                 name: output_names[o].clone(),
                 strategy: strategies[o].expect("strategy recorded"),
                 support_size: support_sizes[o],
                 forced_leaves: forced[o],
+                elapsed: out_elapsed[o],
+                queries: out_queries[o],
+                gates_before_opt: gates_before_opt[o],
+                gates_after_opt: circuit.output_cone_size(o),
             })
             .collect();
+        telemetry.set_outputs(outputs.iter().map(OutputStats::to_report).collect());
         LearnResult {
             circuit,
             outputs,
@@ -369,22 +460,17 @@ impl Learner {
             if edges[o].is_some() {
                 continue;
             }
-            let matched = match_comparator_pair(
-                oracle,
-                o,
-                &in_grouping.groups,
-                &self.config.template,
-                rng,
-            )
-            .or_else(|| {
-                match_comparator_const(
-                    oracle,
-                    o,
-                    &in_grouping.groups,
-                    &self.config.template,
-                    rng,
-                )
-            });
+            let matched =
+                match_comparator_pair(oracle, o, &in_grouping.groups, &self.config.template, rng)
+                    .or_else(|| {
+                        match_comparator_const(
+                            oracle,
+                            o,
+                            &in_grouping.groups,
+                            &self.config.template,
+                            rng,
+                        )
+                    });
             if let Some(m) = matched {
                 let edge = m.build(circuit, &in_grouping.groups);
                 edges[o] = Some(edge);
@@ -446,17 +532,12 @@ impl Learner {
 
         // Learn the output over the compressed space.
         let mut compressed = crate::compress::DelegateOracle::new(oracle, vec![delegate]);
-        let info = identify_support(
-            &mut compressed,
-            output,
-            &self.config.support_sampling,
-            rng,
-        );
+        let info = identify_support(&mut compressed, output, &self.config.support_sampling, rng);
         let cover = if info.support.len() <= self.config.fbdt.exhaustive_threshold {
             let (cover, _) = learn_exhaustive(&mut compressed, output, &info.support, rng);
             cover
         } else {
-            let (cover, _) = build_fbdt(
+            let (cover, stats) = build_fbdt(
                 &mut compressed,
                 output,
                 &info.support,
@@ -465,6 +546,7 @@ impl Learner {
                 node_budget,
                 rng,
             );
+            stats.record(&self.telemetry);
             cover
         };
         // Virtual variable k maps to the kept input's edge; the final
@@ -483,7 +565,10 @@ impl Learner {
     /// complementation for offset covers. Cover variable `x_k` maps to
     /// `var_map[k]`.
     fn cover_to_edge(&self, cover: &LearnedCover, circuit: &mut Aig, var_map: &[Edge]) -> Edge {
+        self.telemetry
+            .add(counters::CUBES_COLLECTED, cover.sop.cubes().len() as u64);
         let edge = if cover.sop.cubes().len() <= self.config.espresso_cube_limit {
+            self.telemetry.incr(counters::ESPRESSO_CALLS);
             cirlearn_synth::factor::sop_to_circuit(&cover.sop, circuit, var_map)
         } else {
             let expr = cirlearn_synth::factor::factor(&cover.sop);
@@ -537,7 +622,10 @@ mod tests {
         let acc = evaluate_accuracy(
             oracle.reveal(),
             &result.circuit,
-            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+            &EvalConfig {
+                patterns_per_group: 2000,
+                ..EvalConfig::default()
+            },
         );
         assert_eq!(acc.hits, acc.total, "template match must be exact");
     }
@@ -572,9 +660,41 @@ mod tests {
         let acc = evaluate_accuracy(
             oracle.reveal(),
             &result.circuit,
-            &EvalConfig { patterns_per_group: 2000, ..EvalConfig::default() },
+            &EvalConfig {
+                patterns_per_group: 2000,
+                ..EvalConfig::default()
+            },
         );
         assert!(acc.ratio() > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn telemetry_stage_queries_sum_to_result_queries() {
+        let mut oracle = generate::eco_case(14, 3, 55);
+        let telemetry = Telemetry::recording();
+        let mut learner = Learner::with_telemetry(LearnerConfig::fast(), telemetry.clone());
+        let result = learner.learn(&mut oracle);
+        let report = telemetry.report();
+        // Every oracle query is issued inside exactly one top-level
+        // stage span, so the per-stage breakdown partitions the total.
+        assert_eq!(
+            report.top_level_counter_sum(counters::ORACLE_QUERIES),
+            result.queries,
+            "stage query counts must partition the run total"
+        );
+        assert_eq!(report.counter(counters::ORACLE_QUERIES), result.queries);
+        // Per-output queries are a subset of the total (template
+        // matches contribute zero).
+        let per_output: u64 = result.outputs.iter().map(|s| s.queries).sum();
+        assert!(per_output <= result.queries);
+        // Cone sizes never grow under optimization.
+        for s in &result.outputs {
+            assert!(
+                s.gates_after_opt <= s.gates_before_opt,
+                "output {}",
+                s.output
+            );
+        }
     }
 
     #[test]
@@ -589,7 +709,14 @@ mod tests {
             .iter()
             .map(|(_, n)| n.as_str())
             .collect();
-        assert_eq!(names, oracle.output_names().iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(
+            names,
+            oracle
+                .output_names()
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+        );
         assert!(result.queries > 0);
     }
 }

@@ -132,7 +132,9 @@ pub fn group_names(names: &[String]) -> Grouping {
             });
         }
     }
-    grouping.scalars = (0..names.len()).filter(|&p| !grouped_positions[p]).collect();
+    grouping.scalars = (0..names.len())
+        .filter(|&p| !grouped_positions[p])
+        .collect();
     grouping
 }
 

@@ -253,7 +253,14 @@ mod tests {
             Literal::new(Var::new(5), false),
         ])
         .expect("consistent");
-        let stats = pattern_sampling(&mut o, 0, &cube, &[1, 2, 3], &SamplingConfig::fast(), &mut rng);
+        let stats = pattern_sampling(
+            &mut o,
+            0,
+            &cube,
+            &[1, 2, 3],
+            &SamplingConfig::fast(),
+            &mut rng,
+        );
         assert!((stats.truth_ratio - 1.0).abs() < 1e-9);
         assert!(stats.support().is_empty());
     }
@@ -315,7 +322,10 @@ mod tests {
     fn query_accounting_matches_formula() {
         let mut o = and_oracle();
         let mut rng = seeded_rng(7);
-        let cfg = SamplingConfig { rounds: 50, ratios: vec![0.5] };
+        let cfg = SamplingConfig {
+            rounds: 50,
+            ratios: vec![0.5],
+        };
         let stats = pattern_sampling(&mut o, 0, &Cube::top(), &[0, 1, 2], &cfg, &mut rng);
         // r * (|probe| + 1)
         assert_eq!(stats.queries, 50 * 4);

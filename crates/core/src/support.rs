@@ -44,8 +44,7 @@ pub fn identify_support<O: Oracle + ?Sized>(
     rng: &mut StdRng,
 ) -> SupportInfo {
     let probe: Vec<usize> = (0..oracle.num_inputs()).collect();
-    let stats: SampleStats =
-        pattern_sampling(oracle, output, &Cube::top(), &probe, config, rng);
+    let stats: SampleStats = pattern_sampling(oracle, output, &Cube::top(), &probe, config, rng);
     SupportInfo {
         support: stats.support(),
         truth_ratio: stats.truth_ratio,

@@ -150,13 +150,21 @@ impl Default for TemplateConfig {
 
 /// Reads the integer value of a bus group from an assignment.
 fn read_group(a: &Assignment, group: &VarGroup) -> u64 {
-    let vars: Vec<Var> = group.positions.iter().map(|&p| Var::new(p as u32)).collect();
+    let vars: Vec<Var> = group
+        .positions
+        .iter()
+        .map(|&p| Var::new(p as u32))
+        .collect();
     a.read_vector(&vars)
 }
 
 /// Writes an integer into a bus group of an assignment.
 fn write_group(a: &mut Assignment, group: &VarGroup, value: u64) {
-    let vars: Vec<Var> = group.positions.iter().map(|&p| Var::new(p as u32)).collect();
+    let vars: Vec<Var> = group
+        .positions
+        .iter()
+        .map(|&p| Var::new(p as u32))
+        .collect();
     a.write_vector(&vars, value);
 }
 
@@ -195,9 +203,9 @@ pub fn match_comparator_pair<O: Oracle + ?Sized>(
                 for k in 0..config.pair_samples {
                     let x = rng.gen::<u64>() & lmask & rmask;
                     let (na, nb) = match k % 4 {
-                        0 => (x, x),                          // equal
-                        1 => (x, x.wrapping_add(1) & rmask),  // just above
-                        2 => (x.wrapping_add(1) & lmask, x),  // just below
+                        0 => (x, x),                         // equal
+                        1 => (x, x.wrapping_add(1) & rmask), // just above
+                        2 => (x.wrapping_add(1) & lmask, x), // just below
                         _ => (rng.gen::<u64>() & lmask, rng.gen::<u64>() & rmask),
                     };
                     let mut a = rest.clone();
@@ -383,7 +391,11 @@ pub fn match_linear<O: Oracle + ?Sized>(
 ) -> Option<LinearMatch> {
     let n = oracle.num_inputs();
     let width = output_group.width().min(63);
-    let modmask = if width >= 64 { !0u64 } else { (1u64 << width) - 1 };
+    let modmask = if width >= 64 {
+        !0u64
+    } else {
+        (1u64 << width) - 1
+    };
     let read_z = |row: &[bool]| -> u64 {
         output_group
             .positions
@@ -497,8 +509,12 @@ mod tests {
     /// 4-bit buses plus two noise inputs.
     fn cmp_oracle(pred: Predicate) -> (CircuitOracle, Vec<VarGroup>) {
         let mut g = Aig::new();
-        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
-        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let a: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("a[{}]", 3 - k)))
+            .collect();
+        let b: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("b[{}]", 3 - k)))
+            .collect();
         let _n0 = g.add_input("noise0");
         let _n1 = g.add_input("noise1");
         let z = pred.build(&mut g, &a, &b);
@@ -523,8 +539,14 @@ mod tests {
         for (i, pred) in Predicate::ALL.into_iter().enumerate() {
             let (mut oracle, groups) = cmp_oracle(pred);
             let mut rng = seeded_rng(100 + i as u64);
-            let m = match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-                .unwrap_or_else(|| panic!("no match for {pred}"));
+            let m = match_comparator_pair(
+                &mut oracle,
+                0,
+                &groups,
+                &TemplateConfig::default(),
+                &mut rng,
+            )
+            .unwrap_or_else(|| panic!("no match for {pred}"));
             // The matched predicate must agree with the oracle
             // everywhere (some predicates coincide under bus swap).
             let mut check_rng = seeded_rng(999);
@@ -551,8 +573,14 @@ mod tests {
     fn matched_pair_circuit_is_equivalent() {
         let (mut oracle, groups) = cmp_oracle(Predicate::Le);
         let mut rng = seeded_rng(7);
-        let m = match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .expect("le matches");
+        let m = match_comparator_pair(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng,
+        )
+        .expect("le matches");
         let mut learned = Aig::new();
         for name in oracle.input_names() {
             learned.add_input(name.clone());
@@ -567,7 +595,9 @@ mod tests {
 
     fn const_oracle(pred: Predicate, constant: u64) -> (CircuitOracle, Vec<VarGroup>) {
         let mut g = Aig::new();
-        let a: Vec<Edge> = (0..6).map(|k| g.add_input(format!("v[{}]", 5 - k))).collect();
+        let a: Vec<Edge> = (0..6)
+            .map(|k| g.add_input(format!("v[{}]", 5 - k)))
+            .collect();
         let _noise = g.add_input("en");
         let c = g.const_word(constant, 6);
         let z = pred.build(&mut g, &a, &c);
@@ -631,8 +661,12 @@ mod tests {
     fn non_comparator_output_is_rejected() {
         // Parity of the bus is no comparator.
         let mut g = Aig::new();
-        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
-        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let a: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("a[{}]", 3 - k)))
+            .collect();
+        let b: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("b[{}]", 3 - k)))
+            .collect();
         let mut z = a[0];
         for &e in a[1..].iter().chain(&b) {
             z = g.xor(z, e);
@@ -641,17 +675,33 @@ mod tests {
         let mut oracle = CircuitOracle::new(g);
         let groups = group_names(oracle.input_names()).groups;
         let mut rng = seeded_rng(55);
-        assert!(match_comparator_pair(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .is_none());
-        assert!(match_comparator_const(&mut oracle, 0, &groups, &TemplateConfig::default(), &mut rng)
-            .is_none());
+        assert!(match_comparator_pair(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng
+        )
+        .is_none());
+        assert!(match_comparator_const(
+            &mut oracle,
+            0,
+            &groups,
+            &TemplateConfig::default(),
+            &mut rng
+        )
+        .is_none());
     }
 
     #[test]
     fn linear_template_recovers_coefficients() {
         let mut g = Aig::new();
-        let a: Vec<Edge> = (0..4).map(|k| g.add_input(format!("a[{}]", 3 - k))).collect();
-        let b: Vec<Edge> = (0..4).map(|k| g.add_input(format!("b[{}]", 3 - k))).collect();
+        let a: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("a[{}]", 3 - k)))
+            .collect();
+        let b: Vec<Edge> = (0..4)
+            .map(|k| g.add_input(format!("b[{}]", 3 - k)))
+            .collect();
         let z = g.scale_sum(&[(3, a), (5, b)], 7, 6);
         for (k, e) in z.iter().enumerate() {
             g.add_output(*e, format!("z[{}]", 5 - k));
@@ -691,8 +741,12 @@ mod tests {
     fn linear_rejects_nonlinear_functions() {
         // z = a * b is not linear.
         let mut g = Aig::new();
-        let a: Vec<Edge> = (0..3).map(|k| g.add_input(format!("a[{}]", 2 - k))).collect();
-        let b: Vec<Edge> = (0..3).map(|k| g.add_input(format!("b[{}]", 2 - k))).collect();
+        let a: Vec<Edge> = (0..3)
+            .map(|k| g.add_input(format!("a[{}]", 2 - k)))
+            .collect();
+        let b: Vec<Edge> = (0..3)
+            .map(|k| g.add_input(format!("b[{}]", 2 - k)))
+            .collect();
         // Product via repeated conditional adds: z = sum over bits of b.
         let mut acc = g.const_word(0, 6);
         for (i, &bit) in b.iter().enumerate() {
@@ -720,8 +774,8 @@ mod tests {
     #[test]
     fn matches_generated_data_case() {
         let mut oracle = generate::data_case(12, 6, 3);
-        let in_groups = group_names(&oracle.input_names().to_vec()).groups;
-        let out_groups = group_names(&oracle.output_names().to_vec()).groups;
+        let in_groups = group_names(oracle.input_names()).groups;
+        let out_groups = group_names(oracle.output_names()).groups;
         assert!(!out_groups.is_empty());
         let mut rng = seeded_rng(4);
         let m = match_linear(

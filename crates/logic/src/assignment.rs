@@ -117,7 +117,11 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn get(&self, var: Var) -> bool {
         let i = var.index() as usize;
-        assert!(i < self.len, "variable {var} out of range ({} vars)", self.len);
+        assert!(
+            i < self.len,
+            "variable {var} out of range ({} vars)",
+            self.len
+        );
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
@@ -128,7 +132,11 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn set(&mut self, var: Var, value: bool) {
         let i = var.index() as usize;
-        assert!(i < self.len, "variable {var} out of range ({} vars)", self.len);
+        assert!(
+            i < self.len,
+            "variable {var} out of range ({} vars)",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;
@@ -148,7 +156,11 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn flip(&mut self, var: Var) {
         let i = var.index() as usize;
-        assert!(i < self.len, "variable {var} out of range ({} vars)", self.len);
+        assert!(
+            i < self.len,
+            "variable {var} out of range ({} vars)",
+            self.len
+        );
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -334,7 +346,10 @@ mod tests {
     fn biased_extremes() {
         let mut rng = StdRng::seed_from_u64(7);
         assert_eq!(Assignment::random_biased(64, 0.0, &mut rng).count_ones(), 0);
-        assert_eq!(Assignment::random_biased(64, 1.0, &mut rng).count_ones(), 64);
+        assert_eq!(
+            Assignment::random_biased(64, 1.0, &mut rng).count_ones(),
+            64
+        );
     }
 
     #[test]

@@ -61,10 +61,8 @@ impl Cube {
     /// Builds the minterm cube matching `assignment` restricted to `vars`:
     /// each variable appears in the phase it has in the assignment.
     pub fn minterm(vars: &[Var], assignment: &crate::Assignment) -> Self {
-        let mut literals: Vec<Literal> = vars
-            .iter()
-            .map(|&v| v.literal(assignment.get(v)))
-            .collect();
+        let mut literals: Vec<Literal> =
+            vars.iter().map(|&v| v.literal(assignment.get(v))).collect();
         literals.sort();
         literals.dedup();
         Cube { literals }
@@ -91,8 +89,7 @@ impl Cube {
     /// Returns the conjunction of two cubes, or `None` if they conflict.
     #[must_use]
     pub fn intersect(&self, other: &Cube) -> Option<Self> {
-        let mut literals =
-            Vec::with_capacity(self.literals.len() + other.literals.len());
+        let mut literals = Vec::with_capacity(self.literals.len() + other.literals.len());
         let (mut i, mut j) = (0, 0);
         while i < self.literals.len() && j < other.literals.len() {
             let (a, b) = (self.literals[i], other.literals[j]);
@@ -324,8 +321,8 @@ mod tests {
 
     #[test]
     fn implies_subset_semantics() {
-        let big = Cube::from_literals([v(0).positive(), v(1).negative(), v(2).positive()])
-            .expect("ok");
+        let big =
+            Cube::from_literals([v(0).positive(), v(1).negative(), v(2).positive()]).expect("ok");
         let small = Cube::from_literals([v(1).negative()]).expect("ok");
         assert!(big.implies(&small));
         assert!(!small.implies(&big));

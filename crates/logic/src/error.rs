@@ -37,10 +37,16 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::TooManyVars { requested, max } => {
-                write!(f, "truth table over {requested} variables exceeds the maximum of {max}")
+                write!(
+                    f,
+                    "truth table over {requested} variables exceeds the maximum of {max}"
+                )
             }
             Error::ArityMismatch { left, right } => {
-                write!(f, "operands have mismatched variable counts {left} and {right}")
+                write!(
+                    f,
+                    "operands have mismatched variable counts {left} and {right}"
+                )
             }
             Error::VarOutOfRange { var, num_vars } => {
                 write!(f, "variable x{var} out of range for {num_vars} variables")
@@ -58,9 +64,17 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_unpunctuated() {
         let msgs = [
-            Error::TooManyVars { requested: 40, max: 24 }.to_string(),
+            Error::TooManyVars {
+                requested: 40,
+                max: 24,
+            }
+            .to_string(),
             Error::ArityMismatch { left: 3, right: 4 }.to_string(),
-            Error::VarOutOfRange { var: 9, num_vars: 4 }.to_string(),
+            Error::VarOutOfRange {
+                var: 9,
+                num_vars: 4,
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.ends_with('.'));

@@ -44,10 +44,10 @@ mod truth;
 mod var;
 
 pub use assignment::Assignment;
-pub use npn::NpnTransform;
-pub use parse::ParseBooleanError;
 pub use cube::Cube;
 pub use error::{Error, Result};
+pub use npn::NpnTransform;
+pub use parse::ParseBooleanError;
 pub use sim::SimVector;
 pub use sop::Sop;
 pub use truth::TruthTable;

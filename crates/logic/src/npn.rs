@@ -139,7 +139,7 @@ fn permute_all(items: &mut [u8], visit: &mut impl FnMut(&[u8])) {
         }
         for i in 0..k {
             heap(k - 1, items, visit);
-            if k % 2 == 0 {
+            if k.is_multiple_of(2) {
                 items.swap(i, k - 1);
             } else {
                 items.swap(0, k - 1);

@@ -82,8 +82,7 @@ impl FromStr for Cube {
             .split('&')
             .map(parse_literal)
             .collect::<Result<Vec<_>, _>>()?;
-        Cube::from_literals(lits)
-            .ok_or_else(|| ParseBooleanError::ContradictoryCube(s.to_owned()))
+        Cube::from_literals(lits).ok_or_else(|| ParseBooleanError::ContradictoryCube(s.to_owned()))
     }
 }
 

@@ -106,7 +106,11 @@ impl SimVector {
     ///
     /// Panics if `k ≥ len`.
     pub fn bit(&self, k: usize) -> bool {
-        assert!(k < self.len, "pattern {k} out of range ({} patterns)", self.len);
+        assert!(
+            k < self.len,
+            "pattern {k} out of range ({} patterns)",
+            self.len
+        );
         self.words[k / 64] >> (k % 64) & 1 == 1
     }
 
@@ -116,7 +120,11 @@ impl SimVector {
     ///
     /// Panics if `k ≥ len`.
     pub fn set_bit(&mut self, k: usize, value: bool) {
-        assert!(k < self.len, "pattern {k} out of range ({} patterns)", self.len);
+        assert!(
+            k < self.len,
+            "pattern {k} out of range ({} patterns)",
+            self.len
+        );
         let mask = 1u64 << (k % 64);
         if value {
             self.words[k / 64] |= mask;
@@ -127,7 +135,7 @@ impl SimVector {
 
     /// Appends one pattern bit.
     pub fn push(&mut self, bit: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         if bit {
@@ -314,7 +322,10 @@ mod tests {
     fn random_reproducible() {
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(1);
-        assert_eq!(SimVector::random(200, &mut r1), SimVector::random(200, &mut r2));
+        assert_eq!(
+            SimVector::random(200, &mut r1),
+            SimVector::random(200, &mut r2)
+        );
     }
 
     #[test]

@@ -198,7 +198,10 @@ mod tests {
         let mut cand = Aig::new();
         let _ = cand.add_inputs("x", 8);
         cand.add_output(cirlearn_aig::Edge::FALSE, "y");
-        let cfg = EvalConfig { patterns_per_group: 10_000, ..EvalConfig::default() };
+        let cfg = EvalConfig {
+            patterns_per_group: 10_000,
+            ..EvalConfig::default()
+        };
         let acc = evaluate_accuracy(&golden, &cand, &cfg);
         // 0.75^8 ≈ 10% of high-ratio patterns hit the bad minterm;
         // uniform patterns almost never do (1/256).
@@ -214,7 +217,10 @@ mod tests {
         let b = near.add_input("b");
         let y = near.or(a, b);
         near.add_output(y, "y");
-        let cfg = EvalConfig { patterns_per_group: 500, ..EvalConfig::default() };
+        let cfg = EvalConfig {
+            patterns_per_group: 500,
+            ..EvalConfig::default()
+        };
         let a1 = evaluate_accuracy(&g, &near, &cfg);
         let a2 = evaluate_accuracy(&g, &near, &cfg);
         assert_eq!(a1, a2);

@@ -54,12 +54,7 @@ type ConeRecipe = Vec<(usize, bool, usize, bool, bool)>;
 /// (each AND halves the onset), so cones meant to stay *hard* for
 /// sampling-based learners need XOR mixed in to keep the function
 /// dense and the functional support wide.
-fn random_recipe(
-    rng: &mut StdRng,
-    num_leaves: usize,
-    gates: usize,
-    xor_ratio: f64,
-) -> ConeRecipe {
+fn random_recipe(rng: &mut StdRng, num_leaves: usize, gates: usize, xor_ratio: f64) -> ConeRecipe {
     let mut recipe = Vec::with_capacity(gates);
     // Phase 1 — leaf-covering chain: fold every leaf into a running
     // accumulator so the cone provably depends on its whole support
@@ -135,7 +130,7 @@ pub fn neq_case_with_support(
     support: usize,
     seed: u64,
 ) -> CircuitOracle {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4E45_51);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x004E_4551);
     let mut aig = Aig::new();
     let names = flat_input_names(&mut rng, num_inputs);
     let inputs: Vec<Edge> = names.iter().map(|n| aig.add_input(n.clone())).collect();
@@ -202,7 +197,9 @@ pub fn eco_case_with_support(
     let names = flat_input_names(&mut rng, num_inputs);
     let inputs: Vec<Edge> = names.iter().map(|n| aig.add_input(n.clone())).collect();
     for o in 0..num_outputs {
-        let k = rng.gen_range((support / 2).max(2)..=support.max(3)).min(num_inputs);
+        let k = rng
+            .gen_range((support / 2).max(2)..=support.max(3))
+            .min(num_inputs);
         let leaves = choose_inputs(&mut rng, &inputs, k);
         let gates = (k * 2).max(6);
         let xor_ratio = if k > 20 { 0.4 } else { 0.15 };
@@ -391,9 +388,7 @@ fn miter_is_nonconstant(aig: &Aig, edge: Edge, rng: &mut StdRng) -> bool {
         let inputs: Vec<SimVector> = (0..aig.num_inputs())
             .map(|_| match bias {
                 None => SimVector::random(patterns, rng),
-                Some(p) => {
-                    SimVector::from_bits((0..patterns).map(|_| rng.gen_bool(p)))
-                }
+                Some(p) => SimVector::from_bits((0..patterns).map(|_| rng.gen_bool(p))),
             })
             .collect();
         let values = aig.simulate_nodes(&inputs);
@@ -421,7 +416,10 @@ fn choose_inputs(rng: &mut StdRng, inputs: &[Edge], k: usize) -> Vec<Edge> {
         let j = rng.gen_range(i..idx.len());
         idx.swap(i, j);
     }
-    idx[..k.min(inputs.len())].iter().map(|&i| inputs[i]).collect()
+    idx[..k.min(inputs.len())]
+        .iter()
+        .map(|&i| inputs[i])
+        .collect()
 }
 
 #[cfg(test)]
@@ -436,8 +434,9 @@ mod tests {
         assert_eq!(o.num_inputs(), 20);
         assert_eq!(o.num_outputs(), 3);
         let mut rng = StdRng::seed_from_u64(2);
-        let pats: Vec<Assignment> =
-            (0..2000).map(|_| Assignment::random(20, &mut rng)).collect();
+        let pats: Vec<Assignment> = (0..2000)
+            .map(|_| Assignment::random(20, &mut rng))
+            .collect();
         let outs = o.query_batch(&pats);
         let ones: usize = outs.iter().flat_map(|r| r.iter()).filter(|&&b| b).count();
         let total = 2000 * 3;
@@ -461,11 +460,7 @@ mod tests {
         let o = diag_case(30, 4, 7);
         assert_eq!(o.num_inputs(), 30);
         assert_eq!(o.num_outputs(), 4);
-        let bussed = o
-            .input_names()
-            .iter()
-            .filter(|n| n.contains('['))
-            .count();
+        let bussed = o.input_names().iter().filter(|n| n.contains('[')).count();
         assert!(bussed >= 8, "expected bussed names, got {bussed}");
     }
 
@@ -501,15 +496,17 @@ mod tests {
         a_bus.sort_by_key(|&(bit, _)| std::cmp::Reverse(bit));
         b_bus.sort_by_key(|&(bit, _)| std::cmp::Reverse(bit));
 
-        let read_z = |out: &[bool]| -> u64 {
-            out.iter().fold(0u64, |acc, &bit| acc << 1 | bit as u64)
-        };
+        let read_z =
+            |out: &[bool]| -> u64 { out.iter().fold(0u64, |acc, &bit| acc << 1 | bit as u64) };
         let zeros = Assignment::zeros(n);
         let base = read_z(&o.query(&zeros)); // = b mod 16
 
         // Setting a=1 adds coefficient ca once.
         let mut a1 = Assignment::zeros(n);
-        a1.set(cirlearn_logic::Var::new(a_bus.last().expect("bus").1 as u32), true);
+        a1.set(
+            cirlearn_logic::Var::new(a_bus.last().expect("bus").1 as u32),
+            true,
+        );
         let ca = (read_z(&o.query(&a1)) + 16 - base) % 16;
 
         // Then a=2 must add 2*ca.
@@ -524,11 +521,20 @@ mod tests {
         }
         // And b bus likewise behaves linearly.
         let mut b1 = Assignment::zeros(n);
-        b1.set(cirlearn_logic::Var::new(b_bus.last().expect("bus").1 as u32), true);
+        b1.set(
+            cirlearn_logic::Var::new(b_bus.last().expect("bus").1 as u32),
+            true,
+        );
         let cb = (read_z(&o.query(&b1)) + 16 - base) % 16;
         let mut ab = Assignment::zeros(n);
-        ab.set(cirlearn_logic::Var::new(a_bus.last().expect("bus").1 as u32), true);
-        ab.set(cirlearn_logic::Var::new(b_bus.last().expect("bus").1 as u32), true);
+        ab.set(
+            cirlearn_logic::Var::new(a_bus.last().expect("bus").1 as u32),
+            true,
+        );
+        ab.set(
+            cirlearn_logic::Var::new(b_bus.last().expect("bus").1 as u32),
+            true,
+        );
         let got = (read_z(&o.query(&ab)) + 16 - base) % 16;
         assert_eq!(got, (ca + cb) % 16, "superposition across buses");
     }
@@ -539,11 +545,7 @@ mod tests {
             let o1 = case(cat, 24, 4, 99);
             let o2 = case(cat, 24, 4, 99);
             assert_eq!(o1.input_names(), o2.input_names(), "{cat}");
-            assert_eq!(
-                o1.reveal().gate_count(),
-                o2.reveal().gate_count(),
-                "{cat}"
-            );
+            assert_eq!(o1.reveal().gate_count(), o2.reveal().gate_count(), "{cat}");
         }
     }
 

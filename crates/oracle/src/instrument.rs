@@ -1,0 +1,184 @@
+//! Telemetry instrumentation for oracles.
+
+use cirlearn_logic::Assignment;
+use cirlearn_telemetry::{counters, Telemetry};
+
+use crate::oracle::Oracle;
+
+/// An oracle wrapper that counts every query into a [`Telemetry`]
+/// handle at the source.
+///
+/// Queries are bumped on the `oracle.queries` counter as they are
+/// served, so stage spans open in the learner attribute them to the
+/// pipeline stage that issued them — the run report's per-stage query
+/// breakdown and the total query count agree by construction.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_logic::Assignment;
+/// use cirlearn_oracle::{CircuitOracle, InstrumentedOracle, Oracle};
+/// use cirlearn_telemetry::{counters, Telemetry};
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_input("a");
+/// aig.add_output(a, "y");
+///
+/// let telemetry = Telemetry::recording();
+/// let mut oracle =
+///     InstrumentedOracle::new(CircuitOracle::new(aig), telemetry.clone());
+/// oracle.query(&Assignment::zeros(1));
+/// assert_eq!(telemetry.counter(counters::ORACLE_QUERIES), 1);
+/// assert_eq!(oracle.queries(), 1);
+/// ```
+#[derive(Debug)]
+pub struct InstrumentedOracle<O> {
+    inner: O,
+    telemetry: Telemetry,
+}
+
+impl<O: Oracle> InstrumentedOracle<O> {
+    /// Wraps `inner`, reporting its query traffic to `telemetry`.
+    pub fn new(inner: O, telemetry: Telemetry) -> Self {
+        InstrumentedOracle { inner, telemetry }
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Unwraps back into the inner oracle.
+    pub fn into_inner(self) -> O {
+        self.inner
+    }
+}
+
+impl<O: Oracle> Oracle for InstrumentedOracle<O> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn input_names(&self) -> &[String] {
+        self.inner.input_names()
+    }
+
+    fn output_names(&self) -> &[String] {
+        self.inner.output_names()
+    }
+
+    fn query(&mut self, input: &Assignment) -> Vec<bool> {
+        self.telemetry.incr(counters::ORACLE_QUERIES);
+        self.inner.query(input)
+    }
+
+    fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
+        self.telemetry
+            .add(counters::ORACLE_QUERIES, inputs.len() as u64);
+        self.inner.query_batch(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+}
+
+impl<O: Oracle + ?Sized> Oracle for &mut O {
+    fn num_inputs(&self) -> usize {
+        (**self).num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        (**self).num_outputs()
+    }
+
+    fn input_names(&self) -> &[String] {
+        (**self).input_names()
+    }
+
+    fn output_names(&self) -> &[String] {
+        (**self).output_names()
+    }
+
+    fn query(&mut self, input: &Assignment) -> Vec<bool> {
+        (**self).query(input)
+    }
+
+    fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
+        (**self).query_batch(inputs)
+    }
+
+    fn queries(&self) -> u64 {
+        (**self).queries()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CircuitOracle;
+    use cirlearn_aig::Aig;
+
+    fn sample() -> CircuitOracle {
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        CircuitOracle::new(g)
+    }
+
+    #[test]
+    fn counts_singles_and_batches_into_telemetry() {
+        let telemetry = Telemetry::recording();
+        let mut o = InstrumentedOracle::new(sample(), telemetry.clone());
+        let z = Assignment::zeros(2);
+        o.query(&z);
+        o.query_batch(&[z.clone(), z.clone(), z.clone()]);
+        assert_eq!(telemetry.counter(counters::ORACLE_QUERIES), 4);
+        assert_eq!(o.queries(), 4);
+    }
+
+    #[test]
+    fn attribution_lands_on_the_active_span() {
+        let telemetry = Telemetry::recording();
+        let mut o = InstrumentedOracle::new(sample(), telemetry.clone());
+        let z = Assignment::zeros(2);
+        {
+            let _support = telemetry.span("support");
+            o.query(&z);
+            o.query(&z);
+        }
+        {
+            let _fbdt = telemetry.span("fbdt");
+            o.query(&z);
+        }
+        let report = telemetry.report();
+        assert_eq!(
+            report.stage("support").unwrap().counters[counters::ORACLE_QUERIES],
+            2
+        );
+        assert_eq!(
+            report.stage("fbdt").unwrap().counters[counters::ORACLE_QUERIES],
+            1
+        );
+        assert_eq!(
+            report.top_level_counter_sum(counters::ORACLE_QUERIES),
+            report.counter(counters::ORACLE_QUERIES)
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_passes_queries_through() {
+        let mut o = InstrumentedOracle::new(sample(), Telemetry::disabled());
+        let z = Assignment::zeros(2);
+        let out = o.query(&z);
+        assert_eq!(out, vec![false]);
+        assert_eq!(o.queries(), 1);
+    }
+}

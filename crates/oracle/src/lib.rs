@@ -35,12 +35,14 @@
 
 pub mod eval;
 pub mod generate;
+mod instrument;
 mod oracle;
 mod process;
 pub mod suite;
 
 pub use eval::{evaluate_accuracy, Accuracy, EvalConfig};
 pub use generate::Category;
+pub use instrument::InstrumentedOracle;
 pub use oracle::{CircuitOracle, Oracle};
 pub use process::{ProcessOracle, ProcessOracleError};
 pub use suite::{contest_suite, ContestCase};

@@ -244,5 +244,4 @@ mod tests {
         );
         assert!(matches!(r, Err(ProcessOracleError::Spawn(_))));
     }
-
 }

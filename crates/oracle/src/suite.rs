@@ -60,7 +60,9 @@ impl ContestCase {
 /// per-case category and port counts.
 pub fn contest_suite() -> Vec<ContestCase> {
     use Category::*;
-    let rows: [(&'static str, Category, usize, usize, bool, Option<usize>); 20] = [
+    // (name, category, #PI, #PO, bussed names, support bound).
+    type SuiteRow = (&'static str, Category, usize, usize, bool, Option<usize>);
+    let rows: [SuiteRow; 20] = [
         ("case_1", Eco, 121, 38, false, Some(8)),
         ("case_2", Data, 53, 19, false, None),
         ("case_3", Diag, 72, 1, false, None),
@@ -84,15 +86,17 @@ pub fn contest_suite() -> Vec<ContestCase> {
     ];
     rows.into_iter()
         .enumerate()
-        .map(|(i, (name, category, pi, po, hidden, support))| ContestCase {
-            name,
-            category,
-            num_inputs: pi,
-            num_outputs: po,
-            hidden,
-            support,
-            seed: 0xC0DE_0000 + i as u64,
-        })
+        .map(
+            |(i, (name, category, pi, po, hidden, support))| ContestCase {
+                name,
+                category,
+                num_inputs: pi,
+                num_outputs: po,
+                hidden,
+                support,
+                seed: 0xC0DE_0000 + i as u64,
+            },
+        )
         .collect()
 }
 

@@ -118,7 +118,11 @@ impl AigCnf {
 /// Encodes `aig` into `solver`, mapping primary input `k` to
 /// `input_lits[k]`. Returns the literal of every node.
 fn encode(solver: &mut Solver, aig: &Aig, input_lits: &[Lit]) -> Vec<Lit> {
-    assert_eq!(input_lits.len(), aig.num_inputs(), "wrong input literal count");
+    assert_eq!(
+        input_lits.len(),
+        aig.num_inputs(),
+        "wrong input literal count"
+    );
     let mut node_lits: Vec<Lit> = Vec::with_capacity(aig.node_count());
     // Constant node: a fresh variable pinned to false.
     let const_lit = solver.new_var();
@@ -236,7 +240,10 @@ mod tests {
 
     #[test]
     fn equivalent_structures() {
-        assert_eq!(check_equivalence(&xor_aig(), &xor_aig_alt()), Equivalence::Equivalent);
+        assert_eq!(
+            check_equivalence(&xor_aig(), &xor_aig_alt()),
+            Equivalence::Equivalent
+        );
     }
 
     #[test]
@@ -400,7 +407,11 @@ mod tests {
             assert_eq!(verdict.is_equivalent(), truly_equal, "round {round}");
             if let Equivalence::Counterexample(cex) = verdict {
                 let bits: Vec<bool> = cex.iter().collect();
-                assert_ne!(g1.eval_bits(&bits), g2.eval_bits(&bits), "round {round}: bad cex");
+                assert_ne!(
+                    g1.eval_bits(&bits),
+                    g2.eval_bits(&bits),
+                    "round {round}: bad cex"
+                );
             }
         }
     }

@@ -235,15 +235,8 @@ impl Solver {
     /// may also include learned clauses; they are implied by the
     /// problem, so the returned set stays logically equivalent.
     pub(crate) fn problem_clauses(&self) -> Vec<Vec<Lit>> {
-        let level0_end = self
-            .trail_lim
-            .first()
-            .copied()
-            .unwrap_or(self.trail.len());
-        let mut out: Vec<Vec<Lit>> = self.trail[..level0_end]
-            .iter()
-            .map(|&l| vec![l])
-            .collect();
+        let level0_end = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        let mut out: Vec<Vec<Lit>> = self.trail[..level0_end].iter().map(|&l| vec![l]).collect();
         out.extend(self.clauses[..self.problem_clause_count].iter().cloned());
         out
     }
@@ -324,10 +317,7 @@ impl Solver {
     /// Unassigned variables (possible when the formula does not
     /// constrain them) read as `false`.
     pub fn value(&self, lit: Lit) -> bool {
-        match self.lit_value(lit) {
-            VarValue::True => true,
-            _ => false,
-        }
+        matches!(self.lit_value(lit), VarValue::True)
     }
 
     // ----- internals -------------------------------------------------
@@ -738,6 +728,8 @@ mod tests {
     }
 
     #[test]
+    // Indexing `p[i][h]` / `p[j][h]` mirrors the constraint notation.
+    #[allow(clippy::needless_range_loop)]
     fn pigeonhole_3_into_2_unsat() {
         // 3 pigeons, 2 holes: p[i][h] = pigeon i in hole h.
         let mut s = Solver::new();
@@ -833,9 +825,10 @@ mod tests {
             // Brute force.
             let mut brute_sat = false;
             for m in 0..1u32 << n {
-                if clauses.iter().all(|c| {
-                    c.iter().any(|&(v, neg)| (m >> v & 1 == 1) != neg)
-                }) {
+                if clauses
+                    .iter()
+                    .all(|c| c.iter().any(|&(v, neg)| (m >> v & 1 == 1) != neg))
+                {
                     brute_sat = true;
                     break;
                 }

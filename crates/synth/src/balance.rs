@@ -17,8 +17,8 @@ use cirlearn_aig::{Aig, Edge};
 pub fn balance(aig: &Aig) -> Aig {
     let mut out = Aig::with_inputs_like(aig);
     let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Edge::from_code(i as u32 * 2);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Edge::from_code(i as u32 * 2);
     }
     // Fanout counts decide where trees are cut: a node with multiple
     // fanouts stays a tree boundary so its logic is shared, not
@@ -54,9 +54,7 @@ pub fn balance(aig: &Aig) -> Aig {
 /// this tree, gathering the tree's leaf edges.
 fn collect_and_leaves(aig: &Aig, e: Edge, fanout: &[usize], is_root: bool, leaves: &mut Vec<Edge>) {
     let n = e.node();
-    let expandable = aig.is_and(n)
-        && !e.is_complemented()
-        && (is_root || fanout[n.index()] == 1);
+    let expandable = aig.is_and(n) && !e.is_complemented() && (is_root || fanout[n.index()] == 1);
     if expandable {
         let [a, b] = aig.fanins(n);
         collect_and_leaves(aig, a, fanout, false, leaves);
@@ -160,7 +158,11 @@ mod tests {
             let bal = balance(&g);
             for m in 0..64u32 {
                 let bits: Vec<bool> = (0..6).map(|k| m >> k & 1 == 1).collect();
-                assert_eq!(bal.eval_bits(&bits), g.eval_bits(&bits), "round {round} m={m}");
+                assert_eq!(
+                    bal.eval_bits(&bits),
+                    g.eval_bits(&bits),
+                    "round {round} m={m}"
+                );
             }
         }
     }

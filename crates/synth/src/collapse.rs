@@ -63,8 +63,13 @@ pub fn collapse(aig: &Aig, config: &CollapseConfig) -> Aig {
     // collapsed (they are copied structurally).
     let mut copy_map: Vec<Option<Edge>> = vec![None; aig.node_count()];
     copy_map[0] = Some(Edge::FALSE);
-    for i in 1..=aig.num_inputs() {
-        copy_map[i] = Some(Edge::from_code(i as u32 * 2));
+    for (i, m) in copy_map
+        .iter_mut()
+        .enumerate()
+        .take(aig.num_inputs() + 1)
+        .skip(1)
+    {
+        *m = Some(Edge::from_code(i as u32 * 2));
     }
 
     for (e, name) in aig.outputs() {
@@ -73,10 +78,7 @@ pub fn collapse(aig: &Aig, config: &CollapseConfig) -> Aig {
             build_bdd_cone(aig, *e, &support, config.max_bdd_nodes).and_then(|(mut bdd, f)| {
                 let sop = bdd.isop_bounded(f, config.max_cubes)?;
                 let expr = factor::factor(&sop);
-                let var_map: Vec<Edge> = support
-                    .iter()
-                    .map(|&pos| out.input_edge(pos))
-                    .collect();
+                let var_map: Vec<Edge> = support.iter().map(|&pos| out.input_edge(pos)).collect();
                 Some(expr.to_aig(&mut out, &var_map))
             })
         } else {
@@ -123,7 +125,11 @@ fn build_bdd_cone(
         }
     }
     let v = values[root.node().index()]?;
-    let f = if root.is_complemented() { bdd.not(v) } else { v };
+    let f = if root.is_complemented() {
+        bdd.not(v)
+    } else {
+        v
+    };
     Some((bdd, f))
 }
 
@@ -195,7 +201,10 @@ mod tests {
         let inputs = g.add_inputs("x", 30);
         let y = g.and_many(&inputs);
         g.add_output(y, "y");
-        let cfg = CollapseConfig { max_support: 24, ..CollapseConfig::default() };
+        let cfg = CollapseConfig {
+            max_support: 24,
+            ..CollapseConfig::default()
+        };
         let c = collapse(&g, &cfg);
         assert!(check_equivalence(&g, &c).is_equivalent());
         assert_eq!(c.gate_count(), g.gate_count());
@@ -206,11 +215,15 @@ mod tests {
         let mut g = Aig::new();
         let inputs = g.add_inputs("x", 8);
         // A multiplier-like structure with an intentionally tiny budget.
-        let a = g.mul_const_word(&inputs[..4].to_vec(), 5, 6);
-        let b = g.mul_const_word(&inputs[4..].to_vec(), 3, 6);
+        let a = g.mul_const_word(&inputs[..4], 5, 6);
+        let b = g.mul_const_word(&inputs[4..], 3, 6);
         let lt = g.cmp_ult(&a, &b);
         g.add_output(lt, "lt");
-        let cfg = CollapseConfig { max_support: 24, max_bdd_nodes: 8, ..CollapseConfig::default() };
+        let cfg = CollapseConfig {
+            max_support: 24,
+            max_bdd_nodes: 8,
+            ..CollapseConfig::default()
+        };
         let c = collapse(&g, &cfg);
         assert!(check_equivalence(&g, &c).is_equivalent());
     }
@@ -228,7 +241,10 @@ mod tests {
         let wide = g.or_many(&inputs);
         g.add_output(small, "small");
         g.add_output(wide, "wide");
-        let cfg = CollapseConfig { max_support: 10, ..CollapseConfig::default() };
+        let cfg = CollapseConfig {
+            max_support: 10,
+            ..CollapseConfig::default()
+        };
         let c = collapse(&g, &cfg);
         assert!(check_equivalence(&g, &c).is_equivalent());
     }

@@ -179,12 +179,18 @@ pub fn complement(cover: &Sop) -> Sop {
         if f0c.cubes().contains(c) {
             out.push(c.clone());
         } else {
-            out.push(c.and_literal(var.positive()).expect("var eliminated by cofactor"));
+            out.push(
+                c.and_literal(var.positive())
+                    .expect("var eliminated by cofactor"),
+            );
         }
     }
     for c in f0c.cubes() {
         if !f1c.cubes().contains(c) {
-            out.push(c.and_literal(var.negative()).expect("var eliminated by cofactor"));
+            out.push(
+                c.and_literal(var.negative())
+                    .expect("var eliminated by cofactor"),
+            );
         }
     }
     out.make_single_cube_minimal();
@@ -396,7 +402,9 @@ mod tests {
             for i in 0..ncubes {
                 let mut lits = Vec::new();
                 for v in 0..5u32 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i + v as u64);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i + v as u64);
                     match (state >> 33) % 3 {
                         0 => lits.push(lit(v, false)),
                         1 => lits.push(lit(v, true)),
@@ -454,7 +462,9 @@ mod tests {
         let mut state = 99u64;
         for trial in 0..25 {
             let tt = TruthTable::from_fn(6, |m| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(m + trial);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(m + trial);
                 state >> 43 & 1 == 1
             });
             let cover = minterm_cover(&tt);
@@ -486,7 +496,9 @@ mod tests {
             for i in 0..ncubes {
                 let mut lits = Vec::new();
                 for v in 0..5u32 {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(i + v as u64);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(i + v as u64);
                     match (state >> 29) % 3 {
                         0 => lits.push(lit(v, false)),
                         1 => lits.push(lit(v, true)),
@@ -535,7 +547,9 @@ mod tests {
         let mut state = 77u64;
         for trial in 0..15 {
             let tt = TruthTable::from_fn(5, |m| {
-                state = state.wrapping_mul(2862933555777941757).wrapping_add(m * 5 + trial);
+                state = state
+                    .wrapping_mul(2862933555777941757)
+                    .wrapping_add(m * 5 + trial);
                 state >> 41 & 1 == 1
             });
             let sop = tt.isop();

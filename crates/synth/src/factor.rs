@@ -243,7 +243,9 @@ mod tests {
         let mut state = 3u64;
         for trial in 0..30 {
             let tt = TruthTable::from_fn(6, |m| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(m * 3 + trial);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(m * 3 + trial);
                 state >> 38 & 1 == 1
             });
             let sop = tt.isop();

@@ -119,8 +119,8 @@ pub fn fraig(aig: &Aig, config: &FraigConfig) -> Aig {
     // Rebuild with substitutions.
     let mut out = Aig::with_inputs_like(aig);
     let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Edge::from_code(i as u32 * 2);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Edge::from_code(i as u32 * 2);
     }
     for (n, a, b) in aig.ands() {
         let new_edge = if let Some(target) = merged.get(&n) {
@@ -143,7 +143,7 @@ pub fn fraig(aig: &Aig, config: &FraigConfig) -> Aig {
 /// Returns the key and whether the signature was complemented.
 fn canonical_signature(sig: &SimVector) -> (Vec<u64>, bool) {
     let words = sig.words();
-    let complement = words.first().map_or(false, |w| w & 1 == 1);
+    let complement = words.first().is_some_and(|w| w & 1 == 1);
     if complement {
         let mut c = sig.clone();
         c.not_assign();
@@ -225,7 +225,14 @@ mod tests {
                 let e = pool[pool.len() - 1 - k];
                 g.add_output(e, format!("y{k}"));
             }
-            let r = fraig(&g, &FraigConfig { patterns: 256, seed: round, max_sat_queries: 10_000 });
+            let r = fraig(
+                &g,
+                &FraigConfig {
+                    patterns: 256,
+                    seed: round,
+                    max_sat_queries: 10_000,
+                },
+            );
             assert!(
                 check_equivalence(&g, &r).is_equivalent(),
                 "round {round}: fraig changed the function"

@@ -65,4 +65,4 @@ pub use fraig::{fraig, FraigConfig};
 pub use redundancy::{redundancy_removal, RedundancyConfig};
 pub use refactor::{refactor, RefactorConfig};
 pub use rewrite::rewrite;
-pub use script::{optimize, OptimizeConfig};
+pub use script::{optimize, optimize_with, OptimizeConfig};

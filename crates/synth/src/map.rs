@@ -68,8 +68,13 @@ pub enum MappedSignal {
 impl MappedSignal {
     fn complement_if(self, c: bool) -> Self {
         match self {
-            MappedSignal::Const { complement } => MappedSignal::Const { complement: complement ^ c },
-            MappedSignal::Input { position, complement } => MappedSignal::Input {
+            MappedSignal::Const { complement } => MappedSignal::Const {
+                complement: complement ^ c,
+            },
+            MappedSignal::Input {
+                position,
+                complement,
+            } => MappedSignal::Input {
                 position,
                 complement: complement ^ c,
             },
@@ -127,7 +132,10 @@ impl GateNetlist {
         let read = |s: MappedSignal, values: &Vec<bool>| -> bool {
             match s {
                 MappedSignal::Const { complement } => complement,
-                MappedSignal::Input { position, complement } => bits[position] ^ complement,
+                MappedSignal::Input {
+                    position,
+                    complement,
+                } => bits[position] ^ complement,
                 MappedSignal::Gate { index, complement } => values[index] ^ complement,
             }
         };
@@ -206,8 +214,8 @@ pub fn map_gates(aig: &Aig) -> GateNetlist {
         if swallowed[n.index()] {
             continue;
         }
-        let matched = detect_or_of_products(&aig, n, a, b, &fanout)
-            .and_then(|(p, q)| classify(p, q));
+        let matched =
+            detect_or_of_products(&aig, n, a, b, &fanout).and_then(|(p, q)| classify(p, q));
         if let Some(shape) = matched {
             shape_of[n.index()] = Some(shape);
             swallowed[a.node().index()] = true;
@@ -231,10 +239,17 @@ pub fn map_gates(aig: &Aig) -> GateNetlist {
                         inputs: vec![sx, sy],
                     });
                     // n = NOR(x·y, !x·!y) = XOR(x, y).
-                    map[n.index()] = Some(MappedSignal::Gate { index, complement: false });
+                    map[n.index()] = Some(MappedSignal::Gate {
+                        index,
+                        complement: false,
+                    });
                     continue;
                 }
-                Shape::Mux { sel, then_e, else_e } => {
+                Shape::Mux {
+                    sel,
+                    then_e,
+                    else_e,
+                } => {
                     let ss = signal(sel, &map).expect("topological order");
                     let st = signal(then_e, &map).expect("topological order");
                     let se = signal(else_e, &map).expect("topological order");
@@ -244,7 +259,10 @@ pub fn map_gates(aig: &Aig) -> GateNetlist {
                         inputs: vec![ss, st, se],
                     });
                     // n = NOR(sel·t, !sel·e) = !MUX(sel, t, e).
-                    map[n.index()] = Some(MappedSignal::Gate { index, complement: true });
+                    map[n.index()] = Some(MappedSignal::Gate {
+                        index,
+                        complement: true,
+                    });
                     continue;
                 }
             }
@@ -257,7 +275,10 @@ pub fn map_gates(aig: &Aig) -> GateNetlist {
             kind: GateKind::And,
             inputs: vec![sa, sb],
         });
-        map[n.index()] = Some(MappedSignal::Gate { index, complement: false });
+        map[n.index()] = Some(MappedSignal::Gate {
+            index,
+            complement: false,
+        });
     }
 
     for (e, name) in aig.outputs() {
@@ -353,11 +374,7 @@ mod tests {
         assert!(n <= 12, "exhaustive check bound");
         for m in 0..1u64 << n {
             let bits: Vec<bool> = (0..n).map(|k| m >> k & 1 == 1).collect();
-            assert_eq!(
-                netlist.eval_bits(&bits),
-                aig.eval_bits(&bits),
-                "m={m}"
-            );
+            assert_eq!(netlist.eval_bits(&bits), aig.eval_bits(&bits), "m={m}");
         }
     }
 
@@ -463,7 +480,11 @@ mod tests {
             for _ in 0..25 {
                 let a = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
                 let b = pool[rng.gen_range(0..pool.len())].complement_if(rng.gen_bool(0.5));
-                let n = if rng.gen_bool(0.3) { g.xor(a, b) } else { g.and(a, b) };
+                let n = if rng.gen_bool(0.3) {
+                    g.xor(a, b)
+                } else {
+                    g.and(a, b)
+                };
                 pool.push(n);
             }
             for k in 0..2 {

@@ -93,8 +93,8 @@ pub fn redundancy_removal(aig: &Aig, config: &RedundancyConfig) -> Aig {
 fn rebuild_with_wire(aig: &Aig, target: NodeId, keep: Edge) -> Aig {
     let mut out = Aig::with_inputs_like(aig);
     let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Edge::from_code(i as u32 * 2);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Edge::from_code(i as u32 * 2);
     }
     for (n, a, b) in aig.ands() {
         let na = map[a.node().index()].complement_if(a.is_complemented());
@@ -151,7 +151,10 @@ mod tests {
         let inputs = g.add_inputs("x", 4);
         let y = g.and_many(&inputs);
         g.add_output(y, "y");
-        let cfg = RedundancyConfig { max_nodes: 0, ..RedundancyConfig::default() };
+        let cfg = RedundancyConfig {
+            max_nodes: 0,
+            ..RedundancyConfig::default()
+        };
         let r = redundancy_removal(&g, &cfg);
         assert_eq!(r.gate_count(), g.gate_count());
     }

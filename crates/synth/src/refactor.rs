@@ -57,8 +57,8 @@ impl Default for RefactorConfig {
 pub fn refactor(aig: &Aig, config: &RefactorConfig) -> Aig {
     let mut out = Aig::with_inputs_like(aig);
     let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Edge::from_code(i as u32 * 2);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Edge::from_code(i as u32 * 2);
     }
     // Fanout counts for MFFC-style reclaim estimation.
     let mut fanout = vec![0usize; aig.node_count()];
@@ -83,8 +83,7 @@ pub fn refactor(aig: &Aig, config: &RefactorConfig) -> Aig {
             if leaves.len() >= 3 {
                 if let Some(sop) = cone_cover(aig, n, &leaves, config.max_cubes) {
                     let expr = factor::factor(&sop);
-                    let leaf_edges: Vec<Edge> =
-                        leaves.iter().map(|l| map[l.index()]).collect();
+                    let leaf_edges: Vec<Edge> = leaves.iter().map(|l| map[l.index()]).collect();
                     let before = out.node_count();
                     let cand = expr.to_aig(&mut out, &leaf_edges);
                     let delta = (out.node_count() - before) as isize;
@@ -127,11 +126,8 @@ fn grow_cut(
         // Expand the deepest expandable leaf whose expansion keeps the
         // cut within bounds. Prefer single-fanout nodes (their logic is
         // reclaimable) but allow shared ones when the bound permits.
-        let mut candidates: Vec<NodeId> = leaves
-            .iter()
-            .copied()
-            .filter(|&l| aig.is_and(l))
-            .collect();
+        let mut candidates: Vec<NodeId> =
+            leaves.iter().copied().filter(|&l| aig.is_and(l)).collect();
         candidates.sort_by_key(|l| std::cmp::Reverse(l.index()));
         let mut expanded = false;
         for l in candidates {
@@ -177,8 +173,7 @@ fn cone_cover(
         if values[n.index()].is_some() || n.index() > root.index() {
             continue;
         }
-        let (Some(va), Some(vb)) = (values[a.node().index()], values[b.node().index()])
-        else {
+        let (Some(va), Some(vb)) = (values[a.node().index()], values[b.node().index()]) else {
             continue;
         };
         let fa = if a.is_complemented() { bdd.not(va) } else { va };

@@ -52,8 +52,8 @@ pub fn rewrite(aig: &Aig) -> Aig {
 
     let mut out = Aig::with_inputs_like(aig);
     let mut map: Vec<Edge> = vec![Edge::FALSE; aig.node_count()];
-    for i in 0..=aig.num_inputs() {
-        map[i] = Edge::from_code(i as u32 * 2);
+    for (i, m) in map.iter_mut().enumerate().take(aig.num_inputs() + 1) {
+        *m = Edge::from_code(i as u32 * 2);
     }
 
     for (n, a, b) in aig.ands() {
@@ -71,16 +71,13 @@ pub fn rewrite(aig: &Aig) -> Aig {
             if cut.len() < 2 || (cut.len() == 1 && cut[0] == n) {
                 continue;
             }
-            if cut.iter().any(|&l| l == n) {
+            if cut.contains(&n) {
                 continue; // trivial cut
             }
             let tt = cut_function(aig, n, cut);
             let reclaim = mffc_size(aig, n, cut, &fanouts) as isize;
             let before = out.node_count();
-            let leaf_edges: Vec<Edge> = cut
-                .iter()
-                .map(|l| map[l.index()])
-                .collect();
+            let leaf_edges: Vec<Edge> = cut.iter().map(|l| map[l.index()]).collect();
             let cand = build_from_tt(&tt, &mut out, &leaf_edges, &mut library);
             let delta = (out.node_count() - before) as isize;
             let score = delta - reclaim;
@@ -197,9 +194,7 @@ fn mffc_size(aig: &Aig, root: NodeId, leaves: &[NodeId], fanouts: &[Vec<NodeId>]
     }
     // Internal nodes (≠ root) count only when all fanouts are in-cone.
     cone.iter()
-        .filter(|&&n| {
-            n == root || fanouts[n.index()].iter().all(|f| cone.contains(f))
-        })
+        .filter(|&&n| n == root || fanouts[n.index()].iter().all(|f| cone.contains(f)))
         .count()
 }
 
@@ -227,9 +222,7 @@ fn build_from_tt(
     leaf_edges: &[Edge],
     library: &mut HashMap<(usize, Vec<u64>), factor::Expr>,
 ) -> Edge {
-    let (canon, t) = tt
-        .npn_canonical()
-        .expect("cut width is within NPN limits");
+    let (canon, t) = tt.npn_canonical().expect("cut width is within NPN limits");
     let expr = library
         .entry((canon.num_vars(), canon.words().to_vec()))
         .or_insert_with(|| factor::factor(&canon.isop()))
@@ -307,7 +300,7 @@ mod tests {
     fn preserves_multi_output() {
         let mut g = Aig::new();
         let inputs = g.add_inputs("x", 4);
-        let s = g.add_word(&inputs[..2].to_vec(), &inputs[2..].to_vec());
+        let s = g.add_word(&inputs[..2], &inputs[2..]);
         for (i, e) in s.iter().enumerate() {
             g.add_output(*e, format!("s{i}"));
         }
@@ -326,7 +319,9 @@ mod npn_build_tests {
         let mut state = 12345u64;
         for trial in 0..50 {
             let tt = TruthTable::from_fn(4, |m| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(m + trial);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(m + trial);
                 state >> 33 & 1 == 1
             });
             let mut g = Aig::new();

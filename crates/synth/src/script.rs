@@ -3,10 +3,11 @@
 use std::time::{Duration, Instant};
 
 use cirlearn_aig::Aig;
+use cirlearn_telemetry::Telemetry;
 
 use crate::{
-    balance, collapse, fraig, redundancy_removal, refactor, rewrite, CollapseConfig,
-    FraigConfig, RedundancyConfig, RefactorConfig,
+    balance, collapse, fraig, redundancy_removal, refactor, rewrite, CollapseConfig, FraigConfig,
+    RedundancyConfig, RefactorConfig,
 };
 
 /// Configuration for [`optimize`].
@@ -76,13 +77,19 @@ impl Default for OptimizeConfig {
 /// assert_eq!(best.gate_count(), 0);
 /// ```
 pub fn optimize(aig: &Aig, config: &OptimizeConfig) -> Aig {
+    optimize_with(aig, config, &Telemetry::disabled())
+}
+
+/// Like [`optimize`], but records every applied pass (gate and level
+/// deltas, wall clock) into the given [`Telemetry`] handle.
+pub fn optimize_with(aig: &Aig, config: &OptimizeConfig, telemetry: &Telemetry) -> Aig {
     let deadline = Instant::now() + config.time_budget;
     let mut current = aig.cleanup();
     let mut best = current.clone();
 
     let mut collapsed = false;
     let mut swept = false;
-    for _round in 0..config.max_rounds {
+    for round in 0..config.max_rounds {
         let start_count = best.gate_count();
 
         for pass in [
@@ -99,11 +106,12 @@ pub fn optimize(aig: &Aig, config: &OptimizeConfig) -> Aig {
             if pass == PassKind::Collapse && (collapsed || !config.enable_collapse) {
                 continue;
             }
-            if pass == PassKind::Redundancy
-                && (swept || !config.enable_redundancy_removal)
-            {
+            if pass == PassKind::Redundancy && (swept || !config.enable_redundancy_removal) {
                 continue;
             }
+            let gates_before = current.gate_count();
+            let levels_before = current.depth();
+            let pass_start = Instant::now();
             let next = match pass {
                 PassKind::Balance => balance(&current),
                 PassKind::Rewrite => rewrite(&current),
@@ -120,6 +128,17 @@ pub fn optimize(aig: &Aig, config: &OptimizeConfig) -> Aig {
             };
             if next.gate_count() <= current.gate_count() {
                 current = next;
+            }
+            if telemetry.is_enabled() {
+                telemetry.record_pass(
+                    pass.name(),
+                    round as u64 + 1,
+                    gates_before as u64,
+                    current.gate_count() as u64,
+                    levels_before as u64,
+                    current.depth() as u64,
+                    pass_start.elapsed(),
+                );
             }
             if current.gate_count() < best.gate_count() {
                 best = current.clone();
@@ -141,6 +160,19 @@ enum PassKind {
     Fraig,
     Collapse,
     Redundancy,
+}
+
+impl PassKind {
+    fn name(self) -> &'static str {
+        match self {
+            PassKind::Balance => "balance",
+            PassKind::Rewrite => "rewrite",
+            PassKind::Refactor => "refactor",
+            PassKind::Fraig => "fraig",
+            PassKind::Collapse => "collapse",
+            PassKind::Redundancy => "redundancy",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +242,39 @@ mod tests {
                 "round {round}: optimization changed the function"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_records_applied_passes() {
+        use cirlearn_telemetry::{counters, Telemetry};
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let a = g.and(inputs[0], inputs[1]);
+        let b = g.and(inputs[1], inputs[0]);
+        let y = g.or(a, b);
+        g.add_output(y, "y");
+        let telemetry = Telemetry::recording();
+        let best = optimize_with(&g, &OptimizeConfig::default(), &telemetry);
+        assert!(check_equivalence(&g, &best).is_equivalent());
+        let report = telemetry.report();
+        assert!(!report.passes.is_empty());
+        assert_eq!(
+            report.counter(counters::OPT_PASSES),
+            report.passes.len() as u64
+        );
+        for p in &report.passes {
+            assert!(
+                p.gates_after <= p.gates_before,
+                "pass {} grew the circuit",
+                p.pass
+            );
+        }
+        let saved: u64 = report
+            .passes
+            .iter()
+            .map(|p| p.gates_before - p.gates_after)
+            .sum();
+        assert_eq!(report.counter(counters::OPT_GATES_SAVED), saved);
     }
 
     #[test]

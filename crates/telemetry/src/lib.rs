@@ -1,0 +1,38 @@
+//! Telemetry substrate for the cirlearn pipeline.
+//!
+//! This crate gives the learning pipeline one observability spine
+//! instead of scattered `eprintln!`s:
+//!
+//! - **Spans** ([`Telemetry::span`]): RAII stage guards that time
+//!   nested pipeline stages (`support`, `fbdt`, `optimize`, ...) and
+//!   attribute counter activity to them.
+//! - **Counters** ([`Telemetry::add`], [`counters`]): monotonic
+//!   counters for oracle queries, FBDT expansion, cube collection,
+//!   espresso calls and optimization gate deltas. Queries are counted
+//!   at the source by the oracle crate's `InstrumentedOracle`, so the
+//!   top-level stage breakdown of `oracle.queries` sums to the run's
+//!   total query count by construction.
+//! - **Reporters** ([`Reporter`]): pluggable human-readable event
+//!   sinks; [`StderrReporter`] replaces the old `--verbose` output.
+//! - **Run reports** ([`RunReport`]): machine-readable JSON snapshots
+//!   (`--report <path>` in the CLI) with per-stage wall clock, counter
+//!   breakdowns, per-pass AIG deltas, budget checkpoints and
+//!   per-output records.
+//!
+//! The [`Telemetry`] handle is cheap to clone and share;
+//! [`Telemetry::disabled`] is a no-op handle so instrumented code pays
+//! nothing when observation is off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod report;
+mod reporter;
+mod telemetry;
+
+pub use crate::report::{
+    CheckpointReport, OutputReport, PassReport, RunReport, StageReport, SCHEMA_VERSION,
+};
+pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
+pub use crate::telemetry::{counters, Span, Telemetry};

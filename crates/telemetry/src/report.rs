@@ -1,0 +1,537 @@
+//! The machine-readable run report.
+//!
+//! A [`RunReport`] is a snapshot of everything a [`crate::Telemetry`]
+//! collected: per-stage wall clock and counter attribution, global
+//! counters, optimization pass deltas, budget checkpoints and
+//! per-output results. It serializes to JSON (schema below) and parses
+//! back, so bench harnesses can consume reports without this crate's
+//! in-memory types.
+//!
+//! JSON schema (version 1):
+//!
+//! ```text
+//! {
+//!   "schema_version": 1,
+//!   "meta":        { "<key>": "<value>", ... },
+//!   "elapsed_s":   <f64>,
+//!   "counters":    { "<counter>": <u64>, ... },
+//!   "stages": [ { "path": "support", "calls": <u64>,
+//!                 "elapsed_s": <f64>,
+//!                 "counters": { "oracle.queries": <u64>, ... } } ],
+//!   "passes": [ { "stage": "optimize", "pass": "rewrite",
+//!                 "round": <u64>, "gates_before": <u64>,
+//!                 "gates_after": <u64>, "levels_before": <u64>,
+//!                 "levels_after": <u64>, "elapsed_s": <f64> } ],
+//!   "checkpoints": [ { "stage": "support", "at_s": <f64>,
+//!                      "remaining_s": <f64> | null } ],
+//!   "outputs": [ { "output": <u64>, "name": "y0",
+//!                  "strategy": "fbdt", "support": <u64>,
+//!                  "forced_leaves": <u64>, "queries": <u64>,
+//!                  "elapsed_s": <f64>, "gates_before_opt": <u64>,
+//!                  "gates_after_opt": <u64> } ]
+//! }
+//! ```
+//!
+//! Stage paths are `/`-joined span names; a nested span's activity is
+//! attributed both to itself and to every enclosing span, so the
+//! *top-level* stages (paths without `/`) partition the run.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::Json;
+
+/// Current schema version written by [`RunReport::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Aggregated statistics of one stage (one span path).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageReport {
+    /// `/`-joined span path, e.g. `"fbdt"` or `"fbdt/cover"`.
+    pub path: String,
+    /// Number of spans that completed on this path.
+    pub calls: u64,
+    /// Total wall clock spent inside the path.
+    pub elapsed: Duration,
+    /// Counter deltas attributed while the path was active.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// One optimization pass application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassReport {
+    /// Stage path active when the pass ran.
+    pub stage: String,
+    /// Pass name (`balance`, `rewrite`, ...).
+    pub pass: String,
+    /// 1-based script round.
+    pub round: u64,
+    /// AND-gate count before the pass.
+    pub gates_before: u64,
+    /// AND-gate count after the pass.
+    pub gates_after: u64,
+    /// Logic depth before the pass.
+    pub levels_before: u64,
+    /// Logic depth after the pass.
+    pub levels_after: u64,
+    /// Wall clock spent in the pass.
+    pub elapsed: Duration,
+}
+
+/// One budget checkpoint observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointReport {
+    /// Stage label passed to the checkpoint.
+    pub stage: String,
+    /// Elapsed budget time at the checkpoint.
+    pub at: Duration,
+    /// Remaining budget; `None` for unlimited budgets.
+    pub remaining: Option<Duration>,
+}
+
+/// Per-output learning record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputReport {
+    /// Output position.
+    pub output: u64,
+    /// Output port name.
+    pub name: String,
+    /// Winning strategy (display form).
+    pub strategy: String,
+    /// Estimated support size.
+    pub support: u64,
+    /// Budget-forced leaves.
+    pub forced_leaves: u64,
+    /// Oracle queries attributed to this output.
+    pub queries: u64,
+    /// Wall clock attributed to this output.
+    pub elapsed: Duration,
+    /// Gate count of this output's cone before optimization.
+    pub gates_before_opt: u64,
+    /// Gate count of this output's cone after optimization.
+    pub gates_after_opt: u64,
+}
+
+/// A full run snapshot; see the [module docs](self) for the schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Free-form key/value annotations (case name, seed, ...).
+    pub meta: BTreeMap<String, String>,
+    /// Wall clock from telemetry creation to snapshot.
+    pub elapsed: Duration,
+    /// Global monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-stage aggregation, sorted by path.
+    pub stages: Vec<StageReport>,
+    /// Optimization pass deltas, in execution order.
+    pub passes: Vec<PassReport>,
+    /// Budget checkpoints, in execution order.
+    pub checkpoints: Vec<CheckpointReport>,
+    /// Per-output records, in output order.
+    pub outputs: Vec<OutputReport>,
+}
+
+impl RunReport {
+    /// The stage with the given path, if present.
+    pub fn stage(&self, path: &str) -> Option<&StageReport> {
+        self.stages.iter().find(|s| s.path == path)
+    }
+
+    /// Top-level stages (paths without `/`): these partition the run.
+    pub fn top_level_stages(&self) -> impl Iterator<Item = &StageReport> {
+        self.stages.iter().filter(|s| !s.path.contains('/'))
+    }
+
+    /// Sums a counter over the top-level stages.
+    pub fn top_level_counter_sum(&self, counter: &str) -> u64 {
+        self.top_level_stages()
+            .filter_map(|s| s.counters.get(counter))
+            .sum()
+    }
+
+    /// A global counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes to the versioned JSON schema.
+    pub fn to_json(&self) -> Json {
+        let counter_obj = |counters: &BTreeMap<String, u64>| {
+            Json::Object(
+                counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::from(*v)))
+                    .collect(),
+            )
+        };
+        Json::object([
+            ("schema_version", Json::from(SCHEMA_VERSION)),
+            (
+                "meta",
+                Json::Object(
+                    self.meta
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::from(v.clone())))
+                        .collect(),
+                ),
+            ),
+            ("elapsed_s", Json::from(self.elapsed.as_secs_f64())),
+            ("counters", counter_obj(&self.counters)),
+            (
+                "stages",
+                Json::Array(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::object([
+                                ("path", Json::from(s.path.clone())),
+                                ("calls", Json::from(s.calls)),
+                                ("elapsed_s", Json::from(s.elapsed.as_secs_f64())),
+                                ("counters", counter_obj(&s.counters)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "passes",
+                Json::Array(
+                    self.passes
+                        .iter()
+                        .map(|p| {
+                            Json::object([
+                                ("stage", Json::from(p.stage.clone())),
+                                ("pass", Json::from(p.pass.clone())),
+                                ("round", Json::from(p.round)),
+                                ("gates_before", Json::from(p.gates_before)),
+                                ("gates_after", Json::from(p.gates_after)),
+                                ("levels_before", Json::from(p.levels_before)),
+                                ("levels_after", Json::from(p.levels_after)),
+                                ("elapsed_s", Json::from(p.elapsed.as_secs_f64())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "checkpoints",
+                Json::Array(
+                    self.checkpoints
+                        .iter()
+                        .map(|c| {
+                            Json::object([
+                                ("stage", Json::from(c.stage.clone())),
+                                ("at_s", Json::from(c.at.as_secs_f64())),
+                                (
+                                    "remaining_s",
+                                    match c.remaining {
+                                        Some(r) => Json::from(r.as_secs_f64()),
+                                        None => Json::Null,
+                                    },
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "outputs",
+                Json::Array(
+                    self.outputs
+                        .iter()
+                        .map(|o| {
+                            Json::object([
+                                ("output", Json::from(o.output)),
+                                ("name", Json::from(o.name.clone())),
+                                ("strategy", Json::from(o.strategy.clone())),
+                                ("support", Json::from(o.support)),
+                                ("forced_leaves", Json::from(o.forced_leaves)),
+                                ("queries", Json::from(o.queries)),
+                                ("elapsed_s", Json::from(o.elapsed.as_secs_f64())),
+                                ("gates_before_opt", Json::from(o.gates_before_opt)),
+                                ("gates_after_opt", Json::from(o.gates_after_opt)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Reconstructs a report from its JSON form.
+    pub fn from_json(json: &Json) -> Result<RunReport, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let counters_of = |j: &Json| -> Result<BTreeMap<String, u64>, String> {
+            j.as_object()
+                .ok_or("counters must be an object")?
+                .iter()
+                .map(|(k, v)| {
+                    v.as_u64()
+                        .map(|v| (k.clone(), v))
+                        .ok_or_else(|| format!("counter {k} is not a u64"))
+                })
+                .collect()
+        };
+        let duration_of = |j: &Json, what: &str| -> Result<Duration, String> {
+            j.as_f64()
+                .filter(|s| *s >= 0.0)
+                .map(Duration::from_secs_f64)
+                .ok_or_else(|| format!("{what} is not a non-negative number"))
+        };
+        let str_of = |j: Option<&Json>, what: &str| -> Result<String, String> {
+            j.and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {what}"))
+        };
+        let u64_of = |j: Option<&Json>, what: &str| -> Result<u64, String> {
+            j.and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing u64 field {what}"))
+        };
+
+        let meta = json
+            .get("meta")
+            .and_then(Json::as_object)
+            .ok_or("missing meta")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|v| (k.clone(), v.to_owned()))
+                    .ok_or_else(|| format!("meta {k} is not a string"))
+            })
+            .collect::<Result<_, _>>()?;
+        let elapsed = duration_of(
+            json.get("elapsed_s").ok_or("missing elapsed_s")?,
+            "elapsed_s",
+        )?;
+        let counters = counters_of(json.get("counters").ok_or("missing counters")?)?;
+
+        let stages = json
+            .get("stages")
+            .and_then(Json::as_array)
+            .ok_or("missing stages")?
+            .iter()
+            .map(|s| {
+                Ok(StageReport {
+                    path: str_of(s.get("path"), "stage.path")?,
+                    calls: u64_of(s.get("calls"), "stage.calls")?,
+                    elapsed: duration_of(
+                        s.get("elapsed_s").ok_or("missing stage.elapsed_s")?,
+                        "stage.elapsed_s",
+                    )?,
+                    counters: counters_of(s.get("counters").ok_or("missing stage.counters")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let passes = json
+            .get("passes")
+            .and_then(Json::as_array)
+            .ok_or("missing passes")?
+            .iter()
+            .map(|p| {
+                Ok(PassReport {
+                    stage: str_of(p.get("stage"), "pass.stage")?,
+                    pass: str_of(p.get("pass"), "pass.pass")?,
+                    round: u64_of(p.get("round"), "pass.round")?,
+                    gates_before: u64_of(p.get("gates_before"), "pass.gates_before")?,
+                    gates_after: u64_of(p.get("gates_after"), "pass.gates_after")?,
+                    levels_before: u64_of(p.get("levels_before"), "pass.levels_before")?,
+                    levels_after: u64_of(p.get("levels_after"), "pass.levels_after")?,
+                    elapsed: duration_of(
+                        p.get("elapsed_s").ok_or("missing pass.elapsed_s")?,
+                        "pass.elapsed_s",
+                    )?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let checkpoints = json
+            .get("checkpoints")
+            .and_then(Json::as_array)
+            .ok_or("missing checkpoints")?
+            .iter()
+            .map(|c| {
+                let remaining = match c.get("remaining_s") {
+                    None | Some(Json::Null) => None,
+                    Some(j) => Some(duration_of(j, "checkpoint.remaining_s")?),
+                };
+                Ok(CheckpointReport {
+                    stage: str_of(c.get("stage"), "checkpoint.stage")?,
+                    at: duration_of(c.get("at_s").ok_or("missing checkpoint.at_s")?, "at_s")?,
+                    remaining,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let outputs = json
+            .get("outputs")
+            .and_then(Json::as_array)
+            .ok_or("missing outputs")?
+            .iter()
+            .map(|o| {
+                Ok(OutputReport {
+                    output: u64_of(o.get("output"), "output.output")?,
+                    name: str_of(o.get("name"), "output.name")?,
+                    strategy: str_of(o.get("strategy"), "output.strategy")?,
+                    support: u64_of(o.get("support"), "output.support")?,
+                    forced_leaves: u64_of(o.get("forced_leaves"), "output.forced_leaves")?,
+                    queries: u64_of(o.get("queries"), "output.queries")?,
+                    elapsed: duration_of(
+                        o.get("elapsed_s").ok_or("missing output.elapsed_s")?,
+                        "output.elapsed_s",
+                    )?,
+                    gates_before_opt: u64_of(o.get("gates_before_opt"), "gates_before_opt")?,
+                    gates_after_opt: u64_of(o.get("gates_after_opt"), "gates_after_opt")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        Ok(RunReport {
+            meta,
+            elapsed,
+            counters,
+            stages,
+            passes,
+            checkpoints,
+            outputs,
+        })
+    }
+
+    /// A compact human-readable per-stage breakdown (one line per
+    /// top-level stage), for CLI summaries and bench output.
+    pub fn stage_breakdown(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let total_q = self.counter(crate::counters::ORACLE_QUERIES).max(1);
+        for s in self.top_level_stages() {
+            let q = s
+                .counters
+                .get(crate::counters::ORACLE_QUERIES)
+                .copied()
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8.3}s  {:>12} queries ({:>5.1}%)  x{}",
+                s.path,
+                s.elapsed.as_secs_f64(),
+                q,
+                q as f64 * 100.0 / total_q as f64,
+                s.calls
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            meta: BTreeMap::from([
+                ("case".to_owned(), "case_01".to_owned()),
+                ("seed".to_owned(), "117".to_owned()),
+            ]),
+            elapsed: Duration::from_millis(1500),
+            counters: BTreeMap::from([
+                ("oracle.queries".to_owned(), 1200),
+                ("fbdt.splits".to_owned(), 37),
+            ]),
+            stages: vec![
+                StageReport {
+                    path: "support".to_owned(),
+                    calls: 3,
+                    elapsed: Duration::from_millis(400),
+                    counters: BTreeMap::from([("oracle.queries".to_owned(), 900)]),
+                },
+                StageReport {
+                    path: "fbdt".to_owned(),
+                    calls: 2,
+                    elapsed: Duration::from_millis(700),
+                    counters: BTreeMap::from([("oracle.queries".to_owned(), 300)]),
+                },
+                StageReport {
+                    path: "fbdt/cover".to_owned(),
+                    calls: 2,
+                    elapsed: Duration::from_millis(100),
+                    counters: BTreeMap::new(),
+                },
+            ],
+            passes: vec![PassReport {
+                stage: "optimize".to_owned(),
+                pass: "rewrite".to_owned(),
+                round: 1,
+                gates_before: 120,
+                gates_after: 95,
+                levels_before: 14,
+                levels_after: 12,
+                elapsed: Duration::from_millis(20),
+            }],
+            checkpoints: vec![
+                CheckpointReport {
+                    stage: "support".to_owned(),
+                    at: Duration::from_millis(400),
+                    remaining: Some(Duration::from_millis(2300)),
+                },
+                CheckpointReport {
+                    stage: "fbdt".to_owned(),
+                    at: Duration::from_millis(1100),
+                    remaining: None,
+                },
+            ],
+            outputs: vec![OutputReport {
+                output: 0,
+                name: "y0".to_owned(),
+                strategy: "fbdt".to_owned(),
+                support: 12,
+                forced_leaves: 1,
+                queries: 640,
+                elapsed: Duration::from_millis(900),
+                gates_before_opt: 80,
+                gates_after_opt: 44,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_report() {
+        let report = sample_report();
+        let text = report.to_json().to_pretty();
+        let parsed = crate::json::Json::parse(&text).expect("valid JSON");
+        let back = RunReport::from_json(&parsed).expect("valid schema");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn top_level_sum_ignores_nested_stages() {
+        let report = sample_report();
+        assert_eq!(report.top_level_counter_sum("oracle.queries"), 1200);
+        assert_eq!(report.top_level_stages().count(), 2);
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_version() {
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            pairs[0].1 = Json::from(99u64);
+        }
+        assert!(RunReport::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn breakdown_lists_top_level_stages() {
+        let text = sample_report().stage_breakdown();
+        assert!(text.contains("support"));
+        assert!(text.contains("fbdt"));
+        assert!(!text.contains("fbdt/cover"));
+    }
+}

@@ -1,0 +1,524 @@
+//! The [`Telemetry`] handle: stage-scoped spans, monotonic counters
+//! and event emission.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::report::{CheckpointReport, OutputReport, PassReport, RunReport, StageReport};
+use crate::reporter::{Level, Reporter};
+
+/// Well-known counter names used across the pipeline.
+pub mod counters {
+    /// Oracle queries, counted at the source by `InstrumentedOracle`.
+    pub const ORACLE_QUERIES: &str = "oracle.queries";
+    /// FBDT internal nodes expanded (splits performed).
+    pub const FBDT_SPLITS: &str = "fbdt.splits";
+    /// FBDT leaves declared.
+    pub const FBDT_LEAVES: &str = "fbdt.leaves";
+    /// FBDT leaves forced by budget exhaustion.
+    pub const FBDT_FORCED_LEAVES: &str = "fbdt.forced_leaves";
+    /// Cubes collected into learned covers.
+    pub const CUBES_COLLECTED: &str = "cover.cubes";
+    /// Espresso minimization invocations.
+    pub const ESPRESSO_CALLS: &str = "espresso.calls";
+    /// Optimization passes executed.
+    pub const OPT_PASSES: &str = "optimize.passes";
+    /// AND gates removed across all optimization passes.
+    pub const OPT_GATES_SAVED: &str = "optimize.gates_saved";
+}
+
+struct ActiveSpan {
+    id: u64,
+    name: String,
+    start: Instant,
+    counters_at_entry: BTreeMap<String, u64>,
+}
+
+struct Inner {
+    reporter: Box<dyn Reporter>,
+    start: Instant,
+    next_span_id: u64,
+    stack: Vec<ActiveSpan>,
+    counters: BTreeMap<String, u64>,
+    stages: BTreeMap<String, StageReport>,
+    passes: Vec<PassReport>,
+    checkpoints: Vec<CheckpointReport>,
+    outputs: Vec<OutputReport>,
+    meta: BTreeMap<String, String>,
+}
+
+impl Inner {
+    fn path_of(&self, upto: usize) -> String {
+        self.stack[..upto]
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    fn current_path(&self) -> String {
+        self.path_of(self.stack.len())
+    }
+
+    /// Closes the deepest span with `id` (and, defensively, anything
+    /// nested below it that leaked past its guard).
+    fn exit_span(&mut self, id: u64) {
+        let Some(pos) = self.stack.iter().rposition(|s| s.id == id) else {
+            return; // double drop or foreign guard: ignore.
+        };
+        while self.stack.len() > pos {
+            let depth = self.stack.len();
+            let path = self.path_of(depth);
+            let span = self.stack.pop().expect("nonempty");
+            let elapsed = span.start.elapsed();
+            let entry = self
+                .stages
+                .entry(path.clone())
+                .or_insert_with(|| StageReport {
+                    path: path.clone(),
+                    ..StageReport::default()
+                });
+            entry.calls += 1;
+            entry.elapsed += elapsed;
+            for (name, &now) in &self.counters {
+                let before = span.counters_at_entry.get(name).copied().unwrap_or(0);
+                if now > before {
+                    *entry.counters.entry(name.clone()).or_insert(0) += now - before;
+                }
+            }
+            let parent = self.current_path();
+            self.reporter.event(
+                Level::Debug,
+                if parent.is_empty() { &path } else { &parent },
+                &format!("{} done in {:.3}s", span.name, elapsed.as_secs_f64()),
+            );
+        }
+    }
+}
+
+/// A cheaply clonable handle collecting spans, counters and events for
+/// one pipeline run.
+///
+/// Clones share state, so the handle can be embedded wherever the
+/// pipeline needs it; [`Telemetry::disabled`] is a zero-cost no-op
+/// handle for callers that do not observe the run.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_telemetry::{counters, Telemetry};
+///
+/// let telemetry = Telemetry::disabled();
+/// {
+///     let _span = telemetry.span("support");
+///     telemetry.add(counters::ORACLE_QUERIES, 100);
+/// }
+/// // A disabled handle records nothing.
+/// assert_eq!(telemetry.counter(counters::ORACLE_QUERIES), 0);
+/// ```
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(_) => f.write_str("Telemetry(enabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A no-op handle: every method returns immediately.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// A collecting handle reporting events to `reporter`.
+    pub fn new(reporter: Box<dyn Reporter>) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                reporter,
+                start: Instant::now(),
+                next_span_id: 0,
+                stack: Vec::new(),
+                counters: BTreeMap::new(),
+                stages: BTreeMap::new(),
+                passes: Vec::new(),
+                checkpoints: Vec::new(),
+                outputs: Vec::new(),
+                meta: BTreeMap::new(),
+            }))),
+        }
+    }
+
+    /// A collecting handle printing events to stderr up to `level`.
+    pub fn to_stderr(level: Level) -> Self {
+        Telemetry::new(Box::new(crate::reporter::StderrReporter::new(level)))
+    }
+
+    /// A collecting handle that discards events (counters and spans
+    /// are still recorded).
+    pub fn recording() -> Self {
+        Telemetry::new(Box::new(crate::reporter::NullReporter))
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, Inner>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Enters a stage span; the returned guard closes it on drop.
+    /// Nested spans form `/`-joined paths; the counter increments that
+    /// happen while a span is open are attributed to its path (and to
+    /// every enclosing path) when it closes.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str) -> Span {
+        let Some(mut inner) = self.lock() else {
+            return Span {
+                telemetry: Telemetry::disabled(),
+                id: 0,
+            };
+        };
+        let id = inner.next_span_id;
+        inner.next_span_id += 1;
+        let snapshot = inner.counters.clone();
+        let parent = inner.current_path();
+        inner.reporter.event(
+            Level::Trace,
+            if parent.is_empty() { name } else { &parent },
+            &format!("enter {name}"),
+        );
+        inner.stack.push(ActiveSpan {
+            id,
+            name: name.to_owned(),
+            start: Instant::now(),
+            counters_at_entry: snapshot,
+        });
+        drop(inner);
+        Span {
+            telemetry: self.clone(),
+            id,
+        }
+    }
+
+    /// Adds `delta` to a monotonic counter.
+    pub fn add(&self, counter: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        if let Some(mut inner) = self.lock() {
+            match inner.counters.get_mut(counter) {
+                Some(v) => *v += delta,
+                None => {
+                    inner.counters.insert(counter.to_owned(), delta);
+                }
+            }
+        }
+    }
+
+    /// Increments a monotonic counter by one.
+    pub fn incr(&self, counter: &str) {
+        self.add(counter, 1);
+    }
+
+    /// The current value of a counter (0 when absent or disabled).
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.lock()
+            .and_then(|inner| inner.counters.get(counter).copied())
+            .unwrap_or(0)
+    }
+
+    /// Emits an event to the reporter, tagged with the current stage.
+    pub fn event(&self, level: Level, message: &str) {
+        if let Some(mut inner) = self.lock() {
+            let stage = inner.current_path();
+            inner.reporter.event(level, &stage, message);
+        }
+    }
+
+    /// Annotates the run (case name, seed, scale, ...).
+    pub fn set_meta(&self, key: &str, value: impl std::fmt::Display) {
+        if let Some(mut inner) = self.lock() {
+            inner.meta.insert(key.to_owned(), value.to_string());
+        }
+    }
+
+    /// Records one optimization pass application.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_pass(
+        &self,
+        pass: &str,
+        round: u64,
+        gates_before: u64,
+        gates_after: u64,
+        levels_before: u64,
+        levels_after: u64,
+        elapsed: Duration,
+    ) {
+        if let Some(mut inner) = self.lock() {
+            let stage = inner.current_path();
+            inner.reporter.event(
+                Level::Debug,
+                &stage,
+                &format!(
+                    "pass {pass} (round {round}): {gates_before} -> {gates_after} gates, \
+                     {levels_before} -> {levels_after} levels in {:.3}s",
+                    elapsed.as_secs_f64()
+                ),
+            );
+            inner.passes.push(PassReport {
+                stage,
+                pass: pass.to_owned(),
+                round,
+                gates_before,
+                gates_after,
+                levels_before,
+                levels_after,
+                elapsed,
+            });
+        }
+        self.incr(counters::OPT_PASSES);
+        self.add(
+            counters::OPT_GATES_SAVED,
+            gates_before.saturating_sub(gates_after),
+        );
+    }
+
+    /// Records a budget checkpoint (see `Budget::checkpoint` in the
+    /// core crate).
+    pub fn checkpoint(&self, stage: &str, at: Duration, remaining: Option<Duration>) {
+        if let Some(mut inner) = self.lock() {
+            let current = inner.current_path();
+            let message = match remaining {
+                Some(r) => format!(
+                    "checkpoint {stage}: {:.3}s elapsed, {:.3}s remaining",
+                    at.as_secs_f64(),
+                    r.as_secs_f64()
+                ),
+                None => format!(
+                    "checkpoint {stage}: {:.3}s elapsed, unlimited budget",
+                    at.as_secs_f64()
+                ),
+            };
+            inner.reporter.event(Level::Debug, &current, &message);
+            inner.checkpoints.push(CheckpointReport {
+                stage: stage.to_owned(),
+                at,
+                remaining,
+            });
+        }
+    }
+
+    /// Records the per-output results (replacing any prior set).
+    pub fn set_outputs(&self, outputs: Vec<OutputReport>) {
+        if let Some(mut inner) = self.lock() {
+            inner.outputs = outputs;
+        }
+    }
+
+    /// Snapshots everything collected so far into a [`RunReport`].
+    ///
+    /// Open spans are not included — close them (drop their guards)
+    /// before reporting.
+    pub fn report(&self) -> RunReport {
+        match self.lock() {
+            None => RunReport::default(),
+            Some(inner) => RunReport {
+                meta: inner.meta.clone(),
+                elapsed: inner.start.elapsed(),
+                counters: inner.counters.clone(),
+                stages: inner.stages.values().cloned().collect(),
+                passes: inner.passes.clone(),
+                checkpoints: inner.checkpoints.clone(),
+                outputs: inner.outputs.clone(),
+            },
+        }
+    }
+
+    fn exit_span(&self, id: u64) {
+        if let Some(mut inner) = self.lock() {
+            inner.exit_span(id);
+        }
+    }
+}
+
+/// A span guard; closes its stage when dropped.
+#[derive(Debug)]
+pub struct Span {
+    telemetry: Telemetry,
+    id: u64,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.telemetry.exit_span(self.id);
+    }
+}
+
+impl<R: Reporter> Reporter for Arc<Mutex<R>> {
+    fn event(&mut self, level: Level, stage: &str, message: &str) {
+        self.lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .event(level, stage, message);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reporter::BufferReporter;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let t = Telemetry::disabled();
+        let _span = t.span("stage");
+        t.add("c", 5);
+        assert_eq!(t.counter("c"), 0);
+        assert!(!t.is_enabled());
+        assert_eq!(t.report(), RunReport::default());
+    }
+
+    #[test]
+    fn counters_attribute_to_nested_spans() {
+        let t = Telemetry::recording();
+        {
+            let _outer = t.span("learn");
+            t.add("q", 10);
+            {
+                let _inner = t.span("support");
+                t.add("q", 32);
+            }
+            t.add("q", 5);
+        }
+        let report = t.report();
+        // The nested span sees only its own delta; the outer span sees
+        // everything that happened while it was open.
+        assert_eq!(report.stage("learn/support").unwrap().counters["q"], 32);
+        assert_eq!(report.stage("learn").unwrap().counters["q"], 47);
+        assert_eq!(report.counter("q"), 47);
+        assert_eq!(report.stage("learn").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_calls_and_counters() {
+        let t = Telemetry::recording();
+        for k in 0..3 {
+            let _span = t.span("support");
+            t.add("q", k + 1);
+        }
+        let stage = t.report().stage("support").cloned().expect("recorded");
+        assert_eq!(stage.calls, 3);
+        assert_eq!(stage.counters["q"], 6);
+    }
+
+    #[test]
+    fn sibling_spans_partition_counters() {
+        let t = Telemetry::recording();
+        {
+            let _a = t.span("a");
+            t.add("q", 7);
+        }
+        {
+            let _b = t.span("b");
+            t.add("q", 11);
+        }
+        let report = t.report();
+        assert_eq!(report.top_level_counter_sum("q"), 18);
+        assert_eq!(report.counter("q"), 18);
+    }
+
+    #[test]
+    fn out_of_order_drops_are_tolerated() {
+        let t = Telemetry::recording();
+        let outer = t.span("outer");
+        let inner = t.span("inner");
+        t.add("q", 3);
+        // Dropping the outer guard first force-closes the inner span.
+        drop(outer);
+        drop(inner);
+        let report = t.report();
+        assert_eq!(report.stage("outer/inner").unwrap().counters["q"], 3);
+        assert_eq!(report.stage("outer").unwrap().counters["q"], 3);
+    }
+
+    #[test]
+    fn events_carry_the_active_stage() {
+        let buffer = Arc::new(Mutex::new(BufferReporter::new()));
+        let t = Telemetry::new(Box::new(Arc::clone(&buffer)));
+        {
+            let _span = t.span("fbdt");
+            t.event(Level::Info, "expanding");
+        }
+        t.event(Level::Warn, "done");
+        let events = buffer.lock().unwrap();
+        let info: Vec<_> = events
+            .events()
+            .iter()
+            .filter(|(l, _, _)| *l == Level::Info)
+            .collect();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info[0].1, "fbdt");
+        assert_eq!(info[0].2, "expanding");
+        let warn: Vec<_> = events
+            .events()
+            .iter()
+            .filter(|(l, _, _)| *l == Level::Warn)
+            .collect();
+        assert_eq!(warn[0].1, "");
+    }
+
+    #[test]
+    fn passes_and_checkpoints_are_recorded_in_order() {
+        let t = Telemetry::recording();
+        t.record_pass("rewrite", 1, 100, 80, 9, 8, Duration::from_millis(5));
+        t.record_pass("balance", 1, 80, 80, 8, 7, Duration::from_millis(2));
+        t.checkpoint("support", Duration::from_secs(1), None);
+        let report = t.report();
+        assert_eq!(report.passes.len(), 2);
+        assert_eq!(report.passes[0].pass, "rewrite");
+        assert_eq!(report.counter(counters::OPT_PASSES), 2);
+        assert_eq!(report.counter(counters::OPT_GATES_SAVED), 20);
+        assert_eq!(report.checkpoints.len(), 1);
+        assert_eq!(report.checkpoints[0].remaining, None);
+    }
+
+    #[test]
+    fn meta_and_outputs_round_into_report() {
+        let t = Telemetry::recording();
+        t.set_meta("case", "case_03");
+        t.set_meta("seed", 117u64);
+        t.set_outputs(vec![OutputReport {
+            output: 0,
+            name: "y".to_owned(),
+            strategy: "fbdt".to_owned(),
+            support: 4,
+            forced_leaves: 0,
+            queries: 10,
+            elapsed: Duration::from_millis(3),
+            gates_before_opt: 9,
+            gates_after_opt: 5,
+        }]);
+        let report = t.report();
+        assert_eq!(report.meta["case"], "case_03");
+        assert_eq!(report.meta["seed"], "117");
+        assert_eq!(report.outputs.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = Telemetry::recording();
+        let t2 = t.clone();
+        t2.add("q", 4);
+        assert_eq!(t.counter("q"), 4);
+    }
+}

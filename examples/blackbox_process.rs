@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut oracle = ProcessOracle::spawn(
         "sh",
         &["-c", script],
-        vec!["a".into(), "b".into(), "en".into(), "pad0".into(), "pad1".into()],
+        vec![
+            "a".into(),
+            "b".into(),
+            "en".into(),
+            "pad0".into(),
+            "pad1".into(),
+        ],
         vec!["y".into()],
     )?;
 

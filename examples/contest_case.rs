@@ -18,18 +18,20 @@ use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::{contest_suite, evaluate_accuracy, EvalConfig};
 
 fn main() {
-    let wanted = std::env::args().nth(1).unwrap_or_else(|| "case_16".to_owned());
+    let wanted = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "case_16".to_owned());
     let suite = contest_suite();
-    let case = suite
-        .iter()
-        .find(|c| c.name == wanted)
-        .unwrap_or_else(|| {
-            eprintln!("unknown case {wanted}; available:");
-            for c in &suite {
-                eprintln!("  {} ({} {}x{})", c.name, c.category, c.num_inputs, c.num_outputs);
-            }
-            std::process::exit(1);
-        });
+    let case = suite.iter().find(|c| c.name == wanted).unwrap_or_else(|| {
+        eprintln!("unknown case {wanted}; available:");
+        for c in &suite {
+            eprintln!(
+                "  {} ({} {}x{})",
+                c.name, c.category, c.num_inputs, c.num_outputs
+            );
+        }
+        std::process::exit(1);
+    });
 
     println!(
         "{}: {} with {} inputs, {} outputs{}",
@@ -37,11 +39,18 @@ fn main() {
         case.category,
         case.num_inputs,
         case.num_outputs,
-        if case.hidden { " (hidden at the contest)" } else { "" }
+        if case.hidden {
+            " (hidden at the contest)"
+        } else {
+            ""
+        }
     );
 
     let mut oracle = case.build();
-    println!("hidden circuit has {} gates (unknown to the learner)", oracle.reveal().gate_count());
+    println!(
+        "hidden circuit has {} gates (unknown to the learner)",
+        oracle.reveal().gate_count()
+    );
 
     let mut config = LearnerConfig::fast();
     config.time_budget = Duration::from_secs(60);

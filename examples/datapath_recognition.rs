@@ -24,9 +24,15 @@ use cirlearn_sat::check_equivalence;
 fn main() {
     // Hidden datapath: z (8 bits) = 3a + 5b - 2c + 11 (mod 256).
     let mut hidden = Aig::new();
-    let a: Vec<_> = (0..5).map(|k| hidden.add_input(format!("a[{}]", 4 - k))).collect();
-    let b: Vec<_> = (0..5).map(|k| hidden.add_input(format!("b[{}]", 4 - k))).collect();
-    let c: Vec<_> = (0..4).map(|k| hidden.add_input(format!("c[{}]", 3 - k))).collect();
+    let a: Vec<_> = (0..5)
+        .map(|k| hidden.add_input(format!("a[{}]", 4 - k)))
+        .collect();
+    let b: Vec<_> = (0..5)
+        .map(|k| hidden.add_input(format!("b[{}]", 4 - k)))
+        .collect();
+    let c: Vec<_> = (0..4)
+        .map(|k| hidden.add_input(format!("c[{}]", 3 - k)))
+        .collect();
     let z = hidden.scale_sum(&[(3, a), (5, b), (-2, c)], 11, 8);
     for (k, e) in z.iter().enumerate() {
         hidden.add_output(*e, format!("z[{}]", 7 - k));
@@ -35,13 +41,20 @@ fn main() {
     let mut oracle = CircuitOracle::new(hidden);
 
     // Step 1: name based grouping (paper Fig. 2).
-    let in_groups = group_names(&oracle.input_names().to_vec());
+    let in_groups = group_names(oracle.input_names());
     println!("\nrecovered input buses:");
     for g in &in_groups.groups {
         println!("  {} : width {}", g.stem, g.width());
     }
-    let out_groups = group_names(&oracle.output_names().to_vec());
-    println!("recovered output buses: {:?}", out_groups.groups.iter().map(|g| (&g.stem, g.width())).collect::<Vec<_>>());
+    let out_groups = group_names(oracle.output_names());
+    println!(
+        "recovered output buses: {:?}",
+        out_groups
+            .groups
+            .iter()
+            .map(|g| (&g.stem, g.width()))
+            .collect::<Vec<_>>()
+    );
 
     // Step 2: linear-arithmetic template (paper §IV-B2), shown
     // explicitly before running the full pipeline.
@@ -77,6 +90,13 @@ fn main() {
 
     // The learned datapath is *provably* equivalent to the hidden one.
     let verdict = check_equivalence(oracle.reveal(), &result.circuit);
-    println!("SAT equivalence check: {}", if verdict.is_equivalent() { "EQUIVALENT" } else { "DIFFERENT" });
+    println!(
+        "SAT equivalence check: {}",
+        if verdict.is_equivalent() {
+            "EQUIVALENT"
+        } else {
+            "DIFFERENT"
+        }
+    );
     assert!(verdict.is_equivalent());
 }

@@ -75,8 +75,8 @@ fn main() {
     let mut count = 0;
     for m in 0..32u32 {
         let mut bits = vec![false; 8];
-        for k in 0..5 {
-            bits[k] = m >> k & 1 == 1;
+        for (k, bit) in bits.iter_mut().enumerate().take(5) {
+            *bit = m >> k & 1 == 1;
         }
         if oracle.reveal().eval_bits(&bits)[0] {
             println!(
@@ -87,5 +87,8 @@ fn main() {
         }
     }
     println!("{count} of 32 assignments to (a..e) expose the bug");
-    assert!(acc.meets_contest_bar(), "small NEQ cones must be learned exactly");
+    assert!(
+        acc.meets_contest_bar(),
+        "small NEQ cones must be learned exactly"
+    );
 }

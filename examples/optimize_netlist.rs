@@ -41,16 +41,29 @@ fn bloated() -> Aig {
 
 fn main() {
     let original = bloated();
-    println!("original (flat minterm cover): {} AND nodes", original.gate_count());
+    println!(
+        "original (flat minterm cover): {} AND nodes",
+        original.gate_count()
+    );
 
     let mut current = original.clone();
-    let passes: Vec<(&str, Box<dyn Fn(&Aig) -> Aig>)> = vec![
+    type NamedPass = (&'static str, Box<dyn Fn(&Aig) -> Aig>);
+    let passes: Vec<NamedPass> = vec![
         ("balance", Box::new(balance)),
         ("rewrite", Box::new(rewrite)),
-        ("refactor", Box::new(|g| refactor(g, &RefactorConfig::default()))),
+        (
+            "refactor",
+            Box::new(|g| refactor(g, &RefactorConfig::default())),
+        ),
         ("fraig", Box::new(|g| fraig(g, &FraigConfig::default()))),
-        ("collapse", Box::new(|g| collapse(g, &CollapseConfig::default()))),
-        ("redundancy", Box::new(|g| redundancy_removal(g, &RedundancyConfig::default()))),
+        (
+            "collapse",
+            Box::new(|g| collapse(g, &CollapseConfig::default())),
+        ),
+        (
+            "redundancy",
+            Box::new(|g| redundancy_removal(g, &RedundancyConfig::default())),
+        ),
     ];
     for (name, pass) in &passes {
         let next = pass(&current);
@@ -58,7 +71,11 @@ fn main() {
             "after {:<10}: {:>4} AND nodes{}",
             name,
             next.gate_count(),
-            if next.gate_count() < current.gate_count() { "  (improved)" } else { "" }
+            if next.gate_count() < current.gate_count() {
+                "  (improved)"
+            } else {
+                ""
+            }
         );
         assert!(
             check_equivalence(&current, &next).is_equivalent(),
@@ -79,5 +96,8 @@ fn main() {
         mapped.gate_count(),
         mapped.cell_count()
     );
-    println!("\nfinal circuit as Verilog:\n{}", best.to_verilog("optimized"));
+    println!(
+        "\nfinal circuit as Verilog:\n{}",
+        best.to_verilog("optimized")
+    );
 }

@@ -20,8 +20,12 @@ fn main() {
     // 4-bit buses and two control wires. Only the query interface is
     // visible to the learner.
     let mut hidden = Aig::new();
-    let a: Vec<_> = (0..4).map(|k| hidden.add_input(format!("a[{}]", 3 - k))).collect();
-    let b: Vec<_> = (0..4).map(|k| hidden.add_input(format!("b[{}]", 3 - k))).collect();
+    let a: Vec<_> = (0..4)
+        .map(|k| hidden.add_input(format!("a[{}]", 3 - k)))
+        .collect();
+    let b: Vec<_> = (0..4)
+        .map(|k| hidden.add_input(format!("b[{}]", 3 - k)))
+        .collect();
     let x = hidden.add_input("x");
     let y = hidden.add_input("y");
     let ge = hidden.cmp_uge(&a, &b);

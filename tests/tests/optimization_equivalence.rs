@@ -34,7 +34,16 @@ fn all_passes_preserve_functions_on_random_circuits() {
         let passes: Vec<(&str, Aig)> = vec![
             ("balance", balance(&g)),
             ("rewrite", rewrite(&g)),
-            ("fraig", fraig(&g, &FraigConfig { patterns: 256, ..FraigConfig::default() })),
+            (
+                "fraig",
+                fraig(
+                    &g,
+                    &FraigConfig {
+                        patterns: 256,
+                        ..FraigConfig::default()
+                    },
+                ),
+            ),
             ("collapse", collapse(&g, &CollapseConfig::default())),
             ("optimize", optimize(&g, &OptimizeConfig::default())),
         ];
@@ -112,9 +121,7 @@ fn espresso_factor_roundtrip_matches_bdd() {
     use cirlearn_bdd::Bdd;
     use cirlearn_logic::TruthTable;
     for seed in 0..5u64 {
-        let tt = TruthTable::from_fn(7, |m| {
-            (m.wrapping_mul(seed * 2 + 0x9E37) >> 9) & 3 == 1
-        });
+        let tt = TruthTable::from_fn(7, |m| (m.wrapping_mul(seed * 2 + 0x9E37) >> 9) & 3 == 1);
         let minimized = cirlearn_synth::espresso::minimize(&tt.isop());
         let expr = cirlearn_synth::factor::factor(&minimized);
         let mut bdd = Bdd::new(7);

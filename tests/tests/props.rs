@@ -7,10 +7,9 @@ use proptest::prelude::*;
 
 /// Strategy: a truth table over `n` variables from random words.
 fn truth_table(n: usize) -> impl Strategy<Value = TruthTable> {
-    prop::collection::vec(any::<u64>(), 1 << n.saturating_sub(6).max(0))
-        .prop_map(move |words| {
-            TruthTable::from_fn(n, |m| words[(m / 64) as usize] >> (m % 64) & 1 == 1)
-        })
+    prop::collection::vec(any::<u64>(), 1 << n.saturating_sub(6)).prop_map(move |words| {
+        TruthTable::from_fn(n, |m| words[(m / 64) as usize] >> (m % 64) & 1 == 1)
+    })
 }
 
 /// Strategy: a random cube over `n` variables (possibly empty).
@@ -95,7 +94,7 @@ proptest! {
         for m in 0..32u64 {
             let val = |v: Var| m >> v.index() & 1 == 1;
             let lhs = a.eval_with(val) && b.eval_with(val);
-            let rhs = a.intersect(&b).map_or(false, |c| c.eval_with(val));
+            let rhs = a.intersect(&b).is_some_and(|c| c.eval_with(val));
             prop_assert_eq!(lhs, rhs, "m={}", m);
         }
     }

@@ -75,7 +75,12 @@ fn category_census_matches_paper() {
     let suite = contest_suite();
     let count = |c: Category| suite.iter().filter(|x| x.category == c).count();
     assert_eq!(
-        (count(Category::Eco), count(Category::Diag), count(Category::Neq), count(Category::Data)),
+        (
+            count(Category::Eco),
+            count(Category::Diag),
+            count(Category::Neq),
+            count(Category::Data)
+        ),
         (7, 6, 5, 2)
     );
 }

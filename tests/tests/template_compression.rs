@@ -15,8 +15,12 @@ use cirlearn_oracle::{evaluate_accuracy, CircuitOracle, EvalConfig};
 /// cube.
 fn gated_comparator_oracle() -> CircuitOracle {
     let mut g = Aig::new();
-    let a: Vec<_> = (0..6).map(|k| g.add_input(format!("a[{}]", 5 - k))).collect();
-    let b: Vec<_> = (0..6).map(|k| g.add_input(format!("b[{}]", 5 - k))).collect();
+    let a: Vec<_> = (0..6)
+        .map(|k| g.add_input(format!("a[{}]", 5 - k)))
+        .collect();
+    let b: Vec<_> = (0..6)
+        .map(|k| g.add_input(format!("b[{}]", 5 - k)))
+        .collect();
     let c = g.add_input("c");
     let d = g.add_input("d");
     let e = g.add_input("e");
@@ -49,7 +53,10 @@ fn learner_uses_compression_on_gated_comparator() {
             ..EvalConfig::default()
         },
     );
-    assert_eq!(acc.hits, acc.total, "compressed learning must be exact: {acc}");
+    assert_eq!(
+        acc.hits, acc.total,
+        "compressed learning must be exact: {acc}"
+    );
     // And the circuit stays small: a 6-bit comparator plus a couple of
     // gates, far from the exponential SOP of the raw function.
     assert!(
@@ -65,8 +72,12 @@ fn compression_does_not_misfire_on_plain_logic() {
     // the learner must fall back to FBDT/exhaustive without losing
     // accuracy.
     let mut g = Aig::new();
-    let a: Vec<_> = (0..6).map(|k| g.add_input(format!("a[{}]", 5 - k))).collect();
-    let b: Vec<_> = (0..6).map(|k| g.add_input(format!("b[{}]", 5 - k))).collect();
+    let a: Vec<_> = (0..6)
+        .map(|k| g.add_input(format!("a[{}]", 5 - k)))
+        .collect();
+    let b: Vec<_> = (0..6)
+        .map(|k| g.add_input(format!("b[{}]", 5 - k)))
+        .collect();
     // A scrambled, non-comparator function of both buses.
     let t1 = g.xor(a[0], b[3]);
     let t2 = g.and(a[2], b[1]);

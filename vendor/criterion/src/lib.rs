@@ -1,0 +1,223 @@
+//! Offline vendored shim of the `criterion` API surface used by this
+//! workspace's benches.
+//!
+//! The container building this workspace has no crates.io access, so
+//! the benches link against this minimal harness instead: it runs each
+//! benchmark body under a simple wall-clock loop and prints
+//! median-of-samples timings. No statistics, plots or baselines — the
+//! point is that `cargo bench` compiles, runs and prints comparable
+//! numbers.
+
+use std::time::{Duration, Instant};
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `body` repeatedly, recording one timing per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // One warmup run outside the measurement.
+        std::hint::black_box(body());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(body());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim is sample-count
+    /// driven, so the target measurement time is ignored.
+    pub fn measurement_time(&mut self, _time: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.min(self.criterion.max_samples);
+        run_one(&full, samples, |b| body(b, input));
+        self
+    }
+
+    /// Runs a benchmark without inputs.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.min(self.criterion.max_samples);
+        run_one(&full, samples, |b| body(b));
+        self
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut body: F) {
+    let mut bencher = Bencher {
+        samples,
+        timings: Vec::new(),
+    };
+    body(&mut bencher);
+    if bencher.timings.is_empty() {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    bencher.timings.sort();
+    let median = bencher.timings[bencher.timings.len() / 2];
+    let total: Duration = bencher.timings.iter().sum();
+    println!(
+        "{name:<48} median {median:>12.3?}  ({} samples, total {total:.3?})",
+        bencher.timings.len()
+    );
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+pub struct Criterion {
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { max_samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.max_samples;
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut body: F,
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.max_samples, |b| body(b));
+        self
+    }
+}
+
+/// Re-export matching criterion's `black_box` (std's is used since
+/// Rust 1.66).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(12).to_string(), "12");
+    }
+
+    #[test]
+    fn bench_runs_and_times_body() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut runs = 0u32;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .bench_with_input(BenchmarkId::new("sq", 5), &5u64, |b, &x| {
+                b.iter(|| x * x);
+            });
+    }
+}
