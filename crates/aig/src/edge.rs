@@ -18,6 +18,13 @@ impl NodeId {
     pub const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Creates a node id from its dense index (the inverse of
+    /// [`NodeId::index`]). The id is not checked against any particular
+    /// graph.
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
 }
 
 impl fmt::Display for NodeId {

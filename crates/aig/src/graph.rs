@@ -92,6 +92,10 @@ impl Aig {
     /// Registers `edge` as a primary output with the given name.
     pub fn add_output(&mut self, edge: Edge, name: impl Into<String>) {
         self.assert_valid(edge);
+        debug_assert!(
+            edge.node() == NodeId::CONST || self.is_input(edge.node()) || self.is_and(edge.node()),
+            "output edge {edge} does not point at a constant, input or AND node"
+        );
         self.outputs.push((edge, name.into()));
     }
 
@@ -117,6 +121,14 @@ impl Aig {
             return Edge::new(NodeId(node), false);
         }
         let id = self.fanins.len() as u32;
+        debug_assert!(
+            a.code() <= b.code(),
+            "AND fanins must be stored in canonical (ordered) form"
+        );
+        debug_assert!(
+            a.node().index() < id as usize && b.node().index() < id as usize,
+            "AND fanins must precede the node (topological order)"
+        );
         self.fanins.push([a, b]);
         self.strash.insert((a.code(), b.code()), id);
         Edge::new(NodeId(id), false)
@@ -455,6 +467,39 @@ impl Aig {
             .iter()
             .map(|(e, _)| resolve_tt(&values, *e))
             .collect())
+    }
+
+    /// Overwrites one fanin of an AND node **without** re-hashing or
+    /// re-checking any structural invariant.
+    ///
+    /// This is a fault-injection hook for verification tooling: it lets
+    /// tests corrupt a well-formed circuit (flip a complement bit,
+    /// redirect an edge, create a duplicate fanin pair) and assert that
+    /// the linter and the checked-pass harness catch the damage. The
+    /// structural-hash table is intentionally left stale; do not keep
+    /// building logic with [`Aig::and`] after calling this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not an AND node or `slot ≥ 2`.
+    pub fn set_fanin_unchecked(&mut self, node: NodeId, slot: usize, edge: Edge) {
+        assert!(self.is_and(node), "{node} is not an AND node");
+        assert!(slot < 2, "fanin slot {slot} out of range");
+        self.fanins[node.index()][slot] = edge;
+    }
+
+    /// Redirects the `position`-th output **without** validating the new
+    /// edge.
+    ///
+    /// Like [`Aig::set_fanin_unchecked`], this exists so verification
+    /// tests can seed corruptions (e.g. an output pointing outside the
+    /// graph) that the safe API refuses to construct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position ≥ num_outputs`.
+    pub fn set_output_unchecked(&mut self, position: usize, edge: Edge) {
+        self.outputs[position].0 = edge;
     }
 
     fn assert_valid(&self, e: Edge) {

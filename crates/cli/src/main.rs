@@ -4,11 +4,13 @@
 //! ```text
 //! cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
 //!                [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+//!                [--check off|lint|sim|sat]
 //!                [--report report.json] [--log-level LEVEL] [--verbose]
 //! cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
 //! cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
 //! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
-//! cirlearn opt <input.aag> [-o out.aag] [--budget SECS]
+//! cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check off|lint|sim|sat]
+//! cirlearn lint <input.aag> [...] [--allow-dangling]
 //! cirlearn stats <input.aag>
 //! ```
 //!
@@ -17,6 +19,16 @@
 //! circuit; `eval` scores a candidate with the contest's three-way
 //! biased pattern mix; `gen` emits a synthetic benchmark of the given
 //! contest category.
+//!
+//! Verification: `--check` selects how hard every optimization pass is
+//! validated (`lint` = structural linting of the result, `sim` = 256
+//! random-pattern differential simulation, `sat` = full SAT equivalence
+//! check); a failing pass is rejected and reported with a minimized
+//! counterexample witness. `lint` runs the strict structural linter
+//! over standalone AIGER files and exits nonzero on any violation
+//! (`--allow-dangling` tolerates unreferenced AND nodes, which foreign
+//! exporters sometimes leave behind; files written by this CLI are
+//! compacted and pass the strict check).
 //!
 //! Telemetry: `--log-level` (error|warn|info|debug|trace) controls the
 //! pipeline narration on stderr (`--verbose` is an alias for `--log-level
@@ -48,13 +60,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
                  [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+                 [--check off|lint|sim|sat]
                  [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
-                 [-o learned.aag] [--budget SECS] [--seed N]
+                 [-o learned.aag] [--budget SECS] [--seed N] [--check LEVEL]
                  [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
-  cirlearn opt <input.aag> [-o out.aag] [--budget SECS]
+  cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check LEVEL]
+  cirlearn lint <input.aag> [...] [--allow-dangling]
   cirlearn stats <input.aag>";
 
 /// Minimal flag parser: returns positional arguments and a lookup for
@@ -121,6 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "eval" => cmd_eval(rest),
         "gen" => cmd_gen(rest),
         "opt" => cmd_opt(rest),
+        "lint" => cmd_lint(rest),
         "stats" => cmd_stats(rest),
         other => Err(format!("unknown subcommand {other}")),
     }
@@ -133,6 +148,14 @@ fn read_aig(path: &str) -> Result<Aig, String> {
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Parses `--check <off|lint|sim|sat>`; `None` when the flag is absent.
+fn check_level_of(opts: &Opts) -> Result<Option<cirlearn_synth::VerifyLevel>, String> {
+    match opts.value("check") {
+        None => Ok(None),
+        Some(v) => v.parse().map(Some).map_err(|e| format!("--check: {e}")),
+    }
 }
 
 /// Builds the telemetry handle from `--log-level` / `--verbose`.
@@ -179,7 +202,10 @@ fn finish_run(telemetry: &Telemetry, opts: &Opts) -> Result<(), String> {
 }
 
 fn cmd_learn(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["budget", "seed", "verilog", "report", "log-level"])?;
+    let opts = Opts::parse(
+        args,
+        &["budget", "seed", "verilog", "check", "report", "log-level"],
+    )?;
     let [input] = opts.positional.as_slice() else {
         return Err("learn expects exactly one input file".to_owned());
     };
@@ -195,6 +221,13 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
     config.seed = opts.number("seed", config.seed)?;
     if opts.present("no-preprocessing") {
         config.preprocessing = false;
+    }
+    if let Some(level) = check_level_of(&opts)? {
+        config
+            .optimize
+            .get_or_insert_with(cirlearn_synth::OptimizeConfig::default)
+            .verify
+            .level = level;
     }
     let telemetry = telemetry_of(&opts)?;
     telemetry.set_meta("command", "learn");
@@ -233,7 +266,8 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         result.queries
     );
     if let Some(path) = opts.value("o") {
-        write_file(path, &result.circuit.to_aiger_ascii())?;
+        // Compact before export so the file passes strict `lint`.
+        write_file(path, &result.circuit.cleanup().to_aiger_ascii())?;
         eprintln!("wrote {path}");
     }
     if let Some(path) = opts.value("verilog") {
@@ -256,6 +290,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
             "outputs",
             "budget",
             "seed",
+            "check",
             "report",
             "log-level",
         ],
@@ -283,6 +318,13 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
     let mut config = LearnerConfig::fast();
     config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
     config.seed = opts.number("seed", config.seed)?;
+    if let Some(level) = check_level_of(&opts)? {
+        config
+            .optimize
+            .get_or_insert_with(cirlearn_synth::OptimizeConfig::default)
+            .verify
+            .level = level;
+    }
     let telemetry = telemetry_of(&opts)?;
     telemetry.set_meta("command", "learn-bb");
     telemetry.set_meta("case", program);
@@ -297,7 +339,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
         result.queries
     );
     if let Some(path) = opts.value("o") {
-        write_file(path, &result.circuit.to_aiger_ascii())?;
+        write_file(path, &result.circuit.cleanup().to_aiger_ascii())?;
         eprintln!("wrote {path}");
     }
     finish_run(&telemetry, &opts)
@@ -356,7 +398,8 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown category {other} (neq|eco|diag|data)")),
     };
     let oracle = generate::case(cat, pi, po, seed);
-    let text = oracle.reveal().to_aiger_ascii();
+    // Compact before export so the benchmark passes strict `lint`.
+    let text = oracle.reveal().cleanup().to_aiger_ascii();
     match opts.value("o") {
         Some(path) => {
             write_file(path, &text)?;
@@ -372,21 +415,63 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_opt(args: &[String]) -> Result<(), String> {
-    let opts = Opts::parse(args, &["budget"])?;
+    let opts = Opts::parse(args, &["budget", "check", "log-level"])?;
     let [input] = opts.positional.as_slice() else {
         return Err("opt expects exactly one input file".to_owned());
     };
     let aig = read_aig(input)?;
-    let cfg = cirlearn_synth::OptimizeConfig {
+    let mut cfg = cirlearn_synth::OptimizeConfig {
         time_budget: Duration::from_secs_f64(opts.number("budget", 60.0)?),
         ..cirlearn_synth::OptimizeConfig::default()
     };
+    if let Some(level) = check_level_of(&opts)? {
+        cfg.verify.level = level;
+    }
+    let telemetry = telemetry_of(&opts)?;
     let before = aig.gate_count();
-    let best = cirlearn_synth::optimize(&aig, &cfg);
+    let best = cirlearn_synth::optimize_with(&aig, &cfg, &telemetry);
     println!("gates: {before} -> {}", best.gate_count());
     if let Some(path) = opts.value("o") {
-        write_file(path, &best.to_aiger_ascii())?;
+        write_file(path, &best.cleanup().to_aiger_ascii())?;
         eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Runs the strict structural linter over one or more AIGER files
+/// (`--allow-dangling` downgrades unreferenced-AND violations).
+///
+/// Prints one line per violation (`file: violation`) and fails (nonzero
+/// exit) if any file has violations, so it slots directly into CI.
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(args, &[])?;
+    if opts.positional.is_empty() {
+        return Err("lint expects one or more input files".to_owned());
+    }
+    let linter = cirlearn_verify::Linter::new().allow_dangling(opts.present("allow-dangling"));
+    let mut dirty = 0usize;
+    for path in &opts.positional {
+        let aig = read_aig(path)?;
+        let violations = linter.lint(&aig);
+        if violations.is_empty() {
+            eprintln!(
+                "{path}: clean ({} inputs, {} outputs, {} gates)",
+                aig.num_inputs(),
+                aig.num_outputs(),
+                aig.gate_count()
+            );
+        } else {
+            dirty += 1;
+            for v in &violations {
+                println!("{path}: {v}");
+            }
+        }
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty} of {} file(s) failed lint",
+            opts.positional.len()
+        ));
     }
     Ok(())
 }

@@ -143,6 +143,114 @@ fn learn_report_stage_queries_sum_to_stdout_total() {
 }
 
 #[test]
+fn learn_with_sat_checking_stays_clean_and_reports_counters() {
+    use cirlearn_telemetry::{counters, json::Json, RunReport};
+
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-check-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let hidden = dir.join("hidden.aag");
+    let report = dir.join("report.json");
+
+    let out = bin()
+        .args(["gen", "diag", "16", "2", "--seed", "7", "-o"])
+        .arg(&hidden)
+        .output()
+        .expect("run gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .args(["learn"])
+        .arg(&hidden)
+        .args(["--budget", "30", "--check", "sat", "--report"])
+        .arg(&report)
+        .output()
+        .expect("run learn");
+    assert!(
+        out.status.success(),
+        "learn --check sat failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let text = std::fs::read_to_string(&report).expect("report file written");
+    let json = Json::parse(&text).expect("report is valid JSON");
+    let run = RunReport::from_json(&json).expect("report matches the schema");
+    assert!(
+        run.counter(counters::VERIFY_CHECKS) > 0,
+        "SAT checking must verify at least one optimization pass"
+    );
+    assert_eq!(
+        run.counter(counters::VERIFY_REJECTED_PASSES),
+        0,
+        "no bundled pass may be rejected by the checker"
+    );
+    assert_eq!(run.counter(counters::VERIFY_LINT_VIOLATIONS), 0);
+    assert_eq!(run.counter(counters::VERIFY_WITNESSES), 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn lint_accepts_clean_files_and_rejects_dangling_nodes() {
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let clean = dir.join("clean.aag");
+    let dangling = dir.join("dangling.aag");
+
+    let out = bin()
+        .args(["gen", "neq", "12", "2", "--seed", "3", "-o"])
+        .arg(&clean)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+
+    let out = bin().arg("lint").arg(&clean).output().expect("run lint");
+    assert!(
+        out.status.success(),
+        "lint rejected a generated circuit: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+
+    // Hand-written file whose single AND never feeds an output: parses
+    // fine, but the strict linter must flag it.
+    std::fs::write(&dangling, "aag 3 2 0 1 1\n2\n4\n2\n6 2 4\n").expect("write aag");
+    let out = bin().arg("lint").arg(&dangling).output().expect("run lint");
+    assert!(!out.status.success(), "dangling AND must fail lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unreachable from every output"), "{stdout}");
+
+    // The escape hatch tolerates exactly that class of violation.
+    let out = bin()
+        .args(["lint", "--allow-dangling"])
+        .arg(&dangling)
+        .output()
+        .expect("run lint");
+    assert!(
+        out.status.success(),
+        "--allow-dangling must accept the file: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn check_flag_rejects_unknown_levels() {
+    let out = bin()
+        .args(["learn", "whatever.aag", "--check", "paranoid"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--check"), "{stderr}");
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = bin().arg("frobnicate").output().expect("run");
     assert!(!out.status.success());

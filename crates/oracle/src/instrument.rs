@@ -159,14 +159,14 @@ mod tests {
             o.query(&z);
         }
         let report = telemetry.report();
-        assert_eq!(
-            report.stage("support").unwrap().counters[counters::ORACLE_QUERIES],
-            2
-        );
-        assert_eq!(
-            report.stage("fbdt").unwrap().counters[counters::ORACLE_QUERIES],
-            1
-        );
+        let support = report
+            .stage("support")
+            .expect("span closed above, so the stage must be recorded");
+        assert_eq!(support.counters[counters::ORACLE_QUERIES], 2);
+        let fbdt = report
+            .stage("fbdt")
+            .expect("span closed above, so the stage must be recorded");
+        assert_eq!(fbdt.counters[counters::ORACLE_QUERIES], 1);
         assert_eq!(
             report.top_level_counter_sum(counters::ORACLE_QUERIES),
             report.counter(counters::ORACLE_QUERIES)

@@ -151,19 +151,43 @@ fn lit_of(node_lits: &[Lit], e: Edge) -> Lit {
     }
 }
 
+/// A concrete witness that two circuits differ: an input assignment and
+/// the position of an output that disagrees under it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The distinguishing primary-input assignment.
+    pub inputs: Assignment,
+    /// The position of (one) output that differs under `inputs`.
+    pub output: usize,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "output {} differs on input {}", self.output, self.inputs)
+    }
+}
+
 /// The verdict of [`check_equivalence`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Equivalence {
     /// The two circuits compute the same function on every output.
     Equivalent,
-    /// A primary-input assignment on which some output differs.
-    Counterexample(Assignment),
+    /// A witness on which some output differs.
+    Counterexample(Counterexample),
 }
 
 impl Equivalence {
     /// Returns `true` for [`Equivalence::Equivalent`].
     pub fn is_equivalent(&self) -> bool {
         matches!(self, Equivalence::Equivalent)
+    }
+
+    /// Returns the witness, if the circuits differ.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Equivalence::Equivalent => None,
+            Equivalence::Counterexample(cex) => Some(cex),
+        }
     }
 }
 
@@ -207,9 +231,17 @@ pub fn check_equivalence(left: &Aig, right: &Aig) -> Equivalence {
 
     match solver.solve() {
         SolveResult::Unsat => Equivalence::Equivalent,
-        SolveResult::Sat => Equivalence::Counterexample(Assignment::from_bits(
-            input_lits.iter().map(|&l| solver.value(l)),
-        )),
+        SolveResult::Sat => {
+            let inputs = Assignment::from_bits(input_lits.iter().map(|&l| solver.value(l)));
+            let bits: Vec<bool> = inputs.iter().collect();
+            let (lo, ro) = (left.eval_bits(&bits), right.eval_bits(&bits));
+            let output = lo
+                .iter()
+                .zip(&ro)
+                .position(|(a, b)| a != b)
+                .expect("SAT model of the miter must distinguish some output");
+            Equivalence::Counterexample(Counterexample { inputs, output })
+        }
     }
 }
 
@@ -256,9 +288,10 @@ mod tests {
         let verdict = check_equivalence(&xor_aig(), &g);
         match verdict {
             Equivalence::Counterexample(cex) => {
-                // XOR and OR differ exactly on a=b=1.
-                let bits: Vec<bool> = cex.iter().collect();
+                // XOR and OR differ exactly on a=b=1, on the only output.
+                let bits: Vec<bool> = cex.inputs.iter().collect();
                 assert_eq!(bits, vec![true, true]);
+                assert_eq!(cex.output, 0);
             }
             Equivalence::Equivalent => panic!("xor and or reported equivalent"),
         }
@@ -305,9 +338,10 @@ mod tests {
         g2.add_output(a2, "y1"); // differs on y1
         match check_equivalence(&g1, &g2) {
             Equivalence::Counterexample(cex) => {
-                let bits: Vec<bool> = cex.iter().collect();
+                let bits: Vec<bool> = cex.inputs.iter().collect();
                 // y1 differs whenever !a != a, i.e. always; any input works.
                 assert_eq!(bits.len(), 1);
+                assert_eq!(cex.output, 1, "the differing output is y1");
             }
             Equivalence::Equivalent => panic!("should differ"),
         }
@@ -406,11 +440,12 @@ mod tests {
             }
             assert_eq!(verdict.is_equivalent(), truly_equal, "round {round}");
             if let Equivalence::Counterexample(cex) = verdict {
-                let bits: Vec<bool> = cex.iter().collect();
+                let bits: Vec<bool> = cex.inputs.iter().collect();
+                let (o1, o2) = (g1.eval_bits(&bits), g2.eval_bits(&bits));
+                assert_ne!(o1, o2, "round {round}: bad cex");
                 assert_ne!(
-                    g1.eval_bits(&bits),
-                    g2.eval_bits(&bits),
-                    "round {round}: bad cex"
+                    o1[cex.output], o2[cex.output],
+                    "round {round}: reported output does not differ"
                 );
             }
         }

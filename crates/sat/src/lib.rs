@@ -35,6 +35,6 @@ mod cnf;
 mod dimacs;
 mod solver;
 
-pub use cnf::{check_equivalence, AigCnf, Equivalence};
+pub use cnf::{check_equivalence, AigCnf, Counterexample, Equivalence};
 pub use dimacs::ParseDimacsError;
 pub use solver::{Lit, SolveResult, Solver};

@@ -60,9 +60,10 @@ mod rewrite;
 mod script;
 
 pub use balance::balance;
+pub use cirlearn_verify::{VerifyConfig, VerifyLevel, Violation};
 pub use collapse::{collapse, CollapseConfig};
 pub use fraig::{fraig, FraigConfig};
 pub use redundancy::{redundancy_removal, RedundancyConfig};
 pub use refactor::{refactor, RefactorConfig};
 pub use rewrite::rewrite;
-pub use script::{optimize, optimize_with, OptimizeConfig};
+pub use script::{optimize, optimize_with, CheckedOutcome, CheckedPass, OptimizeConfig};

@@ -1,9 +1,10 @@
-//! Optimization script runner.
+//! Optimization script runner with checked-pass verification.
 
 use std::time::{Duration, Instant};
 
 use cirlearn_aig::Aig;
-use cirlearn_telemetry::Telemetry;
+use cirlearn_telemetry::{counters, Level, Telemetry};
+use cirlearn_verify::{verify_pass, VerifyConfig, VerifyLevel, Violation};
 
 use crate::{
     balance, collapse, fraig, redundancy_removal, refactor, rewrite, CollapseConfig, FraigConfig,
@@ -34,6 +35,9 @@ pub struct OptimizeConfig {
     pub refactor: RefactorConfig,
     /// Guards for redundancy removal.
     pub redundancy: RedundancyConfig,
+    /// Per-pass verification (off by default, matching the historical
+    /// unguarded behavior).
+    pub verify: VerifyConfig,
 }
 
 impl Default for OptimizeConfig {
@@ -47,6 +51,115 @@ impl Default for OptimizeConfig {
             fraig: FraigConfig::default(),
             refactor: RefactorConfig::default(),
             redundancy: RedundancyConfig::default(),
+            verify: VerifyConfig::default(),
+        }
+    }
+}
+
+/// A verification wrapper around one optimization pass.
+///
+/// `CheckedPass::run` applies the pass, then validates the result
+/// against the input at the configured [`VerifyLevel`]. A result that
+/// fails verification is **rejected**: the input circuit is returned
+/// unchanged, the violation (with its counterexample witness, when
+/// functional) is reported as an error event, and the
+/// `verify.rejected_passes` counter is bumped — so one unsound rewrite
+/// degrades the run instead of silently corrupting it.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_aig::Aig;
+/// use cirlearn_synth::CheckedPass;
+/// use cirlearn_telemetry::Telemetry;
+/// use cirlearn_verify::{VerifyConfig, VerifyLevel};
+///
+/// let mut g = Aig::new();
+/// let a = g.add_input("a");
+/// let b = g.add_input("b");
+/// let y = g.xor(a, b);
+/// g.add_output(y, "y");
+///
+/// let cfg = VerifyConfig::at_level(VerifyLevel::Sat);
+/// let telemetry = Telemetry::disabled();
+/// let checked = CheckedPass::new("broken", &cfg, &telemetry);
+/// // A "pass" that replaces the circuit with constant 0 is rejected.
+/// let outcome = checked.run(&g, |before| {
+///     let mut out = Aig::with_inputs_like(before);
+///     out.add_output(cirlearn_aig::Edge::FALSE, "y");
+///     out
+/// });
+/// assert!(outcome.violation.is_some());
+/// assert_eq!(outcome.circuit.gate_count(), g.gate_count());
+/// ```
+#[derive(Debug)]
+pub struct CheckedPass<'a> {
+    name: &'a str,
+    verify: &'a VerifyConfig,
+    telemetry: &'a Telemetry,
+}
+
+/// What [`CheckedPass::run`] produced.
+#[derive(Debug)]
+pub struct CheckedOutcome {
+    /// The accepted circuit: the pass result when it verified, the
+    /// untouched input when it was rejected.
+    pub circuit: Aig,
+    /// Wall clock spent verifying (zero at [`VerifyLevel::Off`]).
+    pub verify_elapsed: Duration,
+    /// The violation that caused a rejection, if any.
+    pub violation: Option<Violation>,
+}
+
+impl<'a> CheckedPass<'a> {
+    /// Wraps the pass named `name` (used in reports and events).
+    pub fn new(name: &'a str, verify: &'a VerifyConfig, telemetry: &'a Telemetry) -> Self {
+        CheckedPass {
+            name,
+            verify,
+            telemetry,
+        }
+    }
+
+    /// Applies `pass` to `before` and verifies the result.
+    pub fn run(&self, before: &Aig, pass: impl FnOnce(&Aig) -> Aig) -> CheckedOutcome {
+        let after = pass(before);
+        if self.verify.level == VerifyLevel::Off {
+            return CheckedOutcome {
+                circuit: after,
+                verify_elapsed: Duration::ZERO,
+                violation: None,
+            };
+        }
+        let verify_start = Instant::now();
+        let verdict = verify_pass(before, &after, self.verify);
+        let verify_elapsed = verify_start.elapsed();
+        self.telemetry.incr(counters::VERIFY_CHECKS);
+        match verdict {
+            Ok(()) => CheckedOutcome {
+                circuit: after,
+                verify_elapsed,
+                violation: None,
+            },
+            Err(violation) => {
+                match &violation {
+                    Violation::Lint(violations) => self
+                        .telemetry
+                        .add(counters::VERIFY_LINT_VIOLATIONS, violations.len() as u64),
+                    Violation::Functional(_) => self.telemetry.incr(counters::VERIFY_WITNESSES),
+                    Violation::Interface { .. } => {}
+                }
+                self.telemetry.incr(counters::VERIFY_REJECTED_PASSES);
+                self.telemetry.event(
+                    Level::Error,
+                    &format!("pass {} rejected: {violation}", self.name),
+                );
+                CheckedOutcome {
+                    circuit: before.clone(),
+                    verify_elapsed,
+                    violation: Some(violation),
+                }
+            }
         }
     }
 }
@@ -112,20 +225,22 @@ pub fn optimize_with(aig: &Aig, config: &OptimizeConfig, telemetry: &Telemetry) 
             let gates_before = current.gate_count();
             let levels_before = current.depth();
             let pass_start = Instant::now();
-            let next = match pass {
-                PassKind::Balance => balance(&current),
-                PassKind::Rewrite => rewrite(&current),
-                PassKind::Refactor => refactor(&current, &config.refactor),
-                PassKind::Fraig => fraig(&current, &config.fraig),
+            let checked = CheckedPass::new(pass.name(), &config.verify, telemetry);
+            let outcome = checked.run(&current, |before| match pass {
+                PassKind::Balance => balance(before),
+                PassKind::Rewrite => rewrite(before),
+                PassKind::Refactor => refactor(before, &config.refactor),
+                PassKind::Fraig => fraig(before, &config.fraig),
                 PassKind::Collapse => {
                     collapsed = true;
-                    collapse(&current, &config.collapse)
+                    collapse(before, &config.collapse)
                 }
                 PassKind::Redundancy => {
                     swept = true;
-                    redundancy_removal(&current, &config.redundancy)
+                    redundancy_removal(before, &config.redundancy)
                 }
-            };
+            });
+            let next = outcome.circuit;
             if next.gate_count() <= current.gate_count() {
                 current = next;
             }
@@ -138,6 +253,7 @@ pub fn optimize_with(aig: &Aig, config: &OptimizeConfig, telemetry: &Telemetry) 
                     levels_before as u64,
                     current.depth() as u64,
                     pass_start.elapsed(),
+                    outcome.verify_elapsed,
                 );
             }
             if current.gate_count() < best.gate_count() {
@@ -275,6 +391,98 @@ mod tests {
             .map(|p| p.gates_before - p.gates_after)
             .sum();
         assert_eq!(report.counter(counters::OPT_GATES_SAVED), saved);
+    }
+
+    #[test]
+    fn optimize_under_sat_verification_stays_clean() {
+        use cirlearn_telemetry::{counters, Telemetry};
+        let mut g = Aig::new();
+        let inputs = g.add_inputs("x", 4);
+        let mut cubes = Vec::new();
+        for m in 0..16u32 {
+            if (m & 1 == 1) != (m >> 3 & 1 == 1) {
+                let lits: Vec<Edge> = (0..4)
+                    .map(|k| inputs[k].complement_if(m >> k & 1 == 0))
+                    .collect();
+                cubes.push(g.and_many(&lits));
+            }
+        }
+        let y = g.or_many(&cubes);
+        g.add_output(y, "y");
+        let telemetry = Telemetry::recording();
+        let cfg = OptimizeConfig {
+            verify: VerifyConfig::at_level(VerifyLevel::Sat),
+            ..OptimizeConfig::default()
+        };
+        let best = optimize_with(&g, &cfg, &telemetry);
+        assert!(check_equivalence(&g, &best).is_equivalent());
+        let report = telemetry.report();
+        // Every recorded pass was verified, none was rejected, and
+        // verification time was accounted per pass.
+        assert_eq!(
+            report.counter(counters::VERIFY_CHECKS),
+            report.passes.len() as u64
+        );
+        assert_eq!(report.counter(counters::VERIFY_REJECTED_PASSES), 0);
+        assert_eq!(report.counter(counters::VERIFY_WITNESSES), 0);
+        assert!(report
+            .passes
+            .iter()
+            .all(|p| p.verify_elapsed > Duration::ZERO));
+    }
+
+    #[test]
+    fn checked_pass_accepts_sound_pass_and_rejects_broken_one() {
+        use cirlearn_telemetry::{counters, Telemetry};
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        let b = g.add_input("b");
+        let y = g.xor(a, b);
+        g.add_output(y, "y");
+        let cfg = VerifyConfig::at_level(VerifyLevel::Sat);
+        let telemetry = Telemetry::recording();
+
+        let sound = CheckedPass::new("balance", &cfg, &telemetry);
+        let outcome = sound.run(&g, balance);
+        assert!(outcome.violation.is_none());
+        assert!(check_equivalence(&g, &outcome.circuit).is_equivalent());
+
+        let broken = CheckedPass::new("bad-rewrite", &cfg, &telemetry);
+        let outcome = broken.run(&g, |before| {
+            // Rebuild with the output complemented: structurally clean,
+            // functionally wrong — only sim/sat can catch it.
+            let mut out = before.clone();
+            let e = out.output_edge(0);
+            out.set_output_unchecked(0, !e);
+            out
+        });
+        let violation = outcome.violation.expect("broken pass must be rejected");
+        match violation {
+            Violation::Functional(w) => {
+                assert_eq!(w.output, 0, "the broken output is reported");
+            }
+            other => panic!("expected functional violation, got {other:?}"),
+        }
+        // The rejected result was rolled back to the input circuit.
+        assert!(check_equivalence(&g, &outcome.circuit).is_equivalent());
+        assert_eq!(telemetry.counter(counters::VERIFY_CHECKS), 2);
+        assert_eq!(telemetry.counter(counters::VERIFY_REJECTED_PASSES), 1);
+        assert_eq!(telemetry.counter(counters::VERIFY_WITNESSES), 1);
+    }
+
+    #[test]
+    fn checked_pass_off_level_skips_verification() {
+        use cirlearn_telemetry::{counters, Telemetry};
+        let mut g = Aig::new();
+        let a = g.add_input("a");
+        g.add_output(a, "y");
+        let cfg = VerifyConfig::default(); // level off
+        let telemetry = Telemetry::recording();
+        let checked = CheckedPass::new("noop", &cfg, &telemetry);
+        let outcome = checked.run(&g, |before| before.clone());
+        assert!(outcome.violation.is_none());
+        assert_eq!(outcome.verify_elapsed, Duration::ZERO);
+        assert_eq!(telemetry.counter(counters::VERIFY_CHECKS), 0);
     }
 
     #[test]

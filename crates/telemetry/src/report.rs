@@ -21,7 +21,8 @@
 //!   "passes": [ { "stage": "optimize", "pass": "rewrite",
 //!                 "round": <u64>, "gates_before": <u64>,
 //!                 "gates_after": <u64>, "levels_before": <u64>,
-//!                 "levels_after": <u64>, "elapsed_s": <f64> } ],
+//!                 "levels_after": <u64>, "elapsed_s": <f64>,
+//!                 "verify_s": <f64> } ],
 //!   "checkpoints": [ { "stage": "support", "at_s": <f64>,
 //!                      "remaining_s": <f64> | null } ],
 //!   "outputs": [ { "output": <u64>, "name": "y0",
@@ -76,6 +77,9 @@ pub struct PassReport {
     pub levels_after: u64,
     /// Wall clock spent in the pass.
     pub elapsed: Duration,
+    /// Wall clock spent verifying the pass result (zero when
+    /// verification is off).
+    pub verify_elapsed: Duration,
 }
 
 /// One budget checkpoint observation.
@@ -112,7 +116,7 @@ pub struct OutputReport {
     pub gates_after_opt: u64,
 }
 
-/// A full run snapshot; see the [module docs](self) for the schema.
+/// A full run snapshot; see the `report` module docs for the schema.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Free-form key/value annotations (case name, seed, ...).
@@ -208,6 +212,7 @@ impl RunReport {
                                 ("levels_before", Json::from(p.levels_before)),
                                 ("levels_after", Json::from(p.levels_after)),
                                 ("elapsed_s", Json::from(p.elapsed.as_secs_f64())),
+                                ("verify_s", Json::from(p.verify_elapsed.as_secs_f64())),
                             ])
                         })
                         .collect(),
@@ -349,6 +354,12 @@ impl RunReport {
                         p.get("elapsed_s").ok_or("missing pass.elapsed_s")?,
                         "pass.elapsed_s",
                     )?,
+                    // Absent in reports written before verification
+                    // existed; treat as zero rather than rejecting.
+                    verify_elapsed: match p.get("verify_s") {
+                        None | Some(Json::Null) => Duration::ZERO,
+                        Some(j) => duration_of(j, "pass.verify_s")?,
+                    },
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
@@ -475,6 +486,7 @@ mod tests {
                 levels_before: 14,
                 levels_after: 12,
                 elapsed: Duration::from_millis(20),
+                verify_elapsed: Duration::from_millis(4),
             }],
             checkpoints: vec![
                 CheckpointReport {
@@ -516,6 +528,29 @@ mod tests {
         let report = sample_report();
         assert_eq!(report.top_level_counter_sum("oracle.queries"), 1200);
         assert_eq!(report.top_level_stages().count(), 2);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_verify_time() {
+        // Reports from before the verification subsystem lack
+        // "verify_s"; they must still parse, defaulting to zero.
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            for (key, value) in pairs.iter_mut() {
+                if key != "passes" {
+                    continue;
+                }
+                if let Json::Array(passes) = value {
+                    for p in passes {
+                        if let Json::Object(fields) = p {
+                            fields.retain(|(k, _)| k != "verify_s");
+                        }
+                    }
+                }
+            }
+        }
+        let back = RunReport::from_json(&json).expect("tolerant schema");
+        assert_eq!(back.passes[0].verify_elapsed, Duration::ZERO);
     }
 
     #[test]

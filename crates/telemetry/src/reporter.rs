@@ -16,7 +16,7 @@ pub enum Level {
 }
 
 impl Level {
-    /// Lower-case name, as accepted by [`Level::from_str`].
+    /// Lower-case name, as accepted by `Level`'s [`FromStr`](std::str::FromStr) impl.
     pub fn name(self) -> &'static str {
         match self {
             Level::Error => "error",

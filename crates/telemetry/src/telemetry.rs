@@ -26,6 +26,14 @@ pub mod counters {
     pub const OPT_PASSES: &str = "optimize.passes";
     /// AND gates removed across all optimization passes.
     pub const OPT_GATES_SAVED: &str = "optimize.gates_saved";
+    /// Pass results verified by the checked-pass harness.
+    pub const VERIFY_CHECKS: &str = "verify.checks";
+    /// Structural lint violations found during verification.
+    pub const VERIFY_LINT_VIOLATIONS: &str = "verify.lint_violations";
+    /// Counterexample witnesses produced (functional differences).
+    pub const VERIFY_WITNESSES: &str = "verify.witnesses";
+    /// Pass results rejected (rolled back) by the harness.
+    pub const VERIFY_REJECTED_PASSES: &str = "verify.rejected_passes";
 }
 
 struct ActiveSpan {
@@ -253,7 +261,9 @@ impl Telemetry {
         }
     }
 
-    /// Records one optimization pass application.
+    /// Records one optimization pass application. `verify_elapsed` is
+    /// the time the checked-pass harness spent validating the result
+    /// (zero when verification is off).
     #[allow(clippy::too_many_arguments)]
     pub fn record_pass(
         &self,
@@ -264,6 +274,7 @@ impl Telemetry {
         levels_before: u64,
         levels_after: u64,
         elapsed: Duration,
+        verify_elapsed: Duration,
     ) {
         if let Some(mut inner) = self.lock() {
             let stage = inner.current_path();
@@ -285,6 +296,7 @@ impl Telemetry {
                 levels_before,
                 levels_after,
                 elapsed,
+                verify_elapsed,
             });
         }
         self.incr(counters::OPT_PASSES);
@@ -403,10 +415,16 @@ mod tests {
         let report = t.report();
         // The nested span sees only its own delta; the outer span sees
         // everything that happened while it was open.
-        assert_eq!(report.stage("learn/support").unwrap().counters["q"], 32);
-        assert_eq!(report.stage("learn").unwrap().counters["q"], 47);
+        let support = report
+            .stage("learn/support")
+            .expect("nested span was closed, so its stage must exist");
+        assert_eq!(support.counters["q"], 32);
+        let learn = report
+            .stage("learn")
+            .expect("outer span was closed, so its stage must exist");
+        assert_eq!(learn.counters["q"], 47);
         assert_eq!(report.counter("q"), 47);
-        assert_eq!(report.stage("learn").unwrap().calls, 1);
+        assert_eq!(learn.calls, 1);
     }
 
     #[test]
@@ -447,8 +465,12 @@ mod tests {
         drop(outer);
         drop(inner);
         let report = t.report();
-        assert_eq!(report.stage("outer/inner").unwrap().counters["q"], 3);
-        assert_eq!(report.stage("outer").unwrap().counters["q"], 3);
+        let inner_stage = report
+            .stage("outer/inner")
+            .expect("force-closed span still records its stage");
+        assert_eq!(inner_stage.counters["q"], 3);
+        let outer_stage = report.stage("outer").expect("outer span records its stage");
+        assert_eq!(outer_stage.counters["q"], 3);
     }
 
     #[test]
@@ -460,7 +482,9 @@ mod tests {
             t.event(Level::Info, "expanding");
         }
         t.event(Level::Warn, "done");
-        let events = buffer.lock().unwrap();
+        let events = buffer
+            .lock()
+            .expect("no other thread touches the buffer in this test");
         let info: Vec<_> = events
             .events()
             .iter()
@@ -480,8 +504,26 @@ mod tests {
     #[test]
     fn passes_and_checkpoints_are_recorded_in_order() {
         let t = Telemetry::recording();
-        t.record_pass("rewrite", 1, 100, 80, 9, 8, Duration::from_millis(5));
-        t.record_pass("balance", 1, 80, 80, 8, 7, Duration::from_millis(2));
+        t.record_pass(
+            "rewrite",
+            1,
+            100,
+            80,
+            9,
+            8,
+            Duration::from_millis(5),
+            Duration::from_millis(1),
+        );
+        t.record_pass(
+            "balance",
+            1,
+            80,
+            80,
+            8,
+            7,
+            Duration::from_millis(2),
+            Duration::ZERO,
+        );
         t.checkpoint("support", Duration::from_secs(1), None);
         let report = t.report();
         assert_eq!(report.passes.len(), 2);

@@ -1,0 +1,183 @@
+//! Counterexample witnesses and their minimization.
+
+use std::fmt;
+
+use cirlearn_aig::Aig;
+use cirlearn_logic::{Assignment, Var};
+use cirlearn_sat::Counterexample;
+
+/// A concrete demonstration that two circuits disagree: an input
+/// assignment and the index of an output that differs under it.
+///
+/// Witnesses produced by the harness are minimized by greedy
+/// bit-flipping (see [`Witness::minimize`]) so the report shows the
+/// sparsest distinguishing input found, which is far easier to debug
+/// than a random SAT model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// The distinguishing primary-input assignment.
+    pub inputs: Assignment,
+    /// The index of an output that differs under `inputs`.
+    pub output: usize,
+}
+
+impl Witness {
+    /// Returns `true` if the two circuits really disagree on
+    /// `self.output` under `self.inputs` — the re-simulation check the
+    /// mutation self-tests use to prove a witness is genuine.
+    ///
+    /// Returns `false` (rather than panicking) when the witness width
+    /// or output index does not fit the circuits.
+    pub fn distinguishes(&self, left: &Aig, right: &Aig) -> bool {
+        if self.inputs.len() != left.num_inputs()
+            || self.inputs.len() != right.num_inputs()
+            || self.output >= left.num_outputs()
+            || self.output >= right.num_outputs()
+        {
+            return false;
+        }
+        left.eval(&self.inputs)[self.output] != right.eval(&self.inputs)[self.output]
+    }
+
+    /// Greedily minimizes the witness: tries to clear each set bit in
+    /// turn, keeping a flip whenever the circuits still disagree on the
+    /// witnessed output. Iterates to a fixpoint, so the result is
+    /// locally minimal (no single set bit can be cleared).
+    ///
+    /// The witness must distinguish the circuits on entry; if it does
+    /// not, it is returned unchanged.
+    #[must_use]
+    pub fn minimize(mut self, left: &Aig, right: &Aig) -> Witness {
+        if !self.distinguishes(left, right) {
+            return self;
+        }
+        loop {
+            let mut changed = false;
+            for k in 0..self.inputs.len() {
+                let var = Var::new(k as u32);
+                if !self.inputs.get(var) {
+                    continue;
+                }
+                let candidate = self.inputs.with(var, false);
+                let trial = Witness {
+                    inputs: candidate,
+                    output: self.output,
+                };
+                if trial.distinguishes(left, right) {
+                    self = trial;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return self;
+            }
+        }
+    }
+}
+
+impl From<Counterexample> for Witness {
+    fn from(cex: Counterexample) -> Self {
+        Witness {
+            inputs: cex.inputs,
+            output: cex.output,
+        }
+    }
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "output {} differs on input {}", self.output, self.inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `left` = OR of 4 inputs, `right` = OR of the first 3: they
+    /// differ exactly when x3=1 and x0..x2 are all 0.
+    fn or_pair() -> (Aig, Aig) {
+        let mut l = Aig::new();
+        let xs = l.add_inputs("x", 4);
+        let y = l.or_many(&xs);
+        l.add_output(y, "y");
+        let mut r = Aig::new();
+        let xs = r.add_inputs("x", 4);
+        let y = r.or_many(&xs[..3]);
+        r.add_output(y, "y");
+        (l, r)
+    }
+
+    #[test]
+    fn distinguishes_is_re_simulation() {
+        let (l, r) = or_pair();
+        let good = Witness {
+            inputs: Assignment::from_bits([false, false, false, true]),
+            output: 0,
+        };
+        assert!(good.distinguishes(&l, &r));
+        let bad = Witness {
+            inputs: Assignment::from_bits([true, false, false, true]),
+            output: 0,
+        };
+        assert!(!bad.distinguishes(&l, &r));
+    }
+
+    #[test]
+    fn mismatched_width_or_output_is_not_distinguishing() {
+        let (l, r) = or_pair();
+        let wrong_width = Witness {
+            inputs: Assignment::from_bits([true, true]),
+            output: 0,
+        };
+        assert!(!wrong_width.distinguishes(&l, &r));
+        let wrong_output = Witness {
+            inputs: Assignment::from_bits([false, false, false, true]),
+            output: 3,
+        };
+        assert!(!wrong_output.distinguishes(&l, &r));
+    }
+
+    #[test]
+    fn minimize_reaches_local_minimum() {
+        // left = x3, right = constant 0 over 4 inputs: any assignment
+        // with x3=1 distinguishes; the minimal one has only x3 set.
+        let mut l = Aig::new();
+        let xs = l.add_inputs("x", 4);
+        l.add_output(xs[3], "y");
+        let mut r = Aig::new();
+        let _ = r.add_inputs("x", 4);
+        r.add_output(cirlearn_aig::Edge::FALSE, "y");
+        let w = Witness {
+            inputs: Assignment::ones(4),
+            output: 0,
+        };
+        let min = w.minimize(&l, &r);
+        assert!(min.distinguishes(&l, &r));
+        assert_eq!(min.inputs.count_ones(), 1);
+        assert!(min.inputs.get(Var::new(3)));
+    }
+
+    #[test]
+    fn minimize_keeps_required_bits() {
+        let (l, r) = or_pair();
+        let w = Witness {
+            inputs: Assignment::from_bits([false, false, false, true]),
+            output: 0,
+        };
+        // Already minimal: x3 is required for a difference.
+        let min = w.clone().minimize(&l, &r);
+        assert_eq!(min, w);
+    }
+
+    #[test]
+    fn minimize_returns_non_witness_unchanged() {
+        let (l, r) = or_pair();
+        let not_a_witness = Witness {
+            inputs: Assignment::ones(4),
+            output: 0,
+        };
+        assert!(!not_a_witness.distinguishes(&l, &r));
+        assert_eq!(not_a_witness.clone().minimize(&l, &r), not_a_witness);
+    }
+}

@@ -135,7 +135,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
