@@ -7,6 +7,8 @@
 //!                [--check off|lint|sim|sat]
 //!                [--report report.json] [--log-level LEVEL] [--verbose]
 //! cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
+//!                [--oracle-timeout SECS] [--oracle-retries N]
+//!                [--oracle-backoff SECS] [--oracle-respawn on|off]
 //! cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
 //! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
 //! cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check off|lint|sim|sat]
@@ -30,6 +32,15 @@
 //! exporters sometimes leave behind; files written by this CLI are
 //! compacted and pass the strict check).
 //!
+//! Fault tolerance: `learn-bb` wraps the external process in a
+//! [`cirlearn_oracle::ResilientOracle`] — `--oracle-timeout` arms a
+//! per-query watchdog deadline, `--oracle-retries`/`--oracle-backoff`
+//! bound the retry loop (exponential backoff, deterministic jitter),
+//! and `--oracle-respawn off` disables the automatic restart of dead
+//! black boxes. When the oracle dies beyond recovery the learner
+//! degrades the affected outputs to baseline constants instead of
+//! aborting; the run report's `faults` section records the activity.
+//!
 //! Telemetry: `--log-level` (error|warn|info|debug|trace) controls the
 //! pipeline narration on stderr (`--verbose` is an alias for `--log-level
 //! debug`); `--report <path>` writes a machine-readable JSON run report
@@ -41,7 +52,9 @@ use std::time::Duration;
 
 use cirlearn::{LearnResult, Learner, LearnerConfig};
 use cirlearn_aig::Aig;
-use cirlearn_oracle::{evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle};
+use cirlearn_oracle::{
+    evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle, ResilientOracle, RetryPolicy,
+};
 use cirlearn_telemetry::{Level, StderrReporter, Telemetry};
 
 fn main() -> ExitCode {
@@ -64,6 +77,8 @@ const USAGE: &str = "usage:
                  [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
                  [-o learned.aag] [--budget SECS] [--seed N] [--check LEVEL]
+                 [--oracle-timeout SECS] [--oracle-retries N]
+                 [--oracle-backoff SECS] [--oracle-respawn on|off]
                  [--report report.json] [--log-level LEVEL] [--verbose]
   cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
@@ -293,6 +308,10 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
             "check",
             "report",
             "log-level",
+            "oracle-timeout",
+            "oracle-retries",
+            "oracle-backoff",
+            "oracle-respawn",
         ],
     )?;
     let program = opts.value("cmd").ok_or("learn-bb requires --cmd")?;
@@ -312,8 +331,19 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
         .map(|a| a.split_whitespace().map(str::to_owned).collect())
         .unwrap_or_default();
     let arg_refs: Vec<&str> = extra_args.iter().map(String::as_str).collect();
-    let mut oracle = cirlearn_oracle::ProcessOracle::spawn(program, &arg_refs, inputs, outputs)
+    let mut inner = cirlearn_oracle::ProcessOracle::spawn(program, &arg_refs, inputs, outputs)
         .map_err(|e| e.to_string())?;
+    if let Some(secs) = opts.value("oracle-timeout") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--oracle-timeout expects seconds, got {secs}"))?;
+        inner.set_read_timeout(Some(Duration::from_secs_f64(secs)));
+    }
+    let respawn = match opts.value("oracle-respawn").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--oracle-respawn expects on|off, got {other}")),
+    };
 
     let mut config = LearnerConfig::fast();
     config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
@@ -329,8 +359,37 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
     telemetry.set_meta("command", "learn-bb");
     telemetry.set_meta("case", program);
     telemetry.set_meta("seed", config.seed);
+
+    let policy = RetryPolicy {
+        max_retries: opts.number("oracle-retries", 3u32)?,
+        backoff_base: Duration::from_secs_f64(opts.number("oracle-backoff", 0.05)?),
+        respawn,
+        seed: config.seed,
+        ..RetryPolicy::default()
+    };
+    let mut oracle = ResilientOracle::with_telemetry(inner, policy, telemetry.clone());
+    oracle.set_deadline(Some(std::time::Instant::now() + config.time_budget));
     let result = Learner::with_telemetry(config, telemetry.clone()).learn(&mut oracle);
     print_output_summary(&result);
+    let stats = oracle.fault_stats();
+    if stats.retries > 0 || stats.respawns > 0 {
+        eprintln!(
+            "oracle faults: {} retries, {} timeouts, {} respawns",
+            stats.retries, stats.timeouts, stats.respawns
+        );
+    }
+    if result.faults.any() {
+        eprintln!(
+            "degraded {} output(s){}",
+            result.faults.degraded_outputs,
+            result
+                .faults
+                .oracle_error
+                .as_deref()
+                .map(|e| format!(" ({e})"))
+                .unwrap_or_default()
+        );
+    }
     let mapped = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
     println!(
         "size={mapped} aig_ands={} time={:.3}s queries={}",

@@ -239,6 +239,105 @@ fn lint_accepts_clean_files_and_rejects_dangling_nodes() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Chaos test: `learn-bb` against a scripted flaky black box that
+/// answers garbage once, hangs once and crashes once — the run must
+/// complete, recover through retries and respawns, and still emit a
+/// lint-clean circuit.
+#[test]
+fn learn_bb_survives_a_flaky_black_box() {
+    use cirlearn_telemetry::{json::Json, RunReport};
+
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let state = dir.join("state");
+    std::fs::create_dir_all(&state).expect("create state dir");
+    let script = dir.join("flaky.sh");
+    let learned = dir.join("learned.aag");
+    let report = dir.join("report.json");
+
+    // y = a XOR b. The query counter persists in the state dir across
+    // incarnations; each fault is marker-guarded so it fires exactly
+    // once in the whole run: a malformed answer at query 5, a hang at
+    // query 9 (the 1 s watchdog must fire long before the 5 s sleep
+    // ends), a crash at query 13.
+    std::fs::write(
+        &script,
+        r#"state=$1
+n=0
+[ -f "$state/count" ] && read n < "$state/count"
+while read line; do
+  n=$((n+1))
+  echo "$n" > "$state/count"
+  if [ "$n" -eq 5 ] && [ ! -e "$state/malformed" ]; then : > "$state/malformed"; echo zz; continue; fi
+  if [ "$n" -eq 9 ] && [ ! -e "$state/hang" ]; then : > "$state/hang"; sleep 5; fi
+  if [ "$n" -eq 13 ] && [ ! -e "$state/crash" ]; then : > "$state/crash"; exit 7; fi
+  case "$line" in
+    00*|11*) echo 0 ;;
+    *) echo 1 ;;
+  esac
+done
+"#,
+    )
+    .expect("write flaky black box");
+
+    let out = bin()
+        .args(["learn-bb", "--cmd", "sh", "--args"])
+        .arg(format!("{} {}", script.display(), state.display()))
+        .args([
+            "--inputs",
+            "a,b,n0,n1",
+            "--outputs",
+            "y",
+            "--budget",
+            "60",
+            "--oracle-timeout",
+            "1",
+            "--oracle-retries",
+            "4",
+            "--oracle-backoff",
+            "0.01",
+            "--report",
+        ])
+        .arg(&report)
+        .arg("-o")
+        .arg(&learned)
+        .output()
+        .expect("run learn-bb");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "learn-bb failed: {stderr}");
+
+    // Every scripted fault actually fired.
+    for marker in ["malformed", "hang", "crash"] {
+        assert!(
+            state.join(marker).exists(),
+            "fault {marker} never fired; the chaos run tested nothing"
+        );
+    }
+
+    // The run report records the recovery.
+    let text = std::fs::read_to_string(&report).expect("report file written");
+    let json = Json::parse(&text).expect("report is valid JSON");
+    let run = RunReport::from_json(&json).expect("report matches the schema");
+    assert!(run.faults.retries > 0, "retries must be recorded: {text}");
+    assert!(run.faults.respawns > 0, "respawns must be recorded: {text}");
+    assert!(run.faults.timeouts > 0, "the hang must register: {text}");
+    assert_eq!(
+        run.faults.degraded_outputs, 0,
+        "transient faults must be absorbed, not degraded: {text}"
+    );
+
+    // The learned circuit is still strict-lint clean.
+    let out = bin().arg("lint").arg(&learned).output().expect("run lint");
+    assert!(
+        out.status.success(),
+        "chaos-learned circuit failed lint: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn check_flag_rejects_unknown_levels() {
     let out = bin()

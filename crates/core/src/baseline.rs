@@ -20,7 +20,7 @@ use cirlearn_oracle::Oracle;
 use rand::rngs::StdRng;
 
 use crate::budget::Budget;
-use crate::learner::LearnResult;
+use crate::learner::{FaultSummary, LearnResult};
 use crate::sampling::{pattern_sampling, seeded_rng, SamplingConfig};
 use crate::{OutputStats, Strategy};
 
@@ -101,6 +101,8 @@ impl GreedyDtLearner {
             outputs: stats,
             elapsed: budget.elapsed(),
             queries: oracle.queries() - start_queries,
+            degraded: Vec::new(),
+            faults: FaultSummary::default(),
         }
     }
 
@@ -263,6 +265,8 @@ impl SampleSopLearner {
             outputs: stats,
             elapsed: budget.elapsed(),
             queries: oracle.queries() - start_queries,
+            degraded: Vec::new(),
+            faults: FaultSummary::default(),
         }
     }
 }

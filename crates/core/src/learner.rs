@@ -9,6 +9,7 @@ use cirlearn_telemetry::{counters, Level, OutputReport, Telemetry};
 
 use crate::budget::Budget;
 use crate::fbdt::{build_fbdt, learn_exhaustive, FbdtConfig, LearnedCover};
+use crate::guard::OracleGuard;
 use crate::naming::{group_names, Grouping};
 use crate::sampling::{seeded_rng, SamplingConfig};
 use crate::support::identify_support;
@@ -30,6 +31,10 @@ pub enum Strategy {
     /// Learned over a compressed input space after a hidden comparator
     /// was detected and delegated (paper §IV-B1, Fig. 3).
     CompressedFbdt,
+    /// Degraded to a baseline constant (majority-vote) circuit because
+    /// the oracle died permanently or the budget expired before this
+    /// output could be learned.
+    Degraded,
 }
 
 impl std::fmt::Display for Strategy {
@@ -40,8 +45,32 @@ impl std::fmt::Display for Strategy {
             Strategy::Exhaustive => "exhaustive",
             Strategy::Fbdt => "fbdt",
             Strategy::CompressedFbdt => "compressed-fbdt",
+            Strategy::Degraded => "degraded",
         };
         f.write_str(s)
+    }
+}
+
+/// Summary of oracle faults observed during a [`Learner::learn`] run.
+///
+/// Transient faults are absorbed inside the oracle stack (see
+/// [`ResilientOracle`](cirlearn_oracle::ResilientOracle)); what
+/// surfaces here is terminal: the oracle died beyond recovery, and the
+/// learner degraded the affected outputs instead of panicking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Fallback (constant-false) answers served after the oracle died.
+    pub fallback_answers: u64,
+    /// Outputs degraded to a baseline circuit.
+    pub degraded_outputs: u64,
+    /// Display form of the terminal oracle error, if one occurred.
+    pub oracle_error: Option<String>,
+}
+
+impl FaultSummary {
+    /// Whether the run saw any terminal fault.
+    pub fn any(&self) -> bool {
+        self.oracle_error.is_some() || self.degraded_outputs > 0
     }
 }
 
@@ -90,6 +119,11 @@ impl OutputStats {
 }
 
 /// The result of a [`Learner::learn`] run.
+///
+/// Always a *complete* circuit: one output per oracle output, even when
+/// the oracle died or the budget expired mid-run — affected outputs are
+/// listed in [`LearnResult::degraded`] and carry
+/// [`Strategy::Degraded`] in their stats.
 #[derive(Debug, Clone)]
 pub struct LearnResult {
     /// The learned circuit, with the oracle's port names.
@@ -100,6 +134,11 @@ pub struct LearnResult {
     pub elapsed: Duration,
     /// Total oracle queries spent.
     pub queries: u64,
+    /// Positions of outputs degraded to a baseline circuit, in output
+    /// order (empty for fault-free runs that finished in budget).
+    pub degraded: Vec<usize>,
+    /// Terminal-fault summary (all-default for clean runs).
+    pub faults: FaultSummary,
 }
 
 /// Configuration of the full pipeline.
@@ -220,12 +259,22 @@ impl Learner {
     /// output; on budget exhaustion the remaining outputs degrade to
     /// majority-vote approximations (the paper's early-stop behaviour)
     /// rather than being dropped.
+    ///
+    /// Queries flow through the oracle's *fallible* path
+    /// ([`Oracle::try_query`]). If the oracle dies beyond recovery the
+    /// learner does not panic: outputs whose learning overlapped the
+    /// failure degrade to a baseline constant circuit, the rest keep
+    /// whatever was validly learned before the fault, and
+    /// [`LearnResult::degraded`] / [`LearnResult::faults`] record what
+    /// happened.
     pub fn learn<O: Oracle + ?Sized>(&mut self, oracle: &mut O) -> LearnResult {
         let telemetry = self.telemetry.clone();
         // Count queries at the source: every query the pipeline issues
         // from here on lands on the `oracle.queries` counter and is
         // attributed to the stage span active when it was served.
-        let mut oracle = InstrumentedOracle::new(oracle, telemetry.clone());
+        // The guard outside routes them through the fallible path and
+        // latches the first terminal failure for per-output isolation.
+        let mut oracle = OracleGuard::new(InstrumentedOracle::new(oracle, telemetry.clone()));
         let budget = Budget::new(self.config.time_budget);
         let mut rng = seeded_rng(self.config.seed);
         let start_queries = oracle.queries();
@@ -242,6 +291,9 @@ impl Learner {
         let mut forced: Vec<usize> = vec![0; num_outputs];
         let mut out_elapsed: Vec<Duration> = vec![Duration::ZERO; num_outputs];
         let mut out_queries: Vec<u64> = vec![0; num_outputs];
+        // Observed truth bias per output, for the majority-vote
+        // fallback when an output has to degrade.
+        let mut truth_bias: Vec<Option<f64>> = vec![None; num_outputs];
 
         // Steps 1–2: name based grouping + template matching.
         let in_grouping = self
@@ -273,6 +325,17 @@ impl Learner {
             );
         }
         budget.checkpoint(&telemetry, "templates");
+        if oracle.failed() {
+            // The fault hit during the shared template stage: any match
+            // may have validated against fallback answers, so none can
+            // be trusted. Discard them all; every output degrades.
+            telemetry.event(
+                Level::Warn,
+                "oracle failed during template matching; discarding template matches",
+            );
+            edges.fill(None);
+            strategies.fill(None);
+        }
 
         // Steps 3–4 for the remaining outputs.
         let remaining: Vec<usize> = (0..num_outputs).filter(|&o| edges[o].is_none()).collect();
@@ -285,6 +348,15 @@ impl Learner {
             ),
         );
         for (k, &o) in remaining.iter().enumerate() {
+            if oracle.failed() || budget.exhausted() {
+                // Per-output isolation: a dead oracle answers constant
+                // fallbacks instantly, but learning from them would
+                // only launder junk into the circuit — and past the
+                // budget there is no time left to sample honestly.
+                // Leave the edge empty; it degrades to a baseline
+                // constant below.
+                continue;
+            }
             let out_start = Instant::now();
             let queries_before = oracle.queries();
             let info = {
@@ -292,6 +364,7 @@ impl Learner {
                 identify_support(&mut oracle, o, &self.config.support_sampling, &mut rng)
             };
             support_sizes[o] = info.support.len();
+            truth_bias[o] = Some(info.truth_ratio);
             telemetry.event(
                 Level::Debug,
                 &format!(
@@ -356,14 +429,43 @@ impl Learner {
                 let var_map = identity_var_map(&circuit);
                 self.cover_to_edge(&cover, &mut circuit, &var_map)
             };
-            edges[o] = Some(edge);
+            if oracle.failed() {
+                // The fault hit mid-output: the learned cover mixes
+                // real and fallback answers and cannot be trusted.
+                strategies[o] = None;
+            } else {
+                edges[o] = Some(edge);
+            }
             out_elapsed[o] = out_start.elapsed();
             out_queries[o] = oracle.queries() - queries_before;
         }
         budget.checkpoint(&telemetry, "learning");
 
+        // Graceful degradation: any output still without an edge (the
+        // oracle died, the budget expired, or its learned cover was
+        // discarded above) falls back to the majority-vote constant —
+        // the same baseline a budget-forced FBDT leaf uses — so the
+        // result is always a complete, valid circuit.
+        let mut degraded: Vec<usize> = Vec::new();
+        for o in 0..num_outputs {
+            if edges[o].is_none() {
+                let majority = truth_bias[o].is_some_and(|r| r >= 0.5);
+                edges[o] = Some(if majority { Edge::TRUE } else { Edge::FALSE });
+                strategies[o] = Some(Strategy::Degraded);
+                degraded.push(o);
+                telemetry.incr(counters::FAULT_DEGRADED_OUTPUTS);
+                telemetry.event(
+                    Level::Warn,
+                    &format!(
+                        "output {o} ({}) degraded to constant {}",
+                        output_names[o], majority
+                    ),
+                );
+            }
+        }
+
         for (o, name) in output_names.iter().enumerate() {
-            circuit.add_output(edges[o].expect("every output is learned"), name.clone());
+            circuit.add_output(edges[o].unwrap_or(Edge::FALSE), name.clone());
         }
         let mut circuit = circuit.cleanup();
         let gates_before_opt: Vec<usize> = (0..num_outputs)
@@ -391,7 +493,7 @@ impl Learner {
             .map(|o| OutputStats {
                 output: o,
                 name: output_names[o].clone(),
-                strategy: strategies[o].expect("strategy recorded"),
+                strategy: strategies[o].unwrap_or(Strategy::Degraded),
                 support_size: support_sizes[o],
                 forced_leaves: forced[o],
                 elapsed: out_elapsed[o],
@@ -401,11 +503,27 @@ impl Learner {
             })
             .collect();
         telemetry.set_outputs(outputs.iter().map(OutputStats::to_report).collect());
+        if let Some(e) = oracle.failure() {
+            telemetry.event(
+                Level::Error,
+                &format!(
+                    "oracle died beyond recovery ({e}); {} of {num_outputs} outputs degraded",
+                    degraded.len()
+                ),
+            );
+        }
+        let faults = FaultSummary {
+            fallback_answers: oracle.fallback_answers(),
+            degraded_outputs: degraded.len() as u64,
+            oracle_error: oracle.failure().map(|e| e.to_string()),
+        };
         LearnResult {
             circuit,
             outputs,
             elapsed: budget.elapsed(),
             queries: oracle.queries() - start_queries,
+            degraded,
+            faults,
         }
     }
 
@@ -718,6 +836,91 @@ mod tests {
                 .collect::<Vec<_>>()
         );
         assert!(result.queries > 0);
+    }
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+    use cirlearn_oracle::{generate, FaultKind, FaultSchedule, FaultyOracle};
+
+    #[test]
+    fn clean_run_reports_no_faults() {
+        let mut oracle = generate::eco_case(12, 3, 11);
+        let result = Learner::new(LearnerConfig::fast()).learn(&mut oracle);
+        assert!(result.degraded.is_empty());
+        assert!(!result.faults.any());
+        assert_eq!(result.faults.fallback_answers, 0);
+        assert!(result.faults.oracle_error.is_none());
+    }
+
+    #[test]
+    fn permanent_oracle_death_degrades_instead_of_panicking() {
+        // The oracle crashes early and is never respawned: every answer
+        // after the crash is a fallback. The learner must still return
+        // a complete circuit, with the affected outputs degraded.
+        let schedule = FaultSchedule::new().at(40, FaultKind::Crash);
+        let mut oracle = FaultyOracle::new(generate::eco_case(14, 3, 23), schedule);
+        let mut cfg = LearnerConfig::fast();
+        cfg.preprocessing = false;
+        let result = Learner::new(cfg).learn(&mut oracle);
+        assert_eq!(result.circuit.num_outputs(), 3, "circuit stays complete");
+        assert!(!result.degraded.is_empty(), "crash must degrade outputs");
+        assert!(result.faults.any());
+        assert_eq!(result.faults.degraded_outputs, result.degraded.len() as u64);
+        assert!(result
+            .faults
+            .oracle_error
+            .as_deref()
+            .is_some_and(|e| e.contains("died")));
+        for &o in &result.degraded {
+            assert_eq!(result.outputs[o].strategy, Strategy::Degraded);
+        }
+        // Degraded constants still lint: every output edge resolves.
+        assert!(result.circuit.cleanup().num_outputs() == 3);
+    }
+
+    #[test]
+    fn death_during_templates_degrades_every_output() {
+        // A fault inside the shared template stage poisons all matches.
+        let schedule = FaultSchedule::new().at(5, FaultKind::Crash);
+        let mut oracle = FaultyOracle::new(generate::diag_case(16, 2, 9), schedule);
+        let result = Learner::new(LearnerConfig::fast()).learn(&mut oracle);
+        assert_eq!(result.degraded, vec![0, 1]);
+        assert!(result
+            .outputs
+            .iter()
+            .all(|s| s.strategy == Strategy::Degraded));
+        assert!(result.faults.fallback_answers > 0);
+    }
+
+    #[test]
+    fn zero_time_budget_degrades_gracefully() {
+        let mut oracle = generate::eco_case(12, 4, 31);
+        let mut cfg = LearnerConfig::fast();
+        cfg.preprocessing = false;
+        cfg.time_budget = Duration::ZERO;
+        let result = Learner::new(cfg).learn(&mut oracle);
+        assert_eq!(result.circuit.num_outputs(), 4);
+        assert_eq!(result.degraded, vec![0, 1, 2, 3]);
+        // Budget expiry is degradation without an oracle fault.
+        assert!(result.faults.oracle_error.is_none());
+        assert!(result.faults.any());
+    }
+
+    #[test]
+    fn telemetry_counts_degraded_outputs() {
+        let schedule = FaultSchedule::new().at(0, FaultKind::Crash);
+        let mut oracle = FaultyOracle::new(generate::eco_case(10, 2, 7), schedule);
+        let telemetry = Telemetry::recording();
+        let mut learner = Learner::with_telemetry(LearnerConfig::fast(), telemetry.clone());
+        let result = learner.learn(&mut oracle);
+        assert_eq!(
+            telemetry.counter(counters::FAULT_DEGRADED_OUTPUTS),
+            result.degraded.len() as u64
+        );
+        let report = telemetry.report();
+        assert_eq!(report.faults.degraded_outputs, result.degraded.len() as u64);
     }
 }
 

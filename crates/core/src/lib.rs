@@ -46,6 +46,7 @@ pub mod baseline;
 mod budget;
 pub mod compress;
 pub mod fbdt;
+mod guard;
 mod learner;
 pub mod naming;
 pub mod sampling;
@@ -53,4 +54,5 @@ pub mod support;
 pub mod template;
 
 pub use budget::Budget;
-pub use learner::{LearnResult, Learner, LearnerConfig, OutputStats, Strategy};
+pub use guard::OracleGuard;
+pub use learner::{FaultSummary, LearnResult, Learner, LearnerConfig, OutputStats, Strategy};

@@ -1,0 +1,305 @@
+//! Deterministic fault injection for chaos-testing the learning
+//! pipeline.
+//!
+//! [`FaultyOracle`] wraps any [`Oracle`] and injects faults according
+//! to a [`FaultSchedule`]: crash-after-N, hangs (surfaced as watchdog
+//! timeouts), malformed answers, and silent bit flips. Schedules are
+//! either written out explicitly or generated from a seed, so a chaos
+//! run is exactly reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use cirlearn_logic::Assignment;
+//! use cirlearn_oracle::{generate, FaultKind, FaultSchedule, FaultyOracle, Oracle};
+//!
+//! let schedule = FaultSchedule::new().at(1, FaultKind::Malformed);
+//! let mut oracle = FaultyOracle::new(generate::eco_case(8, 1, 3), schedule);
+//! assert!(oracle.try_query(&Assignment::zeros(8)).is_ok()); // slot 0
+//! assert!(oracle.try_query(&Assignment::zeros(8)).is_err()); // slot 1: injected
+//! assert!(oracle.try_query(&Assignment::zeros(8)).is_ok()); // slot 2
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use cirlearn_logic::Assignment;
+
+use crate::oracle::{Oracle, OracleError};
+use crate::resilient::Respawn;
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The black box dies: this and every later query fails with
+    /// [`OracleError::Died`] until the oracle is respawned.
+    Crash,
+    /// The black box hangs on this query; surfaced as the watchdog
+    /// deadline firing ([`OracleError::Timeout`]).
+    Hang,
+    /// The black box answers garbage ([`OracleError::Malformed`]).
+    Malformed,
+    /// The black box answers, but with one output bit silently flipped
+    /// — no error is raised; this models undetectable corruption.
+    BitFlip,
+}
+
+/// A deterministic schedule mapping query slots to injected faults.
+///
+/// Slots count every [`Oracle::try_query`] call served by the
+/// [`FaultyOracle`] (including calls that fault), so a schedule reads
+/// as "the N-th query the learner issues misbehaves".
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn new() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// Injects `kind` at query slot `slot` (builder style).
+    #[must_use]
+    pub fn at(mut self, slot: u64, kind: FaultKind) -> Self {
+        self.faults.insert(slot, kind);
+        self
+    }
+
+    /// A seeded random schedule: about `count` faults spread uniformly
+    /// over the first `horizon` query slots, with kinds drawn from
+    /// `kinds`. Identical seeds produce identical schedules.
+    pub fn random(seed: u64, horizon: u64, count: usize, kinds: &[FaultKind]) -> Self {
+        let mut schedule = FaultSchedule::new();
+        if horizon == 0 || kinds.is_empty() {
+            return schedule;
+        }
+        let mut state = seed ^ 0x5EED_FA17;
+        let mut next = move || {
+            // SplitMix64 step, same mixer the retry jitter uses.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for _ in 0..count {
+            let slot = next() % horizon;
+            let kind = kinds[(next() % kinds.len() as u64) as usize];
+            schedule.faults.insert(slot, kind);
+        }
+        schedule
+    }
+
+    /// The number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// Counts of faults actually injected, by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedFaults {
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Hangs (timeouts) injected.
+    pub hangs: u64,
+    /// Malformed answers injected.
+    pub malformed: u64,
+    /// Silent bit flips injected.
+    pub bit_flips: u64,
+}
+
+/// An oracle wrapper that injects faults from a [`FaultSchedule`].
+///
+/// After an injected [`FaultKind::Crash`] the oracle stays dead —
+/// every query errors — until [`Respawn::respawn`] is called, which
+/// revives it (and respawns the inner oracle, if it needs that too).
+#[derive(Debug)]
+pub struct FaultyOracle<O> {
+    inner: O,
+    schedule: FaultSchedule,
+    served: u64,
+    crashed: bool,
+    injected: InjectedFaults,
+}
+
+impl<O: Oracle> FaultyOracle<O> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: O, schedule: FaultSchedule) -> Self {
+        FaultyOracle {
+            inner,
+            schedule,
+            served: 0,
+            crashed: false,
+            injected: InjectedFaults::default(),
+        }
+    }
+
+    /// Counts of faults injected so far, by kind.
+    pub fn injected(&self) -> InjectedFaults {
+        self.injected
+    }
+
+    /// Whether the oracle is currently crashed (awaiting respawn).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The wrapped oracle.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    fn serve(&mut self, input: &Assignment) -> Result<Vec<bool>, OracleError> {
+        if self.crashed {
+            return Err(OracleError::Died(
+                "injected crash: black box is down until respawn".into(),
+            ));
+        }
+        let slot = self.served;
+        self.served += 1;
+        match self.schedule.faults.get(&slot).copied() {
+            None => self.inner.try_query(input),
+            Some(FaultKind::Crash) => {
+                self.crashed = true;
+                self.injected.crashes += 1;
+                Err(OracleError::Died(format!(
+                    "injected crash at query slot {slot}"
+                )))
+            }
+            Some(FaultKind::Hang) => {
+                self.injected.hangs += 1;
+                Err(OracleError::Timeout(Duration::from_secs(0)))
+            }
+            Some(FaultKind::Malformed) => {
+                self.injected.malformed += 1;
+                Err(OracleError::Malformed(format!(
+                    "injected garbage at query slot {slot}"
+                )))
+            }
+            Some(FaultKind::BitFlip) => {
+                let mut bits = self.inner.try_query(input)?;
+                if !bits.is_empty() {
+                    let victim = (slot % bits.len() as u64) as usize;
+                    bits[victim] = !bits[victim];
+                }
+                self.injected.bit_flips += 1;
+                Ok(bits)
+            }
+        }
+    }
+}
+
+impl<O: Oracle> Oracle for FaultyOracle<O> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn input_names(&self) -> &[String] {
+        self.inner.input_names()
+    }
+
+    fn output_names(&self) -> &[String] {
+        self.inner.output_names()
+    }
+
+    /// # Panics
+    ///
+    /// Panics on injected faults; chaos tests should drive the fallible
+    /// [`Oracle::try_query`] path (directly or via a
+    /// [`ResilientOracle`](crate::ResilientOracle)).
+    fn query(&mut self, input: &Assignment) -> Vec<bool> {
+        self.serve(input)
+            .unwrap_or_else(|e| panic!("injected fault was not handled: {e}"))
+    }
+
+    fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, OracleError> {
+        self.serve(input)
+    }
+
+    fn queries(&self) -> u64 {
+        self.inner.queries()
+    }
+}
+
+impl<O: Oracle + Respawn> Respawn for FaultyOracle<O> {
+    /// Revives an injected crash and respawns the inner oracle.
+    fn respawn(&mut self) -> Result<(), OracleError> {
+        self.crashed = false;
+        self.inner.respawn()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn crash_is_sticky_until_respawn() {
+        let schedule = FaultSchedule::new().at(1, FaultKind::Crash);
+        let mut o = FaultyOracle::new(generate::eco_case(8, 1, 9), schedule);
+        let z = Assignment::zeros(8);
+        assert!(o.try_query(&z).is_ok());
+        assert!(matches!(o.try_query(&z), Err(OracleError::Died(_))));
+        assert!(o.is_crashed());
+        assert!(matches!(o.try_query(&z), Err(OracleError::Died(_))));
+        o.respawn().expect("circuit oracle respawn is a no-op");
+        assert!(!o.is_crashed());
+        assert!(o.try_query(&z).is_ok());
+        assert_eq!(o.injected().crashes, 1);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_silently() {
+        let schedule = FaultSchedule::new().at(0, FaultKind::BitFlip);
+        let inner = generate::eco_case(8, 1, 9);
+        let mut clean = generate::eco_case(8, 1, 9);
+        let mut o = FaultyOracle::new(inner, schedule);
+        let z = Assignment::zeros(8);
+        let corrupted = o.try_query(&z).expect("bit flips are silent");
+        let truth = clean.try_query(&z).expect("in-process");
+        assert_ne!(corrupted, truth, "exactly one bit must differ");
+        // Subsequent queries are clean again.
+        assert_eq!(o.try_query(&z).expect("clean"), truth);
+        assert_eq!(o.injected().bit_flips, 1);
+    }
+
+    #[test]
+    fn seeded_schedules_reproduce() {
+        let kinds = [FaultKind::Hang, FaultKind::Malformed, FaultKind::BitFlip];
+        let a = FaultSchedule::random(99, 1000, 10, &kinds);
+        let b = FaultSchedule::random(99, 1000, 10, &kinds);
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.is_empty());
+        assert!(a.len() <= 10);
+        let c = FaultSchedule::random(100, 1000, 10, &kinds);
+        assert_ne!(a.faults, c.faults, "different seeds should differ");
+    }
+
+    #[test]
+    fn fault_slots_count_faulted_queries_too() {
+        let schedule = FaultSchedule::new()
+            .at(0, FaultKind::Malformed)
+            .at(1, FaultKind::Malformed);
+        let mut o = FaultyOracle::new(generate::eco_case(8, 1, 9), schedule);
+        let z = Assignment::zeros(8);
+        assert!(o.try_query(&z).is_err());
+        assert!(o.try_query(&z).is_err());
+        assert!(o.try_query(&z).is_ok());
+        assert_eq!(o.injected().malformed, 2);
+        // Underlying query accounting only counts served queries.
+        assert_eq!(o.queries(), 1);
+    }
+}

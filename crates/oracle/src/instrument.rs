@@ -83,6 +83,24 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
         self.inner.query_batch(inputs)
     }
 
+    fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, crate::oracle::OracleError> {
+        // Counted only on success, matching the inner oracle's own
+        // accounting (a faulted query served no answer).
+        let out = self.inner.try_query(input)?;
+        self.telemetry.incr(counters::ORACLE_QUERIES);
+        Ok(out)
+    }
+
+    fn try_query_batch(
+        &mut self,
+        inputs: &[Assignment],
+    ) -> Result<Vec<Vec<bool>>, crate::oracle::OracleError> {
+        let out = self.inner.try_query_batch(inputs)?;
+        self.telemetry
+            .add(counters::ORACLE_QUERIES, out.len() as u64);
+        Ok(out)
+    }
+
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
@@ -111,6 +129,17 @@ impl<O: Oracle + ?Sized> Oracle for &mut O {
 
     fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
         (**self).query_batch(inputs)
+    }
+
+    fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, crate::oracle::OracleError> {
+        (**self).try_query(input)
+    }
+
+    fn try_query_batch(
+        &mut self,
+        inputs: &[Assignment],
+    ) -> Result<Vec<Vec<bool>>, crate::oracle::OracleError> {
+        (**self).try_query_batch(inputs)
     }
 
     fn queries(&self) -> u64 {

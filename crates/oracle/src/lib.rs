@@ -15,7 +15,11 @@
 //! * [`suite`] — the 20-case roster mirroring the paper's Table II
 //!   (category, #PI, #PO per case),
 //! * [`eval`] — the contest accuracy metric: exact-match hit rate over
-//!   a three-way mix of biased and uniform random patterns.
+//!   a three-way mix of biased and uniform random patterns,
+//! * [`ResilientOracle`] — fault tolerance (retry/backoff/timeout/
+//!   respawn with replay-consistency probing) around any oracle,
+//! * [`FaultyOracle`] — deterministic chaos injection (crash, hang,
+//!   malformed answer, silent bit flip) for testing the above.
 //!
 //! # Examples
 //!
@@ -34,15 +38,19 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+mod faulty;
 pub mod generate;
 mod instrument;
 mod oracle;
 mod process;
+mod resilient;
 pub mod suite;
 
 pub use eval::{evaluate_accuracy, Accuracy, EvalConfig};
+pub use faulty::{FaultKind, FaultSchedule, FaultyOracle, InjectedFaults};
 pub use generate::Category;
 pub use instrument::InstrumentedOracle;
-pub use oracle::{CircuitOracle, Oracle};
+pub use oracle::{CircuitOracle, Oracle, OracleError};
 pub use process::{ProcessOracle, ProcessOracleError};
+pub use resilient::{FaultStats, ResilientOracle, Respawn, RetryPolicy};
 pub use suite::{contest_suite, ContestCase};

@@ -1,7 +1,96 @@
 //! The black-box query interface.
 
+use std::time::Duration;
+
 use cirlearn_aig::Aig;
 use cirlearn_logic::Assignment;
+
+/// A fault observed while serving an oracle query.
+///
+/// The contest's black boxes are opaque external programs, so every
+/// failure mode of an external process is a failure mode of a query:
+/// broken pipes, hangs, garbage answers, outright crashes. The fallible
+/// path ([`Oracle::try_query`]) surfaces them as values; the infallible
+/// [`Oracle::query`] is reserved for oracles that cannot fault (or
+/// callers that accept a panic).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// An I/O error while talking to the black box.
+    Io(std::io::Error),
+    /// The watchdog read deadline expired before an answer arrived.
+    ///
+    /// After a timeout the answer stream is out of sync with the query
+    /// stream (a late answer could be mistaken for the next query's),
+    /// so the transport must be respawned before further queries.
+    Timeout(Duration),
+    /// The black box answered, but not with `num_outputs` bits of 0/1.
+    Malformed(String),
+    /// The black box terminated (EOF on its answer stream or a dead
+    /// child process).
+    Died(String),
+    /// All retries were spent without a good answer; the wrapped error
+    /// is the last failure observed.
+    Exhausted(Box<OracleError>),
+    /// A respawned black box answered a replay probe differently than
+    /// the original incarnation — it is not the same function, so
+    /// learned results would silently mix two different oracles.
+    Inconsistent(String),
+    /// The oracle cannot be respawned (it has no recovery mechanism).
+    RespawnUnsupported,
+}
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OracleError::Io(e) => write!(f, "oracle I/O error: {e}"),
+            OracleError::Timeout(d) => {
+                write!(f, "oracle answer timed out after {:.3}s", d.as_secs_f64())
+            }
+            OracleError::Malformed(l) => write!(f, "malformed oracle answer: {l:?}"),
+            OracleError::Died(why) => write!(f, "oracle died: {why}"),
+            OracleError::Exhausted(last) => write!(f, "oracle retries exhausted; last: {last}"),
+            OracleError::Inconsistent(why) => {
+                write!(f, "respawned oracle is inconsistent: {why}")
+            }
+            OracleError::RespawnUnsupported => f.write_str("oracle cannot be respawned"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OracleError::Io(e) => Some(e),
+            OracleError::Exhausted(last) => Some(last),
+            _ => None,
+        }
+    }
+}
+
+impl OracleError {
+    /// Whether retrying the same query on the same transport can
+    /// succeed. Timeouts and deaths need a respawn first; malformed
+    /// answers and I/O hiccups may be transient.
+    pub fn needs_respawn(&self) -> bool {
+        match self {
+            OracleError::Timeout(_) | OracleError::Died(_) | OracleError::Io(_) => true,
+            OracleError::Malformed(_) => false,
+            OracleError::Exhausted(last) => last.needs_respawn(),
+            OracleError::Inconsistent(_) | OracleError::RespawnUnsupported => false,
+        }
+    }
+
+    /// Whether this error is terminal: no retry or respawn can help.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            OracleError::Exhausted(_)
+                | OracleError::Inconsistent(_)
+                | OracleError::RespawnUnsupported
+        )
+    }
+}
 
 /// A black-box input-output relation generator.
 ///
@@ -39,6 +128,25 @@ pub trait Oracle {
     /// implementations with bit-parallel evaluators should override it.
     fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
         inputs.iter().map(|a| self.query(a)).collect()
+    }
+
+    /// Fallibly evaluates the hidden function on one full assignment.
+    ///
+    /// The default delegates to the infallible [`Oracle::query`]
+    /// (in-process oracles cannot fault); oracles backed by external
+    /// transports override it to surface faults as [`OracleError`]s
+    /// instead of panicking.
+    fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, OracleError> {
+        Ok(self.query(input))
+    }
+
+    /// Fallibly evaluates a batch, stopping at the first fault.
+    ///
+    /// Answers already obtained are discarded on error; callers that
+    /// want partial progress should loop [`Oracle::try_query`]
+    /// themselves.
+    fn try_query_batch(&mut self, inputs: &[Assignment]) -> Result<Vec<Vec<bool>>, OracleError> {
+        inputs.iter().map(|a| self.try_query(a)).collect()
     }
 
     /// Number of single-pattern queries served so far (batches count
@@ -133,6 +241,12 @@ impl Oracle for CircuitOracle {
     fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
         self.queries += inputs.len() as u64;
         self.circuit.eval_batch(inputs)
+    }
+
+    fn try_query_batch(&mut self, inputs: &[Assignment]) -> Result<Vec<Vec<bool>>, OracleError> {
+        // In-process evaluation cannot fault; keep the bit-parallel
+        // batch path instead of the default per-pattern loop.
+        Ok(self.query_batch(inputs))
     }
 
     fn queries(&self) -> u64 {

@@ -32,7 +32,8 @@ mod reporter;
 mod telemetry;
 
 pub use crate::report::{
-    CheckpointReport, OutputReport, PassReport, RunReport, StageReport, SCHEMA_VERSION,
+    CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport, StageReport,
+    SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
 pub use crate::telemetry::{counters, Span, Telemetry};

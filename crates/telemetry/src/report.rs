@@ -29,7 +29,9 @@
 //!                  "strategy": "fbdt", "support": <u64>,
 //!                  "forced_leaves": <u64>, "queries": <u64>,
 //!                  "elapsed_s": <f64>, "gates_before_opt": <u64>,
-//!                  "gates_after_opt": <u64> } ]
+//!                  "gates_after_opt": <u64> } ],
+//!   "faults": { "retries": <u64>, "timeouts": <u64>,
+//!               "respawns": <u64>, "degraded_outputs": <u64> }
 //! }
 //! ```
 //!
@@ -116,6 +118,43 @@ pub struct OutputReport {
     pub gates_after_opt: u64,
 }
 
+/// Fault-tolerance summary of one run.
+///
+/// Mirrors the `faults.*` counters (see `counters` in this crate):
+/// the counts also appear in the flat counter map, but the dedicated
+/// section keeps dashboards and CI assertions independent of counter
+/// naming. Reports written before the fault-tolerance subsystem lack
+/// the section; parsing tolerates its absence (all zeros).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultsReport {
+    /// Queries retried after a transient oracle fault.
+    pub retries: u64,
+    /// Queries that hit the watchdog read deadline.
+    pub timeouts: u64,
+    /// Black-box processes respawned after a fatal fault.
+    pub respawns: u64,
+    /// Outputs degraded to a baseline circuit.
+    pub degraded_outputs: u64,
+}
+
+impl FaultsReport {
+    /// Whether any fault was observed.
+    pub fn any(&self) -> bool {
+        self.retries > 0 || self.timeouts > 0 || self.respawns > 0 || self.degraded_outputs > 0
+    }
+
+    /// Derives the summary from a counter map.
+    pub fn from_counters(counters: &BTreeMap<String, u64>) -> Self {
+        let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+        FaultsReport {
+            retries: get(crate::counters::FAULT_RETRIES),
+            timeouts: get(crate::counters::FAULT_TIMEOUTS),
+            respawns: get(crate::counters::FAULT_RESPAWNS),
+            degraded_outputs: get(crate::counters::FAULT_DEGRADED_OUTPUTS),
+        }
+    }
+}
+
 /// A full run snapshot; see the `report` module docs for the schema.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -133,6 +172,8 @@ pub struct RunReport {
     pub checkpoints: Vec<CheckpointReport>,
     /// Per-output records, in output order.
     pub outputs: Vec<OutputReport>,
+    /// Fault-tolerance summary (all zeros for fault-free runs).
+    pub faults: FaultsReport,
 }
 
 impl RunReport {
@@ -259,6 +300,15 @@ impl RunReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "faults",
+                Json::object([
+                    ("retries", Json::from(self.faults.retries)),
+                    ("timeouts", Json::from(self.faults.timeouts)),
+                    ("respawns", Json::from(self.faults.respawns)),
+                    ("degraded_outputs", Json::from(self.faults.degraded_outputs)),
+                ]),
             ),
         ])
     }
@@ -405,6 +455,18 @@ impl RunReport {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        // Absent in reports written before the fault-tolerance
+        // subsystem existed; treat as all-zero rather than rejecting.
+        let faults = match json.get("faults") {
+            None | Some(Json::Null) => FaultsReport::default(),
+            Some(f) => FaultsReport {
+                retries: u64_of(f.get("retries"), "faults.retries")?,
+                timeouts: u64_of(f.get("timeouts"), "faults.timeouts")?,
+                respawns: u64_of(f.get("respawns"), "faults.respawns")?,
+                degraded_outputs: u64_of(f.get("degraded_outputs"), "faults.degraded_outputs")?,
+            },
+        };
+
         Ok(RunReport {
             meta,
             elapsed,
@@ -413,6 +475,7 @@ impl RunReport {
             passes,
             checkpoints,
             outputs,
+            faults,
         })
     }
 
@@ -511,6 +574,12 @@ mod tests {
                 gates_before_opt: 80,
                 gates_after_opt: 44,
             }],
+            faults: FaultsReport {
+                retries: 3,
+                timeouts: 1,
+                respawns: 2,
+                degraded_outputs: 1,
+            },
         }
     }
 
@@ -551,6 +620,32 @@ mod tests {
         }
         let back = RunReport::from_json(&json).expect("tolerant schema");
         assert_eq!(back.passes[0].verify_elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_faults_section() {
+        // Reports from before the fault-tolerance subsystem lack
+        // "faults"; they must still parse, defaulting to all zeros.
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "faults");
+        }
+        let back = RunReport::from_json(&json).expect("tolerant schema");
+        assert_eq!(back.faults, FaultsReport::default());
+        assert!(!back.faults.any());
+    }
+
+    #[test]
+    fn faults_derive_from_counters() {
+        let counters = BTreeMap::from([
+            (crate::counters::FAULT_RETRIES.to_owned(), 5),
+            (crate::counters::FAULT_RESPAWNS.to_owned(), 2),
+        ]);
+        let faults = FaultsReport::from_counters(&counters);
+        assert_eq!(faults.retries, 5);
+        assert_eq!(faults.respawns, 2);
+        assert_eq!(faults.timeouts, 0);
+        assert!(faults.any());
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub mod counters {
     pub const VERIFY_WITNESSES: &str = "verify.witnesses";
     /// Pass results rejected (rolled back) by the harness.
     pub const VERIFY_REJECTED_PASSES: &str = "verify.rejected_passes";
+    /// Oracle queries retried after a transient fault.
+    pub const FAULT_RETRIES: &str = "faults.retries";
+    /// Oracle queries that hit the watchdog read deadline.
+    pub const FAULT_TIMEOUTS: &str = "faults.timeouts";
+    /// Black-box processes respawned after a fatal fault.
+    pub const FAULT_RESPAWNS: &str = "faults.respawns";
+    /// Outputs degraded to a baseline circuit after the oracle died or
+    /// the budget expired mid-output.
+    pub const FAULT_DEGRADED_OUTPUTS: &str = "faults.degraded_outputs";
 }
 
 struct ActiveSpan {
@@ -348,6 +357,7 @@ impl Telemetry {
             Some(inner) => RunReport {
                 meta: inner.meta.clone(),
                 elapsed: inner.start.elapsed(),
+                faults: crate::report::FaultsReport::from_counters(&inner.counters),
                 counters: inner.counters.clone(),
                 stages: inner.stages.values().cloned().collect(),
                 passes: inner.passes.clone(),

@@ -1,0 +1,172 @@
+//! Property-based tests over [`RetryPolicy`]'s backoff arithmetic: no
+//! parameter combination may overflow a `Duration`, jitter stays inside
+//! its declared bounds, and no retry is ever scheduled past the
+//! remaining budget.
+
+use std::time::Duration;
+
+use cirlearn::Budget;
+use cirlearn_oracle::RetryPolicy;
+use proptest::prelude::*;
+
+/// Maps a selector word to a backoff factor, covering sensible values
+/// and the hostile ones (negative, non-finite) the policy must clamp.
+fn factor_of(sel: u32) -> f64 {
+    match sel % 8 {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => f64::NAN,
+        3 => -3.5,
+        4 => 0.0,
+        _ => (sel % 1000) as f64 / 10.0,
+    }
+}
+
+/// Maps a selector word to a jitter fraction, including out-of-range
+/// and non-finite values.
+fn jitter_of(sel: u32) -> f64 {
+    match sel % 8 {
+        0 => f64::NAN,
+        1 => -0.5,
+        2 => 1.5,
+        _ => (sel % 1001) as f64 / 1000.0,
+    }
+}
+
+/// Strategy: an arbitrary (possibly absurd) retry policy. Durations
+/// span from zero to ~11 days; factor and jitter include out-of-range
+/// and non-finite values.
+fn policy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        (
+            any::<u32>(),
+            0u64..1_000_000_000_000,
+            any::<u32>(),
+            0u64..1_000_000_000_000,
+        ),
+        (any::<u32>(), any::<bool>(), any::<u64>()),
+    )
+        .prop_map(
+            |((max_retries, base_us, factor_sel, cap_us), (jitter_sel, respawn, seed))| {
+                RetryPolicy {
+                    max_retries,
+                    backoff_base: Duration::from_micros(base_us),
+                    backoff_factor: factor_of(factor_sel),
+                    backoff_cap: Duration::from_micros(cap_us),
+                    jitter: jitter_of(jitter_sel),
+                    respawn,
+                    seed,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backoff_never_panics_and_respects_the_cap(p in policy(), attempt in any::<u32>()) {
+        let b = p.backoff(attempt);
+        // Saturating arithmetic: whatever the parameters, the result is
+        // a valid Duration no larger than the cap (modulo the f64
+        // round-trip through seconds).
+        prop_assert!(b.as_secs_f64() <= p.backoff_cap.as_secs_f64() * (1.0 + 1e-9) + 1e-9);
+    }
+
+    #[test]
+    fn jittered_backoff_never_panics(
+        p in policy(),
+        attempt in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        let _ = p.backoff_with_jitter(attempt, salt);
+    }
+
+    #[test]
+    fn jitter_stays_inside_declared_bounds(
+        base_ms in 1u64..10_000,
+        factor_tenths in 10u32..80,
+        jitter_thousandths in 0u32..=1000,
+        attempt in 0u32..24,
+        salt in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let jitter = jitter_thousandths as f64 / 1000.0;
+        let p = RetryPolicy {
+            backoff_base: Duration::from_millis(base_ms),
+            backoff_factor: factor_tenths as f64 / 10.0,
+            backoff_cap: Duration::from_secs(3600),
+            jitter,
+            seed,
+            ..RetryPolicy::default()
+        };
+        let plain = p.backoff(attempt).as_secs_f64();
+        let jittered = p.backoff_with_jitter(attempt, salt).as_secs_f64();
+        prop_assert!(
+            jittered >= plain * (1.0 - jitter) - 1e-9,
+            "below the jitter band: {} < {} * (1 - {})", jittered, plain, jitter
+        );
+        prop_assert!(
+            jittered <= plain * (1.0 + jitter) + 1e-9,
+            "above the jitter band: {} > {} * (1 + {})", jittered, plain, jitter
+        );
+    }
+
+    #[test]
+    fn jitter_is_deterministic_in_seed_salt_attempt(
+        p in policy(),
+        attempt in any::<u32>(),
+        salt in any::<u64>(),
+    ) {
+        prop_assert_eq!(
+            p.backoff_with_jitter(attempt, salt),
+            p.backoff_with_jitter(attempt, salt)
+        );
+    }
+
+    #[test]
+    fn no_retry_is_scheduled_past_the_remaining_deadline(
+        p in policy(),
+        attempt in any::<u32>(),
+        salt in any::<u64>(),
+        remaining_us in 0u64..1_000_000_000_000,
+    ) {
+        let remaining = Duration::from_micros(remaining_us);
+        match p.delay_within(attempt, salt, Some(remaining)) {
+            // A scheduled delay always completes before the deadline.
+            Some(d) => prop_assert!(d < remaining, "{:?} >= {:?}", d, remaining),
+            // Refusal is only allowed when the delay really would land
+            // past the deadline.
+            None => prop_assert!(p.backoff_with_jitter(attempt, salt) >= remaining),
+        }
+        // Without a deadline every delay is schedulable.
+        prop_assert!(p.delay_within(attempt, salt, None).is_some());
+    }
+
+    #[test]
+    fn delays_fit_inside_a_live_budget(
+        attempt in 0u32..16,
+        salt in any::<u64>(),
+        budget_ms in 1u64..5_000,
+    ) {
+        // The learner's wall-clock budget maps to the oracle deadline:
+        // whatever the budget has left bounds any scheduled delay.
+        let budget = Budget::new(Duration::from_millis(budget_ms));
+        let p = RetryPolicy::default();
+        if let Some(d) = p.delay_within(attempt, salt, Some(budget.remaining())) {
+            prop_assert!(d <= Duration::from_millis(budget_ms));
+        }
+    }
+}
+
+/// Zero-jitter policies retry on an exactly reproducible schedule.
+#[test]
+fn zero_jitter_schedule_is_the_plain_backoff() {
+    let p = RetryPolicy {
+        jitter: 0.0,
+        ..RetryPolicy::default()
+    };
+    for attempt in 0..10 {
+        assert_eq!(p.backoff_with_jitter(attempt, 99), p.backoff(attempt));
+    }
+}
