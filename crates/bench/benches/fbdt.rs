@@ -9,6 +9,7 @@ use cirlearn::sampling::seeded_rng;
 use cirlearn::support::identify_support;
 use cirlearn::{Budget, LearnerConfig};
 use cirlearn_oracle::generate;
+use cirlearn_telemetry::Telemetry;
 
 fn bench_fbdt_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("fbdt_build");
@@ -32,6 +33,7 @@ fn bench_fbdt_build(c: &mut Criterion) {
                         &FbdtConfig::fast(),
                         &Budget::unlimited(),
                         &mut rng,
+                        &Telemetry::disabled(),
                     );
                     black_box((cover.sop.cubes().len(), stats.splits))
                 });

@@ -11,23 +11,41 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cirlearn-bench --bin ablation [--full] [--verbose]
+//! cargo run --release -p cirlearn-bench --bin ablation \
+//!     [--full] [--verbose] [--report <path>]
 //! ```
 //!
 //! `--verbose` narrates each run through the telemetry reporter and
 //! prints a per-stage wall-clock / oracle-query breakdown, which makes
 //! the "time increases without preprocessing" effect attributable to a
 //! concrete stage (FBDT construction) instead of a single total.
+//! `--report <path>` writes every run's telemetry report (meta
+//! including the preprocessing toggle and measured metrics, per-stage
+//! spans, counters, histograms) into one JSON document, so the
+//! machine-readable summary comes from the same source as the text
+//! table and the two cannot drift.
 
 use std::time::{Duration, Instant};
 
 use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::{contest_suite, evaluate_accuracy, EvalConfig};
-use cirlearn_telemetry::{Level, Reporter, StderrReporter, Telemetry};
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::{Level, Reporter, StderrReporter, Telemetry, SCHEMA_VERSION};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let verbose = std::env::args().any(|a| a == "--verbose");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let verbose = args.iter().any(|a| a == "--verbose");
+    let report_path = args
+        .iter()
+        .position(|a| a == "--report")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("error: --report requires a path");
+                std::process::exit(2);
+            }
+        });
     let level = if verbose { Level::Debug } else { Level::Warn };
     let mut reporter = StderrReporter::new(level);
     let (budget, eval_patterns) = if full {
@@ -54,6 +72,7 @@ fn main() {
 
     let mut size_ratios = Vec::new();
     let mut time_ratios = Vec::new();
+    let mut runs: Vec<Json> = Vec::new();
     for case in targets {
         let mut run = |preprocessing: bool| {
             reporter.event(
@@ -70,12 +89,12 @@ fn main() {
             cfg.preprocessing = preprocessing;
             cfg.time_budget = budget;
             let telemetry = Telemetry::new(Box::new(StderrReporter::new(level)));
+            telemetry.set_meta("case", case.name);
+            telemetry.set_meta("category", case.category);
+            telemetry.set_meta("preprocessing", preprocessing);
             let start = Instant::now();
             let result = Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle);
             let secs = start.elapsed().as_secs_f64();
-            if verbose {
-                eprint!("{}", telemetry.report().stage_breakdown());
-            }
             let acc = evaluate_accuracy(
                 oracle.reveal(),
                 &result.circuit,
@@ -84,11 +103,18 @@ fn main() {
                     ..EvalConfig::default()
                 },
             );
-            (
-                cirlearn_synth::map::map_gates(&result.circuit).gate_count(),
-                acc.percent(),
-                secs,
-            )
+            let size = cirlearn_synth::map::map_gates(&result.circuit).gate_count();
+            telemetry.set_meta("size", size);
+            telemetry.set_meta("accuracy_pct", format!("{:.3}", acc.percent()));
+            telemetry.set_meta("seconds", format!("{secs:.3}"));
+            let report = telemetry.report();
+            if verbose {
+                eprint!("{}", report.stage_breakdown());
+            }
+            if report_path.is_some() {
+                runs.push(report.to_json());
+            }
+            (size, acc.percent(), secs)
         };
         let (s_on, a_on, t_on) = run(true);
         let (s_off, a_off, t_off) = run(false);
@@ -107,4 +133,33 @@ fn main() {
         avg(&size_ratios),
         avg(&time_ratios)
     );
+
+    if let Some(path) = report_path {
+        let count = runs.len();
+        let doc = Json::object([
+            ("schema_version", Json::Number(SCHEMA_VERSION as f64)),
+            ("command", Json::Str("ablation".to_owned())),
+            (
+                "scale",
+                Json::Str(if full { "full" } else { "quick" }.to_owned()),
+            ),
+            (
+                "summary",
+                Json::object([
+                    ("avg_size_x", Json::Number(avg(&size_ratios))),
+                    ("avg_time_x", Json::Number(avg(&time_ratios))),
+                ]),
+            ),
+            ("runs", Json::Array(runs)),
+        ]);
+        if let Err(err) = std::fs::write(&path, doc.to_pretty()) {
+            eprintln!("error: cannot write report to {path}: {err}");
+            std::process::exit(1);
+        }
+        reporter.event(
+            Level::Info,
+            "ablation",
+            &format!("wrote {count} run report(s) to {path}"),
+        );
+    }
 }

@@ -1,0 +1,300 @@
+//! Regression-gated benchmark harness.
+//!
+//! Runs the table2 / ablation suites and writes schema-versioned
+//! `BENCH_table2.json` / `BENCH_ablation.json` documents that carry,
+//! per benchmark, the contest metrics (size / accuracy / time /
+//! queries) and the telemetry layer's latency-histogram summaries
+//! (oracle query latency, per-node FBDT cost, per-pass synthesis
+//! cost). A separate `compare` mode diffs two such documents and
+//! exits nonzero on regressions, so the harness slots directly into
+//! CI as a performance gate.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench run [--suite table2|ablation|all] [--smoke|--full]
+//!           [--out DIR] [case ...]
+//! bench compare <old.json> <new.json> [--threshold PCT]
+//! bench validate <file.json> ...
+//! ```
+//!
+//! `run` defaults to the quick scale over both suites; `--smoke`
+//! shrinks budgets and restricts each suite to its smallest cases
+//! (seconds of wall time, the CI mode), `--full` uses paper-faithful
+//! budgets. Positional case names restrict the table2 suite.
+//!
+//! `compare` prints each regression (`wall_s` / `queries` / `gates`
+//! beyond the threshold, absolute `accuracy` drops, or a benchmark
+//! missing from the new file) and exits 1 when any exist.
+//!
+//! `validate` parses each file against the BENCH schema and exits
+//! nonzero on the first invalid one.
+
+use std::process::ExitCode;
+
+use cirlearn::LearnerConfig;
+use cirlearn_bench::report::{compare, BenchRecord, BenchReport, CompareConfig};
+use cirlearn_bench::{run_learner_case, Scale};
+use cirlearn_oracle::{contest_suite, Category, ContestCase};
+use cirlearn_telemetry::Telemetry;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some(other) => Err(format!("unknown subcommand {other}")),
+        None => Err("missing subcommand".to_owned()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  bench run [--suite table2|ablation|all] [--smoke|--full] [--out DIR] [case ...]
+  bench compare <old.json> <new.json> [--threshold PCT]
+  bench validate <file.json> ...";
+
+/// Runs one learner configuration on one case and converts the row +
+/// telemetry histograms into a [`BenchRecord`].
+fn bench_record(
+    case: &ContestCase,
+    name: String,
+    cfg: LearnerConfig,
+    scale: &Scale,
+) -> BenchRecord {
+    // A fresh silent telemetry per benchmark keeps the histograms
+    // scoped to a single run.
+    let telemetry = Telemetry::recording();
+    let row = run_learner_case(case, cfg, scale, &telemetry);
+    let report = telemetry.report();
+    let histograms = report.histograms;
+    eprintln!(
+        "  {name}: size={} accuracy={:.3}% time={:.2}s queries={}",
+        row.size, row.accuracy, row.seconds, row.queries
+    );
+    BenchRecord {
+        name,
+        contestant: "ours".to_owned(),
+        wall_s: row.seconds,
+        queries: row.queries,
+        gates: row.size,
+        accuracy: row.accuracy,
+        histograms,
+    }
+}
+
+/// The smallest cases of a suite slice, by input count — the smoke
+/// subset.
+fn smallest<'a>(cases: &[&'a ContestCase], n: usize) -> Vec<&'a ContestCase> {
+    let mut sorted: Vec<_> = cases.to_vec();
+    sorted.sort_by_key(|c| (c.num_inputs, c.name));
+    sorted.truncate(n);
+    sorted
+}
+
+fn run_table2(scale: &Scale, scale_name: &str, smoke: bool, wanted: &[String]) -> BenchReport {
+    let suite = contest_suite();
+    let mut cases: Vec<&ContestCase> = suite
+        .iter()
+        .filter(|c| wanted.is_empty() || wanted.iter().any(|w| w == c.name))
+        .collect();
+    if smoke && wanted.is_empty() {
+        cases = smallest(&cases, 3);
+    }
+    eprintln!(
+        "bench: table2 suite, {} case(s) at {scale_name} scale",
+        cases.len()
+    );
+    let records = cases
+        .iter()
+        .map(|case| bench_record(case, case.name.to_owned(), LearnerConfig::fast(), scale))
+        .collect();
+    BenchReport {
+        suite: "table2".to_owned(),
+        scale: scale_name.to_owned(),
+        records,
+    }
+}
+
+fn run_ablation(scale: &Scale, scale_name: &str, smoke: bool) -> BenchReport {
+    let suite = contest_suite();
+    let mut cases: Vec<&ContestCase> = suite
+        .iter()
+        .filter(|c| matches!(c.category, Category::Diag | Category::Data))
+        .collect();
+    if smoke {
+        cases = smallest(&cases, 2);
+    }
+    eprintln!(
+        "bench: ablation suite, {} case(s) x 2 configs at {scale_name} scale",
+        cases.len()
+    );
+    let mut records = Vec::new();
+    for case in cases {
+        records.push(bench_record(
+            case,
+            case.name.to_owned(),
+            LearnerConfig::fast(),
+            scale,
+        ));
+        let mut cfg = LearnerConfig::fast();
+        cfg.preprocessing = false;
+        records.push(bench_record(
+            case,
+            format!("{}/no-preproc", case.name),
+            cfg,
+            scale,
+        ));
+    }
+    BenchReport {
+        suite: "ablation".to_owned(),
+        scale: scale_name.to_owned(),
+        records,
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
+    let mut suite = "all".to_owned();
+    let mut smoke = false;
+    let mut full = false;
+    let mut out_dir = ".".to_owned();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--full" => full = true,
+            "--suite" | "--out" => {
+                let flag = args[i].clone();
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| format!("{flag} expects a value"))?
+                    .clone();
+                if flag == "--suite" {
+                    suite = value;
+                } else {
+                    out_dir = value;
+                }
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            case => wanted.push(case.to_owned()),
+        }
+        i += 1;
+    }
+    if smoke && full {
+        return Err("--smoke and --full are mutually exclusive".to_owned());
+    }
+    let (scale, scale_name) = if smoke {
+        (Scale::smoke(), "smoke")
+    } else if full {
+        (Scale::full(), "full")
+    } else {
+        (Scale::quick(), "quick")
+    };
+    if !matches!(suite.as_str(), "table2" | "ablation" | "all") {
+        return Err(format!("--suite expects table2|ablation|all, got {suite}"));
+    }
+
+    let mut reports = Vec::new();
+    if suite == "table2" || suite == "all" {
+        reports.push(run_table2(&scale, scale_name, smoke, &wanted));
+    }
+    if suite == "ablation" || suite == "all" {
+        reports.push(run_ablation(&scale, scale_name, smoke));
+    }
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
+    for report in &reports {
+        let path = format!("{out_dir}/BENCH_{}.json", report.suite);
+        std::fs::write(&path, report.to_json().to_pretty())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("wrote {path} ({} record(s))", report.records.len());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    BenchReport::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> Result<ExitCode, String> {
+    let mut cfg = CompareConfig::default();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threshold expects a percentage")?;
+                cfg.pct_threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold expects a number, got {v}"))?;
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => paths.push(path),
+        }
+        i += 1;
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        return Err("compare expects exactly two BENCH files".to_owned());
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    if old.suite != new.suite {
+        eprintln!(
+            "warning: comparing different suites ({} vs {})",
+            old.suite, new.suite
+        );
+    }
+    let regressions = compare(&old, &new, &cfg);
+    if regressions.is_empty() {
+        println!(
+            "ok: no regressions across {} benchmark(s) (threshold {}%)",
+            old.records.len(),
+            cfg.pct_threshold
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    for r in &regressions {
+        println!("REGRESSION {r}");
+    }
+    println!(
+        "{} regression(s) across {} benchmark(s) (threshold {}%)",
+        regressions.len(),
+        old.records.len(),
+        cfg.pct_threshold
+    );
+    Ok(ExitCode::FAILURE)
+}
+
+fn cmd_validate(args: &[String]) -> Result<ExitCode, String> {
+    if args.is_empty() {
+        return Err("validate expects one or more BENCH files".to_owned());
+    }
+    for path in args {
+        let report = load(path)?;
+        let with_histograms = report
+            .records
+            .iter()
+            .filter(|r| !r.histograms.is_empty())
+            .count();
+        println!(
+            "{path}: valid (suite {}, scale {}, {} record(s), {} with histograms)",
+            report.suite,
+            report.scale,
+            report.records.len(),
+            with_histograms
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -13,8 +13,14 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p cirlearn-bench --bin design_ablations
+//! cargo run --release -p cirlearn-bench --bin design_ablations [--report <path>]
 //! ```
+//!
+//! `--report <path>` writes one JSON document with a telemetry run
+//! report per configuration (meta holds the ablation name, the toggled
+//! knob and the measured outcome; the body carries the usual counter /
+//! histogram breakdown of the underlying FBDT build), so the
+//! machine-readable summary shares its source with the text output.
 
 use cirlearn::fbdt::{build_fbdt, Exploration, FbdtConfig};
 use cirlearn::sampling::{seeded_rng, SamplingConfig};
@@ -22,15 +28,43 @@ use cirlearn::support::identify_support;
 use cirlearn::Budget;
 use cirlearn_aig::Aig;
 use cirlearn_oracle::{evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle};
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::{Telemetry, SCHEMA_VERSION};
 
 fn main() {
-    ablation_exploration();
-    ablation_onset_offset();
-    ablation_uneven_ratios();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let report_path = args
+        .iter()
+        .position(|a| a == "--report")
+        .map(|i| match args.get(i + 1) {
+            Some(path) => path.clone(),
+            None => {
+                eprintln!("error: --report requires a path");
+                std::process::exit(2);
+            }
+        });
+    let mut runs: Vec<Json> = Vec::new();
+    ablation_exploration(&mut runs);
+    ablation_onset_offset(&mut runs);
+    ablation_uneven_ratios(&mut runs);
+
+    if let Some(path) = report_path {
+        let count = runs.len();
+        let doc = Json::object([
+            ("schema_version", Json::Number(SCHEMA_VERSION as f64)),
+            ("command", Json::Str("design_ablations".to_owned())),
+            ("runs", Json::Array(runs)),
+        ]);
+        if let Err(err) = std::fs::write(&path, doc.to_pretty()) {
+            eprintln!("error: cannot write report to {path}: {err}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {count} run report(s) to {path}");
+    }
 }
 
 /// 1. Levelized vs depth-first under an equal query budget.
-fn ablation_exploration() {
+fn ablation_exploration(runs: &mut Vec<Json>) {
     println!("== exploration order (paper: levelized wins under early stopping) ==");
     println!(
         "{:<28} {:>12} {:>12} {:>10}",
@@ -38,7 +72,12 @@ fn ablation_exploration() {
     );
     for (support, seed) in [(20usize, 31u64), (24, 32), (28, 33)] {
         let budget_queries = 150_000u64;
-        let run = |exploration: Exploration| {
+        let mut run = |exploration: Exploration| {
+            let telemetry = Telemetry::recording();
+            telemetry.set_meta("ablation", "exploration");
+            telemetry.set_meta("case", format!("neq support={support}"));
+            telemetry.set_meta("exploration", format!("{exploration:?}"));
+            telemetry.set_meta("budget_queries", budget_queries);
             let mut oracle = generate::neq_case_with_support(40, 1, support, seed);
             let mut rng = seeded_rng(1);
             let info = identify_support(&mut oracle, 0, &SamplingConfig::fast(), &mut rng);
@@ -55,6 +94,7 @@ fn ablation_exploration() {
                 &cfg,
                 &Budget::unlimited(),
                 &mut rng,
+                &telemetry,
             );
             // Build and score the cover.
             let mut circuit = Aig::new();
@@ -76,6 +116,8 @@ fn ablation_exploration() {
                     ..EvalConfig::default()
                 },
             );
+            telemetry.set_meta("accuracy_pct", format!("{:.3}", acc.percent()));
+            runs.push(telemetry.report().to_json());
             acc.percent()
         };
         let lev = run(Exploration::Levelized);
@@ -92,7 +134,7 @@ fn ablation_exploration() {
 }
 
 /// 2. Onset/offset selection on a 1-heavy function.
-fn ablation_onset_offset() {
+fn ablation_onset_offset(runs: &mut Vec<Json>) {
     println!("== onset/offset selection (paper §IV-D trick 2) ==");
     // A dense function: OR of 8 literals (truth ratio ~ 99.6%) — the
     // offset is a single cube while the onset needs hundreds.
@@ -103,6 +145,10 @@ fn ablation_onset_offset() {
     let mut oracle = CircuitOracle::new(g);
 
     let mut run = |selection: bool| {
+        let telemetry = Telemetry::recording();
+        telemetry.set_meta("ablation", "onset_offset");
+        telemetry.set_meta("case", "or8 of 16");
+        telemetry.set_meta("onset_offset_selection", selection);
         let mut rng = seeded_rng(2);
         let info = identify_support(&mut oracle, 0, &SamplingConfig::fast(), &mut rng);
         let cfg = FbdtConfig {
@@ -117,7 +163,11 @@ fn ablation_onset_offset() {
             &cfg,
             &Budget::unlimited(),
             &mut rng,
+            &telemetry,
         );
+        telemetry.set_meta("cubes", cover.sop.cubes().len());
+        telemetry.set_meta("complemented", cover.complemented);
+        runs.push(telemetry.report().to_json());
         (cover.sop.cubes().len(), cover.complemented, stats.queries)
     };
     let (with_cubes, with_compl, _) = run(true);
@@ -128,7 +178,7 @@ fn ablation_onset_offset() {
 }
 
 /// 3. Even-only vs mixed-ratio sampling for support identification.
-fn ablation_uneven_ratios() {
+fn ablation_uneven_ratios(runs: &mut Vec<Json>) {
     println!("== uneven-ratio sampling (paper §IV-C) ==");
     // y = AND of 14 inputs: a uniform flip changes the output only when
     // the other 13 are all 1 (p = 2^-13); biased patterns see it.
@@ -142,12 +192,18 @@ fn ablation_uneven_ratios() {
         ("uniform only", vec![0.5]),
         ("mixed ratios", vec![0.5, 0.25, 0.75, 0.1, 0.9]),
     ] {
+        let telemetry = Telemetry::recording();
+        telemetry.set_meta("ablation", "uneven_ratios");
+        telemetry.set_meta("case", "and14");
+        telemetry.set_meta("ratios", label);
         let cfg = SamplingConfig {
             rounds: 600,
             ratios,
         };
         let mut rng = seeded_rng(3);
         let info = identify_support(&mut oracle, 0, &cfg, &mut rng);
+        telemetry.set_meta("support_found", info.support.len());
+        runs.push(telemetry.report().to_json());
         println!(
             "{label:<14}: |S'| = {:>2} of 14 actual support inputs",
             info.support.len()

@@ -15,6 +15,8 @@ use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::{evaluate_accuracy, ContestCase, EvalConfig};
 use cirlearn_telemetry::Telemetry;
 
+pub mod report;
+
 /// Which learner produced a row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Contestant {
@@ -70,6 +72,15 @@ pub struct Scale {
 }
 
 impl Scale {
+    /// Smoke-test scale: tiny budgets and evaluation pattern counts,
+    /// meant for a small case subset (the `bench` harness's CI mode).
+    pub fn smoke() -> Self {
+        Scale {
+            budget: Duration::from_secs(3),
+            eval_patterns: 2_000,
+        }
+    }
+
     /// Quick harness scale (CI-friendly; minutes for the whole table).
     pub fn quick() -> Self {
         Scale {
@@ -102,25 +113,58 @@ pub fn run_case_with(
     scale: &Scale,
     telemetry: &Telemetry,
 ) -> Row {
+    match contestant {
+        Contestant::Ours => run_learner_case(case, LearnerConfig::fast(), scale, telemetry),
+        Contestant::GreedyDt | Contestant::SampleSop => {
+            let mut oracle = case.build();
+            telemetry.set_meta("case", case.name);
+            telemetry.set_meta("category", case.category);
+            telemetry.set_meta("contestant", contestant);
+            let start = Instant::now();
+            let result = match contestant {
+                Contestant::GreedyDt => GreedyDtLearner {
+                    time_budget: scale.budget,
+                    ..GreedyDtLearner::default()
+                }
+                .learn(&mut oracle),
+                _ => SampleSopLearner::default().learn(&mut oracle),
+            };
+            let seconds = start.elapsed().as_secs_f64();
+            finish_row(case, contestant, scale, &mut oracle, &result, seconds)
+        }
+    }
+}
+
+/// Runs the paper learner with an explicit configuration — the bench
+/// harness's ablation suite toggles `cfg.preprocessing` through this.
+/// The scale's budget overrides `cfg.time_budget`.
+pub fn run_learner_case(
+    case: &ContestCase,
+    mut cfg: LearnerConfig,
+    scale: &Scale,
+    telemetry: &Telemetry,
+) -> Row {
     let mut oracle = case.build();
     telemetry.set_meta("case", case.name);
     telemetry.set_meta("category", case.category);
-    telemetry.set_meta("contestant", contestant);
+    telemetry.set_meta("contestant", Contestant::Ours);
+    cfg.time_budget = scale.budget;
     let start = Instant::now();
-    let result = match contestant {
-        Contestant::Ours => {
-            let mut cfg = LearnerConfig::fast();
-            cfg.time_budget = scale.budget;
-            Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle)
-        }
-        Contestant::GreedyDt => GreedyDtLearner {
-            time_budget: scale.budget,
-            ..GreedyDtLearner::default()
-        }
-        .learn(&mut oracle),
-        Contestant::SampleSop => SampleSopLearner::default().learn(&mut oracle),
-    };
+    let result = Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle);
     let seconds = start.elapsed().as_secs_f64();
+    finish_row(case, Contestant::Ours, scale, &mut oracle, &result, seconds)
+}
+
+/// Scores a finished learning run against the hidden golden circuit
+/// and assembles the table row.
+fn finish_row(
+    case: &ContestCase,
+    contestant: Contestant,
+    scale: &Scale,
+    oracle: &mut cirlearn_oracle::CircuitOracle,
+    result: &cirlearn::LearnResult,
+    seconds: f64,
+) -> Row {
     let acc = evaluate_accuracy(
         oracle.reveal(),
         &result.circuit,

@@ -1,0 +1,450 @@
+//! Schema-versioned benchmark reports (`BENCH_*.json`) and the
+//! regression comparison behind `bench compare`.
+//!
+//! A [`BenchReport`] is the machine-readable output of one harness
+//! run: one [`BenchRecord`] per (case, contestant) pair, carrying the
+//! contest metrics (size / accuracy / time / queries) plus the
+//! latency-histogram summaries the telemetry layer collected during
+//! the run. Reports are plain JSON so they can be archived as CI
+//! artifacts and diffed across commits.
+//!
+//! # Schema (version 1)
+//!
+//! ```text
+//! {
+//!   "bench_schema_version": 1,
+//!   "suite": "table2",            // which harness produced it
+//!   "scale": "quick",             // smoke | quick | full
+//!   "records": [
+//!     {
+//!       "name": "case_16",
+//!       "contestant": "ours",
+//!       "wall_s": 0.42,
+//!       "queries": 12345,
+//!       "gates": 210,
+//!       "accuracy": 99.998,       // percent, 0-100
+//!       "histograms": {           // name -> HistogramSummary JSON
+//!         "oracle.query_ns": { "count": ..., "p50": ..., ... }
+//!       }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Unknown keys are ignored on read so version-1 readers tolerate
+//! additive extensions; a changed `bench_schema_version` is rejected.
+
+use std::collections::BTreeMap;
+
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::HistogramSummary;
+
+/// Version stamp written into every BENCH file. Bump on breaking
+/// schema changes; additive fields keep the version.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One benchmark result: the contest metrics of a single (case,
+/// contestant) run plus its latency-histogram summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (e.g. `case_16`, or `case_17/no-preproc` for an
+    /// ablated configuration).
+    pub name: String,
+    /// Which learner produced the result (e.g. `ours`).
+    pub contestant: String,
+    /// Wall-clock seconds spent learning (excludes evaluation).
+    pub wall_s: f64,
+    /// Oracle queries spent.
+    pub queries: u64,
+    /// Mapped gate count of the produced circuit.
+    pub gates: usize,
+    /// Accuracy percentage (0–100) on the contest evaluation mix.
+    pub accuracy: f64,
+    /// Histogram summaries recorded during the run, keyed by the
+    /// telemetry histogram name (see `cirlearn_telemetry::histograms`).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl BenchRecord {
+    /// Serializes the record into its schema JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::Str(self.name.clone())),
+            ("contestant", Json::Str(self.contestant.clone())),
+            ("wall_s", Json::Number(self.wall_s)),
+            ("queries", Json::Number(self.queries as f64)),
+            ("gates", Json::Number(self.gates as f64)),
+            ("accuracy", Json::Number(self.accuracy)),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| (name.clone(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a record from its schema JSON object.
+    pub fn from_json(json: &Json) -> Result<BenchRecord, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record is missing string field {key:?}"))
+        };
+        let num_field = |key: &str| -> Result<f64, String> {
+            json.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("record is missing numeric field {key:?}"))
+        };
+        let mut histograms = BTreeMap::new();
+        match json.get("histograms") {
+            None | Some(Json::Null) => {}
+            Some(h) => {
+                let pairs = h
+                    .as_object()
+                    .ok_or_else(|| "histograms must be an object".to_owned())?;
+                for (name, value) in pairs {
+                    histograms.insert(
+                        name.clone(),
+                        HistogramSummary::from_json(value)
+                            .map_err(|e| format!("histogram {name:?}: {e}"))?,
+                    );
+                }
+            }
+        }
+        Ok(BenchRecord {
+            name: str_field("name")?,
+            contestant: str_field("contestant")?,
+            wall_s: num_field("wall_s")?,
+            queries: num_field("queries")? as u64,
+            gates: num_field("gates")? as usize,
+            accuracy: num_field("accuracy")?,
+            histograms,
+        })
+    }
+}
+
+/// A full harness run: suite + scale identification and one record per
+/// benchmark executed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Which suite produced the report (`table2` or `ablation`).
+    pub suite: String,
+    /// Effort scale the suite ran at (`smoke`, `quick` or `full`).
+    pub scale: String,
+    /// Per-benchmark results, in execution order.
+    pub records: Vec<BenchRecord>,
+}
+
+impl BenchReport {
+    /// Serializes the report into its schema JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            (
+                "bench_schema_version",
+                Json::Number(BENCH_SCHEMA_VERSION as f64),
+            ),
+            ("suite", Json::Str(self.suite.clone())),
+            ("scale", Json::Str(self.scale.clone())),
+            (
+                "records",
+                Json::Array(self.records.iter().map(BenchRecord::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses and validates a report from its schema JSON document.
+    ///
+    /// Rejects documents with a different `bench_schema_version`;
+    /// unknown additional keys are ignored.
+    pub fn from_json(json: &Json) -> Result<BenchReport, String> {
+        let version = json
+            .get("bench_schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing bench_schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench_schema_version {version} is not the supported {BENCH_SCHEMA_VERSION}"
+            ));
+        }
+        let suite = json
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("missing suite")?
+            .to_owned();
+        let scale = json
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or("missing scale")?
+            .to_owned();
+        let records = json
+            .get("records")
+            .and_then(Json::as_array)
+            .ok_or("missing records array")?
+            .iter()
+            .enumerate()
+            .map(|(i, r)| BenchRecord::from_json(r).map_err(|e| format!("records[{i}]: {e}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchReport {
+            suite,
+            scale,
+            records,
+        })
+    }
+
+    /// Parses a report from JSON text (convenience for file loading).
+    pub fn from_text(text: &str) -> Result<BenchReport, String> {
+        let json = Json::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+        BenchReport::from_json(&json)
+    }
+
+    /// Finds the record of one (name, contestant) pair.
+    pub fn record(&self, name: &str, contestant: &str) -> Option<&BenchRecord> {
+        self.records
+            .iter()
+            .find(|r| r.name == name && r.contestant == contestant)
+    }
+}
+
+/// Thresholds for [`compare`].
+///
+/// Cost metrics (wall time, queries, gates) regress when the new value
+/// exceeds the old by more than `pct_threshold` percent *and* clears a
+/// per-metric absolute noise floor, so sub-noise jitter on trivially
+/// cheap benchmarks does not trip the gate. Accuracy regresses on an
+/// absolute drop of more than `accuracy_drop` percentage points.
+#[derive(Debug, Clone)]
+pub struct CompareConfig {
+    /// Relative increase (percent) tolerated on wall time, queries and
+    /// gates before flagging a regression.
+    pub pct_threshold: f64,
+    /// Absolute accuracy drop (percentage points) tolerated.
+    pub accuracy_drop: f64,
+    /// Wall-time noise floor: increases below this many seconds never
+    /// regress, whatever the ratio.
+    pub min_wall_s: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig {
+            pct_threshold: 25.0,
+            accuracy_drop: 0.5,
+            min_wall_s: 0.25,
+        }
+    }
+}
+
+/// One regression found by [`compare`]: a metric of one benchmark got
+/// meaningfully worse (or the benchmark disappeared entirely).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Contestant the record belongs to.
+    pub contestant: String,
+    /// Which metric regressed (`wall_s`, `queries`, `gates`,
+    /// `accuracy`, or `missing` when the record vanished).
+    pub metric: String,
+    /// Old (baseline) value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.metric == "missing" {
+            return write!(
+                f,
+                "{}/{}: benchmark missing from new report",
+                self.name, self.contestant
+            );
+        }
+        write!(
+            f,
+            "{}/{}: {} regressed {} -> {}",
+            self.name, self.contestant, self.metric, self.old, self.new
+        )?;
+        if self.old > 0.0 {
+            write!(f, " ({:+.1}%)", (self.new / self.old - 1.0) * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Diffs two reports and returns every regression of `new` relative to
+/// `old` under `cfg`'s thresholds.
+///
+/// Comparison is keyed by (name, contestant); benchmarks present only
+/// in `new` are improvements by definition and ignored, benchmarks
+/// present only in `old` are reported as `missing` regressions.
+pub fn compare(old: &BenchReport, new: &BenchReport, cfg: &CompareConfig) -> Vec<Regression> {
+    let mut regressions = Vec::new();
+    for o in &old.records {
+        let Some(n) = new.record(&o.name, &o.contestant) else {
+            regressions.push(Regression {
+                name: o.name.clone(),
+                contestant: o.contestant.clone(),
+                metric: "missing".to_owned(),
+                old: 0.0,
+                new: 0.0,
+            });
+            continue;
+        };
+        let factor = 1.0 + cfg.pct_threshold / 100.0;
+        let mut worse = |metric: &str, old_v: f64, new_v: f64, floor: f64| {
+            if new_v > old_v * factor && new_v - old_v > floor {
+                regressions.push(Regression {
+                    name: o.name.clone(),
+                    contestant: o.contestant.clone(),
+                    metric: metric.to_owned(),
+                    old: old_v,
+                    new: new_v,
+                });
+            }
+        };
+        worse("wall_s", o.wall_s, n.wall_s, cfg.min_wall_s);
+        // Integer metrics: small absolute floors keep one-off noise on
+        // tiny benchmarks from tripping the percentage gate.
+        worse("queries", o.queries as f64, n.queries as f64, 64.0);
+        worse("gates", o.gates as f64, n.gates as f64, 4.0);
+        if o.accuracy - n.accuracy > cfg.accuracy_drop {
+            regressions.push(Regression {
+                name: o.name.clone(),
+                contestant: o.contestant.clone(),
+                metric: "accuracy".to_owned(),
+                old: o.accuracy,
+                new: n.accuracy,
+            });
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record(name: &str) -> BenchRecord {
+        let mut histograms = BTreeMap::new();
+        histograms.insert(
+            cirlearn_telemetry::histograms::ORACLE_QUERY_NS.to_owned(),
+            HistogramSummary {
+                count: 1000,
+                sum: 2_000_000,
+                min: 800,
+                max: 30_000,
+                p50: 1_792,
+                p90: 3_584,
+                p99: 28_672,
+            },
+        );
+        BenchRecord {
+            name: name.to_owned(),
+            contestant: "ours".to_owned(),
+            wall_s: 2.0,
+            queries: 10_000,
+            gates: 300,
+            accuracy: 99.9,
+            histograms,
+        }
+    }
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            suite: "table2".to_owned(),
+            scale: "quick".to_owned(),
+            records: vec![sample_record("case_a"), sample_record("case_b")],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_report() {
+        let report = sample_report();
+        let text = report.to_json().to_pretty();
+        let back = BenchReport::from_text(&text).expect("round trip parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn wrong_schema_version_is_rejected() {
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            for (k, v) in pairs.iter_mut() {
+                if k == "bench_schema_version" {
+                    *v = Json::Number(999.0);
+                }
+            }
+        }
+        let err = BenchReport::from_json(&json).expect_err("must reject");
+        assert!(err.contains("999"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn self_compare_is_clean() {
+        let report = sample_report();
+        let regressions = compare(&report, &report, &CompareConfig::default());
+        assert!(regressions.is_empty(), "self-compare found {regressions:?}");
+    }
+
+    #[test]
+    fn injected_twofold_slowdown_is_flagged() {
+        let old = sample_report();
+        let mut new = sample_report();
+        new.records[0].wall_s *= 2.0;
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert_eq!(regressions.len(), 1, "got {regressions:?}");
+        assert_eq!(regressions[0].metric, "wall_s");
+        assert_eq!(regressions[0].name, "case_a");
+    }
+
+    #[test]
+    fn slowdown_under_the_noise_floor_is_ignored() {
+        let mut old = sample_report();
+        let mut new = sample_report();
+        // 3x slower, but only by 100ms — below the 250ms floor.
+        old.records[0].wall_s = 0.05;
+        new.records[0].wall_s = 0.15;
+        old.records[1].wall_s = 0.05;
+        new.records[1].wall_s = 0.15;
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        assert!(regressions.is_empty(), "got {regressions:?}");
+    }
+
+    #[test]
+    fn accuracy_drop_and_missing_benchmark_are_flagged() {
+        let old = sample_report();
+        let mut new = sample_report();
+        new.records[0].accuracy -= 5.0;
+        new.records.remove(1);
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(metrics, ["accuracy", "missing"], "got {regressions:?}");
+    }
+
+    #[test]
+    fn query_and_gate_growth_is_flagged_beyond_the_floor() {
+        let old = sample_report();
+        let mut new = sample_report();
+        new.records[0].queries = 20_000;
+        new.records[1].gates = 600;
+        let regressions = compare(&old, &new, &CompareConfig::default());
+        let metrics: Vec<&str> = regressions.iter().map(|r| r.metric.as_str()).collect();
+        assert_eq!(metrics, ["queries", "gates"], "got {regressions:?}");
+    }
+
+    #[test]
+    fn tolerates_missing_histograms_section() {
+        let mut json = sample_record("case_a").to_json();
+        if let Json::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "histograms");
+        }
+        let record = BenchRecord::from_json(&json).expect("parses without histograms");
+        assert!(record.histograms.is_empty());
+    }
+}

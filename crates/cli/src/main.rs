@@ -44,7 +44,13 @@
 //! Telemetry: `--log-level` (error|warn|info|debug|trace) controls the
 //! pipeline narration on stderr (`--verbose` is an alias for `--log-level
 //! debug`); `--report <path>` writes a machine-readable JSON run report
-//! with per-stage wall clock and oracle-query breakdowns.
+//! with per-stage wall clock, oracle-query and latency-histogram
+//! breakdowns; `--trace <path>` streams JSONL trace events (span
+//! open/close, FBDT node expansions, synthesis passes, oracle faults,
+//! budget checkpoints) to a file as the run progresses. Both survive
+//! crashes: a drop guard flushes the trace stream and a partial
+//! `--report` (with `"aborted": "true"` in its meta) when the run
+//! panics instead of finishing.
 
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -55,7 +61,7 @@ use cirlearn_aig::Aig;
 use cirlearn_oracle::{
     evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle, ResilientOracle, RetryPolicy,
 };
-use cirlearn_telemetry::{Level, StderrReporter, Telemetry};
+use cirlearn_telemetry::{Level, StderrReporter, Telemetry, TraceWriter};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -74,12 +80,14 @@ const USAGE: &str = "usage:
   cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
                  [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
                  [--check off|lint|sim|sat]
-                 [--report report.json] [--log-level LEVEL] [--verbose]
+                 [--report report.json] [--trace trace.jsonl]
+                 [--log-level LEVEL] [--verbose]
   cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
                  [-o learned.aag] [--budget SECS] [--seed N] [--check LEVEL]
                  [--oracle-timeout SECS] [--oracle-retries N]
                  [--oracle-backoff SECS] [--oracle-respawn on|off]
-                 [--report report.json] [--log-level LEVEL] [--verbose]
+                 [--report report.json] [--trace trace.jsonl]
+                 [--log-level LEVEL] [--verbose]
   cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
   cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check LEVEL]
@@ -184,7 +192,57 @@ fn telemetry_of(opts: &Opts) -> Result<Telemetry, String> {
         None if opts.present("verbose") => Level::Debug,
         None => Level::Warn,
     };
-    Ok(Telemetry::new(Box::new(StderrReporter::new(level))))
+    let telemetry = Telemetry::new(Box::new(StderrReporter::new(level)));
+    if let Some(path) = opts.value("trace") {
+        let writer = TraceWriter::to_file(std::path::Path::new(path))
+            .map_err(|e| format!("opening trace file {path}: {e}"))?;
+        telemetry.set_trace(writer);
+    }
+    Ok(telemetry)
+}
+
+/// Flushes the `--report` JSON and the trace stream even when a run
+/// panics or errors out mid-way, so a crashed run still leaves a
+/// partial report behind for debugging.
+///
+/// On the normal path [`finish_run`] disarms the guard after writing
+/// the complete report; the armed `Drop` path marks the report's meta
+/// with `aborted` before writing whatever the telemetry accumulated.
+struct ReportGuard {
+    telemetry: Telemetry,
+    report_path: Option<String>,
+    armed: bool,
+}
+
+impl ReportGuard {
+    fn new(telemetry: &Telemetry, opts: &Opts) -> ReportGuard {
+        ReportGuard {
+            telemetry: telemetry.clone(),
+            report_path: opts.value("report").map(str::to_owned),
+            armed: true,
+        }
+    }
+
+    fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ReportGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            self.telemetry.set_meta("aborted", true);
+            self.telemetry
+                .event(Level::Warn, "run aborted; flushing partial report");
+            if let Some(path) = &self.report_path {
+                let json = self.telemetry.report().to_json().to_pretty();
+                if std::fs::write(path, json).is_ok() {
+                    eprintln!("wrote partial report to {path}");
+                }
+            }
+        }
+        self.telemetry.flush_trace();
+    }
 }
 
 /// Prints the per-output summary lines on stderr.
@@ -205,21 +263,32 @@ fn print_output_summary(result: &LearnResult) {
 }
 
 /// Writes the JSON run report when `--report <path>` was given, and
-/// prints the per-stage breakdown at the end of a run.
-fn finish_run(telemetry: &Telemetry, opts: &Opts) -> Result<(), String> {
+/// prints the per-stage breakdown at the end of a run. Disarms the
+/// crash guard: from here the complete report is on disk.
+fn finish_run(telemetry: &Telemetry, opts: &Opts, guard: &mut ReportGuard) -> Result<(), String> {
+    guard.disarm();
     let report = telemetry.report();
     eprint!("{}", report.stage_breakdown());
     if let Some(path) = opts.value("report") {
         write_file(path, &report.to_json().to_pretty())?;
         eprintln!("wrote {path}");
     }
+    telemetry.flush_trace();
     Ok(())
 }
 
 fn cmd_learn(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["budget", "seed", "verilog", "check", "report", "log-level"],
+        &[
+            "budget",
+            "seed",
+            "verilog",
+            "check",
+            "report",
+            "trace",
+            "log-level",
+        ],
     )?;
     let [input] = opts.positional.as_slice() else {
         return Err("learn expects exactly one input file".to_owned());
@@ -249,6 +318,7 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
     telemetry.set_meta("case", input);
     telemetry.set_meta("seed", config.seed);
     telemetry.set_meta("budget_s", config.time_budget.as_secs_f64());
+    let mut guard = ReportGuard::new(&telemetry, &opts);
 
     eprintln!(
         "learning {} ({} inputs, {} outputs) ...",
@@ -289,7 +359,7 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         write_file(path, &result.circuit.to_verilog("learned"))?;
         eprintln!("wrote {path}");
     }
-    finish_run(&telemetry, &opts)
+    finish_run(&telemetry, &opts, &mut guard)
 }
 
 /// Learns an *external* black box over the line protocol of
@@ -307,6 +377,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
             "seed",
             "check",
             "report",
+            "trace",
             "log-level",
             "oracle-timeout",
             "oracle-retries",
@@ -359,6 +430,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
     telemetry.set_meta("command", "learn-bb");
     telemetry.set_meta("case", program);
     telemetry.set_meta("seed", config.seed);
+    let mut guard = ReportGuard::new(&telemetry, &opts);
 
     let policy = RetryPolicy {
         max_retries: opts.number("oracle-retries", 3u32)?,
@@ -401,7 +473,7 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
         write_file(path, &result.circuit.cleanup().to_aiger_ascii())?;
         eprintln!("wrote {path}");
     }
-    finish_run(&telemetry, &opts)
+    finish_run(&telemetry, &opts, &mut guard)
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {

@@ -21,9 +21,12 @@
 //!   always available.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
 use cirlearn_logic::{Cube, Sop, TruthTable, Var};
 use cirlearn_oracle::Oracle;
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::{histograms, Telemetry};
 use rand::rngs::StdRng;
 
 use crate::budget::Budget;
@@ -157,6 +160,11 @@ impl FbdtStats {
 /// `truth_ratio_hint` is the unconstrained truth ratio from support
 /// identification; it drives the onset/offset selection (more 1s →
 /// collect offset cubes).
+///
+/// Per-node expansion cost lands in the `fbdt.node_ns` histogram, and
+/// each expansion emits a `node` trace event when a trace stream is
+/// attached; pass [`Telemetry::disabled`] to observe nothing.
+#[allow(clippy::too_many_arguments)]
 pub fn build_fbdt<O: Oracle + ?Sized>(
     oracle: &mut O,
     output: usize,
@@ -165,9 +173,12 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
     config: &FbdtConfig,
     budget: &Budget,
     rng: &mut StdRng,
+    telemetry: &Telemetry,
 ) -> (LearnedCover, FbdtStats) {
     let mut stats = FbdtStats::default();
     let collect_offset = config.onset_offset_selection && truth_ratio_hint > 0.5;
+    let node_cost = telemetry.histogram_handle(histograms::FBDT_NODE_NS);
+    let tracing = telemetry.is_tracing();
 
     let mut onset: Vec<Cube> = Vec::new();
     let mut offset: Vec<Cube> = Vec::new();
@@ -183,45 +194,68 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
             .copied()
             .filter(|&i| !cube.contains_var(Var::new(i as u32)))
             .collect();
+        let depth = cube.literals().len();
+        let node_start = Instant::now();
         let node = pattern_sampling(oracle, output, &cube, &free, &config.node_sampling, rng);
         stats.queries += node.queries;
 
+        let disposition;
         if node.truth_ratio >= 1.0 - config.epsilon {
             onset.push(cube);
             stats.leaves += 1;
-            continue;
-        }
-        if node.truth_ratio <= config.epsilon {
+            disposition = "leaf_one";
+        } else if node.truth_ratio <= config.epsilon {
             offset.push(cube);
             stats.leaves += 1;
-            continue;
-        }
-        let out_of_budget = budget.exhausted()
-            || stats.splits >= config.max_nodes
-            || config.max_queries.is_some_and(|cap| stats.queries >= cap)
-            || free.is_empty();
-        let split = if out_of_budget {
-            None
+            disposition = "leaf_zero";
         } else {
-            node.most_significant(&free)
-        };
-        match split {
-            Some(i) => {
-                stats.splits += 1;
-                let v = Var::new(i as u32);
-                queue.push_back(cube.and_literal(v.negative()).expect("fresh variable"));
-                queue.push_back(cube.and_literal(v.positive()).expect("fresh variable"));
-            }
-            None => {
-                // Forced leaf: majority vote (Algorithm 2, timeout arm).
-                if node.truth_ratio > 0.5 {
-                    onset.push(cube);
-                } else {
-                    offset.push(cube);
+            let out_of_budget = budget.exhausted()
+                || stats.splits >= config.max_nodes
+                || config.max_queries.is_some_and(|cap| stats.queries >= cap)
+                || free.is_empty();
+            let split = if out_of_budget {
+                None
+            } else {
+                node.most_significant(&free)
+            };
+            match split {
+                Some(i) => {
+                    stats.splits += 1;
+                    let v = Var::new(i as u32);
+                    queue.push_back(cube.and_literal(v.negative()).expect("fresh variable"));
+                    queue.push_back(cube.and_literal(v.positive()).expect("fresh variable"));
+                    disposition = "split";
                 }
-                stats.leaves += 1;
-                stats.forced_leaves += 1;
+                None => {
+                    // Forced leaf: majority vote (Algorithm 2, timeout arm).
+                    if node.truth_ratio > 0.5 {
+                        onset.push(cube);
+                    } else {
+                        offset.push(cube);
+                    }
+                    stats.leaves += 1;
+                    stats.forced_leaves += 1;
+                    disposition = "forced_leaf";
+                }
             }
+        }
+        let node_elapsed = node_start.elapsed();
+        node_cost.record_duration(node_elapsed);
+        if tracing {
+            telemetry.trace(
+                "node",
+                &[
+                    ("output", Json::from(output)),
+                    ("depth", Json::from(depth)),
+                    ("truth_ratio", Json::from(node.truth_ratio)),
+                    ("queries", Json::from(node.queries)),
+                    ("disposition", Json::from(disposition)),
+                    (
+                        "elapsed_us",
+                        Json::from(u64::try_from(node_elapsed.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                ],
+            );
         }
     }
 
@@ -351,6 +385,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert!(exact_match(&o, &cover, 6), "cover: {:?}", cover);
         assert!(stats.splits >= 1);
@@ -372,6 +407,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert!(cover.complemented);
         assert!(exact_match(&o, &cover, 5));
@@ -396,6 +432,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert!(exact_match(&o, &cover, 5));
         // XOR of 3 vars: the tree must split on all of them: 1+2+4 = 7 splits.
@@ -415,6 +452,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert_eq!(stats.splits, 0);
         assert_eq!(stats.leaves, 1);
@@ -433,6 +471,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::new(std::time::Duration::ZERO),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert_eq!(stats.forced_leaves, 1);
         assert_eq!(stats.splits, 0);
@@ -492,6 +531,7 @@ mod tests {
             &FbdtConfig::fast(),
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert!(exact_match(&o, &cover, 4), "Fig. 4 function must be exact");
         // The tree terminates without forced leaves and stays small.
@@ -539,6 +579,7 @@ mod exploration_tests {
             &cfg,
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert_eq!(stats.forced_leaves, 0);
         for m in 0..32u64 {
@@ -569,6 +610,7 @@ mod exploration_tests {
             &cfg,
             &Budget::unlimited(),
             &mut rng,
+            &Telemetry::disabled(),
         );
         assert!(!cover.complemented);
         for m in 0..16u64 {

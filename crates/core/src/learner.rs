@@ -414,6 +414,7 @@ impl Learner {
                     &fbdt_cfg,
                     &node_budget,
                     &mut rng,
+                    &telemetry,
                 );
                 stats.record(&telemetry);
                 if stats.forced_leaves > 0 {
@@ -663,6 +664,7 @@ impl Learner {
                 &self.config.fbdt,
                 node_budget,
                 rng,
+                &self.telemetry,
             );
             stats.record(&self.telemetry);
             cover

@@ -1,17 +1,24 @@
 //! Telemetry instrumentation for oracles.
 
+use std::time::Instant;
+
 use cirlearn_logic::Assignment;
-use cirlearn_telemetry::{counters, Telemetry};
+use cirlearn_telemetry::{counters, histograms, HistogramHandle, Telemetry};
 
 use crate::oracle::Oracle;
 
-/// An oracle wrapper that counts every query into a [`Telemetry`]
-/// handle at the source.
+/// An oracle wrapper that counts and times every query into a
+/// [`Telemetry`] handle at the source.
 ///
 /// Queries are bumped on the `oracle.queries` counter as they are
 /// served, so stage spans open in the learner attribute them to the
 /// pipeline stage that issued them — the run report's per-stage query
 /// breakdown and the total query count agree by construction.
+///
+/// Round-trip latency lands in the `oracle.query_ns` histogram
+/// (lock-free; the handle is resolved once at construction). Batch
+/// queries attribute the batch's mean per-item latency to each item,
+/// so the histogram's count matches the query counter.
 ///
 /// # Examples
 ///
@@ -36,12 +43,18 @@ use crate::oracle::Oracle;
 pub struct InstrumentedOracle<O> {
     inner: O,
     telemetry: Telemetry,
+    latency: HistogramHandle,
 }
 
 impl<O: Oracle> InstrumentedOracle<O> {
     /// Wraps `inner`, reporting its query traffic to `telemetry`.
     pub fn new(inner: O, telemetry: Telemetry) -> Self {
-        InstrumentedOracle { inner, telemetry }
+        let latency = telemetry.histogram_handle(histograms::ORACLE_QUERY_NS);
+        InstrumentedOracle {
+            inner,
+            telemetry,
+            latency,
+        }
     }
 
     /// The wrapped oracle.
@@ -74,19 +87,27 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
 
     fn query(&mut self, input: &Assignment) -> Vec<bool> {
         self.telemetry.incr(counters::ORACLE_QUERIES);
-        self.inner.query(input)
+        let start = Instant::now();
+        let out = self.inner.query(input);
+        self.latency.record_duration(start.elapsed());
+        out
     }
 
     fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
         self.telemetry
             .add(counters::ORACLE_QUERIES, inputs.len() as u64);
-        self.inner.query_batch(inputs)
+        let start = Instant::now();
+        let out = self.inner.query_batch(inputs);
+        record_batch(&self.latency, start, inputs.len());
+        out
     }
 
     fn try_query(&mut self, input: &Assignment) -> Result<Vec<bool>, crate::oracle::OracleError> {
         // Counted only on success, matching the inner oracle's own
         // accounting (a faulted query served no answer).
+        let start = Instant::now();
         let out = self.inner.try_query(input)?;
+        self.latency.record_duration(start.elapsed());
         self.telemetry.incr(counters::ORACLE_QUERIES);
         Ok(out)
     }
@@ -95,7 +116,9 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
         &mut self,
         inputs: &[Assignment],
     ) -> Result<Vec<Vec<bool>>, crate::oracle::OracleError> {
+        let start = Instant::now();
         let out = self.inner.try_query_batch(inputs)?;
+        record_batch(&self.latency, start, out.len());
         self.telemetry
             .add(counters::ORACLE_QUERIES, out.len() as u64);
         Ok(out)
@@ -104,6 +127,17 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+}
+
+/// Attributes a batch's elapsed time across its items: `n` samples of
+/// the mean per-item latency, so per-batch and per-query transports
+/// yield comparable distributions.
+fn record_batch(latency: &HistogramHandle, start: Instant, n: usize) {
+    if n == 0 || !latency.is_enabled() {
+        return;
+    }
+    let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    latency.record_n(total / n as u64, n as u64);
 }
 
 impl<O: Oracle + ?Sized> Oracle for &mut O {
@@ -200,6 +234,22 @@ mod tests {
             report.top_level_counter_sum(counters::ORACLE_QUERIES),
             report.counter(counters::ORACLE_QUERIES)
         );
+    }
+
+    #[test]
+    fn latency_lands_in_the_query_histogram() {
+        use cirlearn_telemetry::histograms;
+        let telemetry = Telemetry::recording();
+        let mut o = InstrumentedOracle::new(sample(), telemetry.clone());
+        let z = Assignment::zeros(2);
+        o.query(&z);
+        o.query_batch(&[z.clone(), z.clone(), z.clone()]);
+        o.try_query(&z).expect("circuit oracle cannot fault");
+        let report = telemetry.report();
+        let h = &report.histograms[histograms::ORACLE_QUERY_NS];
+        // One sample per query, matching the counter.
+        assert_eq!(h.count, 5);
+        assert_eq!(h.count, report.counter(counters::ORACLE_QUERIES));
     }
 
     #[test]

@@ -27,7 +27,8 @@
 use std::time::{Duration, Instant};
 
 use cirlearn_logic::Assignment;
-use cirlearn_telemetry::{counters, Telemetry};
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::{counters, histograms, HistogramHandle, Level, Telemetry};
 
 use crate::oracle::{Oracle, OracleError};
 
@@ -205,6 +206,10 @@ pub struct ResilientOracle<O> {
     inner: O,
     policy: RetryPolicy,
     telemetry: Telemetry,
+    /// End-to-end latency per guarded query, including backoff sleeps,
+    /// respawns and replay probes — the latency the learner actually
+    /// experiences, as opposed to `oracle.query_ns` transport time.
+    latency: HistogramHandle,
     stats: FaultStats,
     /// First few successful (pattern, answer) pairs, replayed after a
     /// respawn to check the new incarnation is the same function.
@@ -228,10 +233,12 @@ impl<O: Oracle + Respawn> ResilientOracle<O> {
     /// Wraps `inner`, reporting fault counters to `telemetry`
     /// (`faults.retries`, `faults.timeouts`, `faults.respawns`).
     pub fn with_telemetry(inner: O, policy: RetryPolicy, telemetry: Telemetry) -> Self {
+        let latency = telemetry.histogram_handle(histograms::ORACLE_GUARDED_QUERY_NS);
         ResilientOracle {
             inner,
             policy,
             telemetry,
+            latency,
             stats: FaultStats::default(),
             probes: Vec::new(),
             deadline: None,
@@ -274,10 +281,20 @@ impl<O: Oracle + Respawn> ResilientOracle<O> {
 
     fn record_fault(&mut self, e: &OracleError) {
         self.stats.last_error = Some(e.to_string());
-        if matches!(e, OracleError::Timeout(_)) {
+        let timeout = matches!(e, OracleError::Timeout(_));
+        if timeout {
             self.stats.timeouts += 1;
             self.telemetry.incr(counters::FAULT_TIMEOUTS);
         }
+        self.telemetry.trace(
+            "fault",
+            &[
+                ("error", Json::from(e.to_string())),
+                ("timeout", Json::Bool(timeout)),
+            ],
+        );
+        self.telemetry
+            .event(Level::Debug, &format!("oracle fault: {e}"));
     }
 
     /// Replays the probe set against a freshly respawned transport.
@@ -303,13 +320,22 @@ impl<O: Oracle + Respawn> ResilientOracle<O> {
     }
 
     /// One fully guarded query: retry loop with backoff, respawn and
-    /// deadline awareness.
+    /// deadline awareness. The end-to-end time (retries included)
+    /// lands in the `oracle.guarded_query_ns` histogram; the fail-fast
+    /// dead path is not recorded, as no transport work happens.
     fn query_guarded(&mut self, input: &Assignment) -> Result<Vec<bool>, OracleError> {
         if self.dead {
             return Err(OracleError::Died(
                 "oracle marked dead after an earlier fatal fault".into(),
             ));
         }
+        let start = Instant::now();
+        let out = self.query_guarded_inner(input);
+        self.latency.record_duration(start.elapsed());
+        out
+    }
+
+    fn query_guarded_inner(&mut self, input: &Assignment) -> Result<Vec<bool>, OracleError> {
         let salt = self.fault_seq;
         let mut attempt: u32 = 0;
         loop {
@@ -482,6 +508,39 @@ mod tests {
         let report = telemetry.report();
         assert!(report.faults.any());
         assert_eq!(report.faults.timeouts, 1);
+    }
+
+    #[test]
+    fn guarded_latency_includes_retries() {
+        use cirlearn_telemetry::{histograms, TraceWriter};
+        let telemetry = Telemetry::recording();
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        telemetry.set_trace(trace);
+        let schedule = FaultSchedule::new().at(0, FaultKind::Malformed);
+        let inner = FaultyOracle::new(generate::eco_case(6, 1, 2), schedule);
+        let mut o = ResilientOracle::with_telemetry(
+            inner,
+            RetryPolicy {
+                backoff_base: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(50),
+                jitter: 0.0,
+                ..fast_policy()
+            },
+            telemetry.clone(),
+        );
+        o.try_query(&Assignment::zeros(6)).expect("recovers");
+        o.try_query(&Assignment::zeros(6)).expect("healthy");
+        let report = telemetry.report();
+        let h = &report.histograms[histograms::ORACLE_GUARDED_QUERY_NS];
+        assert_eq!(h.count, 2);
+        // The retried query slept through at least the 5 ms backoff.
+        assert!(h.max >= 5_000_000, "max {} ns misses the backoff", h.max);
+        // The fault reached the trace stream as a dedicated event.
+        let text = sink.take_string();
+        assert!(
+            text.lines().any(|l| l.contains("\"fault\"")),
+            "no fault event in trace: {text}"
+        );
     }
 
     #[test]

@@ -91,6 +91,45 @@ impl Json {
         out
     }
 
+    /// Serializes on one line with no whitespace — the form used for
+    /// JSONL streams, where each value must stay on a single line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Number(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -439,6 +478,19 @@ mod tests {
         let text = doc.to_pretty();
         let back = Json::parse(&text).expect("parses");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_parses_back() {
+        let doc = Json::object([
+            ("kind", Json::from("span_open")),
+            ("t_us", Json::from(12u64)),
+            ("fields", Json::Array(vec![Json::Null, Json::Bool(false)])),
+            ("note", Json::from("line\nbreak")),
+        ]);
+        let text = doc.to_compact();
+        assert!(!text.contains('\n'), "compact output spans lines: {text}");
+        assert_eq!(Json::parse(&text).expect("parses"), doc);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //!   at the source by the oracle crate's `InstrumentedOracle`, so the
 //!   top-level stage breakdown of `oracle.queries` sums to the run's
 //!   total query count by construction.
+//! - **Histograms** ([`Histogram`], [`histograms`]): lock-free
+//!   log-bucketed latency distributions (p50/p90/p99/max) for oracle
+//!   round-trips, FBDT node expansion and synth passes.
+//! - **Traces** ([`TraceWriter`]): a JSONL event stream (span
+//!   open/close, node expansions, passes, checkpoints, events) with
+//!   monotonic timestamps, for offline replay and flamegraphs.
 //! - **Reporters** ([`Reporter`]): pluggable human-readable event
 //!   sinks; [`StderrReporter`] replaces the old `--verbose` output.
 //! - **Run reports** ([`RunReport`]): machine-readable JSON snapshots
@@ -26,14 +32,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod json;
 mod report;
 mod reporter;
 mod telemetry;
+mod trace;
 
+pub use crate::histogram::{Histogram, HistogramSummary};
 pub use crate::report::{
     CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport, StageReport,
     SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
-pub use crate::telemetry::{counters, Span, Telemetry};
+pub use crate::telemetry::{counters, histograms, HistogramHandle, Span, Telemetry};
+pub use crate::trace::{SharedBuffer, TraceWriter};

@@ -15,6 +15,10 @@
 //!   "meta":        { "<key>": "<value>", ... },
 //!   "elapsed_s":   <f64>,
 //!   "counters":    { "<counter>": <u64>, ... },
+//!   "histograms":  { "<name>": { "count": <u64>, "sum": <u64>,
+//!                                "min": <u64>, "max": <u64>,
+//!                                "p50": <u64>, "p90": <u64>,
+//!                                "p99": <u64> }, ... },
 //!   "stages": [ { "path": "support", "calls": <u64>,
 //!                 "elapsed_s": <f64>,
 //!                 "counters": { "oracle.queries": <u64>, ... } } ],
@@ -42,6 +46,7 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use crate::histogram::HistogramSummary;
 use crate::json::Json;
 
 /// Current schema version written by [`RunReport::to_json`].
@@ -164,6 +169,9 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Global monotonic counters.
     pub counters: BTreeMap<String, u64>,
+    /// Latency histogram summaries, keyed by histogram name (see
+    /// `histograms` in this crate); empty histograms are omitted.
+    pub histograms: BTreeMap<String, HistogramSummary>,
     /// Per-stage aggregation, sorted by path.
     pub stages: Vec<StageReport>,
     /// Optimization pass deltas, in execution order.
@@ -222,6 +230,15 @@ impl RunReport {
             ),
             ("elapsed_s", Json::from(self.elapsed.as_secs_f64())),
             ("counters", counter_obj(&self.counters)),
+            (
+                "histograms",
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json()))
+                        .collect(),
+                ),
+            ),
             (
                 "stages",
                 Json::Array(
@@ -368,6 +385,22 @@ impl RunReport {
         )?;
         let counters = counters_of(json.get("counters").ok_or("missing counters")?)?;
 
+        // Absent in reports written before the performance
+        // observability layer; treat as empty rather than rejecting.
+        let histograms = match json.get("histograms") {
+            None | Some(Json::Null) => BTreeMap::new(),
+            Some(h) => h
+                .as_object()
+                .ok_or("histograms must be an object")?
+                .iter()
+                .map(|(k, v)| {
+                    HistogramSummary::from_json(v)
+                        .map(|s| (k.clone(), s))
+                        .map_err(|e| format!("histogram {k}: {e}"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+
         let stages = json
             .get("stages")
             .and_then(Json::as_array)
@@ -471,6 +504,7 @@ impl RunReport {
             meta,
             elapsed,
             counters,
+            histograms,
             stages,
             passes,
             checkpoints,
@@ -520,6 +554,18 @@ mod tests {
                 ("oracle.queries".to_owned(), 1200),
                 ("fbdt.splits".to_owned(), 37),
             ]),
+            histograms: BTreeMap::from([(
+                crate::histograms::ORACLE_QUERY_NS.to_owned(),
+                HistogramSummary {
+                    count: 1200,
+                    sum: 2_400_000,
+                    min: 900,
+                    max: 40_000,
+                    p50: 1_792,
+                    p90: 3_584,
+                    p99: 28_672,
+                },
+            )]),
             stages: vec![
                 StageReport {
                     path: "support".to_owned(),
@@ -620,6 +666,18 @@ mod tests {
         }
         let back = RunReport::from_json(&json).expect("tolerant schema");
         assert_eq!(back.passes[0].verify_elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_histograms_section() {
+        // Reports from before the performance observability layer lack
+        // "histograms"; they must still parse, defaulting to empty.
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "histograms");
+        }
+        let back = RunReport::from_json(&json).expect("tolerant schema");
+        assert!(back.histograms.is_empty());
     }
 
     #[test]

@@ -1,12 +1,15 @@
-//! The [`Telemetry`] handle: stage-scoped spans, monotonic counters
-//! and event emission.
+//! The [`Telemetry`] handle: stage-scoped spans, monotonic counters,
+//! latency histograms, trace emission and events.
 
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::histogram::Histogram;
+use crate::json::Json;
 use crate::report::{CheckpointReport, OutputReport, PassReport, RunReport, StageReport};
 use crate::reporter::{Level, Reporter};
+use crate::trace::TraceWriter;
 
 /// Well-known counter names used across the pipeline.
 pub mod counters {
@@ -45,6 +48,22 @@ pub mod counters {
     pub const FAULT_DEGRADED_OUTPUTS: &str = "faults.degraded_outputs";
 }
 
+/// Well-known latency histogram names used across the pipeline. All
+/// record nanoseconds.
+pub mod histograms {
+    /// Per-query oracle round-trip latency, recorded at the source by
+    /// `InstrumentedOracle` (batch queries attribute the batch's mean
+    /// per-item latency to each item).
+    pub const ORACLE_QUERY_NS: &str = "oracle.query_ns";
+    /// Per-query latency through the fault-tolerant layer, including
+    /// retries, backoff sleeps and respawns (`ResilientOracle`).
+    pub const ORACLE_GUARDED_QUERY_NS: &str = "oracle.guarded_query_ns";
+    /// Per-node FBDT expansion cost (one pattern-sampling round).
+    pub const FBDT_NODE_NS: &str = "fbdt.node_ns";
+    /// Per-pass synthesis time (excluding verification).
+    pub const SYNTH_PASS_NS: &str = "synth.pass_ns";
+}
+
 struct ActiveSpan {
     id: u64,
     name: String,
@@ -58,6 +77,8 @@ struct Inner {
     next_span_id: u64,
     stack: Vec<ActiveSpan>,
     counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Arc<Histogram>>,
+    trace: Option<TraceWriter>,
     stages: BTreeMap<String, StageReport>,
     passes: Vec<PassReport>,
     checkpoints: Vec<CheckpointReport>,
@@ -76,6 +97,12 @@ impl Inner {
 
     fn current_path(&self) -> String {
         self.path_of(self.stack.len())
+    }
+
+    fn trace(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
+        if let Some(trace) = &self.trace {
+            trace.emit(kind, stage, fields);
+        }
     }
 
     /// Closes the deepest span with `id` (and, defensively, anything
@@ -104,6 +131,18 @@ impl Inner {
                     *entry.counters.entry(name.clone()).or_insert(0) += now - before;
                 }
             }
+            self.trace(
+                "span_close",
+                &path,
+                &[
+                    ("id", Json::from(span.id)),
+                    ("name", Json::from(span.name.as_str())),
+                    (
+                        "elapsed_us",
+                        Json::from(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                ],
+            );
             let parent = self.current_path();
             self.reporter.event(
                 Level::Debug,
@@ -163,6 +202,8 @@ impl Telemetry {
                 next_span_id: 0,
                 stack: Vec::new(),
                 counters: BTreeMap::new(),
+                histograms: BTreeMap::new(),
+                trace: None,
                 stages: BTreeMap::new(),
                 passes: Vec::new(),
                 checkpoints: Vec::new(),
@@ -210,6 +251,16 @@ impl Telemetry {
         inner.next_span_id += 1;
         let snapshot = inner.counters.clone();
         let parent = inner.current_path();
+        let path = if parent.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{parent}/{name}")
+        };
+        inner.trace(
+            "span_open",
+            &path,
+            &[("id", Json::from(id)), ("name", Json::from(name))],
+        );
         inner.reporter.event(
             Level::Trace,
             if parent.is_empty() { name } else { &parent },
@@ -256,10 +307,88 @@ impl Telemetry {
     }
 
     /// Emits an event to the reporter, tagged with the current stage.
+    ///
+    /// When a trace stream is attached the event is mirrored onto it
+    /// regardless of the reporter's level filter, so `Debug`-level
+    /// fault events reach the trace without making stderr noisy.
     pub fn event(&self, level: Level, message: &str) {
         if let Some(mut inner) = self.lock() {
             let stage = inner.current_path();
+            inner.trace(
+                "event",
+                &stage,
+                &[
+                    ("level", Json::from(level.name())),
+                    ("message", Json::from(message)),
+                ],
+            );
             inner.reporter.event(level, &stage, message);
+        }
+    }
+
+    /// Attaches a JSONL trace stream; subsequent spans, passes,
+    /// checkpoints and events are mirrored onto it.
+    pub fn set_trace(&self, trace: TraceWriter) {
+        if let Some(mut inner) = self.lock() {
+            inner.trace = Some(trace);
+        }
+    }
+
+    /// Whether a trace stream is attached (hot paths use this to skip
+    /// building per-event fields).
+    pub fn is_tracing(&self) -> bool {
+        self.lock().is_some_and(|inner| inner.trace.is_some())
+    }
+
+    /// Emits a custom trace event tagged with the current stage —
+    /// a no-op unless a trace stream is attached.
+    pub fn trace(&self, kind: &str, fields: &[(&'static str, Json)]) {
+        if let Some(inner) = self.lock() {
+            if inner.trace.is_some() {
+                let stage = inner.current_path();
+                inner.trace(kind, &stage, fields);
+            }
+        }
+    }
+
+    /// Flushes the attached trace stream, if any.
+    pub fn flush_trace(&self) {
+        if let Some(inner) = self.lock() {
+            if let Some(trace) = &inner.trace {
+                trace.flush();
+            }
+        }
+    }
+
+    /// A lock-free recording handle for the named histogram, creating
+    /// it on first use. Grab the handle once outside a hot loop; the
+    /// per-sample cost is then a few relaxed atomic ops. Disabled
+    /// telemetry returns a no-op handle.
+    pub fn histogram_handle(&self, name: &str) -> HistogramHandle {
+        match self.lock() {
+            None => HistogramHandle(None),
+            Some(mut inner) => HistogramHandle(Some(Arc::clone(
+                inner
+                    .histograms
+                    .entry(name.to_owned())
+                    .or_insert_with(|| Arc::new(Histogram::new())),
+            ))),
+        }
+    }
+
+    /// Records one duration sample into the named histogram.
+    pub fn record_time(&self, name: &str, elapsed: Duration) {
+        self.histogram_handle(name).record_duration(elapsed);
+    }
+
+    /// Merges a locally collected histogram into the named shared one
+    /// — used by stages that aggregate privately and publish at the
+    /// end (e.g. FBDT stats).
+    pub fn merge_histogram(&self, name: &str, histogram: &Histogram) {
+        if histogram.count() > 0 {
+            if let HistogramHandle(Some(shared)) = self.histogram_handle(name) {
+                shared.merge(histogram);
+            }
         }
     }
 
@@ -287,6 +416,31 @@ impl Telemetry {
     ) {
         if let Some(mut inner) = self.lock() {
             let stage = inner.current_path();
+            inner
+                .histograms
+                .entry(histograms::SYNTH_PASS_NS.to_owned())
+                .or_insert_with(|| Arc::new(Histogram::new()))
+                .record_duration(elapsed);
+            inner.trace(
+                "pass",
+                &stage,
+                &[
+                    ("pass", Json::from(pass)),
+                    ("round", Json::from(round)),
+                    ("gates_before", Json::from(gates_before)),
+                    ("gates_after", Json::from(gates_after)),
+                    ("levels_before", Json::from(levels_before)),
+                    ("levels_after", Json::from(levels_after)),
+                    (
+                        "elapsed_us",
+                        Json::from(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                    (
+                        "verify_us",
+                        Json::from(u64::try_from(verify_elapsed.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                ],
+            );
             inner.reporter.event(
                 Level::Debug,
                 &stage,
@@ -320,6 +474,24 @@ impl Telemetry {
     pub fn checkpoint(&self, stage: &str, at: Duration, remaining: Option<Duration>) {
         if let Some(mut inner) = self.lock() {
             let current = inner.current_path();
+            inner.trace(
+                "checkpoint",
+                &current,
+                &[
+                    ("label", Json::from(stage)),
+                    (
+                        "at_us",
+                        Json::from(u64::try_from(at.as_micros()).unwrap_or(u64::MAX)),
+                    ),
+                    (
+                        "remaining_us",
+                        match remaining {
+                            None => Json::Null,
+                            Some(r) => Json::from(u64::try_from(r.as_micros()).unwrap_or(u64::MAX)),
+                        },
+                    ),
+                ],
+            );
             let message = match remaining {
                 Some(r) => format!(
                     "checkpoint {stage}: {:.3}s elapsed, {:.3}s remaining",
@@ -359,6 +531,12 @@ impl Telemetry {
                 elapsed: inner.start.elapsed(),
                 faults: crate::report::FaultsReport::from_counters(&inner.counters),
                 counters: inner.counters.clone(),
+                histograms: inner
+                    .histograms
+                    .iter()
+                    .filter(|(_, h)| h.count() > 0)
+                    .map(|(name, h)| (name.clone(), h.summary()))
+                    .collect(),
                 stages: inner.stages.values().cloned().collect(),
                 passes: inner.passes.clone(),
                 checkpoints: inner.checkpoints.clone(),
@@ -370,6 +548,46 @@ impl Telemetry {
     fn exit_span(&self, id: u64) {
         if let Some(mut inner) = self.lock() {
             inner.exit_span(id);
+        }
+    }
+}
+
+/// A lock-free recording handle for one named histogram, obtained via
+/// [`Telemetry::histogram_handle`]. Holds an `Arc` to the shared
+/// histogram (or nothing, for disabled telemetry), so hot loops record
+/// without touching the telemetry mutex.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(pub(crate) Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        HistogramHandle(None)
+    }
+
+    /// Whether samples are being recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        if let Some(h) = &self.0 {
+            h.record(value);
+        }
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if let Some(h) = &self.0 {
+            h.record_n(value, n);
+        }
+    }
+
+    /// Records a duration as nanoseconds.
+    pub fn record_duration(&self, elapsed: Duration) {
+        if let Some(h) = &self.0 {
+            h.record_duration(elapsed);
         }
     }
 }
@@ -572,5 +790,127 @@ mod tests {
         let t2 = t.clone();
         t2.add("q", 4);
         assert_eq!(t.counter("q"), 4);
+    }
+
+    #[test]
+    fn histogram_handles_record_into_the_report() {
+        let t = Telemetry::recording();
+        let h = t.histogram_handle(crate::histograms::ORACLE_QUERY_NS);
+        assert!(h.is_enabled());
+        h.record(1_000);
+        h.record_n(2_000, 3);
+        t.record_time(crate::histograms::SYNTH_PASS_NS, Duration::from_micros(7));
+        let report = t.report();
+        let oracle = &report.histograms[crate::histograms::ORACLE_QUERY_NS];
+        assert_eq!(oracle.count, 4);
+        assert_eq!(oracle.max, 2_000);
+        let synth = &report.histograms[crate::histograms::SYNTH_PASS_NS];
+        assert_eq!(synth.count, 1);
+        assert_eq!(synth.min, 7_000);
+    }
+
+    #[test]
+    fn empty_histograms_stay_out_of_the_report() {
+        let t = Telemetry::recording();
+        let _unused = t.histogram_handle("never.recorded");
+        assert!(t.report().histograms.is_empty());
+    }
+
+    #[test]
+    fn disabled_handles_ignore_histograms_and_trace() {
+        let t = Telemetry::disabled();
+        let h = t.histogram_handle("x");
+        assert!(!h.is_enabled());
+        h.record(5);
+        assert!(!t.is_tracing());
+        t.trace("custom", &[]);
+        t.flush_trace();
+        assert!(t.report().histograms.is_empty());
+    }
+
+    #[test]
+    fn merge_histogram_publishes_local_samples() {
+        let t = Telemetry::recording();
+        let local = crate::Histogram::new();
+        local.record(10);
+        local.record(20);
+        t.merge_histogram(crate::histograms::FBDT_NODE_NS, &local);
+        let report = t.report();
+        assert_eq!(report.histograms[crate::histograms::FBDT_NODE_NS].count, 2);
+    }
+
+    #[test]
+    fn trace_stream_sees_spans_passes_checkpoints_and_events() {
+        use crate::trace::TraceWriter;
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let t = Telemetry::recording();
+        t.set_trace(trace);
+        assert!(t.is_tracing());
+        {
+            let _outer = t.span("learn");
+            let _inner = t.span("fbdt");
+            t.trace("node", &[("depth", Json::from(2u64))]);
+            t.event(Level::Debug, "expanding");
+        }
+        t.record_pass(
+            "rewrite",
+            1,
+            10,
+            8,
+            3,
+            3,
+            Duration::from_millis(1),
+            Duration::ZERO,
+        );
+        t.checkpoint("optimize", Duration::from_secs(1), None);
+        t.flush_trace();
+        let text = sink.take_string();
+        let mut opens = 0i64;
+        let mut kinds = Vec::new();
+        for line in text.lines() {
+            let parsed = Json::parse(line).expect("trace line parses");
+            let kind = parsed.get("kind").and_then(Json::as_str).expect("kind");
+            kinds.push(kind.to_owned());
+            match kind {
+                "span_open" => opens += 1,
+                "span_close" => opens -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(opens, 0, "span open/close balanced");
+        for expected in [
+            "span_open",
+            "span_close",
+            "node",
+            "event",
+            "pass",
+            "checkpoint",
+        ] {
+            assert!(kinds.iter().any(|k| k == expected), "missing {expected}");
+        }
+        // The node event carries the stage path of the enclosing spans.
+        let node_line = text.lines().find(|l| l.contains("\"node\"")).expect("node");
+        let parsed = Json::parse(node_line).expect("parses");
+        assert_eq!(
+            parsed.get("stage").and_then(Json::as_str),
+            Some("learn/fbdt")
+        );
+    }
+
+    #[test]
+    fn force_closed_spans_emit_balanced_close_events() {
+        use crate::trace::TraceWriter;
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let t = Telemetry::recording();
+        t.set_trace(trace);
+        let outer = t.span("outer");
+        let inner = t.span("inner");
+        drop(outer); // force-closes `inner` first
+        drop(inner); // double close: ignored
+        let text = sink.take_string();
+        let opens = text.lines().filter(|l| l.contains("span_open")).count();
+        let closes = text.lines().filter(|l| l.contains("span_close")).count();
+        assert_eq!(opens, 2);
+        assert_eq!(closes, 2);
     }
 }
