@@ -1,0 +1,112 @@
+//! Dead-node analysis: ANDs outside every output cone.
+//!
+//! The backward counterpart of the forward engine: observability flows
+//! from outputs toward inputs, computed as a reverse-topological sweep
+//! over the node array. A dead AND computes something no output ever
+//! reads — in this pipeline that means a synthesis pass (or the learner
+//! itself) materialized structure and then abandoned it without
+//! `cleanup()`.
+
+use cirlearn_aig::Aig;
+
+use crate::finding::{Finding, FindingKind, Severity};
+
+/// Which nodes are reachable from at least one primary output, indexed
+/// by node id. The constant node and inputs are reported as reachable
+/// only if an output cone actually touches them. Out-of-range output or
+/// fanin references are ignored (the lint layer owns those).
+pub fn reachable_nodes(aig: &Aig) -> Vec<bool> {
+    let n = aig.node_count();
+    let mut reachable = vec![false; n];
+    for (edge, _) in aig.outputs() {
+        let index = edge.node().index();
+        if index < n {
+            reachable[index] = true;
+        }
+    }
+    // Nodes are topologically ordered, so one reverse sweep closes the
+    // cone: by the time we visit a node, every path from an output to
+    // it has already marked it.
+    let first_and = aig.num_inputs() + 1;
+    for index in (first_and..n).rev() {
+        if !reachable[index] {
+            continue;
+        }
+        let node = cirlearn_aig::NodeId::from_index(index);
+        if !aig.is_and(node) {
+            continue;
+        }
+        for edge in aig.fanins(node) {
+            let fanin = edge.node().index();
+            if fanin < index {
+                reachable[fanin] = true;
+            }
+        }
+    }
+    reachable
+}
+
+/// Reports every AND node unreachable from all outputs.
+pub fn find_dead(aig: &Aig) -> Vec<Finding> {
+    let reachable = reachable_nodes(aig);
+    aig.ands()
+        .filter(|(node, _, _)| !reachable[node.index()])
+        .map(|(node, _, _)| Finding {
+            analysis: "dead",
+            severity: Severity::Warning,
+            kind: FindingKind::DeadNode { node: node.index() },
+        })
+        .collect()
+}
+
+/// The number of dead AND nodes (the cheap form used by the pass audit).
+pub fn dead_count(aig: &Aig) -> usize {
+    let reachable = reachable_nodes(aig);
+    aig.ands()
+        .filter(|(node, _, _)| !reachable[node.index()])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_circuit_has_no_dead_nodes() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let x = aig.xor(inputs[0], inputs[1]);
+        aig.add_output(x, "f");
+        assert!(find_dead(&aig).is_empty());
+        assert_eq!(dead_count(&aig), 0);
+    }
+
+    #[test]
+    fn redirected_output_strands_the_old_cone() {
+        // Fault injection: point the only output at an input; the whole
+        // former cone goes dead at once.
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let x = aig.xor(inputs[0], inputs[1]); // 3 ANDs
+        aig.add_output(x, "f");
+        aig.set_output_unchecked(0, inputs[0]);
+        let findings = find_dead(&aig);
+        assert_eq!(findings.len(), aig.and_count());
+        assert!(findings
+            .iter()
+            .all(|f| matches!(f.kind, FindingKind::DeadNode { .. })
+                && f.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn abandoned_gate_is_dead_but_shared_logic_is_not() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 3);
+        let live = aig.and(inputs[0], inputs[1]);
+        let _abandoned = aig.and(live, inputs[2]); // never wired up
+        aig.add_output(live, "f");
+        let findings = find_dead(&aig);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].node(), Some(_abandoned.node().index()));
+    }
+}

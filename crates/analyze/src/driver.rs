@@ -1,0 +1,338 @@
+//! The lint driver: runs every analysis, unifies findings behind one
+//! severity scale, and renders reports.
+
+use std::fmt::Write as _;
+
+use cirlearn_aig::Aig;
+use cirlearn_telemetry::json::Json;
+use cirlearn_verify::{LintViolation, Linter};
+
+use crate::dead::{dead_count, find_dead};
+use crate::dup::{duplicate_count, find_duplicates};
+use crate::finding::{Finding, FindingKind, Severity};
+use crate::metrics::{find_high_fanout, metrics, AigMetrics};
+use crate::ternary::find_ternary_constants;
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct AnalyzeConfig {
+    /// Fold the structural linter's violations into the findings
+    /// (default true).
+    pub include_lint: bool,
+    /// Emit an Info finding for nodes with at least this many fanout
+    /// references; 0 disables the check (default 64).
+    pub fanout_threshold: usize,
+}
+
+impl Default for AnalyzeConfig {
+    fn default() -> Self {
+        AnalyzeConfig {
+            include_lint: true,
+            fanout_threshold: 64,
+        }
+    }
+}
+
+/// Runs the full analysis suite over AIGs.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: AnalyzeConfig,
+}
+
+impl Analyzer {
+    /// An analyzer with default configuration.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(config: AnalyzeConfig) -> Self {
+        Analyzer { config }
+    }
+
+    /// Analyzes one graph: lint first, then — if the graph is
+    /// structurally safe to traverse — the dataflow analyses and
+    /// metrics. Findings are ordered most-severe-first, then by node.
+    pub fn analyze(&self, aig: &Aig) -> AnalyzeReport {
+        let mut findings: Vec<Finding> = Vec::new();
+
+        // Dangling ANDs and duplicate pairs are owned by the dedicated
+        // analyses (richer provenance: the dead analysis reports the
+        // whole stranded cone, the dup analysis normalizes mirrored
+        // pairs), so the lint pass contributes everything else.
+        let violations = Linter::new().allow_dangling(true).lint(aig);
+        let structurally_safe = violations.iter().all(|v| !v.is_structural());
+        if self.config.include_lint {
+            findings.extend(
+                violations
+                    .into_iter()
+                    .filter(|v| !matches!(v, LintViolation::DuplicateFaninPair { .. }))
+                    .map(Finding::from),
+            );
+        }
+
+        // The semantic analyses assume fanins are in range and
+        // topologically ordered; on a structurally broken graph the
+        // lint errors above are the only trustworthy output.
+        let metrics = if structurally_safe {
+            findings.extend(find_dead(aig));
+            findings.extend(find_duplicates(aig));
+            findings.extend(find_ternary_constants(aig));
+            findings.extend(find_high_fanout(aig, self.config.fanout_threshold));
+            Some(metrics(aig))
+        } else {
+            None
+        };
+
+        findings.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.node().cmp(&b.node()))
+        });
+        AnalyzeReport { findings, metrics }
+    }
+}
+
+/// The outcome of analyzing one graph.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    /// All findings, most severe first.
+    pub findings: Vec<Finding>,
+    /// Structural snapshot; `None` when the graph was too broken to
+    /// traverse (structural lint errors present).
+    pub metrics: Option<AigMetrics>,
+}
+
+impl AnalyzeReport {
+    /// The most severe finding present, `None` for a clean report.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.findings.iter().map(|f| f.severity).max()
+    }
+
+    /// How many findings sit at or above `severity`.
+    pub fn count_at_least(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= severity)
+            .count()
+    }
+
+    /// True when no finding reaches `severity`.
+    pub fn clean_at(&self, severity: Severity) -> bool {
+        self.count_at_least(severity) == 0
+    }
+
+    /// Serializes to the `--report` JSON form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![(
+            "findings",
+            Json::Array(self.findings.iter().map(Finding::to_json).collect()),
+        )];
+        if let Some(m) = &self.metrics {
+            fields.push(("metrics", m.to_json()));
+        }
+        Json::object(fields)
+    }
+
+    /// Renders the human-readable table (empty string when clean and
+    /// metrics-less).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.findings.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:<8} {:>6}  finding",
+                "severity", "analysis", "node"
+            );
+            for f in &self.findings {
+                let node = f
+                    .node()
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                let _ = writeln!(
+                    out,
+                    "  {:<8} {:<8} {:>6}  {f}",
+                    f.severity, f.analysis, node
+                );
+            }
+        }
+        if let Some(m) = &self.metrics {
+            let _ = write!(
+                out,
+                "  metrics: {} inputs, {} outputs, {} ands ({} live, {} dead), depth {}, max fanout {}",
+                m.num_inputs, m.num_outputs, m.and_count, m.live_ands, m.dead_ands, m.depth, m.max_fanout
+            );
+            if let Some(node) = m.max_fanout_node {
+                let _ = write!(out, " (node {node})");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// The cheap before/after audit the synthesis pass harness runs as a
+/// pre-SAT gate: did this pass *introduce* statically detectable waste?
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassDelta {
+    /// Dead AND nodes introduced (after minus before, floored at 0).
+    pub dead_introduced: u64,
+    /// Duplicate AND nodes introduced.
+    pub duplicates_introduced: u64,
+    /// Ternary-provable constant AND nodes introduced.
+    pub constants_introduced: u64,
+    /// Structural lint errors in the pass result (absolute, not a
+    /// delta: any is disqualifying).
+    pub structural_errors: u64,
+}
+
+impl PassDelta {
+    /// True when the pass introduced nothing the analyses can see.
+    pub fn is_clean(&self) -> bool {
+        *self == PassDelta::default()
+    }
+}
+
+impl std::fmt::Display for PassDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "+{} dead, +{} duplicate, +{} constant nodes, {} structural errors",
+            self.dead_introduced,
+            self.duplicates_introduced,
+            self.constants_introduced,
+            self.structural_errors
+        )
+    }
+}
+
+fn constant_count(aig: &Aig) -> usize {
+    find_ternary_constants(aig)
+        .iter()
+        .filter(|f| matches!(f.kind, FindingKind::ConstantNode { .. }))
+        .count()
+}
+
+/// Compares a pass's input and output graphs with the O(n) analyses.
+/// If `after` has structural lint errors, only `structural_errors` is
+/// meaningful (the semantic counts are skipped, matching the driver).
+pub fn audit_pass(before: &Aig, after: &Aig) -> PassDelta {
+    let structural_errors = Linter::new()
+        .allow_dangling(true)
+        .lint(after)
+        .iter()
+        .filter(|v| v.is_structural())
+        .count() as u64;
+    if structural_errors > 0 {
+        return PassDelta {
+            structural_errors,
+            ..PassDelta::default()
+        };
+    }
+    let delta = |b: usize, a: usize| (a.saturating_sub(b)) as u64;
+    PassDelta {
+        dead_introduced: delta(dead_count(before), dead_count(after)),
+        duplicates_introduced: delta(duplicate_count(before), duplicate_count(after)),
+        constants_introduced: delta(constant_count(before), constant_count(after)),
+        structural_errors: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_aig::Edge;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 3);
+        let x = aig.xor(inputs[0], inputs[1]);
+        let y = aig.mux(inputs[2], x, inputs[0]);
+        aig.add_output(y, "f");
+        aig
+    }
+
+    #[test]
+    fn clean_graph_analyzes_clean() {
+        let report = Analyzer::new().analyze(&sample());
+        assert!(report.clean_at(Severity::Info), "{:?}", report.findings);
+        assert!(report.max_severity().is_none());
+        assert!(report.metrics.is_some());
+        assert!(report.render_table().contains("metrics:"));
+    }
+
+    #[test]
+    fn findings_sort_most_severe_first() {
+        let mut aig = sample();
+        // A dead node (warning) plus an out-of-range fanin (error).
+        let inputs: Vec<Edge> = (0..2).map(|i| aig.input_edge(i)).collect();
+        let dead = aig.and(!inputs[0], !inputs[1]);
+        let _ = dead;
+        let node = aig.ands().next().map(|(n, _, _)| n).unwrap();
+        let mut broken = aig.clone();
+        broken.set_fanin_unchecked(node, 0, Edge::from_code(9999));
+        let report = Analyzer::new().analyze(&broken);
+        assert_eq!(report.max_severity(), Some(Severity::Error));
+        assert!(report.metrics.is_none(), "broken graph skips metrics");
+        assert_eq!(
+            report.findings.first().map(|f| f.severity),
+            Some(Severity::Error)
+        );
+    }
+
+    #[test]
+    fn structurally_safe_defects_get_full_reports() {
+        let mut aig = sample();
+        let dead_edge = {
+            let inputs: Vec<Edge> = (0..2).map(|i| aig.input_edge(i)).collect();
+            aig.and(!inputs[0], !inputs[1])
+        };
+        let report = Analyzer::new().analyze(&aig);
+        assert_eq!(report.max_severity(), Some(Severity::Warning));
+        assert_eq!(report.count_at_least(Severity::Warning), 1);
+        assert_eq!(
+            report.findings[0].kind,
+            FindingKind::DeadNode {
+                node: dead_edge.node().index()
+            }
+        );
+        let json = report.to_json();
+        assert!(json.get("metrics").is_some());
+        assert_eq!(
+            json.get("findings")
+                .and_then(Json::as_array)
+                .map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn audit_passes_flag_introduced_defects() {
+        let before = sample();
+        assert!(audit_pass(&before, &before).is_clean());
+
+        // A "pass" that strands a cone and creates a constant node.
+        let mut after = before.clone();
+        let first_and = after.ands().next().map(|(n, _, _)| n).unwrap();
+        after.set_fanin_unchecked(first_and, 0, Edge::FALSE);
+        let delta = audit_pass(&before, &after);
+        assert!(!delta.is_clean());
+        assert!(delta.constants_introduced >= 1, "{delta}");
+        assert_eq!(delta.structural_errors, 0);
+
+        // A "pass" that corrupts the graph outright.
+        let mut broken = before.clone();
+        broken.set_fanin_unchecked(first_and, 1, Edge::from_code(40_000));
+        let delta = audit_pass(&before, &broken);
+        assert!(delta.structural_errors >= 1);
+    }
+
+    #[test]
+    fn severity_parses_and_orders() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!("warning".parse::<Severity>().unwrap(), Severity::Warning);
+        assert_eq!("warn".parse::<Severity>().unwrap(), Severity::Warning);
+        assert!("fatal".parse::<Severity>().is_err());
+    }
+}

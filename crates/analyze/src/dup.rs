@@ -1,0 +1,121 @@
+//! Structural-hash duplicate detection.
+//!
+//! `Aig::and` strashes new gates against the ordered fanin pair, so a
+//! graph built through the safe API never holds two ANDs with the same
+//! pair. Duplicates appear when a pass rebuilds structure by hand (or a
+//! bug bypasses strash) — each one is a gate the canonical form would
+//! not pay for. Fanin pairs are normalized (sorted by edge code) before
+//! hashing so a mirrored pair still collides.
+
+use std::collections::HashMap;
+
+use cirlearn_aig::Aig;
+
+use crate::finding::{Finding, FindingKind, Severity};
+
+fn normalized_pair(a: cirlearn_aig::Edge, b: cirlearn_aig::Edge) -> (u32, u32) {
+    let (x, y) = (a.code(), b.code());
+    if x <= y {
+        (x, y)
+    } else {
+        (y, x)
+    }
+}
+
+/// Reports every AND node whose (normalized) fanin pair already
+/// appeared at an earlier node — the later node is the redundant one.
+pub fn find_duplicates(aig: &Aig) -> Vec<Finding> {
+    let mut seen: HashMap<(u32, u32), usize> = HashMap::with_capacity(aig.and_count());
+    let mut findings = Vec::new();
+    for (node, a, b) in aig.ands() {
+        let key = normalized_pair(a, b);
+        match seen.entry(key) {
+            std::collections::hash_map::Entry::Occupied(first) => {
+                findings.push(Finding {
+                    analysis: "dup",
+                    severity: Severity::Warning,
+                    kind: FindingKind::DuplicateNode {
+                        node: node.index(),
+                        first: *first.get(),
+                    },
+                });
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(node.index());
+            }
+        }
+    }
+    findings
+}
+
+/// The number of duplicate AND nodes (the cheap form used by the pass
+/// audit).
+pub fn duplicate_count(aig: &Aig) -> usize {
+    let mut seen: HashMap<(u32, u32), ()> = HashMap::with_capacity(aig.and_count());
+    let mut duplicates = 0;
+    for (_, a, b) in aig.ands() {
+        if seen.insert(normalized_pair(a, b), ()).is_some() {
+            duplicates += 1;
+        }
+    }
+    duplicates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strashed_graphs_are_duplicate_free() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 3);
+        let a = aig.and(inputs[0], inputs[1]);
+        let b = aig.and(inputs[0], inputs[1]); // strash hit, same edge
+        assert_eq!(a, b);
+        let x = aig.xor(a, inputs[2]);
+        aig.add_output(x, "f");
+        assert!(find_duplicates(&aig).is_empty());
+        assert_eq!(duplicate_count(&aig), 0);
+    }
+
+    #[test]
+    fn injected_duplicate_pair_is_flagged() {
+        // Fault injection: rewire a distinct AND's fanins to exactly
+        // match an earlier node's pair, bypassing strash.
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 3);
+        let first = aig.and(inputs[0], inputs[1]);
+        let second = aig.and(inputs[1], inputs[2]);
+        let out = aig.and(first, second);
+        aig.add_output(out, "f");
+        assert!(find_duplicates(&aig).is_empty());
+
+        aig.set_fanin_unchecked(second.node(), 0, inputs[0]);
+        aig.set_fanin_unchecked(second.node(), 1, inputs[1]);
+        let findings = find_duplicates(&aig);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].kind,
+            FindingKind::DuplicateNode {
+                node: second.node().index(),
+                first: first.node().index(),
+            }
+        );
+        assert_eq!(duplicate_count(&aig), 1);
+    }
+
+    #[test]
+    fn mirrored_pair_counts_as_duplicate() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let first = aig.and(inputs[0], inputs[1]);
+        let second = aig.and(first, inputs[0]);
+        aig.add_output(second, "f");
+        // Swap the later node's fanins: same pair, mirrored order.
+        aig.set_fanin_unchecked(second.node(), 0, inputs[1]);
+        aig.set_fanin_unchecked(second.node(), 1, inputs[0]);
+        let findings = find_duplicates(&aig);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].node(), Some(second.node().index()));
+    }
+}

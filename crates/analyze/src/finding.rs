@@ -1,0 +1,187 @@
+//! Typed findings with node provenance and a unified severity scale.
+
+use std::fmt;
+
+use cirlearn_telemetry::json::Json;
+use cirlearn_verify::LintViolation;
+
+/// How serious a finding is. The order is total: `Info < Warning <
+/// Error`, so a `--deny warning` gate trips on warnings *and* errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observational: metrics-style facts worth surfacing, not defects.
+    Info,
+    /// The circuit computes the right thing wastefully (dead nodes,
+    /// duplicates, provable constants) — a missed optimization.
+    Warning,
+    /// The graph violates a structural invariant and is unsafe to
+    /// simulate or encode.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in tables, JSON and `--deny` flags.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Severity {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "info" => Ok(Severity::Info),
+            "warn" | "warning" => Ok(Severity::Warning),
+            "error" => Ok(Severity::Error),
+            other => Err(format!(
+                "unknown severity '{other}' (expected info|warning|error)"
+            )),
+        }
+    }
+}
+
+/// What an analysis concluded, with the node/output it anchors to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// Ternary propagation proved an AND node constant under all
+    /// assignments of the unconstrained inputs.
+    ConstantNode {
+        /// The provably constant AND node.
+        node: usize,
+        /// The constant value it always evaluates to.
+        value: bool,
+    },
+    /// Ternary propagation proved a primary output constant even though
+    /// it is driven by gate logic (a literal constant edge is fine).
+    ConstantOutput {
+        /// The output position.
+        output: usize,
+        /// The constant value the output always takes.
+        value: bool,
+    },
+    /// An AND node outside every output cone: it burns area (and
+    /// candidate-gate budget in the learner) without affecting any
+    /// output.
+    DeadNode {
+        /// The unreachable AND node.
+        node: usize,
+    },
+    /// Two ANDs compute the same function via an identical ordered
+    /// fanin pair — a structural-hashing miss.
+    DuplicateNode {
+        /// The later (redundant) AND node.
+        node: usize,
+        /// The earlier AND node with the identical fanin pair.
+        first: usize,
+    },
+    /// A node drives an unusually large number of fanins — fine
+    /// functionally, but a depth/congestion hotspot worth knowing about.
+    HighFanout {
+        /// The node with the large fanout.
+        node: usize,
+        /// How many fanin slots and outputs reference it.
+        fanout: usize,
+    },
+    /// A structural lint violation from `cirlearn-verify`, folded into
+    /// the unified severity scale.
+    Lint(LintViolation),
+}
+
+/// One analysis conclusion: which analysis produced it, how serious it
+/// is, and what it says.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Short name of the producing analysis (`ternary`, `dead`, `dup`,
+    /// `metrics`, `lint`).
+    pub analysis: &'static str,
+    /// Where the finding sits on the unified severity scale.
+    pub severity: Severity,
+    /// The typed conclusion.
+    pub kind: FindingKind,
+}
+
+impl Finding {
+    /// The node id the finding anchors to, if it anchors to a node
+    /// (constant-output findings anchor to an output position instead).
+    pub fn node(&self) -> Option<usize> {
+        match &self.kind {
+            FindingKind::ConstantNode { node, .. }
+            | FindingKind::DeadNode { node }
+            | FindingKind::DuplicateNode { node, .. }
+            | FindingKind::HighFanout { node, .. } => Some(*node),
+            FindingKind::ConstantOutput { .. } => None,
+            FindingKind::Lint(v) => Some(v.node()),
+        }
+    }
+
+    /// Serializes to the `--report` JSON form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("analysis", Json::from(self.analysis)),
+            ("severity", Json::from(self.severity.as_str())),
+            ("message", Json::from(self.to_string().as_str())),
+        ];
+        if let Some(node) = self.node() {
+            fields.push(("node", Json::from(node as u64)));
+        }
+        if let FindingKind::ConstantOutput { output, .. } = self.kind {
+            fields.push(("output", Json::from(output as u64)));
+        }
+        Json::object(fields)
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FindingKind::ConstantNode { node, value } => {
+                write!(f, "node {node}: provably constant {}", *value as u8)
+            }
+            FindingKind::ConstantOutput { output, value } => {
+                write!(
+                    f,
+                    "output {output}: gate logic provably constant {}",
+                    *value as u8
+                )
+            }
+            FindingKind::DeadNode { node } => {
+                write!(f, "node {node}: unreachable from every output")
+            }
+            FindingKind::DuplicateNode { node, first } => {
+                write!(f, "node {node}: duplicates node {first} (same fanin pair)")
+            }
+            FindingKind::HighFanout { node, fanout } => {
+                write!(f, "node {node}: fanout {fanout} exceeds the threshold")
+            }
+            FindingKind::Lint(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<LintViolation> for Finding {
+    fn from(v: LintViolation) -> Self {
+        // Structural violations make the graph unsafe to simulate or
+        // encode; everything else the linter reports is wasted area.
+        let severity = if v.is_structural() {
+            Severity::Error
+        } else {
+            Severity::Warning
+        };
+        Finding {
+            analysis: "lint",
+            severity,
+            kind: FindingKind::Lint(v),
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Static analysis over the AIG intermediate representation.
+//!
+//! The paper's pipeline validates circuits dynamically — simulation
+//! accuracy and SAT equivalence — so structural waste that preserves
+//! function (dead cones, duplicated gates, constant-provable nodes)
+//! only surfaces as a worse gate count. This crate closes that gap with
+//! *static* analyses that run in O(n) over the topologically ordered
+//! graph, no SAT calls:
+//!
+//! - a generic forward-dataflow engine ([`forward_fixpoint`]) over any
+//!   lattice an analysis chooses,
+//! - **ternary constant propagation** ([`TernaryAnalysis`]): 0/1/X
+//!   abstract simulation proving nodes and outputs constant,
+//! - **dead-node analysis** ([`find_dead`]): ANDs outside every output
+//!   cone,
+//! - **duplicate detection** ([`find_duplicates`]): structural-hash
+//!   misses (two ANDs with the same ordered fanin pair),
+//! - **structural metrics** ([`metrics`]): fanout, depth/levels and
+//!   output cone sizes, with a high-fanout finding.
+//!
+//! Every analysis emits typed [`Finding`]s with node provenance, and
+//! the [`Analyzer`] driver unifies them with the structural
+//! [`LintViolation`](cirlearn_verify::LintViolation)s from
+//! `cirlearn-verify` behind one [`Severity`] scale. Two consumers sit
+//! on top: the CLI's `analyze` subcommand (human table / `--report`
+//! JSON / `--deny` severity gate) and the synthesis pass harness, which
+//! runs [`audit_pass`] as a cheap pre-SAT gate flagging passes that
+//! *introduce* defects (counted under `analyze.*` telemetry counters).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataflow;
+mod dead;
+mod driver;
+mod dup;
+mod finding;
+mod metrics;
+mod ternary;
+
+pub use crate::dataflow::{forward_fixpoint, DataflowResult, ForwardAnalysis};
+pub use crate::dead::{find_dead, reachable_nodes};
+pub use crate::driver::{audit_pass, AnalyzeConfig, AnalyzeReport, Analyzer, PassDelta};
+pub use crate::dup::find_duplicates;
+pub use crate::finding::{Finding, FindingKind, Severity};
+pub use crate::metrics::{fanout_counts, find_high_fanout, metrics, AigMetrics};
+pub use crate::ternary::{find_ternary_constants, ternary_eval, Ternary, TernaryAnalysis};

@@ -1,0 +1,181 @@
+//! Structural metrics: fanout, levels, cone sizes.
+//!
+//! Pure observation — the one analysis that reports on healthy graphs
+//! too. Everything is Info-severity except nothing: the only finding it
+//! emits is `HighFanout`, and only past a configurable threshold.
+
+use cirlearn_aig::Aig;
+use cirlearn_telemetry::json::Json;
+
+use crate::dead::reachable_nodes;
+use crate::finding::{Finding, FindingKind, Severity};
+
+/// How many references (AND fanin slots plus primary outputs) point at
+/// each node, indexed by node id.
+pub fn fanout_counts(aig: &Aig) -> Vec<usize> {
+    let n = aig.node_count();
+    let mut counts = vec![0usize; n];
+    for (_, a, b) in aig.ands() {
+        for edge in [a, b] {
+            let index = edge.node().index();
+            if index < n {
+                counts[index] += 1;
+            }
+        }
+    }
+    for (edge, _) in aig.outputs() {
+        let index = edge.node().index();
+        if index < n {
+            counts[index] += 1;
+        }
+    }
+    counts
+}
+
+/// A structural snapshot of one AIG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AigMetrics {
+    /// Primary inputs.
+    pub num_inputs: usize,
+    /// Primary outputs.
+    pub num_outputs: usize,
+    /// Stored AND nodes (dead or alive).
+    pub and_count: usize,
+    /// AND nodes reachable from at least one output.
+    pub live_ands: usize,
+    /// Stored minus live: the dead-node count.
+    pub dead_ands: usize,
+    /// Longest input→output path in AND gates.
+    pub depth: usize,
+    /// The largest fanout in the graph and the node carrying it.
+    pub max_fanout: usize,
+    /// The node with the largest fanout (`None` for an empty graph).
+    pub max_fanout_node: Option<usize>,
+    /// Per-output cone sizes in AND gates.
+    pub output_cones: Vec<usize>,
+}
+
+impl AigMetrics {
+    /// Serializes to the `--report` JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::object([
+            ("inputs", Json::from(self.num_inputs as u64)),
+            ("outputs", Json::from(self.num_outputs as u64)),
+            ("ands", Json::from(self.and_count as u64)),
+            ("live_ands", Json::from(self.live_ands as u64)),
+            ("dead_ands", Json::from(self.dead_ands as u64)),
+            ("depth", Json::from(self.depth as u64)),
+            ("max_fanout", Json::from(self.max_fanout as u64)),
+            (
+                "output_cones",
+                Json::Array(
+                    self.output_cones
+                        .iter()
+                        .map(|&c| Json::from(c as u64))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Computes the structural snapshot of `aig`.
+pub fn metrics(aig: &Aig) -> AigMetrics {
+    let reachable = reachable_nodes(aig);
+    let live_ands = aig
+        .ands()
+        .filter(|(node, _, _)| reachable[node.index()])
+        .count();
+    let counts = fanout_counts(aig);
+    let (max_fanout_node, max_fanout) = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, &c)| (Some(i), c))
+        .unwrap_or((None, 0));
+    AigMetrics {
+        num_inputs: aig.num_inputs(),
+        num_outputs: aig.num_outputs(),
+        and_count: aig.and_count(),
+        live_ands,
+        dead_ands: aig.and_count() - live_ands,
+        depth: aig.depth(),
+        max_fanout,
+        max_fanout_node: if max_fanout == 0 {
+            None
+        } else {
+            max_fanout_node
+        },
+        output_cones: (0..aig.num_outputs())
+            .map(|position| aig.output_cone_size(position))
+            .collect(),
+    }
+}
+
+/// Emits an Info finding for every node whose fanout meets `threshold`.
+pub fn find_high_fanout(aig: &Aig, threshold: usize) -> Vec<Finding> {
+    fanout_counts(aig)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, fanout)| threshold > 0 && fanout >= threshold)
+        .map(|(node, fanout)| Finding {
+            analysis: "metrics",
+            severity: Severity::Info,
+            kind: FindingKind::HighFanout { node, fanout },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_of_a_small_circuit() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let x = aig.xor(inputs[0], inputs[1]);
+        aig.add_output(x, "f");
+        let m = metrics(&aig);
+        assert_eq!(m.num_inputs, 2);
+        assert_eq!(m.num_outputs, 1);
+        assert_eq!(m.and_count, 3);
+        assert_eq!(m.live_ands, 3);
+        assert_eq!(m.dead_ands, 0);
+        assert_eq!(m.depth, 2);
+        assert_eq!(m.output_cones, vec![3]);
+        // Each input feeds both first-level ANDs of the xor.
+        assert_eq!(m.max_fanout, 2);
+    }
+
+    #[test]
+    fn star_node_trips_the_fanout_threshold() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 5);
+        let hub = aig.and(inputs[0], inputs[1]);
+        for (i, &input) in inputs[2..].iter().enumerate() {
+            let leaf = aig.and(hub, input);
+            aig.add_output(leaf, format!("f{i}"));
+        }
+        let findings = find_high_fanout(&aig, 3);
+        assert!(findings
+            .iter()
+            .any(|f| f.node() == Some(hub.node().index())));
+        assert!(findings.iter().all(|f| f.severity == Severity::Info));
+        assert!(find_high_fanout(&aig, 100).is_empty());
+        assert!(find_high_fanout(&aig, 0).is_empty(), "0 disables the check");
+    }
+
+    #[test]
+    fn dead_ands_show_up_in_the_snapshot() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let live = aig.and(inputs[0], inputs[1]);
+        let _dead = aig.and(live, !inputs[0]);
+        aig.add_output(live, "f");
+        let m = metrics(&aig);
+        assert_eq!(m.and_count, 2);
+        assert_eq!(m.live_ands, 1);
+        assert_eq!(m.dead_ands, 1);
+    }
+}

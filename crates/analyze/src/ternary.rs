@@ -1,0 +1,260 @@
+//! Ternary (0/1/X) constant propagation.
+//!
+//! The value domain is the flat three-point lattice `{0, 1, X}`: a node
+//! is `Zero`/`One` when it provably takes that value under *every*
+//! assignment of the unconstrained (`X`) inputs, and `X` otherwise.
+//! The transfer functions are Kleene's strong three-valued logic:
+//! `0 ∧ v = 0` even when `v = X`, so constants propagate through
+//! dominated gates arbitrarily deep into the cone.
+//!
+//! The analysis is sound but (deliberately) incomplete: it is pointwise
+//! per node, so it cannot prove `x ∧ ¬x = 0` — that reconvergent case
+//! is the linter's `TrivialAnd` and the SAT layer's job. Soundness
+//! w.r.t. concrete simulation is property-tested in
+//! `tests/ternary_props.rs`.
+
+use cirlearn_aig::Aig;
+
+use crate::dataflow::{forward_fixpoint, ForwardAnalysis};
+use crate::dead::reachable_nodes;
+use crate::finding::{Finding, FindingKind, Severity};
+
+/// A value in the three-point lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ternary {
+    /// Provably 0 under all assignments of the X inputs.
+    Zero,
+    /// Provably 1 under all assignments of the X inputs.
+    One,
+    /// Not provably constant.
+    X,
+}
+
+/// Kleene negation: flips constants, preserves X.
+impl std::ops::Not for Ternary {
+    type Output = Ternary;
+
+    fn not(self) -> Ternary {
+        match self {
+            Ternary::Zero => Ternary::One,
+            Ternary::One => Ternary::Zero,
+            Ternary::X => Ternary::X,
+        }
+    }
+}
+
+impl Ternary {
+    /// Kleene conjunction: 0 dominates even an X operand.
+    pub fn and(self, other: Ternary) -> Ternary {
+        match (self, other) {
+            (Ternary::Zero, _) | (_, Ternary::Zero) => Ternary::Zero,
+            (Ternary::One, Ternary::One) => Ternary::One,
+            _ => Ternary::X,
+        }
+    }
+
+    /// The constant this value proves, if any.
+    pub fn const_value(self) -> Option<bool> {
+        match self {
+            Ternary::Zero => Some(false),
+            Ternary::One => Some(true),
+            Ternary::X => None,
+        }
+    }
+
+    /// Does concrete `bit` refine this abstract value?
+    pub fn admits(self, bit: bool) -> bool {
+        match self {
+            Ternary::Zero => !bit,
+            Ternary::One => bit,
+            Ternary::X => true,
+        }
+    }
+}
+
+impl From<bool> for Ternary {
+    fn from(b: bool) -> Self {
+        if b {
+            Ternary::One
+        } else {
+            Ternary::Zero
+        }
+    }
+}
+
+/// Ternary constant propagation as a [`ForwardAnalysis`]: input values
+/// are supplied per run (all-X to ask "which nodes are constant no
+/// matter what", or partially pinned to specialize a cone).
+#[derive(Debug, Clone)]
+pub struct TernaryAnalysis {
+    inputs: Vec<Ternary>,
+}
+
+impl TernaryAnalysis {
+    /// Every input unconstrained: the fixpoint marks exactly the nodes
+    /// that are constant under all assignments.
+    pub fn unconstrained(num_inputs: usize) -> Self {
+        TernaryAnalysis {
+            inputs: vec![Ternary::X; num_inputs],
+        }
+    }
+
+    /// Inputs pinned to the given ternary vector.
+    pub fn with_inputs(inputs: Vec<Ternary>) -> Self {
+        TernaryAnalysis { inputs }
+    }
+}
+
+impl ForwardAnalysis for TernaryAnalysis {
+    type Value = Ternary;
+
+    fn constant_false(&self) -> Ternary {
+        Ternary::Zero
+    }
+
+    fn input(&self, position: usize) -> Ternary {
+        self.inputs.get(position).copied().unwrap_or(Ternary::X)
+    }
+
+    fn complement(&self, value: &Ternary) -> Ternary {
+        !*value
+    }
+
+    fn and(&self, a: &Ternary, b: &Ternary) -> Ternary {
+        a.and(*b)
+    }
+}
+
+/// Evaluates `aig` under a ternary input vector, returning one value
+/// per node. The building block for both [`find_ternary_constants`] and
+/// the soundness property tests.
+pub fn ternary_eval(aig: &Aig, inputs: &[Ternary]) -> Vec<Ternary> {
+    let analysis = TernaryAnalysis::with_inputs(inputs.to_vec());
+    let result = forward_fixpoint(aig, &analysis);
+    result.values().to_vec()
+}
+
+/// Runs unconstrained ternary propagation and reports every *live* AND
+/// node that is provably constant, plus every output whose gate logic
+/// is provably constant. Dead constant nodes are already covered by the
+/// dead-node analysis; outputs wired literally to the constant node are
+/// intentional (a learned constant function) and not reported.
+pub fn find_ternary_constants(aig: &Aig) -> Vec<Finding> {
+    let analysis = TernaryAnalysis::unconstrained(aig.num_inputs());
+    let result = forward_fixpoint(aig, &analysis);
+    let reachable = reachable_nodes(aig);
+    let mut findings = Vec::new();
+    for (node, _, _) in aig.ands() {
+        if !reachable[node.index()] {
+            continue;
+        }
+        if let Some(value) = result.value(node).const_value() {
+            findings.push(Finding {
+                analysis: "ternary",
+                severity: Severity::Warning,
+                kind: FindingKind::ConstantNode {
+                    node: node.index(),
+                    value,
+                },
+            });
+        }
+    }
+    for (position, (edge, _)) in aig.outputs().iter().enumerate() {
+        if edge.is_const() {
+            continue; // literal constant outputs are intentional
+        }
+        if let Some(value) = result.edge_value(&analysis, *edge).const_value() {
+            findings.push(Finding {
+                analysis: "ternary",
+                severity: Severity::Warning,
+                kind: FindingKind::ConstantOutput {
+                    output: position,
+                    value,
+                },
+            });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cirlearn_aig::{Edge, NodeId};
+
+    #[test]
+    fn kleene_tables() {
+        use Ternary::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(One), One);
+        assert_eq!(One.and(X), X);
+        assert_eq!(!X, X);
+        assert_eq!(!Zero, One);
+        assert!(X.admits(true) && X.admits(false));
+        assert!(One.admits(true) && !One.admits(false));
+    }
+
+    #[test]
+    fn clean_circuit_has_no_constant_findings() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let x = aig.xor(inputs[0], inputs[1]);
+        aig.add_output(x, "f");
+        assert!(find_ternary_constants(&aig).is_empty());
+    }
+
+    #[test]
+    fn injected_constant_fanin_propagates_through_the_cone() {
+        // Build x&y feeding (x&y)&z, then corrupt the deep node's fanin
+        // to constant false: both the corrupted node and nothing else
+        // must be flagged, and the output driven by it becomes constant.
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 3);
+        let xy = aig.and(inputs[0], inputs[1]);
+        let xyz = aig.and(xy, inputs[2]);
+        aig.add_output(xyz, "f");
+        assert!(find_ternary_constants(&aig).is_empty());
+
+        aig.set_fanin_unchecked(xy.node(), 1, Edge::FALSE);
+        let findings = find_ternary_constants(&aig);
+        let constant_nodes: Vec<usize> = findings
+            .iter()
+            .filter_map(|f| match f.kind {
+                FindingKind::ConstantNode { node, .. } => Some(node),
+                _ => None,
+            })
+            .collect();
+        // The corrupted node AND its downstream consumer are both
+        // provably zero: the constant propagated through the cone.
+        assert_eq!(constant_nodes, vec![xy.node().index(), xyz.node().index()]);
+        assert!(findings.iter().any(|f| matches!(
+            f.kind,
+            FindingKind::ConstantOutput {
+                output: 0,
+                value: false
+            }
+        )));
+    }
+
+    #[test]
+    fn literal_constant_output_is_not_reported() {
+        let mut aig = Aig::new();
+        let _ = aig.add_inputs("x", 1);
+        aig.add_output(Edge::TRUE, "always");
+        assert!(find_ternary_constants(&aig).is_empty());
+    }
+
+    #[test]
+    fn pinned_inputs_specialize_the_cone() {
+        let mut aig = Aig::new();
+        let inputs = aig.add_inputs("x", 2);
+        let x = aig.and(inputs[0], inputs[1]);
+        aig.add_output(x, "f");
+        let values = ternary_eval(&aig, &[Ternary::Zero, Ternary::X]);
+        assert_eq!(values[x.node().index()], Ternary::Zero);
+        let values = ternary_eval(&aig, &[Ternary::One, Ternary::X]);
+        assert_eq!(values[x.node().index()], Ternary::X);
+        assert_eq!(values[NodeId::CONST.index()], Ternary::Zero);
+    }
+}

@@ -1,0 +1,147 @@
+//! Fault-injection self-tests: each analysis must catch its defect
+//! class when injected through the `cirlearn-verify`-style unchecked
+//! mutators (`set_fanin_unchecked` / `set_output_unchecked`), driven
+//! through the full `Analyzer` driver rather than the analysis
+//! functions in isolation.
+
+use cirlearn_aig::{Aig, Edge};
+use cirlearn_analyze::{AnalyzeConfig, Analyzer, Finding, FindingKind, Severity};
+
+/// A healthy little circuit: two outputs over shared logic.
+fn healthy() -> Aig {
+    let mut aig = Aig::new();
+    let inputs = aig.add_inputs("x", 4);
+    let a = aig.and(inputs[0], inputs[1]);
+    let b = aig.xor(a, inputs[2]);
+    let c = aig.mux(inputs[3], b, a);
+    aig.add_output(b, "f");
+    aig.add_output(c, "g");
+    aig
+}
+
+fn findings_of(aig: &Aig) -> Vec<Finding> {
+    Analyzer::new().analyze(aig).findings
+}
+
+#[test]
+fn healthy_circuit_is_clean_at_default_severity() {
+    let report = Analyzer::new().analyze(&healthy());
+    assert!(
+        report.clean_at(Severity::Warning),
+        "unexpected findings: {:?}",
+        report.findings
+    );
+}
+
+#[test]
+fn injected_dead_cone_is_caught_by_the_dead_analysis() {
+    let mut aig = healthy();
+    // Redirect output 1 at an input: its private cone goes dead.
+    aig.set_output_unchecked(1, aig.input_edge(0));
+    let findings = findings_of(&aig);
+    let dead: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| matches!(f.kind, FindingKind::DeadNode { .. }))
+        .collect();
+    assert!(!dead.is_empty(), "dead analysis missed the stranded cone");
+    assert!(dead
+        .iter()
+        .all(|f| f.analysis == "dead" && f.severity == Severity::Warning));
+}
+
+#[test]
+fn injected_duplicate_pair_is_caught_by_the_dup_analysis() {
+    let mut aig = healthy();
+    // Rewire the last AND to recompute the first AND's fanin pair.
+    let (first, a0, a1) = aig.ands().next().unwrap();
+    let last = aig.ands().last().map(|(n, _, _)| n).unwrap();
+    aig.set_fanin_unchecked(last, 0, a0);
+    aig.set_fanin_unchecked(last, 1, a1);
+    let findings = findings_of(&aig);
+    assert!(
+        findings.iter().any(|f| f.analysis == "dup"
+            && f.kind
+                == FindingKind::DuplicateNode {
+                    node: last.index(),
+                    first: first.index(),
+                }),
+        "dup analysis missed the injected duplicate: {findings:?}"
+    );
+}
+
+#[test]
+fn injected_constant_fanin_is_caught_by_ternary_propagation() {
+    let mut aig = healthy();
+    let (first, _, _) = aig.ands().next().unwrap();
+    aig.set_fanin_unchecked(first, 0, Edge::FALSE);
+    let findings = findings_of(&aig);
+    assert!(
+        findings.iter().any(|f| f.analysis == "ternary"
+            && matches!(f.kind, FindingKind::ConstantNode { node, value: false } if node == first.index())),
+        "ternary analysis missed the injected constant: {findings:?}"
+    );
+}
+
+#[test]
+fn fanout_hotspot_is_caught_by_the_metrics_analysis() {
+    let mut aig = Aig::new();
+    let inputs = aig.add_inputs("x", 6);
+    let hub = aig.and(inputs[0], inputs[1]);
+    for (i, &input) in inputs[2..].iter().enumerate() {
+        let leaf = aig.and(hub, input);
+        aig.add_output(leaf, format!("f{i}"));
+    }
+    let analyzer = Analyzer::with_config(AnalyzeConfig {
+        fanout_threshold: 4,
+        ..AnalyzeConfig::default()
+    });
+    let report = analyzer.analyze(&aig);
+    assert!(
+        report.findings.iter().any(|f| f.analysis == "metrics"
+            && matches!(f.kind, FindingKind::HighFanout { node, fanout }
+                if node == hub.node().index() && fanout >= 4)),
+        "metrics analysis missed the fanout hotspot: {:?}",
+        report.findings
+    );
+    // Info findings never trip the default (warning) gate.
+    assert!(report.clean_at(Severity::Warning));
+    assert!(!report.clean_at(Severity::Info));
+}
+
+#[test]
+fn structural_corruption_is_caught_by_the_lint_layer() {
+    let mut aig = healthy();
+    let (first, _, _) = aig.ands().next().unwrap();
+    aig.set_fanin_unchecked(first, 0, Edge::from_code(40_000));
+    let report = Analyzer::new().analyze(&aig);
+    assert_eq!(report.max_severity(), Some(Severity::Error));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.analysis == "lint" && f.severity == Severity::Error));
+    // On a structurally unsafe graph the semantic analyses must stand
+    // down rather than walk out-of-range fanins.
+    assert!(report.metrics.is_none());
+}
+
+#[test]
+fn cleanup_removes_everything_the_analyses_flag() {
+    // The export path's guarantee: after `Aig::cleanup()` the graph is
+    // analyze-clean at the default severity even if the in-memory
+    // source accumulated dead cones.
+    let mut aig = healthy();
+    let stranded = {
+        let a = aig.input_edge(0);
+        let b = aig.input_edge(3);
+        aig.and(!a, !b)
+    };
+    let _ = stranded;
+    assert!(!Analyzer::new().analyze(&aig).clean_at(Severity::Warning));
+    let cleaned = aig.cleanup();
+    let report = Analyzer::new().analyze(&cleaned);
+    assert!(
+        report.clean_at(Severity::Warning),
+        "cleanup left analyzable waste: {:?}",
+        report.findings
+    );
+}

@@ -13,6 +13,8 @@
 //! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
 //! cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check off|lint|sim|sat]
 //! cirlearn lint <input.aag> [...] [--allow-dangling]
+//! cirlearn analyze <input.aag> [...] [--deny info|warning|error]
+//!                [--report out.json] [--fanout-threshold N]
 //! cirlearn stats <input.aag>
 //! ```
 //!
@@ -30,7 +32,14 @@
 //! over standalone AIGER files and exits nonzero on any violation
 //! (`--allow-dangling` tolerates unreferenced AND nodes, which foreign
 //! exporters sometimes leave behind; files written by this CLI are
-//! compacted and pass the strict check).
+//! compacted and pass the strict check). `analyze` goes further than
+//! `lint`: on top of the structural checks it runs the
+//! `cirlearn-analyze` dataflow suite — ternary constant propagation,
+//! dead-node detection, duplicate detection and structural metrics —
+//! prints a severity-ordered findings table, optionally writes a JSON
+//! report, and exits nonzero when any finding reaches the `--deny`
+//! severity (default `warning`), making it a drop-in CI quality gate
+//! for exported circuits.
 //!
 //! Fault tolerance: `learn-bb` wraps the external process in a
 //! [`cirlearn_oracle::ResilientOracle`] — `--oracle-timeout` arms a
@@ -92,6 +101,8 @@ const USAGE: &str = "usage:
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
   cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check LEVEL]
   cirlearn lint <input.aag> [...] [--allow-dangling]
+  cirlearn analyze <input.aag> [...] [--deny info|warning|error]
+                 [--report out.json] [--fanout-threshold N]
   cirlearn stats <input.aag>";
 
 /// Minimal flag parser: returns positional arguments and a lookup for
@@ -159,6 +170,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gen" => cmd_gen(rest),
         "opt" => cmd_opt(rest),
         "lint" => cmd_lint(rest),
+        "analyze" => cmd_analyze(rest),
         "stats" => cmd_stats(rest),
         other => Err(format!("unknown subcommand {other}")),
     }
@@ -601,6 +613,84 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
     if dirty > 0 {
         return Err(format!(
             "{dirty} of {} file(s) failed lint",
+            opts.positional.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the full static-analysis suite (`cirlearn-analyze`) over one or
+/// more AIGER files: structural lint plus ternary constant propagation,
+/// dead-node and duplicate detection, and structural metrics.
+///
+/// Prints a severity-ordered findings table per file, writes a combined
+/// JSON report when `--report <path>` is given, and fails (nonzero
+/// exit) when any finding reaches the `--deny` severity (default
+/// `warning`; `--deny error` tolerates waste but not corruption,
+/// `--deny info` is the strictest gate).
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    use cirlearn_analyze::{AnalyzeConfig, Analyzer, Severity};
+    use cirlearn_telemetry::json::Json;
+
+    let opts = Opts::parse(args, &["deny", "report", "fanout-threshold"])?;
+    if opts.positional.is_empty() {
+        return Err("analyze expects one or more input files".to_owned());
+    }
+    let deny = match opts.value("deny") {
+        None => Severity::Warning,
+        Some(v) => v.parse().map_err(|e| format!("--deny: {e}"))?,
+    };
+    let config = AnalyzeConfig {
+        fanout_threshold: opts.number(
+            "fanout-threshold",
+            AnalyzeConfig::default().fanout_threshold,
+        )?,
+        ..AnalyzeConfig::default()
+    };
+    let analyzer = Analyzer::with_config(config);
+
+    let mut dirty = 0usize;
+    let mut file_reports: Vec<Json> = Vec::new();
+    for path in &opts.positional {
+        let aig = read_aig(path)?;
+        let report = analyzer.analyze(&aig);
+        let denied = report.count_at_least(deny);
+        if denied == 0 {
+            eprintln!(
+                "{path}: clean at --deny {deny} ({} finding(s) below the gate)",
+                report.findings.len()
+            );
+        } else {
+            dirty += 1;
+            println!("{path}: {denied} finding(s) at or above {deny}");
+        }
+        print!("{}", report.render_table());
+        if opts.value("report").is_some() {
+            let mut fields = vec![
+                ("path", Json::from(path.as_str())),
+                (
+                    "findings",
+                    Json::Array(report.findings.iter().map(|f| f.to_json()).collect()),
+                ),
+            ];
+            if let Some(m) = &report.metrics {
+                fields.push(("metrics", m.to_json()));
+            }
+            file_reports.push(Json::object(fields));
+        }
+    }
+    if let Some(path) = opts.value("report") {
+        let json = Json::object([
+            ("schema_version", Json::from(1u64)),
+            ("deny", Json::from(deny.as_str())),
+            ("files", Json::Array(file_reports)),
+        ]);
+        write_file(path, &json.to_pretty())?;
+        eprintln!("wrote {path}");
+    }
+    if dirty > 0 {
+        return Err(format!(
+            "{dirty} of {} file(s) failed analysis at --deny {deny}",
             opts.positional.len()
         ));
     }

@@ -83,6 +83,21 @@ fn gen_learn_eval_roundtrip() {
         .expect("run opt");
     assert!(out.status.success());
 
+    // Both export paths (gen and learn -o) are analyze-clean at the
+    // default severity gate.
+    let out = bin()
+        .arg("analyze")
+        .arg(&hidden)
+        .arg(&learned)
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "exported circuits failed analyze: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -233,6 +248,85 @@ fn lint_accepts_clean_files_and_rejects_dangling_nodes() {
     assert!(
         out.status.success(),
         "--allow-dangling must accept the file: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn analyze_gates_on_severity_and_writes_a_report() {
+    use cirlearn_telemetry::json::Json;
+
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-analyze-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let clean = dir.join("clean.aag");
+    let dangling = dir.join("dangling.aag");
+    let report = dir.join("analysis.json");
+
+    let out = bin()
+        .args(["gen", "data", "12", "2", "--seed", "5", "-o"])
+        .arg(&clean)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+
+    // A generated circuit is clean at the default (warning) gate.
+    let out = bin()
+        .arg("analyze")
+        .arg(&clean)
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "analyze rejected a generated circuit: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"));
+
+    // Hand-written file with a dead AND: the parser accepts it, the
+    // dead analysis must flag it, and the default gate must trip.
+    std::fs::write(&dangling, "aag 3 2 0 1 1\n2\n4\n2\n6 2 4\n").expect("write aag");
+    let out = bin()
+        .arg("analyze")
+        .arg(&dangling)
+        .arg("--report")
+        .arg(&report)
+        .output()
+        .expect("run analyze");
+    assert!(!out.status.success(), "dead AND must fail the default gate");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unreachable from every output"), "{stdout}");
+
+    // The JSON report names the file, the finding and the metrics.
+    let text = std::fs::read_to_string(&report).expect("report written");
+    let json = Json::parse(&text).expect("report is valid JSON");
+    let files = json
+        .get("files")
+        .and_then(Json::as_array)
+        .expect("files array");
+    assert_eq!(files.len(), 1);
+    let findings = files[0]
+        .get("findings")
+        .and_then(Json::as_array)
+        .expect("findings array");
+    assert!(!findings.is_empty());
+    assert_eq!(
+        findings[0].get("analysis").and_then(Json::as_str),
+        Some("dead")
+    );
+    assert!(files[0].get("metrics").is_some(), "{text}");
+
+    // Raising the gate to `error` tolerates the waste.
+    let out = bin()
+        .args(["analyze", "--deny", "error"])
+        .arg(&dangling)
+        .output()
+        .expect("run analyze");
+    assert!(
+        out.status.success(),
+        "--deny error must tolerate warnings: {}",
         String::from_utf8_lossy(&out.stdout)
     );
 

@@ -14,6 +14,16 @@
 //! snapshot and are approximate under concurrent writes — exact once
 //! the writers are done, which is when reports are taken.
 //!
+//! # Publication discipline
+//!
+//! Readers may run concurrently with writers, so the writer updates
+//! `min`/`max`/buckets/`sum` **before** bumping `count`, and readers
+//! gate on `count` first. A reader that observes `count > 0` therefore
+//! never sees the `u64::MAX` min sentinel of an empty histogram. This
+//! ordering is model-checked by the loom tests in
+//! `crates/telemetry/tests/loom_histogram.rs`, which instantiate the
+//! generic [`RawHistogram`] with loom's scheduling-point atomics.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +40,10 @@
 //! assert!((437..=563).contains(&p50), "p50 estimate {p50}");
 //! ```
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::json::Json;
+use crate::sync::{Atomic64, DefaultAtomic64};
 
 /// Linear sub-buckets per base-2 octave (8 → ≤ 12.5% bucket width).
 pub const SUB_BUCKETS: u64 = 8;
@@ -72,37 +82,49 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     (SUB_BUCKETS + sub) << octave
 }
 
-/// A mergeable log-bucketed histogram with lock-free recording.
+/// A mergeable log-bucketed histogram, generic over its atomic type and
+/// bucket count so the exact production code path can be instantiated
+/// with loom's model-checked atomics (and a small `N` to keep the
+/// schedule space tractable). Use the [`Histogram`] alias everywhere
+/// outside concurrency tests.
+///
+/// With `N < NUM_BUCKETS`, values past the last bucket clamp into it;
+/// `N` must not exceed [`NUM_BUCKETS`].
 #[derive(Debug)]
-pub struct Histogram {
-    buckets: Box<[AtomicU64; NUM_BUCKETS]>,
-    count: AtomicU64,
-    sum: AtomicU64,
-    min: AtomicU64,
-    max: AtomicU64,
+pub struct RawHistogram<A = DefaultAtomic64, const N: usize = NUM_BUCKETS> {
+    buckets: Box<[A; N]>,
+    count: A,
+    sum: A,
+    min: A,
+    max: A,
 }
 
-impl Default for Histogram {
+/// The production histogram: full bucket range over `std` atomics
+/// (loom atomics when built with `--cfg loom`).
+pub type Histogram = RawHistogram<DefaultAtomic64, NUM_BUCKETS>;
+
+impl<A: Atomic64, const N: usize> Default for RawHistogram<A, N> {
     fn default() -> Self {
-        Histogram::new()
+        RawHistogram::new()
     }
 }
 
-impl Histogram {
+impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
     /// An empty histogram.
     pub fn new() -> Self {
-        // `AtomicU64` is not Copy; build the array through a Vec.
-        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
-        let buckets: Box<[AtomicU64; NUM_BUCKETS]> = buckets
-            .into_boxed_slice()
-            .try_into()
-            .expect("length matches NUM_BUCKETS");
-        Histogram {
+        assert!(N > 0 && N <= NUM_BUCKETS, "bucket count {N} out of range");
+        // Atomics are not Copy; build the array through a Vec.
+        let buckets: Vec<A> = (0..N).map(|_| A::new(0)).collect();
+        let buckets: Box<[A; N]> = match buckets.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("length matches N"),
+        };
+        RawHistogram {
             buckets,
-            count: AtomicU64::new(0),
-            sum: AtomicU64::new(0),
-            min: AtomicU64::new(u64::MAX),
-            max: AtomicU64::new(0),
+            count: A::new(0),
+            sum: A::new(0),
+            min: A::new(u64::MAX),
+            max: A::new(0),
         }
     }
 
@@ -117,12 +139,14 @@ impl Histogram {
         if n == 0 {
             return;
         }
-        self.buckets[bucket_of(value)].fetch_add(n, Ordering::Relaxed);
-        self.count.fetch_add(n, Ordering::Relaxed);
-        self.sum
-            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        // Publication order: extrema and buckets first, `count` last.
+        // Readers gate on `count`, so once they see these samples in the
+        // count, min/max are already past their empty-histogram sentinels.
+        self.min.fetch_min(value);
+        self.max.fetch_max(value);
+        self.buckets[bucket_of(value).min(N - 1)].fetch_add(n);
+        self.sum.fetch_add(value.saturating_mul(n));
+        self.count.fetch_add(n);
     }
 
     /// Records a duration as nanoseconds (saturating at `u64::MAX`,
@@ -133,27 +157,34 @@ impl Histogram {
 
     /// Number of recorded samples.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load()
     }
 
     /// Sum of all samples (saturating).
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.sum.load()
     }
 
     /// Smallest recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
-        let v = self.min.load(Ordering::Relaxed);
-        if v == u64::MAX && self.count() == 0 {
+        // Check `count` before touching `min`: the writer publishes count
+        // last, so a nonzero count guarantees the sentinel was replaced.
+        // (Reading `min` first raced: the writer could complete between
+        // the two loads and the stale u64::MAX sentinel leaked out.)
+        if self.count() == 0 {
+            return 0;
+        }
+        let v = self.min.load();
+        if v == u64::MAX {
             0
         } else {
             v
         }
     }
 
-    /// Largest recorded sample (exact, not bucketed).
+    /// Largest recorded sample (exact, not bucketed; 0 when empty).
     pub fn max(&self) -> u64 {
-        self.max.load(Ordering::Relaxed)
+        self.max.load()
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), reported as the lower bound
@@ -174,7 +205,7 @@ impl Histogram {
         }
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+            seen += b.load();
             if seen >= rank {
                 // Cap at the exact max: the top bucket's lower bound
                 // can never exceed the largest sample, but intermediate
@@ -187,22 +218,20 @@ impl Histogram {
 
     /// Adds every sample of `other` into `self` — equivalent (bucket
     /// for bucket) to having recorded the union of both sample sets.
-    pub fn merge(&self, other: &Histogram) {
+    pub fn merge<B: Atomic64>(&self, other: &RawHistogram<B, N>) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = theirs.load(Ordering::Relaxed);
+            let n = theirs.load();
             if n > 0 {
-                mine.fetch_add(n, Ordering::Relaxed);
+                mine.fetch_add(n);
             }
         }
-        let n = other.count.load(Ordering::Relaxed);
+        let n = other.count.load();
         if n > 0 {
-            self.count.fetch_add(n, Ordering::Relaxed);
-            self.sum
-                .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.min
-                .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
-            self.max
-                .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+            // Same publication order as `record_n`: count strictly last.
+            self.sum.fetch_add(other.sum.load());
+            self.min.fetch_min(other.min.load());
+            self.max.fetch_max(other.max.load());
+            self.count.fetch_add(n);
         }
     }
 
@@ -220,9 +249,9 @@ impl Histogram {
     }
 }
 
-impl Clone for Histogram {
+impl<A: Atomic64, const N: usize> Clone for RawHistogram<A, N> {
     fn clone(&self) -> Self {
-        let h = Histogram::new();
+        let h = RawHistogram::new();
         h.merge(self);
         h
     }
@@ -329,10 +358,27 @@ mod tests {
     fn empty_histogram_is_all_zeros() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);
-        assert_eq!(h.min(), 0);
+        assert_eq!(h.min(), 0, "empty min must be 0, not the u64::MAX sentinel");
         assert_eq!(h.max(), 0);
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn empty_histogram_min_survives_merge_and_clone() {
+        // Merging an empty histogram (whose internal min is the
+        // u64::MAX sentinel) must not poison the destination's min,
+        // and empty clones must still report 0.
+        let dst = Histogram::new();
+        let empty = Histogram::new();
+        dst.merge(&empty);
+        assert_eq!(dst.min(), 0);
+        assert_eq!(dst.max(), 0);
+        assert_eq!(empty.clone().min(), 0);
+        dst.record(42);
+        dst.merge(&empty);
+        assert_eq!(dst.min(), 42, "empty merge must not disturb a real min");
+        assert_eq!(dst.summary().min, 42);
     }
 
     #[test]
@@ -431,5 +477,18 @@ mod tests {
         b.record(9);
         assert_eq!(a.count(), 1);
         assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn small_raw_histogram_clamps_into_its_top_bucket() {
+        // The loom tests use a tiny bucket count; values past the last
+        // bucket must clamp, not index out of range.
+        let h: RawHistogram<std::sync::atomic::AtomicU64, 4> = RawHistogram::new();
+        h.record(2);
+        h.record(1_000_000);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 2);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.quantile(1.0), 1_000_000);
     }
 }

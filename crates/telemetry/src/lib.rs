@@ -36,14 +36,16 @@ pub mod histogram;
 pub mod json;
 mod report;
 mod reporter;
+pub mod sync;
 mod telemetry;
 mod trace;
 
-pub use crate::histogram::{Histogram, HistogramSummary};
+pub use crate::histogram::{Histogram, HistogramSummary, RawHistogram};
 pub use crate::report::{
     CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport, StageReport,
     SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
+pub use crate::sync::Atomic64;
 pub use crate::telemetry::{counters, histograms, HistogramHandle, Span, Telemetry};
 pub use crate::trace::{SharedBuffer, TraceWriter};

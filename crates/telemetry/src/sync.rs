@@ -1,0 +1,83 @@
+//! Atomics abstraction so the lock-free histogram can run both on real
+//! `std::sync::atomic` types and under the `loom` model checker.
+//!
+//! [`Histogram`](crate::Histogram) performs only relaxed loads and
+//! read-modify-write ops, captured here as the [`Atomic64`] trait. The
+//! production build instantiates it with [`std::sync::atomic::AtomicU64`];
+//! the concurrency tests instantiate it with `loom::sync::atomic::AtomicU64`,
+//! whose every operation is a scheduling point the model checker branches on.
+//! Building the whole crate with `RUSTFLAGS="--cfg loom"` flips the default
+//! atomic ([`DefaultAtomic64`]) to the loom type.
+
+use std::sync::atomic::Ordering;
+
+/// The 64-bit atomic operations the histogram needs. All operations use
+/// relaxed ordering: the histogram is a commutative accumulator whose
+/// invariants do not depend on inter-variable ordering beyond what the
+/// publication discipline in `record_n`/`merge` provides.
+pub trait Atomic64: Send + Sync {
+    /// A new atomic holding `value`.
+    fn new(value: u64) -> Self;
+    /// Relaxed load.
+    fn load(&self) -> u64;
+    /// Relaxed wrapping add; returns the previous value.
+    fn fetch_add(&self, delta: u64) -> u64;
+    /// Relaxed minimum; returns the previous value.
+    fn fetch_min(&self, value: u64) -> u64;
+    /// Relaxed maximum; returns the previous value.
+    fn fetch_max(&self, value: u64) -> u64;
+}
+
+impl Atomic64 for std::sync::atomic::AtomicU64 {
+    fn new(value: u64) -> Self {
+        std::sync::atomic::AtomicU64::new(value)
+    }
+
+    fn load(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    fn fetch_add(&self, delta: u64) -> u64 {
+        self.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    fn fetch_min(&self, value: u64) -> u64 {
+        self.fetch_min(value, Ordering::Relaxed)
+    }
+
+    fn fetch_max(&self, value: u64) -> u64 {
+        self.fetch_max(value, Ordering::Relaxed)
+    }
+}
+
+impl Atomic64 for loom::sync::atomic::AtomicU64 {
+    fn new(value: u64) -> Self {
+        loom::sync::atomic::AtomicU64::new(value)
+    }
+
+    fn load(&self) -> u64 {
+        self.load(Ordering::Relaxed)
+    }
+
+    fn fetch_add(&self, delta: u64) -> u64 {
+        self.fetch_add(delta, Ordering::Relaxed)
+    }
+
+    fn fetch_min(&self, value: u64) -> u64 {
+        self.fetch_min(value, Ordering::Relaxed)
+    }
+
+    fn fetch_max(&self, value: u64) -> u64 {
+        self.fetch_max(value, Ordering::Relaxed)
+    }
+}
+
+/// The atomic type backing [`Histogram`](crate::Histogram): the real
+/// `std` atomic normally, the loom model-checked atomic under `--cfg loom`.
+#[cfg(not(loom))]
+pub type DefaultAtomic64 = std::sync::atomic::AtomicU64;
+
+/// The atomic type backing [`Histogram`](crate::Histogram): the real
+/// `std` atomic normally, the loom model-checked atomic under `--cfg loom`.
+#[cfg(loom)]
+pub type DefaultAtomic64 = loom::sync::atomic::AtomicU64;

@@ -46,6 +46,17 @@ pub mod counters {
     /// Outputs degraded to a baseline circuit after the oracle died or
     /// the budget expired mid-output.
     pub const FAULT_DEGRADED_OUTPUTS: &str = "faults.degraded_outputs";
+    /// Pass results audited by the static analyzer (pre-SAT gate).
+    pub const ANALYZE_PASS_AUDITS: &str = "analyze.pass_audits";
+    /// Dead (output-unreachable) AND nodes introduced by passes.
+    pub const ANALYZE_DEAD_INTRODUCED: &str = "analyze.dead_introduced";
+    /// Structurally duplicate AND nodes introduced by passes.
+    pub const ANALYZE_DUPLICATES_INTRODUCED: &str = "analyze.duplicates_introduced";
+    /// Ternary-provable constant AND nodes introduced by passes.
+    pub const ANALYZE_CONSTANTS_INTRODUCED: &str = "analyze.constants_introduced";
+    /// Structural lint errors observed by the pass audit (graphs unsafe
+    /// to run semantic analyses on).
+    pub const ANALYZE_STRUCTURAL_ERRORS: &str = "analyze.structural_errors";
 }
 
 /// Well-known latency histogram names used across the pipeline. All
@@ -62,6 +73,8 @@ pub mod histograms {
     pub const FBDT_NODE_NS: &str = "fbdt.node_ns";
     /// Per-pass synthesis time (excluding verification).
     pub const SYNTH_PASS_NS: &str = "synth.pass_ns";
+    /// Per-pass static-analysis audit time (the pre-SAT gate).
+    pub const ANALYZE_AUDIT_NS: &str = "analyze.audit_ns";
 }
 
 struct ActiveSpan {

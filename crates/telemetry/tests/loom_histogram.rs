@@ -1,0 +1,131 @@
+//! Model checking the lock-free histogram with the loom shim.
+//!
+//! Each test runs the *exact production code path* — `RawHistogram` is the
+//! same generic the `Histogram` alias instantiates — but over loom's
+//! scheduling-point atomics and a tiny bucket count, so the checker can
+//! exhaustively explore the sequentially consistent interleavings (up to the
+//! preemption bound) of concurrent `record`, `merge` and snapshot calls.
+//!
+//! The publication-order discipline these tests pin down: writers update
+//! min/max/buckets/sum before `count`, readers gate on `count` first, so no
+//! reader ever observes the empty histogram's `u64::MAX` min sentinel.
+
+use cirlearn_telemetry::histogram::RawHistogram;
+use loom::sync::atomic::AtomicU64;
+use loom::sync::Arc;
+
+/// A histogram small enough for exhaustive interleaving exploration; values
+/// past bucket 3 clamp into it, which none of these statistics depend on.
+type ModelHistogram = RawHistogram<AtomicU64, 4>;
+
+#[test]
+fn concurrent_records_lose_nothing() {
+    loom::model(|| {
+        let h = Arc::new(ModelHistogram::new());
+        let h2 = Arc::clone(&h);
+        let t = loom::thread::spawn(move || {
+            h2.record(3);
+        });
+        h.record(9);
+        t.join().unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 9);
+    });
+}
+
+#[test]
+fn reader_never_observes_the_min_sentinel() {
+    // The PR-5 bugfix: with the old update order (count before min) a
+    // concurrent reader could see count > 0 while min still held the
+    // u64::MAX empty sentinel. The checker walks every interleaving of
+    // the reader's loads with the writer's stores.
+    loom::model(|| {
+        let h = Arc::new(ModelHistogram::new());
+        let h2 = Arc::clone(&h);
+        let t = loom::thread::spawn(move || {
+            h2.record(7);
+        });
+        let min = h.min();
+        let max = h.max();
+        assert!(min == 0 || min == 7, "min sentinel leaked: {min}");
+        assert!(max == 0 || max == 7, "impossible max: {max}");
+        t.join().unwrap();
+        assert_eq!(h.min(), 7);
+        assert_eq!(h.max(), 7);
+    });
+}
+
+#[test]
+fn record_and_merge_interleave_cleanly() {
+    loom::model(|| {
+        let src = ModelHistogram::new();
+        src.record(5); // populated before the threads race
+        let src = Arc::new(src);
+        let dst = Arc::new(ModelHistogram::new());
+        let (s2, d2) = (Arc::clone(&src), Arc::clone(&dst));
+        let t = loom::thread::spawn(move || {
+            d2.merge(&s2);
+        });
+        dst.record(1);
+        t.join().unwrap();
+        assert_eq!(dst.count(), 2);
+        assert_eq!(dst.sum(), 6);
+        assert_eq!(dst.min(), 1);
+        assert_eq!(dst.max(), 5);
+    });
+}
+
+#[test]
+fn snapshot_during_concurrent_record_is_coherent() {
+    // A summary taken mid-write may or may not include the in-flight
+    // sample, but it must never report impossible statistics: a nonzero
+    // count with sentinel extrema, min above max, or a sum from nowhere.
+    loom::model(|| {
+        let h = Arc::new(ModelHistogram::new());
+        let h2 = Arc::clone(&h);
+        let t = loom::thread::spawn(move || {
+            h2.record(6);
+        });
+        let s = h.summary();
+        assert!(s.count <= 1, "at most one sample is in flight");
+        if s.count == 1 {
+            assert_eq!(s.min, 6);
+            assert_eq!(s.max, 6);
+            assert_eq!(s.sum, 6);
+            assert_eq!(s.p50, 6);
+        } else {
+            // The fields of a count-0 snapshot are loaded at separate
+            // points, so later loads may already see the sample — but
+            // never the sentinel.
+            assert!(s.min == 0 || s.min == 6, "min sentinel leaked: {}", s.min);
+        }
+        t.join().unwrap();
+        assert_eq!(h.summary().count, 1);
+    });
+}
+
+#[test]
+fn concurrent_merges_from_two_shards_accumulate() {
+    // The telemetry counter/histogram aggregation pattern: worker shards
+    // merged into one accumulator from two threads at once.
+    loom::model(|| {
+        let a = ModelHistogram::new();
+        a.record(2);
+        let b = ModelHistogram::new();
+        b.record(9);
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        let total = Arc::new(ModelHistogram::new());
+        let (t2, a2) = (Arc::clone(&total), Arc::clone(&a));
+        let t = loom::thread::spawn(move || {
+            t2.merge(&a2);
+        });
+        total.merge(&b);
+        t.join().unwrap();
+        assert_eq!(total.count(), 2);
+        assert_eq!(total.sum(), 11);
+        assert_eq!(total.min(), 2);
+        assert_eq!(total.max(), 9);
+    });
+}

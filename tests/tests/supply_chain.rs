@@ -1,0 +1,62 @@
+//! Offline supply-chain audit: the workspace must stay fully
+//! self-contained. Every crate in the dependency graph is either an
+//! in-tree workspace member or vendored under `vendor/`, so `Cargo.lock`
+//! must contain no external sources at all. This is the zero-tooling
+//! mirror of the `deny.toml` policy (`unknown-registry = "deny"`,
+//! `unknown-git = "deny"`), enforced by the plain test suite so it runs
+//! everywhere — including offline containers where `cargo deny` is not
+//! installed.
+
+use std::path::Path;
+
+fn lockfile() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../Cargo.lock");
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn lockfile_has_no_external_sources() {
+    let lock = lockfile();
+    let external: Vec<&str> = lock
+        .lines()
+        .filter(|l| {
+            let l = l.trim_start();
+            l.starts_with("source = ") && (l.contains("registry+") || l.contains("git+"))
+        })
+        .collect();
+    assert!(
+        external.is_empty(),
+        "Cargo.lock gained external sources — vendor the crate or drop \
+         the dependency (deny.toml forbids registry/git sources):\n{}",
+        external.join("\n")
+    );
+}
+
+#[test]
+fn lockfile_has_no_checksums() {
+    // Path dependencies carry no checksum; a `checksum =` line is
+    // another tell of a registry crate slipping in.
+    let lock = lockfile();
+    assert!(
+        !lock.contains("\nchecksum = "),
+        "Cargo.lock contains registry checksums; the workspace must stay \
+         path-only"
+    );
+}
+
+#[test]
+fn deny_policy_is_checked_in_and_strict() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../deny.toml");
+    let policy = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+    for required in [
+        "unknown-registry = \"deny\"",
+        "unknown-git = \"deny\"",
+        "allow-registry = []",
+    ] {
+        assert!(
+            policy.contains(required),
+            "deny.toml lost its strict source policy: missing `{required}`"
+        );
+    }
+}

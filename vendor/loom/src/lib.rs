@@ -1,0 +1,42 @@
+//! Offline vendored shim of the [`loom`](https://docs.rs/loom) model-checking
+//! API surface used by this workspace.
+//!
+//! The real loom crate is not available in this environment, so this shim
+//! re-implements the subset we rely on: [`model`] runs a closure repeatedly,
+//! exhaustively exploring the sequentially consistent interleavings of the
+//! atomic operations performed by threads spawned through
+//! [`thread::spawn`], up to a configurable preemption bound.
+//!
+//! # How it works
+//!
+//! Model threads are real OS threads, but they are gated by a cooperative
+//! scheduler so that exactly one runs at a time. Every operation on a
+//! [`sync::atomic`] type is a *scheduling point*: before the operation
+//! executes, the scheduler decides which thread runs next. Each decision with
+//! more than one runnable thread becomes a branch point; after an execution
+//! finishes, the scheduler backtracks depth-first to the most recent decision
+//! with untried alternatives and replays the prefix deterministically.
+//!
+//! Exploration is bounded by the number of *preemptions* (switching away from
+//! a thread that could still run) per execution — 2 by default, overridable
+//! with `LOOM_MAX_PREEMPTIONS`. Bounded-preemption search is the classic CHESS
+//! result: almost all concurrency bugs manifest with very few preemptions.
+//!
+//! # Limitations vs. real loom
+//!
+//! - Only sequentially consistent semantics are explored; `Ordering` arguments
+//!   are accepted but ignored. A test that passes here could still fail under
+//!   weaker orderings on real hardware.
+//! - Only the types used by this workspace are provided (`AtomicU64`,
+//!   `AtomicUsize`, `AtomicBool`, `Arc`, `thread::spawn`/`JoinHandle`).
+//! - `model` panics if the schedule count exceeds `LOOM_MAX_ITERATIONS`
+//!   (default 100 000) so runaway state spaces fail loudly instead of hanging.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::model;

@@ -1,0 +1,350 @@
+//! Cooperative scheduler: deterministic replay + depth-first exploration of
+//! thread interleavings with a preemption bound.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+/// Per-thread handle back to the scheduler of the current model execution.
+#[derive(Clone)]
+pub(crate) struct Context {
+    pub(crate) sched: Arc<Scheduler>,
+    pub(crate) id: usize,
+}
+
+pub(crate) fn current_context() -> Option<Context> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+fn set_context(ctx: Option<Context>) {
+    CONTEXT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Install the scheduler context on a freshly spawned model thread.
+pub(crate) fn enter(ctx: Context) {
+    set_context(Some(ctx));
+}
+
+/// Clear the context when a model thread winds down.
+pub(crate) fn leave() {
+    set_context(None);
+}
+
+/// A scheduling point at which the current thread lets the scheduler pick the
+/// next runner. No-op outside a `model` execution.
+pub(crate) fn sync_point() {
+    if let Some(ctx) = current_context() {
+        ctx.sched.sync_op(ctx.id);
+    }
+}
+
+/// One branch of the schedule tree: the thread chosen to run next and the
+/// alternatives not yet explored at this decision.
+#[derive(Clone, Debug)]
+struct Decision {
+    chosen: usize,
+    remaining: Vec<usize>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    /// Blocked joining the thread with this id.
+    Blocked(usize),
+    Finished,
+}
+
+struct State {
+    threads: Vec<Status>,
+    current: usize,
+    /// Decisions made during this execution.
+    trace: Vec<Decision>,
+    /// Prefix from the previous execution to replay deterministically.
+    replay: Vec<Decision>,
+    step: usize,
+    preemptions: usize,
+    /// Set when a model thread panicked (or deadlock was detected); all
+    /// gating is abandoned so threads can drain and report.
+    failed: bool,
+    deadlocked: bool,
+    finished: usize,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    max_preemptions: usize,
+}
+
+impl Scheduler {
+    fn new(replay: Vec<Decision>, max_preemptions: usize) -> Self {
+        Scheduler {
+            state: Mutex::new(State {
+                threads: vec![Status::Ready],
+                current: 0,
+                trace: Vec::new(),
+                replay,
+                step: 0,
+                preemptions: 0,
+                failed: false,
+                deadlocked: false,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            max_preemptions,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn enabled(state: &State) -> Vec<usize> {
+        state
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Register a newly spawned model thread. Called by the (running) parent,
+    /// so registration order is deterministic under replay.
+    pub(crate) fn register(&self) -> usize {
+        let mut s = self.lock();
+        s.threads.push(Status::Ready);
+        s.threads.len() - 1
+    }
+
+    /// Scheduling point before a shared-memory operation by thread `me`.
+    pub(crate) fn sync_op(&self, me: usize) {
+        let mut s = self.lock();
+        while !s.failed && s.current != me {
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+        if s.failed {
+            return;
+        }
+        let enabled = Self::enabled(&s);
+        if enabled.len() <= 1 {
+            // Sole runnable thread: keep going, nothing to decide.
+            return;
+        }
+        let decision = if s.step < s.replay.len() {
+            s.replay[s.step].clone()
+        } else {
+            // Continuing the current thread is free; switching away while it
+            // could still run costs a preemption, so alternatives exist only
+            // while the preemption budget lasts.
+            let remaining = if s.preemptions < self.max_preemptions {
+                enabled.iter().copied().filter(|&t| t != me).collect()
+            } else {
+                Vec::new()
+            };
+            Decision {
+                chosen: me,
+                remaining,
+            }
+        };
+        s.step += 1;
+        if decision.chosen != me {
+            s.preemptions += 1;
+        }
+        s.current = decision.chosen;
+        s.trace.push(decision);
+        if s.current != me {
+            self.cv.notify_all();
+            while !s.failed && s.current != me {
+                s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+
+    /// Pick the next runner after `current` stopped being runnable
+    /// (finished or blocked). Forced switches are not preemptions.
+    fn reschedule(&self, s: &mut MutexGuard<'_, State>) {
+        let enabled = Self::enabled(s);
+        match enabled.len() {
+            0 => {
+                if s.finished < s.threads.len() {
+                    // Someone is still blocked but nobody can run.
+                    s.failed = true;
+                    s.deadlocked = true;
+                }
+                self.cv.notify_all();
+            }
+            1 => {
+                s.current = enabled[0];
+                self.cv.notify_all();
+            }
+            _ => {
+                let decision = if s.step < s.replay.len() {
+                    s.replay[s.step].clone()
+                } else {
+                    Decision {
+                        chosen: enabled[0],
+                        remaining: enabled[1..].to_vec(),
+                    }
+                };
+                s.step += 1;
+                s.current = decision.chosen;
+                s.trace.push(decision);
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Mark `me` finished, wake joiners, hand off the schedule. Waits for its
+    /// turn first so the enabled set only changes at deterministic points.
+    pub(crate) fn thread_finished(&self, me: usize, panicked: bool) {
+        let mut s = self.lock();
+        if !panicked {
+            while !s.failed && s.current != me {
+                s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        s.threads[me] = Status::Finished;
+        s.finished += 1;
+        for t in 0..s.threads.len() {
+            if s.threads[t] == Status::Blocked(me) {
+                s.threads[t] = Status::Ready;
+            }
+        }
+        if panicked {
+            s.failed = true;
+        }
+        if s.failed {
+            self.cv.notify_all();
+            return;
+        }
+        self.reschedule(&mut s);
+    }
+
+    /// Block `me` until `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut s = self.lock();
+        while !s.failed && s.current != me {
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+        if s.failed || s.threads[target] == Status::Finished {
+            return;
+        }
+        s.threads[me] = Status::Blocked(target);
+        self.reschedule(&mut s);
+        while !s.failed && s.current != me {
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn wait_all_finished(&self) {
+        let mut s = self.lock();
+        while s.finished < s.threads.len() {
+            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn deadlocked(&self) -> bool {
+        self.lock().deadlocked
+    }
+
+    fn failed(&self) -> bool {
+        self.lock().failed
+    }
+
+    fn schedule_string(&self) -> String {
+        let s = self.lock();
+        let ids: Vec<String> = s.trace.iter().map(|d| d.chosen.to_string()).collect();
+        ids.join(",")
+    }
+
+    /// Depth-first backtrack: drop exhausted suffix decisions, advance the
+    /// deepest one with untried alternatives. `None` when the tree is done.
+    fn next_replay(&self) -> Option<Vec<Decision>> {
+        let mut s = self.lock();
+        let mut trace = std::mem::take(&mut s.trace);
+        while let Some(last) = trace.pop() {
+            let mut remaining = last.remaining;
+            if !remaining.is_empty() {
+                let chosen = remaining.remove(0);
+                trace.push(Decision { chosen, remaining });
+                return Some(trace);
+            }
+        }
+        None
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Run `f` under the model checker, exploring thread interleavings until the
+/// schedule tree is exhausted. Panics (re-raising the failure) on the first
+/// schedule where an assertion inside `f` fails, a spawned thread panics, or
+/// a join deadlock is detected.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 100_000);
+    let mut replay: Vec<Decision> = Vec::new();
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom: exceeded {max_iterations} schedules; shrink the model or raise LOOM_MAX_ITERATIONS"
+        );
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut replay), max_preemptions));
+        let root_sched = Arc::clone(&sched);
+        let root_f = Arc::clone(&f);
+        let root = std::thread::Builder::new()
+            .name("loom-root".into())
+            .spawn(move || {
+                set_context(Some(Context {
+                    sched: Arc::clone(&root_sched),
+                    id: 0,
+                }));
+                let result = catch_unwind(AssertUnwindSafe(|| root_f()));
+                root_sched.thread_finished(0, result.is_err());
+                set_context(None);
+                if let Err(payload) = result {
+                    resume_unwind(payload);
+                }
+            })
+            .expect("spawn loom root thread");
+        sched.wait_all_finished();
+        let root_result = root.join();
+        if let Err(payload) = root_result {
+            eprintln!(
+                "loom: schedule #{iterations} failed (thread order: {})",
+                sched.schedule_string()
+            );
+            resume_unwind(payload);
+        }
+        assert!(
+            !sched.deadlocked(),
+            "loom: deadlock on schedule #{iterations} (thread order: {})",
+            sched.schedule_string()
+        );
+        assert!(
+            !sched.failed(),
+            "loom: a spawned thread panicked on schedule #{iterations} (thread order: {})",
+            sched.schedule_string()
+        );
+        match sched.next_replay() {
+            Some(r) => replay = r,
+            None => break,
+        }
+    }
+}

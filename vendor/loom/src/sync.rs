@@ -1,0 +1,150 @@
+//! Model-aware replacements for `std::sync` types.
+//!
+//! Each atomic operation is a scheduling point: the model checker may switch
+//! threads immediately before the operation executes. The value itself sits
+//! behind a `Mutex`, which is uncontended because the scheduler runs exactly
+//! one model thread at a time; outside a model the types degrade to plain
+//! mutex-backed atomics.
+
+pub use std::sync::Arc;
+
+/// Model-aware atomic integer types.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! shim_atomic {
+        ($(#[$doc:meta])* $name:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                value: std::sync::Mutex<$ty>,
+            }
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub fn new(value: $ty) -> Self {
+                    Self {
+                        value: std::sync::Mutex::new(value),
+                    }
+                }
+
+                fn op<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
+                    crate::sched::sync_point();
+                    let mut v = self.value.lock().unwrap_or_else(|p| p.into_inner());
+                    f(&mut v)
+                }
+
+                /// Load the current value. The ordering is accepted for API
+                /// compatibility; the model explores SC interleavings only.
+                pub fn load(&self, _order: Ordering) -> $ty {
+                    self.op(|v| *v)
+                }
+
+                /// Store a new value.
+                pub fn store(&self, value: $ty, _order: Ordering) {
+                    self.op(|v| *v = value)
+                }
+
+                /// Swap in a new value, returning the previous one.
+                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op(|v| std::mem::replace(v, value))
+                }
+
+                /// Compare-and-exchange; returns `Ok(previous)` on success.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.op(|v| {
+                        if *v == current {
+                            *v = new;
+                            Ok(current)
+                        } else {
+                            Err(*v)
+                        }
+                    })
+                }
+
+                /// Weak compare-and-exchange (never fails spuriously here).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Consume the atomic and return the inner value.
+                pub fn into_inner(self) -> $ty {
+                    self.value.into_inner().unwrap_or_else(|p| p.into_inner())
+                }
+            }
+        };
+    }
+
+    shim_atomic!(
+        /// Model-aware `AtomicU64`.
+        AtomicU64, u64
+    );
+    shim_atomic!(
+        /// Model-aware `AtomicUsize`.
+        AtomicUsize, usize
+    );
+
+    macro_rules! shim_fetch_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Add, returning the previous value (wrapping).
+                pub fn fetch_add(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.op(|v| {
+                        let old = *v;
+                        *v = v.wrapping_add(delta);
+                        old
+                    })
+                }
+
+                /// Subtract, returning the previous value (wrapping).
+                pub fn fetch_sub(&self, delta: $ty, _order: Ordering) -> $ty {
+                    self.op(|v| {
+                        let old = *v;
+                        *v = v.wrapping_sub(delta);
+                        old
+                    })
+                }
+
+                /// Store the minimum of the current and given value,
+                /// returning the previous value.
+                pub fn fetch_min(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op(|v| {
+                        let old = *v;
+                        *v = old.min(value);
+                        old
+                    })
+                }
+
+                /// Store the maximum of the current and given value,
+                /// returning the previous value.
+                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                    self.op(|v| {
+                        let old = *v;
+                        *v = old.max(value);
+                        old
+                    })
+                }
+            }
+        };
+    }
+
+    shim_fetch_arith!(AtomicU64, u64);
+    shim_fetch_arith!(AtomicUsize, usize);
+
+    shim_atomic!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool, bool
+    );
+}

@@ -1,0 +1,67 @@
+//! Model-aware replacement for `std::thread`.
+
+use crate::sched::{current_context, sync_point, Context};
+
+/// Handle to a spawned model thread. Mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    ctx: Option<Context>,
+    id: usize,
+    inner: std::thread::JoinHandle<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result (`Err` holds the
+    /// panic payload, as with `std::thread`).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(ctx) = &self.ctx {
+            ctx.sched.join_wait(ctx.id, self.id);
+        }
+        self.inner.join()
+    }
+}
+
+/// Spawn a thread. Inside a `model` execution the child participates in the
+/// cooperative schedule; outside, this is plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_context() {
+        None => JoinHandle {
+            ctx: None,
+            id: 0,
+            inner: std::thread::spawn(f),
+        },
+        Some(ctx) => {
+            let id = ctx.sched.register();
+            let child_ctx = Context {
+                sched: std::sync::Arc::clone(&ctx.sched),
+                id,
+            };
+            let inner = std::thread::Builder::new()
+                .name(format!("loom-{id}"))
+                .spawn(move || {
+                    crate::sched::enter(child_ctx.clone());
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    child_ctx.sched.thread_finished(id, result.is_err());
+                    crate::sched::leave();
+                    match result {
+                        Ok(v) => v,
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                })
+                .expect("spawn loom model thread");
+            JoinHandle {
+                ctx: Some(ctx),
+                id,
+                inner,
+            }
+        }
+    }
+}
+
+/// Cooperative yield: a bare scheduling point.
+pub fn yield_now() {
+    sync_point();
+}
