@@ -32,8 +32,10 @@
 
 use std::process::ExitCode;
 
+use std::collections::BTreeMap;
+
 use cirlearn::LearnerConfig;
-use cirlearn_bench::report::{compare, BenchRecord, BenchReport, CompareConfig};
+use cirlearn_bench::report::{compare, BenchRecord, BenchReport, CompareConfig, StageCost};
 use cirlearn_bench::{run_learner_case, Scale};
 use cirlearn_oracle::{contest_suite, Category, ContestCase};
 use cirlearn_telemetry::Telemetry;
@@ -77,6 +79,16 @@ fn bench_record(
     let row = run_learner_case(case, cfg, scale, &telemetry);
     let report = telemetry.report();
     let histograms = report.histograms;
+    // Collapse the per-(stage, output) ledger to per-stage totals —
+    // BENCH files track stage-level drift across commits; per-output
+    // detail lives in `--report` / trace files.
+    let mut attribution: BTreeMap<String, StageCost> = BTreeMap::new();
+    for a in &report.attribution {
+        let cell = attribution.entry(a.stage.clone()).or_default();
+        cell.queries += a.queries;
+        cell.query_ns += a.query_ns;
+        cell.gates += a.gates;
+    }
     eprintln!(
         "  {name}: size={} accuracy={:.3}% time={:.2}s queries={}",
         row.size, row.accuracy, row.seconds, row.queries
@@ -89,6 +101,7 @@ fn bench_record(
         gates: row.size,
         accuracy: row.accuracy,
         histograms,
+        attribution,
     }
 }
 

@@ -16,6 +16,9 @@
 //! cirlearn analyze <input.aag> [...] [--deny info|warning|error]
 //!                [--report out.json] [--fanout-threshold N]
 //! cirlearn stats <input.aag>
+//! cirlearn trace summary <trace.jsonl> [--top N]
+//! cirlearn trace export <trace.jsonl> --chrome [-o out.json]
+//! cirlearn trace diff <old.jsonl> <new.jsonl> [--pct P] [--min-ms N] [--min-queries N]
 //! ```
 //!
 //! `learn` treats the input circuit as a black box (only its query
@@ -57,9 +60,18 @@
 //! breakdowns; `--trace <path>` streams JSONL trace events (span
 //! open/close, FBDT node expansions, synthesis passes, oracle faults,
 //! budget checkpoints) to a file as the run progresses. Both survive
-//! crashes: a drop guard flushes the trace stream and a partial
-//! `--report` (with `"aborted": "true"` in its meta) when the run
-//! panics instead of finishing.
+//! crashes: a drop guard drains buffered per-thread trace chunks, then
+//! flushes the trace stream and a partial `--report` (with
+//! `"aborted": "true"` in its meta) when the run panics instead of
+//! finishing.
+//!
+//! Trace analysis: `trace summary` reads a `--trace` stream back and
+//! prints hot spans, the per-(stage, output) cost-attribution table
+//! (whose query total equals the run's query count) and the critical
+//! path; `trace export --chrome` converts the stream to Chrome
+//! trace-event JSON for Perfetto / `chrome://tracing`; `trace diff`
+//! compares two streams under the bench noise-floor discipline and
+//! exits nonzero on regressions.
 
 use std::process::ExitCode;
 use std::str::FromStr;
@@ -71,6 +83,8 @@ use cirlearn_oracle::{
     evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle, ResilientOracle, RetryPolicy,
 };
 use cirlearn_telemetry::{Level, StderrReporter, Telemetry, TraceWriter};
+
+mod trace_cmd;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -103,17 +117,21 @@ const USAGE: &str = "usage:
   cirlearn lint <input.aag> [...] [--allow-dangling]
   cirlearn analyze <input.aag> [...] [--deny info|warning|error]
                  [--report out.json] [--fanout-threshold N]
-  cirlearn stats <input.aag>";
+  cirlearn stats <input.aag>
+  cirlearn trace summary <trace.jsonl> [--top N]
+  cirlearn trace export <trace.jsonl> --chrome [-o out.json]
+  cirlearn trace diff <old.jsonl> <new.jsonl>
+                 [--pct P] [--min-ms N] [--min-queries N]";
 
 /// Minimal flag parser: returns positional arguments and a lookup for
 /// `--flag value` / `--flag` options.
-struct Opts {
-    positional: Vec<String>,
+pub(crate) struct Opts {
+    pub(crate) positional: Vec<String>,
     flags: Vec<(String, Option<String>)>,
 }
 
 impl Opts {
-    fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
+    pub(crate) fn parse(args: &[String], value_flags: &[&str]) -> Result<Opts, String> {
         let mut positional = Vec::new();
         let mut flags = Vec::new();
         let mut it = args.iter().peekable();
@@ -137,18 +155,18 @@ impl Opts {
         Ok(Opts { positional, flags })
     }
 
-    fn value(&self, name: &str) -> Option<&str> {
+    pub(crate) fn value(&self, name: &str) -> Option<&str> {
         self.flags
             .iter()
             .find(|(n, _)| n == name)
             .and_then(|(_, v)| v.as_deref())
     }
 
-    fn present(&self, name: &str) -> bool {
+    pub(crate) fn present(&self, name: &str) -> bool {
         self.flags.iter().any(|(n, _)| n == name)
     }
 
-    fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.value(name) {
             None => Ok(default),
             Some(v) => v
@@ -172,6 +190,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "lint" => cmd_lint(rest),
         "analyze" => cmd_analyze(rest),
         "stats" => cmd_stats(rest),
+        "trace" => trace_cmd::cmd_trace(rest),
         other => Err(format!("unknown subcommand {other}")),
     }
 }
@@ -243,6 +262,12 @@ impl ReportGuard {
 impl Drop for ReportGuard {
     fn drop(&mut self) {
         if self.armed {
+            // Drain buffered per-thread trace chunks (node events,
+            // metrics snapshots) *before* appending the abort marker,
+            // so the JSONL stream stays well-formed: everything the
+            // run buffered lands ahead of the final `aborted` event.
+            self.telemetry.flush_trace();
+            self.telemetry.trace_attribution();
             self.telemetry.set_meta("aborted", true);
             self.telemetry
                 .event(Level::Warn, "run aborted; flushing partial report");
@@ -279,6 +304,10 @@ fn print_output_summary(result: &LearnResult) {
 /// crash guard: from here the complete report is on disk.
 fn finish_run(telemetry: &Telemetry, opts: &Opts, guard: &mut ReportGuard) -> Result<(), String> {
     guard.disarm();
+    // Drain per-thread buffers first so the final attribution events
+    // land after every buffered node/metrics event in the stream.
+    telemetry.flush_trace();
+    telemetry.trace_attribution();
     let report = telemetry.report();
     eprint!("{}", report.stage_breakdown());
     if let Some(path) = opts.value("report") {

@@ -161,9 +161,12 @@ impl FbdtStats {
 /// identification; it drives the onset/offset selection (more 1s →
 /// collect offset cubes).
 ///
-/// Per-node expansion cost lands in the `fbdt.node_ns` histogram, and
-/// each expansion emits a `node` trace event when a trace stream is
-/// attached; pass [`Telemetry::disabled`] to observe nothing.
+/// Per-node expansion cost lands in the `fbdt.node_ns` histogram (via
+/// a per-call local recorder merged on return), each expansion emits a
+/// `node` trace event through a per-thread buffer when a trace stream
+/// is attached, and queries issued during node sampling are tagged
+/// with the current tree depth in the attribution ledger; pass
+/// [`Telemetry::disabled`] to observe nothing.
 #[allow(clippy::too_many_arguments)]
 pub fn build_fbdt<O: Oracle + ?Sized>(
     oracle: &mut O,
@@ -177,8 +180,12 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
 ) -> (LearnedCover, FbdtStats) {
     let mut stats = FbdtStats::default();
     let collect_offset = config.onset_offset_selection && truth_ratio_hint > 0.5;
-    let node_cost = telemetry.histogram_handle(histograms::FBDT_NODE_NS);
-    let tracing = telemetry.is_tracing();
+    // Thread-friendly recording: node costs accumulate in a local
+    // histogram (merged into the shared one on drop) and node trace
+    // events buffer in a per-thread chunk, so the hot loop takes no
+    // shared locks.
+    let node_cost = telemetry.local_recorder(histograms::FBDT_NODE_NS);
+    let trace = telemetry.trace_local();
 
     let mut onset: Vec<Cube> = Vec::new();
     let mut offset: Vec<Cube> = Vec::new();
@@ -195,6 +202,7 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
             .filter(|&i| !cube.contains_var(Var::new(i as u32)))
             .collect();
         let depth = cube.literals().len();
+        telemetry.set_fbdt_depth(Some(depth as u64));
         let node_start = Instant::now();
         let node = pattern_sampling(oracle, output, &cube, &free, &config.node_sampling, rng);
         stats.queries += node.queries;
@@ -241,8 +249,8 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
         }
         let node_elapsed = node_start.elapsed();
         node_cost.record_duration(node_elapsed);
-        if tracing {
-            telemetry.trace(
+        if let Some(trace) = &trace {
+            trace.emit(
                 "node",
                 &[
                     ("output", Json::from(output)),
@@ -258,6 +266,7 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
             );
         }
     }
+    telemetry.set_fbdt_depth(None);
 
     let mut cover = if collect_offset {
         LearnedCover {

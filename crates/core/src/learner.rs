@@ -359,6 +359,9 @@ impl Learner {
             }
             let out_start = Instant::now();
             let queries_before = oracle.queries();
+            // Everything from here to the end of the iteration is this
+            // output's work: tag queries and gate builds with it.
+            let _out_scope = telemetry.output_scope(o);
             let info = {
                 let _span = telemetry.span("support");
                 identify_support(&mut oracle, o, &self.config.support_sampling, &mut rng)
@@ -439,6 +442,10 @@ impl Learner {
             }
             out_elapsed[o] = out_start.elapsed();
             out_queries[o] = oracle.queries() - queries_before;
+            // `and_count`, not `gate_count`: outputs are not attached
+            // until after the loop, so reachability-based counts would
+            // read zero here.
+            telemetry.set_aig_nodes(circuit.and_count() as u64);
         }
         budget.checkpoint(&telemetry, "learning");
 
@@ -489,6 +496,8 @@ impl Learner {
             );
         }
         budget.checkpoint(&telemetry, "optimize");
+        telemetry.set_aig_nodes(circuit.gate_count() as u64);
+        telemetry.emit_metrics_snapshot();
 
         let outputs: Vec<OutputStats> = (0..num_outputs)
             .map(|o| OutputStats {
@@ -567,7 +576,10 @@ impl Learner {
                 &self.config.template,
                 rng,
             ) {
+                let gates_at = circuit.and_count();
                 let words = m.build(circuit, &linear_groups);
+                self.telemetry
+                    .attribute_gates(circuit.and_count().saturating_sub(gates_at) as u64);
                 for (edge, &pos) in words.iter().zip(&m.output_group.positions) {
                     edges[pos] = Some(*edge);
                     strategies[pos] = Some(Strategy::LinearTemplate);
@@ -591,7 +603,10 @@ impl Learner {
                         )
                     });
             if let Some(m) = matched {
+                let gates_at = circuit.and_count();
                 let edge = m.build(circuit, &in_grouping.groups);
+                self.telemetry
+                    .attribute_gates(circuit.and_count().saturating_sub(gates_at) as u64);
                 edges[o] = Some(edge);
                 strategies[o] = Some(Strategy::ComparatorTemplate);
             }
@@ -647,7 +662,10 @@ impl Learner {
             Some(r) => r.iter().map(|&p| circuit.input_edge(p)).collect(),
             None => circuit.const_word(delegate.constant, lhs.len()),
         };
+        let gates_at = circuit.and_count();
         let os_edge = delegate.predicate.build(circuit, &lhs, &rhs);
+        self.telemetry
+            .attribute_gates(circuit.and_count().saturating_sub(gates_at) as u64);
 
         // Learn the output over the compressed space.
         let mut compressed = crate::compress::DelegateOracle::new(oracle, vec![delegate]);
@@ -687,6 +705,7 @@ impl Learner {
     fn cover_to_edge(&self, cover: &LearnedCover, circuit: &mut Aig, var_map: &[Edge]) -> Edge {
         self.telemetry
             .add(counters::CUBES_COLLECTED, cover.sop.cubes().len() as u64);
+        let gates_at = circuit.and_count();
         let edge = if cover.sop.cubes().len() <= self.config.espresso_cube_limit {
             self.telemetry.incr(counters::ESPRESSO_CALLS);
             cirlearn_synth::factor::sop_to_circuit(&cover.sop, circuit, var_map)
@@ -694,6 +713,8 @@ impl Learner {
             let expr = cirlearn_synth::factor::factor(&cover.sop);
             expr.to_aig(circuit, var_map)
         };
+        self.telemetry
+            .attribute_gates(circuit.and_count().saturating_sub(gates_at) as u64);
         edge.complement_if(cover.complemented)
     }
 }
@@ -803,6 +824,27 @@ mod tests {
             "stage query counts must partition the run total"
         );
         assert_eq!(report.counter(counters::ORACLE_QUERIES), result.queries);
+        // The cost ledger is fed by the same source (the instrumented
+        // oracle tags each query with the active top-level stage), so
+        // its cells partition the run total exactly, per stage and
+        // overall.
+        assert_eq!(
+            report.attribution_total_queries(),
+            result.queries,
+            "attribution ledger must account for every query"
+        );
+        for stage in report.stages.iter().filter(|s| !s.path.contains('/')) {
+            assert_eq!(
+                report.attribution_stage_queries(&stage.path),
+                stage
+                    .counters
+                    .get(counters::ORACLE_QUERIES)
+                    .copied()
+                    .unwrap_or(0),
+                "ledger and stage breakdown disagree for {}",
+                stage.path
+            );
+        }
         // Per-output queries are a subset of the total (template
         // matches contribute zero).
         let per_output: u64 = result.outputs.iter().map(|s| s.queries).sum();

@@ -140,17 +140,18 @@ pub fn pattern_sampling<O: Oracle + ?Sized>(
     let mut queries = r as u64;
 
     let mut dependency = vec![0u64; n];
+    // One reusable flip block: flip the probed input in place, query,
+    // then flip it back — no per-probe reallocation of r assignments.
+    let mut flipped: Vec<Assignment> = base.clone();
     for &i in probe {
         let var = Var::new(i as u32);
-        let flipped: Vec<Assignment> = base
-            .iter()
-            .map(|a| {
-                let mut f = a.clone();
-                f.flip(var);
-                f
-            })
-            .collect();
+        for f in &mut flipped {
+            f.flip(var);
+        }
         let flip_out = oracle.query_batch(&flipped);
+        for f in &mut flipped {
+            f.flip(var);
+        }
         queries += r as u64;
         let mut d = 0u64;
         for (b, f) in base_out.iter().zip(&flip_out) {

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use cirlearn_logic::Assignment;
-use cirlearn_telemetry::{counters, histograms, HistogramHandle, Telemetry};
+use cirlearn_telemetry::{histograms, HistogramHandle, Telemetry};
 
 use crate::oracle::Oracle;
 
@@ -11,9 +11,13 @@ use crate::oracle::Oracle;
 /// [`Telemetry`] handle at the source.
 ///
 /// Queries are bumped on the `oracle.queries` counter as they are
-/// served, so stage spans open in the learner attribute them to the
-/// pipeline stage that issued them — the run report's per-stage query
-/// breakdown and the total query count agree by construction.
+/// served (via [`Telemetry::record_oracle_queries`]), so stage spans
+/// open in the learner attribute them to the pipeline stage that
+/// issued them — the run report's per-stage query breakdown and the
+/// total query count agree by construction. The same call feeds the
+/// per-(stage, output) cost ledger: queries are tagged with whatever
+/// attribution context (output scope, FBDT depth) the learner has set
+/// at the time they are served.
 ///
 /// Round-trip latency lands in the `oracle.query_ns` histogram
 /// (lock-free; the handle is resolved once at construction). Batch
@@ -86,19 +90,21 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
     }
 
     fn query(&mut self, input: &Assignment) -> Vec<bool> {
-        self.telemetry.incr(counters::ORACLE_QUERIES);
         let start = Instant::now();
         let out = self.inner.query(input);
-        self.latency.record_duration(start.elapsed());
+        let elapsed = start.elapsed();
+        self.latency.record_duration(elapsed);
+        self.telemetry
+            .record_oracle_queries(1, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
         out
     }
 
     fn query_batch(&mut self, inputs: &[Assignment]) -> Vec<Vec<bool>> {
-        self.telemetry
-            .add(counters::ORACLE_QUERIES, inputs.len() as u64);
         let start = Instant::now();
         let out = self.inner.query_batch(inputs);
-        record_batch(&self.latency, start, inputs.len());
+        let total = record_batch(&self.latency, start, inputs.len());
+        self.telemetry
+            .record_oracle_queries(inputs.len() as u64, total);
         out
     }
 
@@ -107,8 +113,10 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
         // accounting (a faulted query served no answer).
         let start = Instant::now();
         let out = self.inner.try_query(input)?;
-        self.latency.record_duration(start.elapsed());
-        self.telemetry.incr(counters::ORACLE_QUERIES);
+        let elapsed = start.elapsed();
+        self.latency.record_duration(elapsed);
+        self.telemetry
+            .record_oracle_queries(1, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
         Ok(out)
     }
 
@@ -118,9 +126,9 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
     ) -> Result<Vec<Vec<bool>>, crate::oracle::OracleError> {
         let start = Instant::now();
         let out = self.inner.try_query_batch(inputs)?;
-        record_batch(&self.latency, start, out.len());
+        let total = record_batch(&self.latency, start, out.len());
         self.telemetry
-            .add(counters::ORACLE_QUERIES, out.len() as u64);
+            .record_oracle_queries(out.len() as u64, total);
         Ok(out)
     }
 
@@ -131,13 +139,15 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
 
 /// Attributes a batch's elapsed time across its items: `n` samples of
 /// the mean per-item latency, so per-batch and per-query transports
-/// yield comparable distributions.
-fn record_batch(latency: &HistogramHandle, start: Instant, n: usize) {
-    if n == 0 || !latency.is_enabled() {
-        return;
+/// yield comparable distributions. Returns the batch's total elapsed
+/// nanoseconds (0 for empty batches).
+fn record_batch(latency: &HistogramHandle, start: Instant, n: usize) -> u64 {
+    if n == 0 {
+        return 0;
     }
     let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     latency.record_n(total / n as u64, n as u64);
+    total
 }
 
 impl<O: Oracle + ?Sized> Oracle for &mut O {
@@ -186,6 +196,7 @@ mod tests {
     use super::*;
     use crate::CircuitOracle;
     use cirlearn_aig::Aig;
+    use cirlearn_telemetry::counters;
 
     fn sample() -> CircuitOracle {
         let mut g = Aig::new();
@@ -250,6 +261,40 @@ mod tests {
         // One sample per query, matching the counter.
         assert_eq!(h.count, 5);
         assert_eq!(h.count, report.counter(counters::ORACLE_QUERIES));
+    }
+
+    #[test]
+    fn queries_feed_the_attribution_ledger_with_context() {
+        let telemetry = Telemetry::recording();
+        let mut o = InstrumentedOracle::new(sample(), telemetry.clone());
+        let z = Assignment::zeros(2);
+        {
+            let _scope = telemetry.output_scope(3);
+            let _span = telemetry.span("fbdt");
+            o.query(&z);
+            o.query_batch(&[z.clone(), z.clone()]);
+        }
+        {
+            let _span = telemetry.span("templates");
+            o.query(&z);
+        }
+        let report = telemetry.report();
+        assert_eq!(report.attribution_total_queries(), 4);
+        let fbdt = report
+            .attribution
+            .iter()
+            .find(|a| a.stage == "fbdt")
+            .expect("fbdt ledger cell");
+        assert_eq!(fbdt.output, Some(3));
+        assert_eq!(fbdt.queries, 3);
+        assert!(fbdt.query_ns > 0, "query wall clock is attributed");
+        let templates = report
+            .attribution
+            .iter()
+            .find(|a| a.stage == "templates")
+            .expect("templates ledger cell");
+        assert_eq!(templates.output, None);
+        assert_eq!(templates.queries, 1);
     }
 
     #[test]

@@ -24,6 +24,15 @@
 //!   (`--report <path>` in the CLI) with per-stage wall clock, counter
 //!   breakdowns, per-pass AIG deltas, budget checkpoints and
 //!   per-output records.
+//! - **Cost attribution** ([`Telemetry::output_scope`],
+//!   [`AttributionRecord`]): a per-(stage, output) ledger of oracle
+//!   queries, query nanoseconds and gates built, fed by the span
+//!   context that `InstrumentedOracle` records into, emitted in the
+//!   report and as `attr` trace events.
+//! - **Trace analysis** ([`analysis`]): offline parsing of trace
+//!   streams into span trees, hot-span summaries, critical paths,
+//!   Chrome trace-event exports and noise-floored run diffs — the
+//!   engine behind the `cirlearn trace` subcommands.
 //!
 //! The [`Telemetry`] handle is cheap to clone and share;
 //! [`Telemetry::disabled`] is a no-op handle so instrumented code pays
@@ -32,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod histogram;
 pub mod json;
 mod report;
@@ -42,10 +52,12 @@ mod trace;
 
 pub use crate::histogram::{Histogram, HistogramSummary, RawHistogram};
 pub use crate::report::{
-    CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport, StageReport,
-    SCHEMA_VERSION,
+    AttributionRecord, CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport,
+    StageReport, SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
 pub use crate::sync::Atomic64;
-pub use crate::telemetry::{counters, histograms, HistogramHandle, Span, Telemetry};
-pub use crate::trace::{SharedBuffer, TraceWriter};
+pub use crate::telemetry::{
+    counters, histograms, HistogramHandle, LocalRecorder, OutputScope, Span, Telemetry,
+};
+pub use crate::trace::{current_tid, SharedBuffer, TraceLocal, TraceWriter};

@@ -35,7 +35,11 @@
 //!                  "elapsed_s": <f64>, "gates_before_opt": <u64>,
 //!                  "gates_after_opt": <u64> } ],
 //!   "faults": { "retries": <u64>, "timeouts": <u64>,
-//!               "respawns": <u64>, "degraded_outputs": <u64> }
+//!               "respawns": <u64>, "degraded_outputs": <u64> },
+//!   "attribution": [ { "stage": "fbdt", "output": <u64> | null,
+//!                      "queries": <u64>, "query_ns": <u64>,
+//!                      "gates": <u64>,
+//!                      "by_depth": { "<depth>": <u64>, ... } } ]
 //! }
 //! ```
 //!
@@ -160,6 +164,30 @@ impl FaultsReport {
     }
 }
 
+/// One cost-ledger cell: the resources attributed to a `(top-level
+/// stage, output)` pair.
+///
+/// Top-level stages partition the run, so summing `queries` over all
+/// records yields the run's total oracle query count — the invariant
+/// the e2e suite pins against `LearnResult::queries`. `output` is
+/// `None` for work not tied to a single output (the shared template
+/// matching stage).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AttributionRecord {
+    /// Top-level stage name (`templates`, `support`, `fbdt`, ...).
+    pub stage: String,
+    /// Output index the work was for, if any.
+    pub output: Option<u64>,
+    /// Oracle queries issued under this key.
+    pub queries: u64,
+    /// Total oracle wall clock (ns) under this key.
+    pub query_ns: u64,
+    /// AND gates built under this key.
+    pub gates: u64,
+    /// Queries issued per FBDT depth (empty outside the FBDT).
+    pub by_depth: BTreeMap<u64, u64>,
+}
+
 /// A full run snapshot; see the `report` module docs for the schema.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -182,6 +210,9 @@ pub struct RunReport {
     pub outputs: Vec<OutputReport>,
     /// Fault-tolerance summary (all zeros for fault-free runs).
     pub faults: FaultsReport,
+    /// The per-(stage, output) cost ledger, sorted by stage then
+    /// output (empty for runs without oracle activity).
+    pub attribution: Vec<AttributionRecord>,
 }
 
 impl RunReport {
@@ -205,6 +236,22 @@ impl RunReport {
     /// A global counter's value (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total oracle queries across the attribution ledger. Equal to
+    /// the `oracle.queries` counter (and `LearnResult::queries`) by
+    /// construction, because top-level stages partition the run.
+    pub fn attribution_total_queries(&self) -> u64 {
+        self.attribution.iter().map(|a| a.queries).sum()
+    }
+
+    /// Sums ledger queries for one top-level stage (over all outputs).
+    pub fn attribution_stage_queries(&self, stage: &str) -> u64 {
+        self.attribution
+            .iter()
+            .filter(|a| a.stage == stage)
+            .map(|a| a.queries)
+            .sum()
     }
 
     /// Serializes to the versioned JSON schema.
@@ -326,6 +373,32 @@ impl RunReport {
                     ("respawns", Json::from(self.faults.respawns)),
                     ("degraded_outputs", Json::from(self.faults.degraded_outputs)),
                 ]),
+            ),
+            (
+                "attribution",
+                Json::Array(
+                    self.attribution
+                        .iter()
+                        .map(|a| {
+                            Json::object([
+                                ("stage", Json::from(a.stage.clone())),
+                                ("output", a.output.map(Json::from).unwrap_or(Json::Null)),
+                                ("queries", Json::from(a.queries)),
+                                ("query_ns", Json::from(a.query_ns)),
+                                ("gates", Json::from(a.gates)),
+                                (
+                                    "by_depth",
+                                    Json::Object(
+                                        a.by_depth
+                                            .iter()
+                                            .map(|(d, q)| (d.to_string(), Json::from(*q)))
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -500,6 +573,47 @@ impl RunReport {
             },
         };
 
+        // Absent in reports written before the cost-attribution layer
+        // existed; treat as empty rather than rejecting.
+        let attribution = match json.get("attribution") {
+            None | Some(Json::Null) => Vec::new(),
+            Some(a) => a
+                .as_array()
+                .ok_or("attribution must be an array")?
+                .iter()
+                .map(|r| {
+                    let output = match r.get("output") {
+                        None | Some(Json::Null) => None,
+                        Some(j) => Some(j.as_u64().ok_or("attribution.output is not a u64")?),
+                    };
+                    let by_depth = match r.get("by_depth") {
+                        None | Some(Json::Null) => BTreeMap::new(),
+                        Some(d) => d
+                            .as_object()
+                            .ok_or("attribution.by_depth must be an object")?
+                            .iter()
+                            .map(|(k, v)| {
+                                let depth =
+                                    k.parse::<u64>().map_err(|_| format!("bad depth key {k}"))?;
+                                let q = v.as_u64().ok_or_else(|| {
+                                    format!("attribution.by_depth[{k}] is not a u64")
+                                })?;
+                                Ok::<_, String>((depth, q))
+                            })
+                            .collect::<Result<_, _>>()?,
+                    };
+                    Ok(AttributionRecord {
+                        stage: str_of(r.get("stage"), "attribution.stage")?,
+                        output,
+                        queries: u64_of(r.get("queries"), "attribution.queries")?,
+                        query_ns: u64_of(r.get("query_ns"), "attribution.query_ns")?,
+                        gates: u64_of(r.get("gates"), "attribution.gates")?,
+                        by_depth,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
+
         Ok(RunReport {
             meta,
             elapsed,
@@ -510,6 +624,7 @@ impl RunReport {
             checkpoints,
             outputs,
             faults,
+            attribution,
         })
     }
 
@@ -626,6 +741,24 @@ mod tests {
                 respawns: 2,
                 degraded_outputs: 1,
             },
+            attribution: vec![
+                AttributionRecord {
+                    stage: "support".to_owned(),
+                    output: Some(0),
+                    queries: 900,
+                    query_ns: 1_800_000,
+                    gates: 0,
+                    by_depth: BTreeMap::new(),
+                },
+                AttributionRecord {
+                    stage: "fbdt".to_owned(),
+                    output: Some(0),
+                    queries: 300,
+                    query_ns: 600_000,
+                    gates: 80,
+                    by_depth: BTreeMap::from([(0, 180), (1, 120)]),
+                },
+            ],
         }
     }
 
@@ -691,6 +824,28 @@ mod tests {
         let back = RunReport::from_json(&json).expect("tolerant schema");
         assert_eq!(back.faults, FaultsReport::default());
         assert!(!back.faults.any());
+    }
+
+    #[test]
+    fn from_json_tolerates_missing_attribution_section() {
+        // Reports from before the cost-attribution layer lack
+        // "attribution"; they must still parse, defaulting to empty.
+        let mut json = sample_report().to_json();
+        if let Json::Object(pairs) = &mut json {
+            pairs.retain(|(k, _)| k != "attribution");
+        }
+        let back = RunReport::from_json(&json).expect("tolerant schema");
+        assert!(back.attribution.is_empty());
+        assert_eq!(back.attribution_total_queries(), 0);
+    }
+
+    #[test]
+    fn attribution_sums_by_stage_and_in_total() {
+        let report = sample_report();
+        assert_eq!(report.attribution_total_queries(), 1200);
+        assert_eq!(report.attribution_stage_queries("support"), 900);
+        assert_eq!(report.attribution_stage_queries("fbdt"), 300);
+        assert_eq!(report.attribution_stage_queries("nope"), 0);
     }
 
     #[test]

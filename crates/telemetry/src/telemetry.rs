@@ -7,9 +7,11 @@ use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
 use crate::json::Json;
-use crate::report::{CheckpointReport, OutputReport, PassReport, RunReport, StageReport};
+use crate::report::{
+    AttributionRecord, CheckpointReport, OutputReport, PassReport, RunReport, StageReport,
+};
 use crate::reporter::{Level, Reporter};
-use crate::trace::TraceWriter;
+use crate::trace::{TraceLocal, TraceWriter};
 
 /// Well-known counter names used across the pipeline.
 pub mod counters {
@@ -84,6 +86,33 @@ struct ActiveSpan {
     counters_at_entry: BTreeMap<String, u64>,
 }
 
+/// Accumulated cost for one `(top-level stage, output)` attribution
+/// key (the internal form of [`AttributionRecord`]).
+#[derive(Debug, Default, Clone)]
+struct LedgerCell {
+    queries: u64,
+    query_ns: u64,
+    gates: u64,
+    /// Queries issued while an FBDT depth was in context, keyed by
+    /// that depth.
+    by_depth: BTreeMap<u64, u64>,
+}
+
+/// Minimum spacing between periodic `metrics` snapshot events on the
+/// trace stream.
+const METRICS_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Peak resident set size in kB (`VmHWM`), when the platform exposes
+/// it.
+fn peak_rss_kb() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 struct Inner {
     reporter: Box<dyn Reporter>,
     start: Instant,
@@ -97,6 +126,18 @@ struct Inner {
     checkpoints: Vec<CheckpointReport>,
     outputs: Vec<OutputReport>,
     meta: BTreeMap<String, String>,
+    /// Attribution context: the output index the pipeline is currently
+    /// learning, if any (see [`Telemetry::output_scope`]).
+    context_output: Option<u64>,
+    /// Attribution context: the FBDT depth currently being expanded.
+    context_depth: Option<u64>,
+    /// The per-(top-level stage, output) cost ledger.
+    ledger: BTreeMap<(String, Option<u64>), LedgerCell>,
+    /// Last AIG node count published by the learner (a gauge for
+    /// `metrics` snapshots).
+    gauge_aig_nodes: u64,
+    metrics_last: Instant,
+    metrics_last_queries: u64,
 }
 
 impl Inner {
@@ -110,6 +151,48 @@ impl Inner {
 
     fn current_path(&self) -> String {
         self.path_of(self.stack.len())
+    }
+
+    /// The top-level stage name — the first segment of the span path
+    /// (`""` outside any span). Top-level stages partition the run, so
+    /// ledger entries keyed by them sum to run totals.
+    fn top_stage(&self) -> &str {
+        self.stack.first().map(|s| s.name.as_str()).unwrap_or("")
+    }
+
+    /// Emits a `metrics` snapshot event if tracing and (unless
+    /// `force`d) at most once per [`METRICS_INTERVAL`].
+    fn maybe_emit_metrics(&mut self, force: bool) {
+        if self.trace.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let dt = now.duration_since(self.metrics_last);
+        if !force && dt < METRICS_INTERVAL {
+            return;
+        }
+        let queries = self
+            .counters
+            .get(counters::ORACLE_QUERIES)
+            .copied()
+            .unwrap_or(0);
+        let qps = if dt.as_secs_f64() > 0.0 {
+            ((queries.saturating_sub(self.metrics_last_queries)) as f64 / dt.as_secs_f64()) as u64
+        } else {
+            0
+        };
+        let stage = self.current_path();
+        let mut fields = vec![
+            ("queries", Json::from(queries)),
+            ("queries_per_s", Json::from(qps)),
+            ("aig_nodes", Json::from(self.gauge_aig_nodes)),
+        ];
+        if let Some(kb) = peak_rss_kb() {
+            fields.push(("peak_rss_kb", Json::from(kb)));
+        }
+        self.trace("metrics", &stage, &fields);
+        self.metrics_last = now;
+        self.metrics_last_queries = queries;
     }
 
     fn trace(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
@@ -222,6 +305,12 @@ impl Telemetry {
                 checkpoints: Vec::new(),
                 outputs: Vec::new(),
                 meta: BTreeMap::new(),
+                context_output: None,
+                context_depth: None,
+                ledger: BTreeMap::new(),
+                gauge_aig_nodes: 0,
+                metrics_last: Instant::now(),
+                metrics_last_queries: 0,
             }))),
         }
     }
@@ -312,6 +401,116 @@ impl Telemetry {
         self.add(counter, 1);
     }
 
+    /// Counts `n` oracle queries that together took `total_ns`,
+    /// attributing them to the active `(top-level stage, output)`
+    /// ledger cell — and, when an FBDT depth is in context, to that
+    /// depth's bucket. Called at the source by `InstrumentedOracle`;
+    /// also drives the periodic `metrics` snapshot events.
+    pub fn record_oracle_queries(&self, n: u64, total_ns: u64) {
+        if n == 0 {
+            return;
+        }
+        if let Some(mut inner) = self.lock() {
+            match inner.counters.get_mut(counters::ORACLE_QUERIES) {
+                Some(v) => *v += n,
+                None => {
+                    inner
+                        .counters
+                        .insert(counters::ORACLE_QUERIES.to_owned(), n);
+                }
+            }
+            let stage = inner.top_stage().to_owned();
+            let output = inner.context_output;
+            let depth = inner.context_depth;
+            let cell = inner.ledger.entry((stage, output)).or_default();
+            cell.queries += n;
+            cell.query_ns += total_ns;
+            if let Some(d) = depth {
+                *cell.by_depth.entry(d).or_insert(0) += n;
+            }
+            inner.maybe_emit_metrics(false);
+        }
+    }
+
+    /// Marks the output the pipeline is about to learn; queries and
+    /// gate deltas recorded until the guard drops are attributed to
+    /// it. Scopes nest — the guard restores the previous output.
+    #[must_use = "the output scope ends when the guard drops"]
+    pub fn output_scope(&self, output: usize) -> OutputScope {
+        let prev = match self.lock() {
+            None => None,
+            Some(mut inner) => {
+                let prev = inner.context_output;
+                inner.context_output = Some(output as u64);
+                prev
+            }
+        };
+        OutputScope {
+            telemetry: self.clone(),
+            prev,
+        }
+    }
+
+    /// Sets (or clears) the FBDT depth in the attribution context, so
+    /// queries issued while expanding a node are tagged with its
+    /// depth.
+    pub fn set_fbdt_depth(&self, depth: Option<u64>) {
+        if let Some(mut inner) = self.lock() {
+            inner.context_depth = depth;
+        }
+    }
+
+    /// Attributes `gates` AND gates built to the active ledger cell.
+    pub fn attribute_gates(&self, gates: u64) {
+        if gates == 0 {
+            return;
+        }
+        if let Some(mut inner) = self.lock() {
+            let stage = inner.top_stage().to_owned();
+            let output = inner.context_output;
+            inner.ledger.entry((stage, output)).or_default().gates += gates;
+        }
+    }
+
+    /// Publishes the current AIG node count — the gauge reported in
+    /// `metrics` snapshot events.
+    pub fn set_aig_nodes(&self, nodes: u64) {
+        if let Some(mut inner) = self.lock() {
+            inner.gauge_aig_nodes = nodes;
+        }
+    }
+
+    /// Emits a `metrics` snapshot immediately (ignoring the periodic
+    /// throttle) — a no-op unless a trace stream is attached.
+    pub fn emit_metrics_snapshot(&self) {
+        if let Some(mut inner) = self.lock() {
+            inner.maybe_emit_metrics(true);
+        }
+    }
+
+    /// Flushes the attribution ledger onto the trace stream: one final
+    /// `metrics` snapshot, then one `attr` event per ledger cell. Safe
+    /// to call more than once (events repeat; the ledger itself is
+    /// unchanged) — the CLI calls it right before writing the report,
+    /// and the panic drop-guard calls it before the `aborted` marker.
+    pub fn trace_attribution(&self) {
+        if let Some(mut inner) = self.lock() {
+            if inner.trace.is_none() {
+                return;
+            }
+            inner.maybe_emit_metrics(true);
+            for ((stage, output), cell) in &inner.ledger {
+                let fields = [
+                    ("output", output.map(Json::from).unwrap_or(Json::Null)),
+                    ("queries", Json::from(cell.queries)),
+                    ("query_ns", Json::from(cell.query_ns)),
+                    ("gates", Json::from(cell.gates)),
+                ];
+                inner.trace("attr", stage, &fields);
+            }
+        }
+    }
+
     /// The current value of a counter (0 when absent or disabled).
     pub fn counter(&self, counter: &str) -> u64 {
         self.lock()
@@ -364,13 +563,24 @@ impl Telemetry {
         }
     }
 
-    /// Flushes the attached trace stream, if any.
+    /// Flushes the attached trace stream, if any — draining any
+    /// outstanding per-thread buffers first.
     pub fn flush_trace(&self) {
         if let Some(inner) = self.lock() {
             if let Some(trace) = &inner.trace {
                 trace.flush();
             }
         }
+    }
+
+    /// A per-thread buffered trace emitter bound to the current span
+    /// path, or `None` when no trace stream is attached. Hot loops
+    /// (the FBDT node loop) emit through it without touching the
+    /// telemetry mutex per event; dropping it flushes the buffer.
+    pub fn trace_local(&self) -> Option<TraceLocal> {
+        let inner = self.lock()?;
+        let trace = inner.trace.as_ref()?;
+        Some(trace.local(&inner.current_path()))
     }
 
     /// A lock-free recording handle for the named histogram, creating
@@ -402,6 +612,18 @@ impl Telemetry {
             if let HistogramHandle(Some(shared)) = self.histogram_handle(name) {
                 shared.merge(histogram);
             }
+        }
+    }
+
+    /// A per-thread recorder for the named histogram: samples land in
+    /// a private histogram and merge into the shared one when the
+    /// recorder drops (the join point). Worker threads use this to
+    /// record without sharing a cache line; the merge path is the one
+    /// model-checked by the loom suite.
+    pub fn local_recorder(&self, name: &str) -> LocalRecorder {
+        LocalRecorder {
+            local: Histogram::new(),
+            shared: self.histogram_handle(name).0,
         }
     }
 
@@ -554,6 +776,18 @@ impl Telemetry {
                 passes: inner.passes.clone(),
                 checkpoints: inner.checkpoints.clone(),
                 outputs: inner.outputs.clone(),
+                attribution: inner
+                    .ledger
+                    .iter()
+                    .map(|((stage, output), cell)| AttributionRecord {
+                        stage: stage.clone(),
+                        output: *output,
+                        queries: cell.queries,
+                        query_ns: cell.query_ns,
+                        gates: cell.gates,
+                        by_depth: cell.by_depth.clone(),
+                    })
+                    .collect(),
             },
         }
     }
@@ -615,6 +849,77 @@ pub struct Span {
 impl Drop for Span {
     fn drop(&mut self) {
         self.telemetry.exit_span(self.id);
+    }
+}
+
+/// An attribution-context guard from [`Telemetry::output_scope`];
+/// restores the previous output (and clears any FBDT depth) on drop.
+#[derive(Debug)]
+pub struct OutputScope {
+    telemetry: Telemetry,
+    prev: Option<u64>,
+}
+
+impl Drop for OutputScope {
+    fn drop(&mut self) {
+        if let Some(mut inner) = self.telemetry.lock() {
+            inner.context_output = self.prev;
+            inner.context_depth = None;
+        }
+    }
+}
+
+/// A per-thread histogram recorder from [`Telemetry::local_recorder`].
+///
+/// Samples accumulate in a thread-private [`Histogram`] and are merged
+/// into the shared named histogram exactly once, when the recorder
+/// drops. With disabled telemetry every call is a no-op.
+#[derive(Debug, Default)]
+pub struct LocalRecorder {
+    local: Histogram,
+    shared: Option<Arc<Histogram>>,
+}
+
+impl LocalRecorder {
+    /// A no-op recorder.
+    pub fn disabled() -> Self {
+        LocalRecorder::default()
+    }
+
+    /// Whether samples will reach a shared histogram.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Records one sample locally.
+    pub fn record(&self, value: u64) {
+        if self.shared.is_some() {
+            self.local.record(value);
+        }
+    }
+
+    /// Records `n` samples of the same value locally.
+    pub fn record_n(&self, value: u64, n: u64) {
+        if self.shared.is_some() {
+            self.local.record_n(value, n);
+        }
+    }
+
+    /// Records a duration as nanoseconds locally.
+    pub fn record_duration(&self, elapsed: Duration) {
+        if self.shared.is_some() {
+            self.local.record_duration(elapsed);
+        }
+    }
+}
+
+impl Drop for LocalRecorder {
+    fn drop(&mut self) {
+        if let Some(shared) = &self.shared {
+            if self.local.count() > 0 {
+                shared.merge(&self.local);
+            }
+        }
     }
 }
 
@@ -908,6 +1213,132 @@ mod tests {
             parsed.get("stage").and_then(Json::as_str),
             Some("learn/fbdt")
         );
+    }
+
+    #[test]
+    fn oracle_queries_attribute_to_the_stage_output_ledger() {
+        let t = Telemetry::recording();
+        {
+            let _stage = t.span("templates");
+            t.record_oracle_queries(100, 5_000);
+        }
+        {
+            let _scope = t.output_scope(0);
+            let _stage = t.span("fbdt");
+            t.set_fbdt_depth(Some(2));
+            t.record_oracle_queries(40, 1_000);
+            t.set_fbdt_depth(Some(3));
+            t.record_oracle_queries(10, 200);
+            t.attribute_gates(6);
+        }
+        {
+            let _scope = t.output_scope(1);
+            let _stage = t.span("exhaustive");
+            t.record_oracle_queries(64, 800);
+        }
+        let report = t.report();
+        assert_eq!(report.counter(counters::ORACLE_QUERIES), 214);
+        assert_eq!(report.attribution.len(), 3);
+        let total: u64 = report.attribution.iter().map(|a| a.queries).sum();
+        assert_eq!(total, 214, "ledger partitions the query count");
+        let fbdt = report
+            .attribution
+            .iter()
+            .find(|a| a.stage == "fbdt")
+            .expect("fbdt cell");
+        assert_eq!(fbdt.output, Some(0));
+        assert_eq!(fbdt.queries, 50);
+        assert_eq!(fbdt.query_ns, 1_200);
+        assert_eq!(fbdt.gates, 6);
+        assert_eq!(fbdt.by_depth[&2], 40);
+        assert_eq!(fbdt.by_depth[&3], 10);
+        let templates = report
+            .attribution
+            .iter()
+            .find(|a| a.stage == "templates")
+            .expect("templates cell");
+        assert_eq!(templates.output, None);
+        assert!(templates.by_depth.is_empty());
+    }
+
+    #[test]
+    fn output_scopes_nest_and_restore() {
+        let t = Telemetry::recording();
+        {
+            let _a = t.span("s");
+            let _outer = t.output_scope(4);
+            {
+                let _inner = t.output_scope(7);
+                t.record_oracle_queries(1, 0);
+            }
+            t.record_oracle_queries(1, 0);
+        }
+        let report = t.report();
+        let outputs: Vec<Option<u64>> = report.attribution.iter().map(|a| a.output).collect();
+        assert_eq!(outputs, vec![Some(4), Some(7)]);
+    }
+
+    #[test]
+    fn trace_attribution_emits_metrics_then_attr_events() {
+        use crate::trace::TraceWriter;
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let t = Telemetry::recording();
+        t.set_trace(trace);
+        {
+            let _scope = t.output_scope(0);
+            let _stage = t.span("fbdt");
+            t.record_oracle_queries(25, 700);
+        }
+        t.set_aig_nodes(42);
+        t.trace_attribution();
+        t.flush_trace();
+        let text = sink.take_string();
+        let metrics: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("parses"))
+            .filter(|p| p.get("kind").and_then(Json::as_str) == Some("metrics"))
+            .collect();
+        assert!(!metrics.is_empty(), "a final metrics snapshot is emitted");
+        let last = metrics.last().expect("nonempty");
+        assert_eq!(last.get("queries").and_then(Json::as_u64), Some(25));
+        assert_eq!(last.get("aig_nodes").and_then(Json::as_u64), Some(42));
+        assert!(last.get("queries_per_s").and_then(Json::as_u64).is_some());
+        let attrs: Vec<Json> = text
+            .lines()
+            .map(|l| Json::parse(l).expect("parses"))
+            .filter(|p| p.get("kind").and_then(Json::as_str) == Some("attr"))
+            .collect();
+        assert_eq!(attrs.len(), 1);
+        assert_eq!(attrs[0].get("stage").and_then(Json::as_str), Some("fbdt"));
+        assert_eq!(attrs[0].get("output").and_then(Json::as_u64), Some(0));
+        assert_eq!(attrs[0].get("queries").and_then(Json::as_u64), Some(25));
+        assert_eq!(attrs[0].get("query_ns").and_then(Json::as_u64), Some(700));
+    }
+
+    #[test]
+    fn local_recorders_merge_into_the_shared_histogram_on_drop() {
+        let t = Telemetry::recording();
+        {
+            let local = t.local_recorder(crate::histograms::FBDT_NODE_NS);
+            assert!(local.is_enabled());
+            local.record(1_000);
+            local.record_duration(Duration::from_micros(2));
+            // Not yet merged: the shared histogram is still empty.
+            assert!(t.report().histograms.is_empty());
+        }
+        let report = t.report();
+        assert_eq!(report.histograms[crate::histograms::FBDT_NODE_NS].count, 2);
+    }
+
+    #[test]
+    fn disabled_local_recorder_is_inert() {
+        let t = Telemetry::disabled();
+        let local = t.local_recorder("x");
+        assert!(!local.is_enabled());
+        local.record(5);
+        drop(local);
+        let standalone = LocalRecorder::disabled();
+        standalone.record_n(1, 2);
     }
 
     #[test]

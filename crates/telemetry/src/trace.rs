@@ -5,11 +5,14 @@
 //! carries:
 //!
 //! - `t_us` — microseconds since the trace started, taken from a
-//!   monotonic clock (never wall time, so lines are totally ordered
-//!   even across clock adjustments),
+//!   monotonic clock (never wall time, so lines are ordered per
+//!   thread even across clock adjustments),
 //! - `kind` — the event kind (see below),
 //! - `stage` — the `/`-joined span path active when the event fired
-//!   (`""` at top level).
+//!   (`""` at top level),
+//! - `tid` — a small stable per-thread id (0 for the first thread that
+//!   ever traced, 1 for the next, ...), so multi-threaded streams can
+//!   be demultiplexed; within one `tid` timestamps are monotone.
 //!
 //! Kinds emitted by the pipeline:
 //!
@@ -21,40 +24,117 @@
 //! | `pass`       | `pass`, `round`, `gates_before`, `gates_after`, ...      |
 //! | `checkpoint` | `label`, `at_us`, `remaining_us`                         |
 //! | `event`      | `level`, `message`                                       |
+//! | `metrics`    | `queries`, `queries_per_s`, `aig_nodes`, `peak_rss_kb`   |
+//! | `attr`       | `output`, `queries`, `query_ns`, `gates`                 |
 //!
 //! `span_open`/`span_close` lines are balanced: the telemetry layer
 //! emits a close for every open, including spans force-closed by an
 //! out-of-order guard drop, so offline consumers can rebuild the stage
-//! tree with a simple stack.
+//! tree with a simple per-`tid` stack.
 //!
 //! Unlike [`Reporter`](crate::Reporter) events, the trace stream is
 //! not level-filtered: it records everything, because it exists for
 //! offline analysis rather than live reading.
+//!
+//! # Per-thread buffers
+//!
+//! Hot paths (the FBDT node loop) can take a [`TraceLocal`] via
+//! [`TraceWriter::local`]: an emitter that formats lines into a
+//! thread-private buffer, touching the shared sink only when the
+//! buffer fills or the local is dropped. Every local registers itself
+//! with the writer, so [`TraceWriter::flush`] — which the CLI drop
+//! guard runs on panic — drains outstanding buffers before any
+//! subsequent structural event, keeping the stream well-formed JSONL
+//! with no lost `node`/`metrics` lines ahead of the `aborted` marker.
 
 use std::io::Write;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
 use crate::json::Json;
 
+/// Global allocator of small per-thread trace ids.
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's stable trace id: a small integer assigned on
+/// first use, dense across the threads that ever emitted an event.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
 struct TraceInner {
     out: Box<dyn Write + Send>,
-    start: Instant,
     lines: u64,
     /// First write error, if any; reported once instead of spamming.
     failed: bool,
 }
 
+impl TraceInner {
+    /// Writes pre-formatted JSONL text (one or more `\n`-terminated
+    /// lines) to the sink, updating the line count and the sticky
+    /// failure flag.
+    fn write_text(&mut self, text: &str) -> bool {
+        if text.is_empty() {
+            return true;
+        }
+        if self.out.write_all(text.as_bytes()).is_err() {
+            if !self.failed {
+                eprintln!("cirlearn: trace stream write failed; further events dropped");
+            }
+            self.failed = true;
+            return false;
+        }
+        self.lines += text.bytes().filter(|&b| b == b'\n').count() as u64;
+        true
+    }
+}
+
+struct TraceShared {
+    start: Instant,
+    inner: Mutex<TraceInner>,
+    /// Per-thread buffers handed out by [`TraceWriter::local`]; kept
+    /// weakly so a dropped local unregisters itself for free, and
+    /// drained by [`TraceWriter::flush`].
+    locals: Mutex<Vec<Weak<Mutex<String>>>>,
+}
+
+/// Formats one event line (without writing it anywhere).
+fn format_line(
+    t_us: u64,
+    tid: u64,
+    kind: &str,
+    stage: &str,
+    fields: &[(&'static str, Json)],
+) -> String {
+    let mut pairs = Vec::with_capacity(4 + fields.len());
+    pairs.push(("t_us".to_owned(), Json::from(t_us)));
+    pairs.push(("kind".to_owned(), Json::from(kind)));
+    pairs.push(("stage".to_owned(), Json::from(stage)));
+    pairs.push(("tid".to_owned(), Json::from(tid)));
+    for (k, v) in fields {
+        pairs.push(((*k).to_owned(), v.clone()));
+    }
+    let mut line = Json::Object(pairs).to_compact();
+    line.push('\n');
+    line
+}
+
 /// A shared, clonable handle writing trace events as JSON lines.
 ///
-/// High-rate events (FBDT `node` lines, `pass` lines) stay in the
-/// sink's buffer; structural events — span open/close, faults,
-/// checkpoints — flush it, as does [`TraceWriter::flush`]. File
-/// streams wrap a `BufWriter`, so the hot path costs a formatted line
-/// and a memcpy instead of a syscall per event, while a crashed run
-/// (panic, which unwinds into the flushing drop guards) still keeps
-/// everything emitted before the crash and loses at most the node
-/// lines since the last structural event on an outright abort.
+/// High-rate events (FBDT `node` lines, `pass` lines, `metrics`
+/// snapshots) stay in the sink's buffer; structural events — span
+/// open/close, faults, checkpoints — flush it, as does
+/// [`TraceWriter::flush`]. File streams wrap a `BufWriter`, so the hot
+/// path costs a formatted line and a memcpy instead of a syscall per
+/// event, while a crashed run (panic, which unwinds into the flushing
+/// drop guards) still keeps everything emitted before the crash and
+/// loses at most the node lines since the last structural event on an
+/// outright abort.
 ///
 /// # Examples
 ///
@@ -77,7 +157,7 @@ struct TraceInner {
 /// ```
 #[derive(Clone)]
 pub struct TraceWriter {
-    inner: Arc<Mutex<TraceInner>>,
+    shared: Arc<TraceShared>,
 }
 
 impl std::fmt::Debug for TraceWriter {
@@ -90,12 +170,15 @@ impl TraceWriter {
     /// A trace stream over any writer. The monotonic clock starts now.
     pub fn to_writer(out: Box<dyn Write + Send>) -> TraceWriter {
         TraceWriter {
-            inner: Arc::new(Mutex::new(TraceInner {
-                out,
+            shared: Arc::new(TraceShared {
                 start: Instant::now(),
-                lines: 0,
-                failed: false,
-            })),
+                inner: Mutex::new(TraceInner {
+                    out,
+                    lines: 0,
+                    failed: false,
+                }),
+                locals: Mutex::new(Vec::new()),
+            }),
         }
     }
 
@@ -116,43 +199,127 @@ impl TraceWriter {
     }
 
     /// Emits one event line. `fields` are appended after the standard
-    /// `t_us` / `kind` / `stage` triple.
+    /// `t_us` / `kind` / `stage` / `tid` quadruple.
     pub fn emit(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
-        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
-        let t_us = u64::try_from(inner.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let mut pairs = Vec::with_capacity(3 + fields.len());
-        pairs.push(("t_us".to_owned(), Json::from(t_us)));
-        pairs.push(("kind".to_owned(), Json::from(kind)));
-        pairs.push(("stage".to_owned(), Json::from(stage)));
-        for (k, v) in fields {
-            pairs.push(((*k).to_owned(), v.clone()));
-        }
-        let mut line = Json::Object(pairs).to_compact();
-        line.push('\n');
-        if inner.out.write_all(line.as_bytes()).is_err() {
-            if !inner.failed {
-                eprintln!("cirlearn: trace stream write failed; further events dropped");
-            }
-            inner.failed = true;
+        let t_us = u64::try_from(self.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let line = format_line(t_us, current_tid(), kind, stage, fields);
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+        if !inner.write_text(&line) {
             return;
         }
-        inner.lines += 1;
         // Structural events are rare and mark progress worth keeping
-        // on disk; per-node / per-pass events ride the buffer.
-        if !matches!(kind, "node" | "pass") {
+        // on disk; per-node / per-pass / metrics events ride the
+        // buffer.
+        if !matches!(kind, "node" | "pass" | "metrics") {
             let _ = inner.out.flush();
         }
     }
 
-    /// Lines successfully written so far.
-    pub fn lines(&self) -> u64 {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner()).lines
+    /// A per-thread buffered emitter bound to the given span path.
+    ///
+    /// The local formats events into a private buffer and hands them
+    /// to the shared sink only when the buffer fills, when
+    /// [`TraceLocal::flush`] is called, or on drop (the join point).
+    /// The writer keeps a weak registration so [`TraceWriter::flush`]
+    /// can drain buffers the owning threads have not flushed yet.
+    pub fn local(&self, stage: &str) -> TraceLocal {
+        let buf = Arc::new(Mutex::new(String::new()));
+        self.shared
+            .locals
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(Arc::downgrade(&buf));
+        TraceLocal {
+            shared: Arc::clone(&self.shared),
+            buf,
+            stage: stage.to_owned(),
+        }
     }
 
-    /// Flushes the underlying writer.
+    /// Lines successfully written so far (thread-local buffers count
+    /// once drained).
+    pub fn lines(&self) -> u64 {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .lines
+    }
+
+    /// Drains every registered per-thread buffer into the sink, then
+    /// flushes the underlying writer.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let chunks: Vec<String> = {
+            let mut locals = self.shared.locals.lock().unwrap_or_else(|p| p.into_inner());
+            locals.retain(|w| w.strong_count() > 0);
+            locals
+                .iter()
+                .filter_map(Weak::upgrade)
+                .map(|buf| std::mem::take(&mut *buf.lock().unwrap_or_else(|p| p.into_inner())))
+                .filter(|s| !s.is_empty())
+                .collect()
+        };
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+        for chunk in &chunks {
+            inner.write_text(chunk);
+        }
         let _ = inner.out.flush();
+    }
+}
+
+/// How many buffered bytes a [`TraceLocal`] accumulates before handing
+/// its chunk to the shared sink.
+const LOCAL_FLUSH_BYTES: usize = 16 * 1024;
+
+/// A per-thread buffered trace emitter (see [`TraceWriter::local`]).
+///
+/// Events are stamped with the monotonic timestamp and the emitting
+/// thread's `tid` at [`TraceLocal::emit`] time, then buffered; the
+/// shared sink's mutex is touched only per ~16 KiB chunk. Dropping the
+/// local flushes it — that is the merge-at-join point.
+pub struct TraceLocal {
+    shared: Arc<TraceShared>,
+    buf: Arc<Mutex<String>>,
+    stage: String,
+}
+
+impl TraceLocal {
+    /// Buffers one event line under the local's captured stage path.
+    pub fn emit(&self, kind: &str, fields: &[(&'static str, Json)]) {
+        let t_us = u64::try_from(self.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let line = format_line(t_us, current_tid(), kind, &self.stage, fields);
+        let full = {
+            let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
+            buf.push_str(&line);
+            buf.len() >= LOCAL_FLUSH_BYTES
+        };
+        if full {
+            self.flush();
+        }
+    }
+
+    /// Hands the buffered chunk to the shared sink (without forcing
+    /// the sink itself to disk — buffered kinds ride the `BufWriter`).
+    pub fn flush(&self) {
+        let chunk = std::mem::take(&mut *self.buf.lock().unwrap_or_else(|p| p.into_inner()));
+        if chunk.is_empty() {
+            return;
+        }
+        let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+        inner.write_text(&chunk);
+    }
+}
+
+impl Drop for TraceLocal {
+    fn drop(&mut self) {
+        self.flush();
+        // Unregister eagerly so the writer's registry stays small even
+        // if flush() is never called on the writer itself.
+        self.shared
+            .locals
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .retain(|w| w.strong_count() > 0 && !w.ptr_eq(&Arc::downgrade(&self.buf)));
     }
 }
 
@@ -191,7 +358,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn every_line_is_valid_compact_json_with_the_standard_triple() {
+    fn every_line_is_valid_compact_json_with_the_standard_envelope() {
         let (trace, sink) = TraceWriter::to_shared_buffer();
         trace.emit("event", "learn/fbdt", &[("message", Json::from("hi"))]);
         trace.emit("checkpoint", "", &[("remaining_us", Json::Null)]);
@@ -205,6 +372,10 @@ mod tests {
             prev_t = t;
             assert!(parsed.get("kind").and_then(Json::as_str).is_some());
             assert!(parsed.get("stage").and_then(Json::as_str).is_some());
+            assert!(
+                parsed.get("tid").and_then(Json::as_u64).is_some(),
+                "every event carries a tid: {line}"
+            );
         }
         assert_eq!(text.lines().count(), 2);
     }
@@ -235,5 +406,63 @@ mod tests {
         trace.emit("event", "", &[]);
         trace.emit("event", "", &[]);
         assert_eq!(trace.lines(), 0);
+    }
+
+    #[test]
+    fn local_buffers_until_dropped_then_lines_appear() {
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        {
+            let local = trace.local("learn/fbdt");
+            local.emit("node", &[("depth", Json::from(3u64))]);
+            local.emit("node", &[("depth", Json::from(4u64))]);
+            // Still buffered: nothing in the sink yet.
+            assert_eq!(trace.lines(), 0);
+        }
+        assert_eq!(trace.lines(), 2, "drop flushes the local buffer");
+        let text = sink.take_string();
+        for line in text.lines() {
+            let parsed = Json::parse(line).expect("valid JSON");
+            assert_eq!(
+                parsed.get("stage").and_then(Json::as_str),
+                Some("learn/fbdt")
+            );
+            assert!(parsed.get("tid").and_then(Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn writer_flush_drains_live_locals() {
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let local = trace.local("fbdt");
+        local.emit("node", &[]);
+        assert_eq!(trace.lines(), 0);
+        // The drop guard path: flush() on the writer must rescue lines
+        // still sitting in per-thread buffers.
+        trace.flush();
+        assert_eq!(trace.lines(), 1);
+        assert_eq!(sink.take_string().lines().count(), 1);
+        drop(local);
+    }
+
+    #[test]
+    fn local_chunk_flushes_on_size_threshold() {
+        let (trace, _sink) = TraceWriter::to_shared_buffer();
+        let local = trace.local("fbdt");
+        let payload = "x".repeat(512);
+        let mut emitted = 0u64;
+        while trace.lines() == 0 {
+            local.emit("node", &[("pad", Json::from(payload.as_str()))]);
+            emitted += 1;
+            assert!(emitted < 1_000, "size threshold never triggered");
+        }
+        assert_eq!(trace.lines(), emitted, "the whole chunk lands at once");
+    }
+
+    #[test]
+    fn tids_are_stable_within_a_thread() {
+        assert_eq!(current_tid(), current_tid());
+        let here = current_tid();
+        let there = std::thread::spawn(current_tid).join().expect("join");
+        assert_ne!(here, there, "each thread gets its own tid");
     }
 }

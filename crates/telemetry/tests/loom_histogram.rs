@@ -107,6 +107,40 @@ fn snapshot_during_concurrent_record_is_coherent() {
 }
 
 #[test]
+fn local_shard_drop_merge_races_a_snapshot_coherently() {
+    // The `LocalRecorder` path: a worker thread records into a private
+    // histogram (uncontended) and publishes the whole shard via one
+    // `merge` when it drops, while the reporting thread snapshots the
+    // shared histogram concurrently. The snapshot may land before or
+    // after the publish, but never in an incoherent in-between state.
+    loom::model(|| {
+        let shared = Arc::new(ModelHistogram::new());
+        let s2 = Arc::clone(&shared);
+        let t = loom::thread::spawn(move || {
+            // Thread-private recording: loom sees no scheduling points
+            // that matter here, only the merge below races the reader.
+            let local = ModelHistogram::new();
+            local.record(4);
+            local.record(8);
+            s2.merge(&local);
+        });
+        let s = shared.summary();
+        assert!(s.count <= 2, "shard published too many samples");
+        if s.count > 0 {
+            assert!(s.min == 4 || s.min == 8, "min sentinel leaked: {}", s.min);
+            assert!(s.max == 4 || s.max == 8, "impossible max: {}", s.max);
+            assert!(s.min <= s.max);
+        }
+        t.join().unwrap();
+        let end = shared.summary();
+        assert_eq!(end.count, 2);
+        assert_eq!(end.sum, 12);
+        assert_eq!(end.min, 4);
+        assert_eq!(end.max, 8);
+    });
+}
+
+#[test]
 fn concurrent_merges_from_two_shards_accumulate() {
     // The telemetry counter/histogram aggregation pattern: worker shards
     // merged into one accumulator from two threads at once.

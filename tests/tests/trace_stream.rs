@@ -1,15 +1,19 @@
 //! End-to-end trace stream: run the full learner with a tracing
 //! [`Telemetry`] handle and check that the JSONL event stream is
-//! well-formed — every line parses, timestamps are monotone, and span
-//! open/close events nest with stack discipline.
+//! well-formed — every line parses, carries a thread id, timestamps
+//! are monotone per thread, and span open/close events nest with
+//! per-thread stack discipline.
+
+use std::collections::BTreeMap;
 
 use cirlearn::{Learner, LearnerConfig};
 use cirlearn_oracle::generate;
-use cirlearn_telemetry::{json::Json, Telemetry, TraceWriter};
+use cirlearn_telemetry::{analysis, json::Json, Telemetry, TraceWriter};
 
 /// Learns one NEQ case (not template-solvable, so the FBDT stage must
-/// expand nodes) with tracing on and returns the captured JSONL text.
-fn traced_run() -> String {
+/// expand nodes) with tracing on and returns the captured JSONL text
+/// plus the run's query count.
+fn traced_run() -> (String, u64) {
     let mut oracle = generate::neq_case_with_support(24, 1, 16, 7);
     let telemetry = Telemetry::recording();
     let (trace, sink) = TraceWriter::to_shared_buffer();
@@ -20,27 +24,35 @@ fn traced_run() -> String {
     cfg.fbdt.exhaustive_threshold = 4;
     let result = Learner::with_telemetry(cfg, telemetry.clone()).learn(&mut oracle);
     assert!(result.queries > 0, "the learner must query the oracle");
+    // Mirror the CLI's finish sequence: drain buffered per-thread
+    // chunks, then append the final attribution ledger.
     telemetry.flush_trace();
-    sink.take_string()
+    telemetry.trace_attribution();
+    telemetry.flush_trace();
+    (sink.take_string(), result.queries)
 }
 
 #[test]
 fn trace_lines_parse_with_monotone_timestamps_and_balanced_spans() {
-    let text = traced_run();
+    let (text, _) = traced_run();
     assert!(!text.is_empty(), "a traced run must emit events");
 
-    let mut last_t = 0u64;
-    let mut open_stack: Vec<u64> = Vec::new();
+    let mut last_t: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut open_stacks: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     let mut kinds: Vec<String> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let parsed = Json::parse(line)
             .unwrap_or_else(|e| panic!("trace line {i} is not valid JSON ({e}): {line}"));
 
-        // Every event carries the common envelope.
+        // Every event carries the common envelope, thread id included.
         let t = parsed
             .get("t_us")
             .and_then(Json::as_u64)
             .unwrap_or_else(|| panic!("trace line {i} has no t_us: {line}"));
+        let tid = parsed
+            .get("tid")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("trace line {i} has no tid: {line}"));
         let kind = parsed
             .get("kind")
             .and_then(Json::as_str)
@@ -50,22 +62,28 @@ fn trace_lines_parse_with_monotone_timestamps_and_balanced_spans() {
             "trace line {i} has no stage: {line}"
         );
 
-        // Timestamps are monotonic µs since the stream was attached.
+        // Timestamps are monotone µs per emitting thread (per-thread
+        // buffering may interleave threads in the file, but each
+        // thread's own events stay ordered).
+        let last = last_t.entry(tid).or_insert(0);
         assert!(
-            t >= last_t,
-            "line {i}: t_us {t} went backwards from {last_t}"
+            t >= *last,
+            "line {i}: tid {tid} t_us {t} went backwards from {last}"
         );
-        last_t = t;
+        *last = t;
 
-        // Spans close in LIFO order, each close matching the last open.
+        // Spans close in LIFO order per thread, each close matching
+        // that thread's last open.
         match kind {
             "span_open" => {
                 let id = parsed.get("id").and_then(Json::as_u64).expect("span id");
-                open_stack.push(id);
+                open_stacks.entry(tid).or_default().push(id);
             }
             "span_close" => {
                 let id = parsed.get("id").and_then(Json::as_u64).expect("span id");
-                let top = open_stack
+                let top = open_stacks
+                    .entry(tid)
+                    .or_default()
                     .pop()
                     .unwrap_or_else(|| panic!("line {i}: close without open: {line}"));
                 assert_eq!(top, id, "line {i}: spans closed out of order: {line}");
@@ -74,13 +92,16 @@ fn trace_lines_parse_with_monotone_timestamps_and_balanced_spans() {
         }
         kinds.push(kind.to_owned());
     }
-    assert!(
-        open_stack.is_empty(),
-        "spans left open at end of run: {open_stack:?}"
-    );
+    for (tid, stack) in &open_stacks {
+        assert!(
+            stack.is_empty(),
+            "tid {tid} left spans open at end of run: {stack:?}"
+        );
+    }
 
-    // A real learner run exercises spans and FBDT node expansions.
-    for expected in ["span_open", "span_close", "node"] {
+    // A real learner run exercises spans, FBDT node expansions and the
+    // final attribution flush.
+    for expected in ["span_open", "span_close", "node", "attr", "metrics"] {
         assert!(
             kinds.iter().any(|k| k == expected),
             "trace stream has no {expected} event"
@@ -90,7 +111,7 @@ fn trace_lines_parse_with_monotone_timestamps_and_balanced_spans() {
 
 #[test]
 fn node_events_report_their_disposition_and_cost() {
-    let text = traced_run();
+    let (text, _) = traced_run();
     let mut nodes = 0usize;
     for line in text.lines().filter(|l| l.contains("\"node\"")) {
         let parsed = Json::parse(line).expect("node line parses");
@@ -110,4 +131,27 @@ fn node_events_report_their_disposition_and_cost() {
         assert!(parsed.get("depth").and_then(Json::as_u64).is_some());
     }
     assert!(nodes > 0, "the FBDT stage must expand at least one node");
+}
+
+#[test]
+fn attribution_events_account_for_every_query() {
+    let (text, queries) = traced_run();
+    let events = analysis::parse_trace(&text).expect("stream parses");
+    let summary = analysis::summarize(&events);
+    assert_eq!(
+        summary.total_attributed_queries(),
+        queries,
+        "the traced ledger must sum to LearnResult::queries"
+    );
+    // The same stream converts to Chrome trace-event JSON with at
+    // least one complete span and all-monotone event structure.
+    let chrome = analysis::to_chrome_trace(&events);
+    let parsed = Json::parse(&chrome.to_compact()).expect("export is valid JSON");
+    let trace_events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents");
+    assert!(trace_events
+        .iter()
+        .any(|e| e.get("ph").and_then(Json::as_str) == Some("X")));
 }
