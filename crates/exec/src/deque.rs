@@ -1,0 +1,393 @@
+//! A fixed-capacity Chase–Lev work-stealing deque.
+//!
+//! One [`Worker`] owns the bottom end: it pushes and pops LIFO, which
+//! keeps the hot task's cache lines hot. Any number of [`Stealer`]s
+//! take from the top end, FIFO, so idle threads grab the *oldest*
+//! (largest-granularity) work first. This is the substrate for the
+//! parallel FBDT node loop: each worker keeps its own deque, stealers
+//! rebalance when theirs runs dry.
+//!
+//! # Memory-ordering discipline
+//!
+//! The algorithm is the C11 formulation of Lê, Pop, Cohen and
+//! Zappa Nardelli ("Correct and Efficient Work-Stealing for Weak
+//! Memory Models", PPoPP 2013), with one strengthening: **every**
+//! `bottom` store is `Release`, including `pop`'s decrement and
+//! restore. The original leaves those `Relaxed` and relies on
+//! C11-style release sequences (same-thread relaxed stores continue
+//! the sequence headed by an earlier release store). C++20 dropped
+//! same-thread continuation, and our model checker implements the
+//! C++20 rule — under it, a stealer that reads `bottom` from a relaxed
+//! `pop` store would get no happens-before edge to the slot writes and
+//! could steal a stale value. Promoting the stores to `Release` closes
+//! that hole at no cost on x86 and one fence-free barrier on ARM; the
+//! loom suite's seeded-bug test shows what the checker reports when
+//! the publication edge is dropped.
+//!
+//! The `SeqCst` fences in `pop` and `steal` are load-store barriers
+//! for the `bottom`/`top` store-buffering race that decides who owns
+//! the last element; the `SeqCst` CAS on `top` arbitrates it.
+//!
+//! Slots are written by the worker only. A slot at index `i` is
+//! overwritten (capacity reuse at `i + capacity`) only after `top` has
+//! advanced past `i`, so a stealer whose `top` CAS succeeds at `i` can
+//! never have read the overwritten value — the CAS would have failed.
+//!
+//! # Layers
+//!
+//! [`RawDeque`] moves `u64`s and contains no `unsafe`; it is what the
+//! loom suite model-checks. [`Worker`]/[`Stealer`] move owned `T`s by
+//! boxing them through the raw layer; the `unsafe` is confined to the
+//! box round-trip and justified by the raw layer's exactly-once
+//! delivery, which is the property the model checker establishes.
+
+use crate::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::sync::Arc;
+use std::marker::PhantomData;
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the worker or another stealer; retrying may
+    /// succeed.
+    Retry,
+    /// Stole the oldest item.
+    Success(T),
+}
+
+impl<T> Steal<T> {
+    /// The stolen item, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// The untyped deque: a power-of-two ring of `u64` slots with
+/// monotonically increasing `top`/`bottom` indices.
+///
+/// `push` and `pop` must only be called by the single worker thread;
+/// `steal` may be called from anywhere. Misuse cannot corrupt memory
+/// (this layer is `unsafe`-free) but voids the exactly-once delivery
+/// guarantee the typed layer builds on.
+#[derive(Debug)]
+pub struct RawDeque {
+    /// Next index to steal from. Monotonic; only ever advanced by a
+    /// successful CAS.
+    top: AtomicU64,
+    /// One past the newest item. Stored only by the worker.
+    bottom: AtomicU64,
+    slots: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl RawDeque {
+    /// A deque holding at most `capacity` items (rounded up to a power
+    /// of two, minimum 2).
+    pub fn new(capacity: usize) -> RawDeque {
+        let cap = capacity.next_power_of_two().max(2);
+        RawDeque {
+            top: AtomicU64::new(0),
+            bottom: AtomicU64::new(0),
+            slots: (0..cap).map(|_| AtomicU64::new(0)).collect(),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// The fixed slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn slot(&self, index: u64) -> &AtomicU64 {
+        &self.slots[(index & self.mask) as usize]
+    }
+
+    /// Pushes onto the bottom end. Worker only. Returns the value back
+    /// when the deque is full.
+    pub fn push(&self, value: u64) -> Result<(), u64> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= self.slots.len() as u64 {
+            return Err(value);
+        }
+        // relaxed-ok: the slot write is published by the Release
+        // `bottom` store below; no thread reads the slot before it
+        // observes that store.
+        self.slot(b).store(value, Ordering::Relaxed);
+        self.bottom.store(b.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Pops the newest item (LIFO). Worker only.
+    pub fn pop(&self) -> Option<u64> {
+        let b = self.bottom.load(Ordering::Relaxed).wrapping_sub(1);
+        // Release (not Relaxed as in the 2013 paper): under C++20
+        // release-sequence rules a stealer may take its
+        // happens-before edge from *this* store, so it must republish
+        // the worker's slot writes. The fence below orders it before
+        // the `top` read (the store-buffering half of the last-element
+        // race).
+        self.bottom.store(b, Ordering::Release);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if (t as i64) <= (b as i64) {
+            let value = self.slot(b).load(Ordering::Relaxed);
+            if t == b {
+                // Last element: race the stealers for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b.wrapping_add(1), Ordering::Release);
+                return won.then_some(value);
+            }
+            Some(value)
+        } else {
+            // Already empty: restore `bottom`.
+            self.bottom.store(b.wrapping_add(1), Ordering::Release);
+            None
+        }
+    }
+
+    /// Steals the oldest item (FIFO). Any thread.
+    pub fn steal(&self) -> Steal<u64> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if (t as i64) >= (b as i64) {
+            return Steal::Empty;
+        }
+        // Read the candidate before claiming it: if the CAS below
+        // succeeds, `top` was still `t`, so the slot cannot have been
+        // reused and this read saw the worker's publication (the
+        // Acquire `bottom` load above synchronized with it).
+        let value = self.slot(t).load(Ordering::Relaxed);
+        match self
+            .top
+            .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::Relaxed)
+        {
+            Ok(_) => Steal::Success(value),
+            Err(_) => Steal::Retry,
+        }
+    }
+}
+
+struct Shared<T> {
+    raw: RawDeque,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the deque moves owned `T`s between threads (each pushed
+// value is delivered to exactly one popper or stealer, never aliased),
+// so `T: Send` is exactly the bound required; no `&T` is ever shared.
+unsafe impl<T: Send> Send for Shared<T> {}
+// SAFETY: as above — concurrent `&Shared<T>` access only moves values,
+// so `T: Send` (not `T: Sync`) is the right bound.
+unsafe impl<T: Send> Sync for Shared<T> {}
+
+impl<T> Drop for Shared<T> {
+    fn drop(&mut self) {
+        // Exclusive access: both handles are gone. Reclaim what was
+        // pushed but never delivered.
+        while let Some(bits) = self.raw.pop() {
+            // SAFETY: every slot value the raw deque delivers was
+            // created by `Worker::push` via `Box::into_raw`, and the
+            // raw layer delivers each pushed value exactly once, so
+            // this pointer is unaliased and owned here.
+            drop(unsafe { Box::from_raw(bits as usize as *mut T) });
+        }
+    }
+}
+
+/// The owning end of a deque: LIFO push/pop, single thread. Not
+/// `Clone` — exactly one worker may exist, which is what makes the
+/// raw layer's single-writer slot discipline hold.
+pub struct Worker<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> std::fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Worker")
+    }
+}
+
+impl<T: Send> Worker<T> {
+    /// A new deque holding at most `capacity` items (rounded up to a
+    /// power of two, minimum 2).
+    pub fn new(capacity: usize) -> Worker<T> {
+        Worker {
+            shared: Arc::new(Shared {
+                raw: RawDeque::new(capacity),
+                _marker: PhantomData,
+            }),
+        }
+    }
+
+    /// A stealer handle for the other end; cheap, cloneable, `Send`.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Pushes a task; returns it back when the deque is full.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let ptr = Box::into_raw(Box::new(value));
+        match self.shared.raw.push(ptr as usize as u64) {
+            Ok(()) => Ok(()),
+            // SAFETY: the raw layer rejected the value without storing
+            // it, so `ptr` is still the unaliased pointer created two
+            // lines up; reboxing it reclaims ownership.
+            Err(bits) => Err(*unsafe { Box::from_raw(bits as usize as *mut T) }),
+        }
+    }
+
+    /// Pops the newest task (LIFO), `None` when empty.
+    pub fn pop(&self) -> Option<T> {
+        self.shared.raw.pop().map(|bits| {
+            // SAFETY: the raw layer delivers each pushed value exactly
+            // once (the property the loom suite model-checks), and
+            // every value it holds came from `Box::into_raw` in
+            // `push`, so this pointer is unaliased and owned here.
+            *unsafe { Box::from_raw(bits as usize as *mut T) }
+        })
+    }
+}
+
+/// The stealing end of a deque: FIFO, any thread, cloneable.
+pub struct Stealer<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Stealer<T> {
+        Stealer {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Stealer")
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Steals the oldest task (FIFO).
+    pub fn steal(&self) -> Steal<T> {
+        match self.shared.raw.steal() {
+            Steal::Empty => Steal::Empty,
+            Steal::Retry => Steal::Retry,
+            Steal::Success(bits) => {
+                // SAFETY: a successful steal is the raw layer's
+                // exactly-once delivery of a `Box::into_raw` pointer
+                // from `Worker::push` — unaliased and owned here.
+                Steal::Success(*unsafe { Box::from_raw(bits as usize as *mut T) })
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(any(loom, race))))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pop_is_lifo_and_steal_is_fifo() {
+        let w: Worker<u64> = Worker::new(8);
+        let s = w.stealer();
+        for v in [10, 20, 30] {
+            w.push(v).unwrap();
+        }
+        assert_eq!(s.steal().success(), Some(10), "steal takes the oldest");
+        assert_eq!(w.pop(), Some(30), "pop takes the newest");
+        assert_eq!(w.pop(), Some(20));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn full_deque_hands_the_value_back() {
+        let w: Worker<String> = Worker::new(2);
+        w.push("a".to_owned()).unwrap();
+        w.push("b".to_owned()).unwrap();
+        let rejected = w.push("c".to_owned()).unwrap_err();
+        assert_eq!(rejected, "c");
+        assert_eq!(w.pop(), Some("b".to_owned()));
+        w.push("c".to_owned()).unwrap();
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(RawDeque::new(0).capacity(), 2);
+        assert_eq!(RawDeque::new(3).capacity(), 4);
+        assert_eq!(RawDeque::new(8).capacity(), 8);
+    }
+
+    #[test]
+    fn slots_wrap_around_the_ring() {
+        let d = RawDeque::new(2);
+        for round in 0..5u64 {
+            d.push(round * 2).unwrap();
+            d.push(round * 2 + 1).unwrap();
+            assert!(d.push(99).is_err(), "ring is full");
+            assert_eq!(d.steal().success(), Some(round * 2));
+            assert_eq!(d.pop(), Some(round * 2 + 1));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn cross_thread_handoff_delivers_each_item_once() {
+        // Small enough for miri: 2 stealers × 40 items.
+        let w: Worker<u64> = Worker::new(64);
+        let total = 40u64;
+        for v in 0..total {
+            w.push(v).unwrap();
+        }
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let s = w.stealer();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => break,
+                            Steal::Retry => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        for h in handles {
+            got.extend(h.join().expect("stealer thread"));
+        }
+        got.sort_unstable();
+        assert_eq!(got, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropping_the_deque_reclaims_undelivered_items() {
+        // Under miri this doubles as a leak check on the Drop drain.
+        let w: Worker<Vec<u64>> = Worker::new(8);
+        w.push(vec![1, 2, 3]).unwrap();
+        w.push(vec![4]).unwrap();
+        let s = w.stealer();
+        drop(w);
+        assert_eq!(s.steal().success(), Some(vec![1, 2, 3]));
+        drop(s); // vec![4] reclaimed by Shared::drop
+    }
+}

@@ -1,0 +1,26 @@
+//! Execution substrate for the cirlearn pipeline.
+//!
+//! The learning hot path — FBDT node expansion across outputs — is
+//! embarrassingly parallel but irregularly sized, which calls for work
+//! stealing rather than static partitioning. This crate provides the
+//! concurrency-verified building block for that runway:
+//!
+//! - [`Worker`] / [`Stealer`] ([`deque`]): a fixed-capacity Chase–Lev
+//!   work-stealing deque. The owner pushes and pops LIFO (keeping the
+//!   hottest task local); stealers take FIFO from the far end.
+//!
+//! Every synchronized type routes through the [`sync`] alias, so the
+//! same source compiles against three backends: real `std` atomics
+//! (default), the vendored weak-memory model checker (`--cfg loom`),
+//! and the vendored happens-before race detector (`--cfg race`). The
+//! deque is verified by all three — see `tests/loom_deque.rs`,
+//! `tests/race_deque.rs`, the miri-clean unit tests in [`deque`], and
+//! the steal-count conservation property in `tests/deque_props.rs`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod deque;
+pub mod sync;
+
+pub use deque::{RawDeque, Steal, Stealer, Worker};

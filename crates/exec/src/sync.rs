@@ -1,0 +1,71 @@
+//! The crate's single synchronization surface, switchable at compile
+//! time between three backends (mirroring `cirlearn-telemetry`'s
+//! `sync` module):
+//!
+//! - **default** — real `std::sync` / `std::thread`: zero-overhead
+//!   production builds;
+//! - **`--cfg loom`** — the vendored weak-memory model checker
+//!   (`vendor/loom`): every atomic op becomes a scheduling point and
+//!   every load a value branch point;
+//! - **`--cfg race`** — the vendored happens-before race detector
+//!   (`vendor/tsan`): real full-speed threads with vector clocks
+//!   riding alongside.
+//!
+//! Everything in this crate that synchronizes imports from here
+//! instead of naming `std::sync::atomic` directly — enforced by
+//! `cirlearn-lint`'s atomic-alias rule — so the concurrency tests run
+//! the *exact* production code path with no parallel type plumbing.
+//
+// cirlearn-lint: allow(atomic-alias) — this module *is* the alias; it
+// is the one place in the crate allowed to name the backend sync types.
+
+#[cfg(all(loom, race))]
+compile_error!("--cfg loom and --cfg race are mutually exclusive backends");
+
+#[cfg(not(any(loom, race)))]
+mod backend {
+    pub use std::sync::Arc;
+
+    /// Atomic types and fences (std backend).
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawn/join (std backend).
+    pub mod thread {
+        pub use std::thread::{spawn, yield_now, JoinHandle};
+    }
+}
+
+#[cfg(loom)]
+mod backend {
+    pub use loom::sync::Arc;
+
+    /// Atomic types and fences (loom weak-memory model backend).
+    pub mod atomic {
+        pub use loom::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawn/join (loom model backend).
+    pub mod thread {
+        pub use loom::thread::{spawn, yield_now, JoinHandle};
+    }
+}
+
+#[cfg(race)]
+mod backend {
+    pub use tsan::sync::Arc;
+
+    /// Atomic types and fences (race-detector backend).
+    pub mod atomic {
+        pub use tsan::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    /// Thread spawn/join (race-detector backend, records fork/join
+    /// happens-before edges).
+    pub mod thread {
+        pub use tsan::thread::{spawn, yield_now, JoinHandle};
+    }
+}
+
+pub use backend::*;

@@ -1,0 +1,96 @@
+//! Property tests for the Chase–Lev deque (tier-1, default backend).
+//!
+//! Two layers of randomized evidence on real `std` atomics:
+//!
+//! - sequential semantics against a `VecDeque` reference model — pop
+//!   is LIFO, steal is FIFO, capacity rejections hand the value back;
+//! - steal-count conservation under real contention — however pops
+//!   and concurrent stealers interleave, every pushed item is
+//!   delivered to exactly one taker.
+
+#![cfg(not(any(loom, race)))]
+
+use std::collections::VecDeque;
+
+use cirlearn_exec::{Steal, Worker};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    fn sequential_ops_match_the_reference_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..1000), 0..200),
+    ) {
+        let w: Worker<u64> = Worker::new(16);
+        let s = w.stealer();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let cap = 16;
+        for (op, value) in ops {
+            match op {
+                0 => match w.push(value) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < cap, "push succeeded on a full deque");
+                        model.push_back(value);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, value, "rejected push returns the value");
+                        prop_assert_eq!(model.len(), cap, "push rejected while not full");
+                    }
+                },
+                1 => prop_assert_eq!(w.pop(), model.pop_back(), "pop is LIFO"),
+                _ => {
+                    let stolen = s.steal().success();
+                    prop_assert_eq!(stolen, model.pop_front(), "steal is FIFO");
+                }
+            }
+        }
+        // Drain and compare the leftovers.
+        while let Some(expected) = model.pop_back() {
+            prop_assert_eq!(w.pop(), Some(expected));
+        }
+        prop_assert_eq!(w.pop(), None);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    fn concurrent_steals_conserve_every_item(
+        total in 1u64..=128,
+        n_stealers in 1usize..=3,
+    ) {
+        let w: Worker<u64> = Worker::new(128);
+        for v in 0..total {
+            w.push(v).unwrap();
+        }
+        let handles: Vec<_> = (0..n_stealers)
+            .map(|_| {
+                let s = w.stealer();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match s.steal() {
+                            Steal::Success(v) => got.push(v),
+                            Steal::Empty => break,
+                            Steal::Retry => std::thread::yield_now(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut got = Vec::new();
+        while let Some(v) = w.pop() {
+            got.push(v);
+        }
+        for h in handles {
+            got.extend(h.join().expect("stealer thread panicked"));
+        }
+        got.sort_unstable();
+        prop_assert_eq!(
+            got,
+            (0..total).collect::<Vec<_>>(),
+            "an item was lost or delivered twice"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Model checking the Chase–Lev deque with the weak-memory loom shim.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`: the crate's `sync` alias
+//! routes the deque's atomics through the model checker, which
+//! explores thread interleavings *and* the stale reads the `Ordering`
+//! arguments permit. The properties pinned down here:
+//!
+//! - a stealer never observes an unpublished slot (the Release
+//!   `bottom` publication is what it relies on);
+//! - every pushed item is delivered to exactly one taker — the
+//!   exactly-once property the typed layer's `unsafe` box round-trip
+//!   is justified by;
+//! - the last-element race between `pop` and `steal` hands the item to
+//!   exactly one side (the SeqCst fence/CAS arbitration);
+//! - dropping the Release publication (the seeded bug) is caught by
+//!   weak-memory exploration but sails through the legacy SeqCst-only
+//!   exploration — the regression pair that keeps `weak_memory` on.
+
+#![cfg(loom)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cirlearn_exec::sync::thread;
+use cirlearn_exec::{RawDeque, Steal, Worker};
+use loom::sync::Arc;
+
+#[test]
+fn a_stealer_never_observes_an_unpublished_slot() {
+    loom::model(|| {
+        let d = Arc::new(RawDeque::new(2));
+        let d2 = Arc::clone(&d);
+        let stealer = thread::spawn(move || d2.steal());
+        d.push(41).unwrap();
+        match stealer.join().unwrap() {
+            Steal::Success(v) => assert_eq!(v, 41, "stole an unpublished value"),
+            Steal::Empty | Steal::Retry => {}
+        }
+    });
+}
+
+#[test]
+fn the_last_element_goes_to_exactly_one_side() {
+    loom::model(|| {
+        let d = Arc::new(RawDeque::new(2));
+        d.push(7).unwrap();
+        let d2 = Arc::clone(&d);
+        let stealer = thread::spawn(move || d2.steal().success());
+        let popped = d.pop();
+        let stolen = stealer.join().unwrap();
+        match (popped, stolen) {
+            (Some(7), None) | (None, Some(7)) => {}
+            (p, s) => panic!("last element mishandled: popped {p:?}, stolen {s:?}"),
+        }
+    });
+}
+
+#[test]
+fn concurrent_pops_and_a_steal_conserve_items() {
+    loom::model(|| {
+        let d = Arc::new(RawDeque::new(2));
+        let d2 = Arc::clone(&d);
+        let stealer = thread::spawn(move || d2.steal().success());
+        d.push(1).unwrap();
+        d.push(2).unwrap();
+        let mut taken: Vec<u64> = [d.pop(), d.pop(), d.pop()].into_iter().flatten().collect();
+        taken.extend(stealer.join().unwrap());
+        taken.sort_unstable();
+        assert_eq!(taken, vec![1, 2], "an item was lost or delivered twice");
+    });
+}
+
+#[test]
+fn the_typed_layer_moves_ownership_exactly_once() {
+    // The box round-trip under the model: a double delivery would be a
+    // double-free the leak/alias structure of `Box` turns into a
+    // corrupted value, and an undelivered box is reclaimed by drop.
+    loom::model(|| {
+        let w: Worker<u64> = Worker::new(2);
+        let s = w.stealer();
+        let stealer = thread::spawn(move || s.steal().success());
+        w.push(11).unwrap();
+        w.push(22).unwrap();
+        let mut taken: Vec<u64> = [w.pop(), w.pop()].into_iter().flatten().collect();
+        taken.extend(stealer.join().unwrap());
+        taken.sort_unstable();
+        match taken.as_slice() {
+            [11, 22] => {}
+            // The steal may have lost its race after `pop` drained
+            // both; nothing may be duplicated or invented.
+            [11] | [22] | [] => panic!("an item vanished: {taken:?}"),
+            other => panic!("impossible delivery: {other:?}"),
+        }
+    });
+}
+
+/// The deque with its publication edge removed: `push` stores `bottom`
+/// `Relaxed`, exactly the bug the Release store in the real `push`
+/// (and the module docs' C++20 release-sequence note) exists to
+/// prevent.
+mod seeded {
+    use cirlearn_exec::sync::atomic::{AtomicU64, Ordering};
+
+    pub struct BuggyDeque {
+        top: AtomicU64,
+        bottom: AtomicU64,
+        slot: AtomicU64,
+    }
+
+    impl BuggyDeque {
+        pub fn new() -> Self {
+            BuggyDeque {
+                top: AtomicU64::new(0),
+                bottom: AtomicU64::new(0),
+                slot: AtomicU64::new(0),
+            }
+        }
+
+        pub fn push(&self, value: u64) {
+            // relaxed-ok: this is the *seeded bug* — the store that
+            // should be Release, kept Relaxed so the test below can
+            // show the weak-memory checker catching it.
+            self.slot.store(value, Ordering::Relaxed);
+            // relaxed-ok: seeded bug, see above.
+            self.bottom.store(1, Ordering::Relaxed);
+        }
+
+        pub fn steal(&self) -> Option<u64> {
+            let t = self.top.load(Ordering::Acquire);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            Some(self.slot.load(Ordering::Relaxed))
+        }
+    }
+}
+
+#[test]
+fn seeded_unpublished_push_passes_the_legacy_sc_only_exploration() {
+    // Under the pre-upgrade SeqCst-only exploration every load reads
+    // the newest store, so the missing Release edge is invisible: the
+    // buggy deque "verifies". This is the false confidence the
+    // weak-memory upgrade removes.
+    let mut b = loom::Builder::new();
+    b.weak_memory = false;
+    b.check(|| {
+        let d = Arc::new(seeded::BuggyDeque::new());
+        let d2 = Arc::clone(&d);
+        let stealer = thread::spawn(move || d2.steal());
+        d.push(41);
+        if let Some(v) = stealer.join().unwrap() {
+            assert_eq!(v, 41, "stole an unpublished value");
+        }
+    });
+}
+
+#[test]
+fn seeded_unpublished_push_is_caught_by_weak_memory_exploration() {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        loom::model(|| {
+            let d = Arc::new(seeded::BuggyDeque::new());
+            let d2 = Arc::clone(&d);
+            let stealer = thread::spawn(move || d2.steal());
+            d.push(41);
+            if let Some(v) = stealer.join().unwrap() {
+                assert_eq!(v, 41, "stole an unpublished value");
+            }
+        });
+    }));
+    assert!(
+        result.is_err(),
+        "weak-memory exploration must find the stale steal the \
+         relaxed publication permits"
+    );
+}

@@ -1,0 +1,33 @@
+//! Workspace lint driver: `cirlearn-lint [root]`.
+//!
+//! Scans `.rs` files under `{root}/crates`, `{root}/vendor`, and
+//! `{root}/tests` (default root: the current directory), prints each
+//! violation as `path:line: [rule] message`, and exits nonzero if any
+//! were found — so CI can gate on it.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    let report = match cirlearn_lint::scan_tree(Path::new(&root)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("cirlearn-lint: failed to scan {root}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for v in &report.violations {
+        println!("{v}");
+    }
+    eprintln!(
+        "cirlearn-lint: scanned {} files, {} violation(s)",
+        report.files,
+        report.violations.len()
+    );
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

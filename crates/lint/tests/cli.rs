@@ -1,0 +1,93 @@
+//! End-to-end checks on the `cirlearn-lint` binary: nonzero exit on a
+//! seeded violation of each rule, zero exit on the real workspace.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+struct TempTree(PathBuf);
+
+impl TempTree {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("cirlearn-lint-{}-{}", std::process::id(), tag));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp tree");
+        TempTree(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).expect("create parents");
+        fs::write(path, contents).expect("write seeded file");
+    }
+}
+
+impl Drop for TempTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_lint(root: &Path) -> (Option<i32>, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_cirlearn-lint"))
+        .arg(root)
+        .output()
+        .expect("run cirlearn-lint");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_violations_of_every_rule_exit_nonzero() {
+    let tree = TempTree::new("seeded");
+    tree.write(
+        "crates/x/src/bad_unsafe.rs",
+        "fn f() {\n    let x = unsafe { danger() };\n}\n",
+    );
+    tree.write("crates/x/src/bad_static.rs", "static mut X: u64 = 0;\n");
+    tree.write(
+        "crates/x/src/bad_relaxed.rs",
+        "fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n",
+    );
+    tree.write(
+        "crates/exec/src/bad_alias.rs",
+        "use std::sync::atomic::AtomicU64;\n",
+    );
+    let (code, stdout) = run_lint(&tree.0);
+    assert_eq!(code, Some(1), "seeded tree must fail the lint:\n{stdout}");
+    for rule in [
+        "unsafe-safety-comment",
+        "static-mut",
+        "relaxed-store",
+        "atomic-alias",
+    ] {
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "missing [{rule}] in output:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn a_clean_tree_exits_zero() {
+    let tree = TempTree::new("clean");
+    tree.write(
+        "crates/x/src/good.rs",
+        "fn f() {\n    // SAFETY: nothing can go wrong.\n    let x = unsafe { danger() };\n}\n",
+    );
+    let (code, stdout) = run_lint(&tree.0);
+    assert_eq!(code, Some(0), "clean tree must pass:\n{stdout}");
+}
+
+#[test]
+fn the_real_workspace_exits_zero() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let (code, stdout) = run_lint(root);
+    assert_eq!(code, Some(0), "workspace must be lint-clean:\n{stdout}");
+}

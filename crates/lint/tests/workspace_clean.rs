@@ -1,0 +1,29 @@
+//! The real workspace must be lint-clean.
+//!
+//! This is the test that keeps the allow-lists honest: every `unsafe`
+//! block in the repo carries a written `SAFETY:` argument, every
+//! `Relaxed` store in a `src/` tree carries a `// relaxed-ok:` reason,
+//! nothing uses `static mut`, and the alias-enforced crates never name
+//! an atomic backend directly.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_has_zero_lint_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = cirlearn_lint::scan_tree(root).expect("scan the workspace");
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned ({}); did the tree move?",
+        report.files
+    );
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace lint violations:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -17,12 +17,16 @@
 //! # Publication discipline
 //!
 //! Readers may run concurrently with writers, so the writer updates
-//! `min`/`max`/buckets/`sum` **before** bumping `count`, and readers
-//! gate on `count` first. A reader that observes `count > 0` therefore
-//! never sees the `u64::MAX` min sentinel of an empty histogram. This
-//! ordering is model-checked by the loom tests in
-//! `crates/telemetry/tests/loom_histogram.rs`, which instantiate the
-//! generic [`RawHistogram`] with loom's scheduling-point atomics.
+//! `min`/`max`/buckets/`sum` **before** bumping `count` — relaxed
+//! read-modify-writes published by a `Release` `count` increment — and
+//! readers gate on an `Acquire` load of `count` first. A reader that
+//! observes `count > 0` therefore synchronizes with the writers behind
+//! those samples and never sees the `u64::MAX` min sentinel of an
+//! empty histogram. The discipline is model-checked under the
+//! weak-memory loom shim (`crates/telemetry/tests/loom_histogram.rs`,
+//! built with `--cfg loom`) and exercised under the happens-before
+//! race detector (`--cfg race`): the atomics come from [`crate::sync`],
+//! so the exact production code path runs under all three backends.
 //!
 //! # Examples
 //!
@@ -43,7 +47,7 @@
 use std::time::Duration;
 
 use crate::json::Json;
-use crate::sync::{Atomic64, DefaultAtomic64};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// Linear sub-buckets per base-2 octave (8 → ≤ 12.5% bucket width).
 pub const SUB_BUCKETS: u64 = 8;
@@ -82,49 +86,50 @@ pub fn bucket_lower_bound(index: usize) -> u64 {
     (SUB_BUCKETS + sub) << octave
 }
 
-/// A mergeable log-bucketed histogram, generic over its atomic type and
-/// bucket count so the exact production code path can be instantiated
-/// with loom's model-checked atomics (and a small `N` to keep the
-/// schedule space tractable). Use the [`Histogram`] alias everywhere
-/// outside concurrency tests.
+/// A mergeable log-bucketed histogram, generic over its bucket count so
+/// the concurrency tests can run the exact production code path with a
+/// small `N` that keeps the model-checked schedule space tractable. The
+/// atomic type comes from [`crate::sync`] (std / loom / tsan, chosen at
+/// compile time). Use the [`Histogram`] alias everywhere outside
+/// concurrency tests.
 ///
 /// With `N < NUM_BUCKETS`, values past the last bucket clamp into it;
 /// `N` must not exceed [`NUM_BUCKETS`].
 #[derive(Debug)]
-pub struct RawHistogram<A = DefaultAtomic64, const N: usize = NUM_BUCKETS> {
-    buckets: Box<[A; N]>,
-    count: A,
-    sum: A,
-    min: A,
-    max: A,
+pub struct RawHistogram<const N: usize = NUM_BUCKETS> {
+    buckets: Box<[AtomicU64; N]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
-/// The production histogram: full bucket range over `std` atomics
-/// (loom atomics when built with `--cfg loom`).
-pub type Histogram = RawHistogram<DefaultAtomic64, NUM_BUCKETS>;
+/// The production histogram: the full bucket range over the backend
+/// atomics selected by [`crate::sync`].
+pub type Histogram = RawHistogram<NUM_BUCKETS>;
 
-impl<A: Atomic64, const N: usize> Default for RawHistogram<A, N> {
+impl<const N: usize> Default for RawHistogram<N> {
     fn default() -> Self {
         RawHistogram::new()
     }
 }
 
-impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
+impl<const N: usize> RawHistogram<N> {
     /// An empty histogram.
     pub fn new() -> Self {
         assert!(N > 0 && N <= NUM_BUCKETS, "bucket count {N} out of range");
         // Atomics are not Copy; build the array through a Vec.
-        let buckets: Vec<A> = (0..N).map(|_| A::new(0)).collect();
-        let buckets: Box<[A; N]> = match buckets.into_boxed_slice().try_into() {
+        let buckets: Vec<AtomicU64> = (0..N).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; N]> = match buckets.into_boxed_slice().try_into() {
             Ok(b) => b,
             Err(_) => unreachable!("length matches N"),
         };
         RawHistogram {
             buckets,
-            count: A::new(0),
-            sum: A::new(0),
-            min: A::new(u64::MAX),
-            max: A::new(0),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
         }
     }
 
@@ -139,14 +144,21 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
         if n == 0 {
             return;
         }
-        // Publication order: extrema and buckets first, `count` last.
-        // Readers gate on `count`, so once they see these samples in the
-        // count, min/max are already past their empty-histogram sentinels.
-        self.min.fetch_min(value);
-        self.max.fetch_max(value);
-        self.buckets[bucket_of(value).min(N - 1)].fetch_add(n);
-        self.sum.fetch_add(value.saturating_mul(n));
-        self.count.fetch_add(n);
+        // Publication order: extrema and buckets first, `count` last with
+        // Release. Readers gate on an Acquire load of `count`, so once
+        // they see these samples in the count they synchronize with this
+        // writer and min/max are already past the empty-histogram
+        // sentinels.
+        // relaxed-ok: published by the Release `count` increment below.
+        self.min.fetch_min(value, Ordering::Relaxed);
+        // relaxed-ok: published by the Release `count` increment below.
+        self.max.fetch_max(value, Ordering::Relaxed);
+        // relaxed-ok: published by the Release `count` increment below.
+        self.buckets[bucket_of(value).min(N - 1)].fetch_add(n, Ordering::Relaxed);
+        // relaxed-ok: published by the Release `count` increment below.
+        self.sum
+            .fetch_add(value.saturating_mul(n), Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Release);
     }
 
     /// Records a duration as nanoseconds (saturating at `u64::MAX`,
@@ -155,26 +167,29 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
     }
 
-    /// Number of recorded samples.
+    /// Number of recorded samples. The Acquire load is the reader side
+    /// of the publication discipline: it synchronizes with every
+    /// Release increment whose samples it observes.
     pub fn count(&self) -> u64 {
-        self.count.load()
+        self.count.load(Ordering::Acquire)
     }
 
     /// Sum of all samples (saturating).
     pub fn sum(&self) -> u64 {
-        self.sum.load()
+        self.sum.load(Ordering::Relaxed)
     }
 
     /// Smallest recorded sample (0 when empty).
     pub fn min(&self) -> u64 {
         // Check `count` before touching `min`: the writer publishes count
-        // last, so a nonzero count guarantees the sentinel was replaced.
+        // last with Release, so a nonzero Acquire-loaded count guarantees
+        // the sentinel was replaced *and* that replacement is visible.
         // (Reading `min` first raced: the writer could complete between
         // the two loads and the stale u64::MAX sentinel leaked out.)
         if self.count() == 0 {
             return 0;
         }
-        let v = self.min.load();
+        let v = self.min.load(Ordering::Relaxed);
         if v == u64::MAX {
             0
         } else {
@@ -184,7 +199,7 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
 
     /// Largest recorded sample (exact, not bucketed; 0 when empty).
     pub fn max(&self) -> u64 {
-        self.max.load()
+        self.max.load(Ordering::Relaxed)
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`), reported as the lower bound
@@ -205,7 +220,7 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
         }
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load();
+            seen += b.load(Ordering::Relaxed);
             if seen >= rank {
                 // Cap at the exact max: the top bucket's lower bound
                 // can never exceed the largest sample, but intermediate
@@ -218,21 +233,30 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
 
     /// Adds every sample of `other` into `self` — equivalent (bucket
     /// for bucket) to having recorded the union of both sample sets.
-    pub fn merge<B: Atomic64>(&self, other: &RawHistogram<B, N>) {
+    pub fn merge(&self, other: &RawHistogram<N>) {
+        // Acquire-gate on the source count *first*: it synchronizes with
+        // the writers behind those samples, so the bucket/extrema loads
+        // below see everything the count covers.
+        let n = other.count();
+        if n == 0 {
+            return;
+        }
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            let n = theirs.load();
-            if n > 0 {
-                mine.fetch_add(n);
+            let b = theirs.load(Ordering::Relaxed);
+            if b > 0 {
+                // relaxed-ok: published by the Release `count` add below.
+                mine.fetch_add(b, Ordering::Relaxed);
             }
         }
-        let n = other.count.load();
-        if n > 0 {
-            // Same publication order as `record_n`: count strictly last.
-            self.sum.fetch_add(other.sum.load());
-            self.min.fetch_min(other.min.load());
-            self.max.fetch_max(other.max.load());
-            self.count.fetch_add(n);
-        }
+        // Same publication order as `record_n`: count strictly last.
+        // relaxed-ok: published by the Release `count` add below.
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        // relaxed-ok: published by the Release `count` add below.
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        // relaxed-ok: published by the Release `count` add below.
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+        self.count.fetch_add(n, Ordering::Release);
     }
 
     /// Snapshots the headline statistics.
@@ -249,7 +273,7 @@ impl<A: Atomic64, const N: usize> RawHistogram<A, N> {
     }
 }
 
-impl<A: Atomic64, const N: usize> Clone for RawHistogram<A, N> {
+impl<const N: usize> Clone for RawHistogram<N> {
     fn clone(&self) -> Self {
         let h = RawHistogram::new();
         h.merge(self);
@@ -483,7 +507,7 @@ mod tests {
     fn small_raw_histogram_clamps_into_its_top_bucket() {
         // The loom tests use a tiny bucket count; values past the last
         // bucket must clamp, not index out of range.
-        let h: RawHistogram<std::sync::atomic::AtomicU64, 4> = RawHistogram::new();
+        let h: RawHistogram<4> = RawHistogram::new();
         h.record(2);
         h.record(1_000_000);
         assert_eq!(h.count(), 2);

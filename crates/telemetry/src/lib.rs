@@ -56,7 +56,6 @@ pub use crate::report::{
     StageReport, SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
-pub use crate::sync::Atomic64;
 pub use crate::telemetry::{
     counters, histograms, HistogramHandle, LocalRecorder, OutputScope, Span, Telemetry,
 };

@@ -1,83 +1,63 @@
-//! Atomics abstraction so the lock-free histogram can run both on real
-//! `std::sync::atomic` types and under the `loom` model checker.
+//! The crate's single synchronization surface, switchable at compile
+//! time between three backends:
 //!
-//! [`Histogram`](crate::Histogram) performs only relaxed loads and
-//! read-modify-write ops, captured here as the [`Atomic64`] trait. The
-//! production build instantiates it with [`std::sync::atomic::AtomicU64`];
-//! the concurrency tests instantiate it with `loom::sync::atomic::AtomicU64`,
-//! whose every operation is a scheduling point the model checker branches on.
-//! Building the whole crate with `RUSTFLAGS="--cfg loom"` flips the default
-//! atomic ([`DefaultAtomic64`]) to the loom type.
+//! - **default** — real `std::sync` types: zero-overhead production
+//!   builds;
+//! - **`--cfg loom`** — the vendored weak-memory model checker: every
+//!   atomic op becomes a scheduling point and every load a value branch
+//!   point, so `cargo test --test loom_* ` explores interleavings *and*
+//!   stale-read behaviors exhaustively (see `vendor/loom`);
+//! - **`--cfg race`** — the vendored happens-before race detector:
+//!   real full-speed threads with vector clocks riding alongside, so
+//!   `cargo test --test race_*` panics with both stacks when a run
+//!   exhibits an unsynchronized conflicting pair (see `vendor/tsan`).
+//!
+//! Everything in this crate that synchronizes imports from here instead
+//! of naming `std::sync` / `std::sync::atomic` directly — enforced by
+//! `cirlearn-lint`'s atomic-alias rule — so the concurrency tests run
+//! the *exact* production code path with no parallel type plumbing.
+//!
+//! Invariant for the loom backend: `Mutex` stays the `std` mutex there
+//! (the shim serializes model threads, so a lock held across code with
+//! no scheduling points cannot block anyone), which requires critical
+//! sections to contain **no atomic operations**. Keep atomics outside
+//! mutex-guarded regions — the histogram and trace paths already do.
+//
+// cirlearn-lint: allow(atomic-alias) — this module *is* the alias; it is
+// the one place in the crate allowed to name the backend sync types.
 
-use std::sync::atomic::Ordering;
+#[cfg(all(loom, race))]
+compile_error!("--cfg loom and --cfg race are mutually exclusive backends");
 
-/// The 64-bit atomic operations the histogram needs. All operations use
-/// relaxed ordering: the histogram is a commutative accumulator whose
-/// invariants do not depend on inter-variable ordering beyond what the
-/// publication discipline in `record_n`/`merge` provides.
-pub trait Atomic64: Send + Sync {
-    /// A new atomic holding `value`.
-    fn new(value: u64) -> Self;
-    /// Relaxed load.
-    fn load(&self) -> u64;
-    /// Relaxed wrapping add; returns the previous value.
-    fn fetch_add(&self, delta: u64) -> u64;
-    /// Relaxed minimum; returns the previous value.
-    fn fetch_min(&self, value: u64) -> u64;
-    /// Relaxed maximum; returns the previous value.
-    fn fetch_max(&self, value: u64) -> u64;
-}
+#[cfg(not(any(loom, race)))]
+mod backend {
+    pub use std::sync::{Arc, Mutex, MutexGuard, Weak};
 
-impl Atomic64 for std::sync::atomic::AtomicU64 {
-    fn new(value: u64) -> Self {
-        std::sync::atomic::AtomicU64::new(value)
-    }
-
-    fn load(&self) -> u64 {
-        self.load(Ordering::Relaxed)
-    }
-
-    fn fetch_add(&self, delta: u64) -> u64 {
-        self.fetch_add(delta, Ordering::Relaxed)
-    }
-
-    fn fetch_min(&self, value: u64) -> u64 {
-        self.fetch_min(value, Ordering::Relaxed)
-    }
-
-    fn fetch_max(&self, value: u64) -> u64 {
-        self.fetch_max(value, Ordering::Relaxed)
+    /// Atomic types and fences (std backend).
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
     }
 }
 
-impl Atomic64 for loom::sync::atomic::AtomicU64 {
-    fn new(value: u64) -> Self {
-        loom::sync::atomic::AtomicU64::new(value)
-    }
-
-    fn load(&self) -> u64 {
-        self.load(Ordering::Relaxed)
-    }
-
-    fn fetch_add(&self, delta: u64) -> u64 {
-        self.fetch_add(delta, Ordering::Relaxed)
-    }
-
-    fn fetch_min(&self, value: u64) -> u64 {
-        self.fetch_min(value, Ordering::Relaxed)
-    }
-
-    fn fetch_max(&self, value: u64) -> u64 {
-        self.fetch_max(value, Ordering::Relaxed)
-    }
-}
-
-/// The atomic type backing [`Histogram`](crate::Histogram): the real
-/// `std` atomic normally, the loom model-checked atomic under `--cfg loom`.
-#[cfg(not(loom))]
-pub type DefaultAtomic64 = std::sync::atomic::AtomicU64;
-
-/// The atomic type backing [`Histogram`](crate::Histogram): the real
-/// `std` atomic normally, the loom model-checked atomic under `--cfg loom`.
 #[cfg(loom)]
-pub type DefaultAtomic64 = loom::sync::atomic::AtomicU64;
+mod backend {
+    pub use loom::sync::Arc;
+    pub use std::sync::{Mutex, MutexGuard, Weak};
+
+    /// Atomic types and fences (loom weak-memory model backend).
+    pub mod atomic {
+        pub use loom::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+#[cfg(race)]
+mod backend {
+    pub use tsan::sync::{Arc, Mutex, MutexGuard, Weak};
+
+    /// Atomic types and fences (race-detector backend).
+    pub mod atomic {
+        pub use tsan::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+pub use backend::*;

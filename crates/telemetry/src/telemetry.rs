@@ -2,7 +2,6 @@
 //! latency histograms, trace emission and events.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::histogram::Histogram;
@@ -11,6 +10,7 @@ use crate::report::{
     AttributionRecord, CheckpointReport, OutputReport, PassReport, RunReport, StageReport,
 };
 use crate::reporter::{Level, Reporter};
+use crate::sync::{Arc, Mutex, MutexGuard};
 use crate::trace::{TraceLocal, TraceWriter};
 
 /// Well-known counter names used across the pipeline.
@@ -331,7 +331,7 @@ impl Telemetry {
         self.inner.is_some()
     }
 
-    fn lock(&self) -> Option<std::sync::MutexGuard<'_, Inner>> {
+    fn lock(&self) -> Option<MutexGuard<'_, Inner>> {
         self.inner
             .as_ref()
             .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))

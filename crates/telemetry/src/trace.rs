@@ -48,16 +48,17 @@
 //! with no lost `node`/`metrics` lines ahead of the `aborted` marker.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, Weak};
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex, Weak};
 
 /// Global allocator of small per-thread trace ids.
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
+    // relaxed-ok: allocates a unique id; nothing is published through it.
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
 }
 

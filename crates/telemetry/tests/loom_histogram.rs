@@ -1,22 +1,27 @@
-//! Model checking the lock-free histogram with the loom shim.
+//! Model checking the lock-free histogram with the weak-memory loom shim.
 //!
-//! Each test runs the *exact production code path* — `RawHistogram` is the
-//! same generic the `Histogram` alias instantiates — but over loom's
-//! scheduling-point atomics and a tiny bucket count, so the checker can
-//! exhaustively explore the sequentially consistent interleavings (up to the
-//! preemption bound) of concurrent `record`, `merge` and snapshot calls.
+//! Built only under `RUSTFLAGS="--cfg loom"`: the crate's `sync` alias then
+//! routes every atomic through the model checker, so each test runs the
+//! *exact production code path* — `RawHistogram` is the same generic the
+//! `Histogram` alias instantiates — with every atomic op a scheduling point
+//! and every load a value branch point. The checker exhaustively explores
+//! the interleavings (up to the preemption bound) *and* the stale-read
+//! behaviors the orderings permit for concurrent `record`, `merge` and
+//! snapshot calls.
 //!
-//! The publication-order discipline these tests pin down: writers update
-//! min/max/buckets/sum before `count`, readers gate on `count` first, so no
+//! The publication discipline these tests pin down: writers update
+//! min/max/buckets/sum with relaxed RMWs and publish them with a Release
+//! `count` increment; readers gate on an Acquire `count` load first, so no
 //! reader ever observes the empty histogram's `u64::MAX` min sentinel.
 
+#![cfg(loom)]
+
 use cirlearn_telemetry::histogram::RawHistogram;
-use loom::sync::atomic::AtomicU64;
 use loom::sync::Arc;
 
 /// A histogram small enough for exhaustive interleaving exploration; values
 /// past bucket 3 clamp into it, which none of these statistics depend on.
-type ModelHistogram = RawHistogram<AtomicU64, 4>;
+type ModelHistogram = RawHistogram<4>;
 
 #[test]
 fn concurrent_records_lose_nothing() {

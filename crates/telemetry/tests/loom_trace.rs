@@ -1,0 +1,145 @@
+//! Model checking the per-thread trace buffers and histogram recorders
+//! with the weak-memory loom shim.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom"`. These tests cover the two
+//! drain-at-join protocols the pipeline's worker threads rely on:
+//!
+//! - [`TraceLocal`]: events buffer in a thread-private `String` and hit
+//!   the shared sink when the local drops (or a `flush` rescues them) —
+//!   lines must never be lost or duplicated, whichever order the drops
+//!   and flushes land in;
+//! - [`LocalRecorder`]: samples accumulate in a thread-private
+//!   histogram and merge into the shared named histogram exactly once,
+//!   on drop — the merge is the lock-free path whose Release/Acquire
+//!   publication discipline `loom_histogram.rs` pins down on a small
+//!   model; here it runs through the *real* `Telemetry` API.
+//!
+//! Locals and recorders are created on the owning `Telemetry` /
+//! `TraceWriter` in the parent and moved into the spawned threads:
+//! that is exactly how the FBDT stage hands them to its workers, and it
+//! honors the loom-backend invariant that the telemetry mutex is never
+//! contended across a scheduling point (see `src/sync.rs`).
+
+#![cfg(loom)]
+
+use std::collections::BTreeMap;
+
+use cirlearn_telemetry::json::Json;
+use cirlearn_telemetry::{histograms, Telemetry, TraceWriter};
+
+#[test]
+fn trace_locals_drain_on_drop_at_the_join_point() {
+    loom::model(|| {
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let l1 = trace.local("learn/fbdt");
+        let l2 = trace.local("learn/fbdt");
+        let t1 = loom::thread::spawn(move || {
+            l1.emit("node", &[("depth", Json::from(1u64))]);
+            l1.emit("node", &[("depth", Json::from(2u64))]);
+        });
+        let t2 = loom::thread::spawn(move || {
+            l2.emit("node", &[("depth", Json::from(9u64))]);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(trace.lines(), 3, "every buffered line drained on drop");
+        let text = sink.take_string();
+        let mut by_tid: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for line in text.lines() {
+            let parsed = Json::parse(line).expect("drained lines stay valid JSON");
+            assert_eq!(
+                parsed.get("stage").and_then(Json::as_str),
+                Some("learn/fbdt")
+            );
+            let tid = parsed.get("tid").and_then(Json::as_u64).expect("tid");
+            let depth = parsed.get("depth").and_then(Json::as_u64).expect("depth");
+            by_tid.entry(tid).or_default().push(depth);
+        }
+        let mut groups: Vec<Vec<u64>> = by_tid.into_values().collect();
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort();
+        assert_eq!(
+            groups,
+            vec![vec![1, 2], vec![9]],
+            "each thread's lines carry its own tid"
+        );
+    });
+}
+
+#[test]
+fn writer_flush_neither_loses_nor_duplicates_concurrent_local_lines() {
+    // The CLI panic drop-guard path: `TraceWriter::flush` racing a
+    // worker that is still emitting into (and finally dropping) its
+    // local. A line may be drained by the rescue flush or by the drop,
+    // but exactly one of them gets it.
+    loom::model(|| {
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let local = trace.local("fbdt");
+        let worker = loom::thread::spawn(move || {
+            local.emit("node", &[("depth", Json::from(1u64))]);
+            local.emit("node", &[("depth", Json::from(2u64))]);
+        });
+        trace.flush(); // rescue attempt mid-flight
+        worker.join().unwrap();
+        trace.flush();
+        assert_eq!(trace.lines(), 2, "no line lost or drained twice");
+        assert_eq!(sink.take_string().lines().count(), 2);
+    });
+}
+
+#[test]
+fn local_recorder_drop_merge_publishes_through_the_real_api() {
+    // One worker, the full-size production `Histogram`: the recorder is
+    // created on the real `Telemetry` handle, moved into the thread,
+    // and its drop-merge publishes before `join` returns — so the
+    // post-join report must see every sample, under the weak memory
+    // model, through the exact API the FBDT stage uses.
+    loom::model(|| {
+        let t = Telemetry::recording();
+        let recorder = t.local_recorder(histograms::FBDT_NODE_NS);
+        let worker = loom::thread::spawn(move || {
+            recorder.record(4);
+            recorder.record(8);
+        });
+        worker.join().unwrap();
+        let report = t.report();
+        let h = &report.histograms[histograms::FBDT_NODE_NS];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 8);
+    });
+}
+
+#[test]
+fn concurrent_local_recorder_drop_merges_conserve_samples() {
+    // Two workers drop-merge into the same shared histogram at once.
+    // The full-size histogram makes each merge ~500 scheduling points,
+    // so the preemption budget is 1 here (a single adversarial switch
+    // anywhere inside either merge); the exhaustive budget-2 sweep of
+    // the same RMW discipline runs on the 4-bucket model in
+    // `loom_histogram.rs`.
+    let mut b = loom::Builder::new();
+    b.max_preemptions = 1;
+    b.check(|| {
+        let t = Telemetry::recording();
+        let r1 = t.local_recorder(histograms::FBDT_NODE_NS);
+        let r2 = t.local_recorder(histograms::FBDT_NODE_NS);
+        let t1 = loom::thread::spawn(move || {
+            r1.record(4);
+        });
+        let t2 = loom::thread::spawn(move || {
+            r2.record(8);
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        let report = t.report();
+        let h = &report.histograms[histograms::FBDT_NODE_NS];
+        assert_eq!(h.count, 2, "concurrent merges lose nothing");
+        assert_eq!(h.sum, 12);
+        assert_eq!(h.min, 4);
+        assert_eq!(h.max, 8);
+    });
+}

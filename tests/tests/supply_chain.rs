@@ -45,6 +45,49 @@ fn lockfile_has_no_checksums() {
 }
 
 #[test]
+fn every_locked_package_is_in_tree() {
+    // Stronger form of the source audit: each `[[package]]` in the
+    // lockfile must correspond to an in-tree directory — a workspace
+    // crate under `crates/` (package `cirlearn-x` lives in `crates/x`),
+    // the `tests/` harness crate, or a vendored crate under `vendor/`.
+    let lock = lockfile();
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..");
+    let names = lock
+        .lines()
+        .filter_map(|l| l.strip_prefix("name = \""))
+        .filter_map(|l| l.strip_suffix('"'));
+    for name in names {
+        let dir = match name.strip_prefix("cirlearn-") {
+            Some("tests") => root.join("tests"),
+            Some(rest) => root.join("crates").join(rest),
+            // The core library is the plain `cirlearn` package.
+            None if name == "cirlearn" => root.join("crates").join("core"),
+            None => root.join("vendor").join(name),
+        };
+        assert!(
+            dir.is_dir(),
+            "locked package `{name}` has no in-tree home at {}",
+            dir.display()
+        );
+    }
+}
+
+#[test]
+fn the_concurrency_toolkit_stays_in_the_graph() {
+    // The weak-memory model checker, the race detector, the lint
+    // binary, and the executor they verify must remain workspace
+    // members — dropping any of them silently disables a CI gate.
+    let lock = lockfile();
+    for member in ["cirlearn-exec", "cirlearn-lint", "loom", "tsan", "proptest"] {
+        assert!(
+            lock.contains(&format!("name = \"{member}\"")),
+            "`{member}` left the dependency graph; the concurrency \
+             toolkit must stay in-tree"
+        );
+    }
+}
+
+#[test]
 fn deny_policy_is_checked_in_and_strict() {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../deny.toml");
     let policy = std::fs::read_to_string(&path)

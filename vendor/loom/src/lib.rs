@@ -3,8 +3,8 @@
 //!
 //! The real loom crate is not available in this environment, so this shim
 //! re-implements the subset we rely on: [`model`] runs a closure repeatedly,
-//! exhaustively exploring the sequentially consistent interleavings of the
-//! atomic operations performed by threads spawned through
+//! exhaustively exploring the interleavings *and the weak-memory behaviors*
+//! of the atomic operations performed by threads spawned through
 //! [`thread::spawn`], up to a configurable preemption bound.
 //!
 //! # How it works
@@ -12,31 +12,56 @@
 //! Model threads are real OS threads, but they are gated by a cooperative
 //! scheduler so that exactly one runs at a time. Every operation on a
 //! [`sync::atomic`] type is a *scheduling point*: before the operation
-//! executes, the scheduler decides which thread runs next. Each decision with
-//! more than one runnable thread becomes a branch point; after an execution
-//! finishes, the scheduler backtracks depth-first to the most recent decision
-//! with untried alternatives and replays the prefix deterministically.
+//! executes, the scheduler decides which thread runs next. In weak-memory
+//! mode (the default) every load is additionally a *value* branch point:
+//! the memory model in [`mem`](crate) tracks each location's modification
+//! order and per-thread vector clocks, and lets the load read any store its
+//! `Ordering` argument permits — a `Relaxed` load may legally observe a
+//! stale value even though a newer store already executed. Each decision
+//! with more than one alternative becomes a branch; after an execution
+//! finishes, the scheduler backtracks depth-first to the most recent
+//! decision with untried alternatives and replays the prefix
+//! deterministically.
 //!
-//! Exploration is bounded by the number of *preemptions* (switching away from
-//! a thread that could still run) per execution — 2 by default, overridable
-//! with `LOOM_MAX_PREEMPTIONS`. Bounded-preemption search is the classic CHESS
-//! result: almost all concurrency bugs manifest with very few preemptions.
+//! `Ordering` arguments are therefore **meaningful**: `Release` stores
+//! attach the writer's vector clock, `Acquire` loads that read them join
+//! it, `SeqCst` operations and [`sync::atomic::fence`]s additionally join a
+//! global SC clock (retaining a total order), and everything else is free
+//! to be stale. A publication protocol that is only correct under
+//! sequential consistency now *fails* under the checker; see
+//! `tests/weak.rs` for the litmus suite, including a relaxed-publication
+//! bug that the legacy SC-only exploration (still available via
+//! [`Builder::weak_memory`]` = false` or `LOOM_WEAK_MEMORY=0`) provably
+//! misses.
+//!
+//! Exploration is bounded by the number of *preemptions* (switching away
+//! from a thread that could still run) per execution — 2 by default,
+//! overridable with `LOOM_MAX_PREEMPTIONS`. Bounded-preemption search is
+//! the classic CHESS result: almost all concurrency bugs manifest with very
+//! few preemptions. Value choices are not preemptions and are explored in
+//! full.
 //!
 //! # Limitations vs. real loom
 //!
-//! - Only sequentially consistent semantics are explored; `Ordering` arguments
-//!   are accepted but ignored. A test that passes here could still fail under
-//!   weaker orderings on real hardware.
+//! - `SeqCst` accesses are modeled slightly stronger than C11: they
+//!   synchronize like acquire/release *and* join the global SC clock, so
+//!   behaviors that require SC accesses not to synchronize (e.g. IRIW
+//!   subtleties) are not explored.
+//! - Loads never read from stores that have not executed yet (no load
+//!   buffering / promising semantics).
 //! - Only the types used by this workspace are provided (`AtomicU64`,
-//!   `AtomicUsize`, `AtomicBool`, `Arc`, `thread::spawn`/`JoinHandle`).
+//!   `AtomicUsize`, `AtomicBool`, `fence`, `Arc`,
+//!   `thread::spawn`/`JoinHandle`).
 //! - `model` panics if the schedule count exceeds `LOOM_MAX_ITERATIONS`
-//!   (default 100 000) so runaway state spaces fail loudly instead of hanging.
+//!   (default 100 000) so runaway state spaces fail loudly instead of
+//!   hanging.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod mem;
 mod sched;
 pub mod sync;
 pub mod thread;
 
-pub use sched::model;
+pub use sched::{model, Builder};

@@ -1,0 +1,457 @@
+//! The weak-memory engine: per-atomic modification orders, vector clocks
+//! and acquire/release synchronization.
+//!
+//! Each atomic location keeps its *modification order* — the list of every
+//! store executed on it this execution, in the order the (serialized)
+//! scheduler ran them. A load is **not** forced to read the newest store:
+//! it may read any store at or after its *visibility floor*, and each such
+//! choice is a branch point the scheduler explores, exactly like a thread
+//! switch. This is what models store buffering and delayed visibility on
+//! real hardware: a `Relaxed` store another thread "executed already" may
+//! simply not be seen yet.
+//!
+//! The floor for thread `t` loading location `x` is the newest store it is
+//! *obliged* to see:
+//!
+//! - **coherence**: nothing older than a store `t` already read or wrote on
+//!   `x` (tracked per-thread in [`Cell::seen`]), and
+//! - **happens-before**: nothing older than the newest store whose writer
+//!   clock is `⊑` `t`'s vector clock — i.e. a store that happened-before
+//!   the load must be visible.
+//!
+//! Synchronization grows the clocks: a `Release` (or stronger) store
+//! attaches the writer's clock to the store; an `Acquire` (or stronger)
+//! load that reads it joins that clock into the reader — from then on every
+//! write that happened-before the release is in the reader's floor. Relaxed
+//! accesses attach/join nothing, which is precisely why relaxed publication
+//! is a bug this engine can exhibit. Read-modify-writes always read the
+//! newest store (atomicity) and continue the release sequence of the store
+//! they replace, so a CAS chain headed by a `Release` store still
+//! synchronizes its eventual `Acquire` readers.
+//!
+//! `SeqCst` operations and fences additionally join a global SC clock both
+//! ways. That gives them a total order and makes the classic store-buffer
+//! litmus (both relaxed loads 0) impossible under `SeqCst`, at the cost of
+//! being slightly *stronger* than C11 SC (our SC ops synchronize like
+//! acquire/release across locations; real SC ops only order). The
+//! approximation can hide exotic bugs that rely on SC ops *not*
+//! synchronizing, but never reports a false positive.
+//!
+//! Fences follow the C11 fence rules in the same spirit: a `Release` fence
+//! makes later relaxed stores carry the clock the thread had at the fence;
+//! an `Acquire` fence retroactively upgrades earlier relaxed loads (their
+//! release views accumulate in [`Mem::acq_pending`] until a fence claims
+//! them); a `SeqCst` fence does both plus the SC-clock join.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use crate::sched::{current_context, Context};
+
+/// A grow-on-demand vector clock. Missing components are zero.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct VersionVec(Vec<u64>);
+
+impl VersionVec {
+    pub(crate) const fn new() -> VersionVec {
+        VersionVec(Vec::new())
+    }
+
+    /// `self ⊑ other`: every component of `self` is ≤ the same component
+    /// of `other`.
+    pub(crate) fn leq(&self, other: &VersionVec) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    /// Pointwise maximum, in place.
+    pub(crate) fn join(&mut self, other: &VersionVec) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if v > self.0[i] {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Advance component `i` by one.
+    pub(crate) fn tick(&mut self, i: usize) {
+        if self.0.len() <= i {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] += 1;
+    }
+}
+
+/// Per-execution memory-model state, owned by the scheduler.
+pub(crate) struct Mem {
+    /// Explore weak behaviors? When false, every load reads the newest
+    /// store — the legacy sequentially-consistent-only exploration.
+    pub(crate) weak: bool,
+    /// Per-thread vector clocks (happens-before).
+    pub(crate) clocks: Vec<VersionVec>,
+    /// Per-thread release-fence view: the clock the thread had at its
+    /// latest `Release`/`SeqCst` fence; attached to later relaxed stores.
+    pub(crate) fence_rel: Vec<VersionVec>,
+    /// Per-thread pending acquire view: the joined release views of every
+    /// store the thread has loaded so far; claimed by an `Acquire` fence.
+    pub(crate) acq_pending: Vec<VersionVec>,
+    /// The global `SeqCst` clock.
+    pub(crate) sc: VersionVec,
+}
+
+impl Mem {
+    pub(crate) fn new(weak: bool) -> Mem {
+        let mut root = VersionVec::new();
+        root.tick(0);
+        Mem {
+            weak,
+            clocks: vec![root],
+            fence_rel: vec![VersionVec::new()],
+            acq_pending: vec![VersionVec::new()],
+            sc: VersionVec::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, id: usize) {
+        while self.clocks.len() <= id {
+            self.clocks.push(VersionVec::new());
+            self.fence_rel.push(VersionVec::new());
+            self.acq_pending.push(VersionVec::new());
+        }
+    }
+
+    /// Register thread `child` spawned by (running) thread `parent`: the
+    /// child inherits the parent's clock — everything the parent did
+    /// before the spawn happens-before everything the child does.
+    pub(crate) fn spawn_edge(&mut self, parent: usize, child: usize) {
+        self.ensure_thread(child);
+        let parent_clock = self.clocks[parent].clone();
+        self.clocks[child].join(&parent_clock);
+        self.clocks[child].tick(child);
+        self.clocks[parent].tick(parent);
+    }
+
+    /// Join edge: everything `target` did happens-before the return of
+    /// `join()` in thread `me`.
+    pub(crate) fn join_edge(&mut self, me: usize, target: usize) {
+        self.ensure_thread(me.max(target));
+        let target_clock = self.clocks[target].clone();
+        self.clocks[me].join(&target_clock);
+    }
+}
+
+fn is_acquire(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_release(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// One entry of a location's modification order.
+#[derive(Debug)]
+pub(crate) struct StoreRecord<T> {
+    value: T,
+    /// The writer's clock when the store executed: readers whose clock
+    /// dominates this are *obliged* to see the store (or something newer).
+    vc: VersionVec,
+    /// The view an `Acquire` reader of this store synchronizes with:
+    /// the writer's clock for releasing stores, the writer's release-fence
+    /// view for relaxed stores, joined with the replaced store's view for
+    /// RMWs (release-sequence continuation). Empty when nothing syncs.
+    rel: VersionVec,
+}
+
+/// The state behind one model-aware atomic: the live value plus the
+/// modification-order history of the current execution.
+#[derive(Debug)]
+pub(crate) struct Cell<T> {
+    value: T,
+    /// Execution id the history belongs to; stale histories (statics, or
+    /// atomics created outside any model) are reseeded from `value`.
+    exec: u64,
+    stores: Vec<StoreRecord<T>>,
+    /// Per-thread coherence floor: the newest modification-order index the
+    /// thread has read or written.
+    seen: Vec<usize>,
+}
+
+impl<T> Cell<T> {
+    pub(crate) const fn new(value: T) -> Cell<T> {
+        Cell {
+            value,
+            exec: 0,
+            stores: Vec::new(),
+            seen: Vec::new(),
+        }
+    }
+
+    pub(crate) fn into_value(self) -> T {
+        self.value
+    }
+
+    fn set_seen(&mut self, thread: usize, index: usize) {
+        if self.seen.len() <= thread {
+            self.seen.resize(thread + 1, 0);
+        }
+        if self.seen[thread] < index {
+            self.seen[thread] = index;
+        }
+    }
+}
+
+impl<T: Copy> Cell<T> {
+    /// Reset the history at the start of a new execution: the current
+    /// value becomes the initialization store (visible to everyone,
+    /// synchronizing with no one).
+    fn ensure_exec(&mut self, exec: u64) {
+        if self.exec != exec {
+            self.exec = exec;
+            self.stores.clear();
+            self.stores.push(StoreRecord {
+                value: self.value,
+                vc: VersionVec::new(),
+                rel: VersionVec::new(),
+            });
+            self.seen.clear();
+        }
+    }
+}
+
+/// The indices of the modification order thread `t` may read: everything
+/// from its visibility floor to the newest store.
+fn readable_floor<T>(cell: &Cell<T>, clock: &VersionVec, thread: usize) -> usize {
+    let mut floor = cell.seen.get(thread).copied().unwrap_or(0);
+    for (i, s) in cell.stores.iter().enumerate().skip(floor) {
+        if s.vc.leq(clock) {
+            floor = i;
+        }
+    }
+    floor
+}
+
+/// Shared prologue for every model-context operation: take the turn
+/// (scheduling point), tick the thread's clock, and for `SeqCst` join the
+/// global SC clock into the thread.
+fn op_prologue(ctx: &Context, mem: &mut Mem, order: Ordering) {
+    let t = ctx.id;
+    mem.ensure_thread(t);
+    mem.clocks[t].tick(t);
+    if order == Ordering::SeqCst {
+        let sc = mem.sc.clone();
+        mem.clocks[t].join(&sc);
+    }
+}
+
+fn op_epilogue(ctx: &Context, mem: &mut Mem, order: Ordering) {
+    if order == Ordering::SeqCst {
+        let clock = mem.clocks[ctx.id].clone();
+        mem.sc.join(&clock);
+    }
+}
+
+/// Record the effects of reading store `index` with ordering `order`.
+fn apply_read<T: Copy>(
+    ctx: &Context,
+    mem: &mut Mem,
+    cell: &mut Cell<T>,
+    index: usize,
+    order: Ordering,
+) -> T {
+    let t = ctx.id;
+    cell.set_seen(t, index);
+    let rel = cell.stores[index].rel.clone();
+    mem.acq_pending[t].join(&rel);
+    if is_acquire(order) {
+        mem.clocks[t].join(&rel);
+    }
+    cell.stores[index].value
+}
+
+/// Append a store with ordering `order`, returning its release view.
+fn apply_write<T: Copy>(
+    ctx: &Context,
+    mem: &mut Mem,
+    cell: &mut Cell<T>,
+    value: T,
+    order: Ordering,
+    sequence: Option<VersionVec>,
+) {
+    let t = ctx.id;
+    let mut rel = if is_release(order) {
+        mem.clocks[t].clone()
+    } else {
+        mem.fence_rel[t].clone()
+    };
+    if let Some(prev) = sequence {
+        // Release-sequence continuation: an RMW passes along the view of
+        // the store it replaced, whatever its own ordering.
+        rel.join(&prev);
+    }
+    cell.stores.push(StoreRecord {
+        value,
+        vc: mem.clocks[t].clone(),
+        rel,
+    });
+    cell.value = value;
+    let index = cell.stores.len() - 1;
+    cell.set_seen(t, index);
+}
+
+/// A model-aware load.
+pub(crate) fn load<T: Copy>(cell: &Mutex<Cell<T>>, order: Ordering) -> T {
+    match current_context() {
+        None => lock(cell).value,
+        Some(ctx) => {
+            ctx.sched.sync_op(ctx.id);
+            let mut mem = ctx.sched.lock_mem();
+            let mut cell = lock(cell);
+            cell.ensure_exec(ctx.sched.exec_id());
+            op_prologue(&ctx, &mut mem, order);
+            let floor = readable_floor(&cell, &mem.clocks[ctx.id], ctx.id);
+            let newest = cell.stores.len() - 1;
+            let index = if !mem.weak || floor == newest {
+                newest
+            } else {
+                // Newest-first, so the first execution of every schedule
+                // behaves sequentially consistently and older (stale)
+                // values are explored on backtracking.
+                newest - ctx.sched.choice(ctx.id, newest - floor + 1)
+            };
+            let value = apply_read(&ctx, &mut mem, &mut cell, index, order);
+            op_epilogue(&ctx, &mut mem, order);
+            value
+        }
+    }
+}
+
+/// A model-aware store.
+pub(crate) fn store<T: Copy>(cell: &Mutex<Cell<T>>, value: T, order: Ordering) {
+    match current_context() {
+        None => lock(cell).value = value,
+        Some(ctx) => {
+            ctx.sched.sync_op(ctx.id);
+            let mut mem = ctx.sched.lock_mem();
+            let mut cell = lock(cell);
+            cell.ensure_exec(ctx.sched.exec_id());
+            op_prologue(&ctx, &mut mem, order);
+            apply_write(&ctx, &mut mem, &mut cell, value, order, None);
+            op_epilogue(&ctx, &mut mem, order);
+        }
+    }
+}
+
+/// A model-aware read-modify-write: always reads the newest store
+/// (atomicity), applies `f`, appends the result. Returns the previous
+/// value.
+pub(crate) fn rmw<T: Copy>(cell: &Mutex<Cell<T>>, order: Ordering, f: impl FnOnce(T) -> T) -> T {
+    match current_context() {
+        None => {
+            let mut cell = lock(cell);
+            let prev = cell.value;
+            cell.value = f(prev);
+            prev
+        }
+        Some(ctx) => {
+            ctx.sched.sync_op(ctx.id);
+            let mut mem = ctx.sched.lock_mem();
+            let mut cell = lock(cell);
+            cell.ensure_exec(ctx.sched.exec_id());
+            op_prologue(&ctx, &mut mem, order);
+            let newest = cell.stores.len() - 1;
+            let prev = apply_read(&ctx, &mut mem, &mut cell, newest, order);
+            let sequence = cell.stores[newest].rel.clone();
+            apply_write(&ctx, &mut mem, &mut cell, f(prev), order, Some(sequence));
+            op_epilogue(&ctx, &mut mem, order);
+            prev
+        }
+    }
+}
+
+/// A model-aware compare-exchange. On success this is an RMW with the
+/// success ordering; on failure it is a load (of the newest store) with
+/// the failure ordering.
+pub(crate) fn compare_exchange<T: Copy + PartialEq>(
+    cell: &Mutex<Cell<T>>,
+    current: T,
+    new: T,
+    success: Ordering,
+    failure: Ordering,
+) -> Result<T, T> {
+    match current_context() {
+        None => {
+            let mut cell = lock(cell);
+            if cell.value == current {
+                cell.value = new;
+                Ok(current)
+            } else {
+                Err(cell.value)
+            }
+        }
+        Some(ctx) => {
+            ctx.sched.sync_op(ctx.id);
+            let mut mem = ctx.sched.lock_mem();
+            let mut cell = lock(cell);
+            cell.ensure_exec(ctx.sched.exec_id());
+            let newest = cell.stores.len() - 1;
+            if cell.stores[newest].value == current {
+                op_prologue(&ctx, &mut mem, success);
+                let prev = apply_read(&ctx, &mut mem, &mut cell, newest, success);
+                let sequence = cell.stores[newest].rel.clone();
+                apply_write(&ctx, &mut mem, &mut cell, new, success, Some(sequence));
+                op_epilogue(&ctx, &mut mem, success);
+                Ok(prev)
+            } else {
+                op_prologue(&ctx, &mut mem, failure);
+                let prev = apply_read(&ctx, &mut mem, &mut cell, newest, failure);
+                op_epilogue(&ctx, &mut mem, failure);
+                Err(prev)
+            }
+        }
+    }
+}
+
+/// A model-aware memory fence. Outside a model this is the real
+/// `std::sync::atomic::fence`.
+pub(crate) fn fence(order: Ordering) {
+    match current_context() {
+        None => std::sync::atomic::fence(order),
+        Some(ctx) => {
+            ctx.sched.sync_op(ctx.id);
+            let mut mem = ctx.sched.lock_mem();
+            let t = ctx.id;
+            mem.ensure_thread(t);
+            mem.clocks[t].tick(t);
+            if order == Ordering::SeqCst {
+                let sc = mem.sc.clone();
+                mem.clocks[t].join(&sc);
+            }
+            if is_acquire(order) {
+                let pending = mem.acq_pending[t].clone();
+                mem.clocks[t].join(&pending);
+            }
+            if is_release(order) {
+                mem.fence_rel[t] = mem.clocks[t].clone();
+            }
+            if order == Ordering::SeqCst {
+                let clock = mem.clocks[t].clone();
+                mem.sc.join(&clock);
+            }
+        }
+    }
+}
+
+fn lock<T>(cell: &Mutex<Cell<T>>) -> std::sync::MutexGuard<'_, Cell<T>> {
+    cell.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,13 +1,21 @@
 //! Cooperative scheduler: deterministic replay + depth-first exploration of
-//! thread interleavings with a preemption bound.
+//! thread interleavings (with a preemption bound) and, in weak-memory mode,
+//! of the values loads are allowed to read.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::mem::Mem;
 
 thread_local! {
     static CONTEXT: RefCell<Option<Context>> = const { RefCell::new(None) };
 }
+
+/// Allocator of execution ids, so atomics can tell a fresh execution's
+/// history from a stale one (statics survive between executions).
+static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
 
 /// Per-thread handle back to the scheduler of the current model execution.
 #[derive(Clone)]
@@ -42,10 +50,21 @@ pub(crate) fn sync_point() {
     }
 }
 
-/// One branch of the schedule tree: the thread chosen to run next and the
-/// alternatives not yet explored at this decision.
+/// What a decision in the schedule tree picks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DecisionKind {
+    /// `chosen` is a thread id to run next.
+    Thread,
+    /// `chosen` is an index into a load's readable-store alternatives
+    /// (0 = the newest store).
+    Value,
+}
+
+/// One branch of the schedule tree: the alternative chosen and the ones not
+/// yet explored at this decision.
 #[derive(Clone, Debug)]
 struct Decision {
+    kind: DecisionKind,
     chosen: usize,
     remaining: Vec<usize>,
 }
@@ -78,10 +97,12 @@ pub(crate) struct Scheduler {
     state: Mutex<State>,
     cv: Condvar,
     max_preemptions: usize,
+    exec_id: u64,
+    mem: Mutex<Mem>,
 }
 
 impl Scheduler {
-    fn new(replay: Vec<Decision>, max_preemptions: usize) -> Self {
+    fn new(replay: Vec<Decision>, max_preemptions: usize, weak_memory: bool) -> Self {
         Scheduler {
             state: Mutex::new(State {
                 threads: vec![Status::Ready],
@@ -96,11 +117,25 @@ impl Scheduler {
             }),
             cv: Condvar::new(),
             max_preemptions,
+            exec_id: EXEC_IDS.fetch_add(1, Ordering::Relaxed), // relaxed-ok: unique ids only
+            mem: Mutex::new(Mem::new(weak_memory)),
         }
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The memory-model state of this execution. Callers must hold the
+    /// schedule turn (be the current thread), so the lock is uncontended
+    /// except when an execution is being abandoned after a failure.
+    pub(crate) fn lock_mem(&self) -> MutexGuard<'_, Mem> {
+        self.mem.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// This execution's id (for atomic history reseeding).
+    pub(crate) fn exec_id(&self) -> u64 {
+        self.exec_id
     }
 
     fn enabled(state: &State) -> Vec<usize> {
@@ -115,10 +150,15 @@ impl Scheduler {
 
     /// Register a newly spawned model thread. Called by the (running) parent,
     /// so registration order is deterministic under replay.
-    pub(crate) fn register(&self) -> usize {
-        let mut s = self.lock();
-        s.threads.push(Status::Ready);
-        s.threads.len() - 1
+    pub(crate) fn register(&self, parent: usize) -> usize {
+        let id = {
+            let mut s = self.lock();
+            s.threads.push(Status::Ready);
+            s.threads.len() - 1
+        };
+        // Spawn happens-before edge: the child inherits the parent's view.
+        self.lock_mem().spawn_edge(parent, id);
+        id
     }
 
     /// Scheduling point before a shared-memory operation by thread `me`.
@@ -147,6 +187,7 @@ impl Scheduler {
                 Vec::new()
             };
             Decision {
+                kind: DecisionKind::Thread,
                 chosen: me,
                 remaining,
             }
@@ -163,6 +204,33 @@ impl Scheduler {
                 s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
             }
         }
+    }
+
+    /// A value decision with `n` alternatives by the thread holding the
+    /// turn: which of the readable stores a load observes. Alternative 0
+    /// (the newest store) is explored first, so the first execution of any
+    /// schedule behaves sequentially consistently; staler values are tried
+    /// on backtracking. Value choices never cost preemption budget — they
+    /// model the hardware's freedom, not the scheduler's.
+    pub(crate) fn choice(&self, _me: usize, n: usize) -> usize {
+        debug_assert!(n >= 2, "choice needs at least two alternatives");
+        let mut s = self.lock();
+        if s.failed {
+            return 0;
+        }
+        let decision = if s.step < s.replay.len() {
+            s.replay[s.step].clone()
+        } else {
+            Decision {
+                kind: DecisionKind::Value,
+                chosen: 0,
+                remaining: (1..n).collect(),
+            }
+        };
+        s.step += 1;
+        let chosen = decision.chosen;
+        s.trace.push(decision);
+        chosen
     }
 
     /// Pick the next runner after `current` stopped being runnable
@@ -187,6 +255,7 @@ impl Scheduler {
                     s.replay[s.step].clone()
                 } else {
                     Decision {
+                        kind: DecisionKind::Thread,
                         chosen: enabled[0],
                         remaining: enabled[1..].to_vec(),
                     }
@@ -227,18 +296,22 @@ impl Scheduler {
 
     /// Block `me` until `target` finishes.
     pub(crate) fn join_wait(&self, me: usize, target: usize) {
-        let mut s = self.lock();
-        while !s.failed && s.current != me {
-            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+        {
+            let mut s = self.lock();
+            while !s.failed && s.current != me {
+                s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+            }
+            if !s.failed && s.threads[target] != Status::Finished {
+                s.threads[me] = Status::Blocked(target);
+                self.reschedule(&mut s);
+                while !s.failed && s.current != me {
+                    s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
+                }
+            }
         }
-        if s.failed || s.threads[target] == Status::Finished {
-            return;
-        }
-        s.threads[me] = Status::Blocked(target);
-        self.reschedule(&mut s);
-        while !s.failed && s.current != me {
-            s = self.cv.wait(s).unwrap_or_else(|p| p.into_inner());
-        }
+        // Join happens-before edge: the target has finished (or the
+        // execution failed and the clocks no longer matter).
+        self.lock_mem().join_edge(me, target);
     }
 
     fn wait_all_finished(&self) {
@@ -258,7 +331,14 @@ impl Scheduler {
 
     fn schedule_string(&self) -> String {
         let s = self.lock();
-        let ids: Vec<String> = s.trace.iter().map(|d| d.chosen.to_string()).collect();
+        let ids: Vec<String> = s
+            .trace
+            .iter()
+            .map(|d| match d.kind {
+                DecisionKind::Thread => d.chosen.to_string(),
+                DecisionKind::Value => format!("r{}", d.chosen),
+            })
+            .collect();
         ids.join(",")
     }
 
@@ -271,7 +351,11 @@ impl Scheduler {
             let mut remaining = last.remaining;
             if !remaining.is_empty() {
                 let chosen = remaining.remove(0);
-                trace.push(Decision { chosen, remaining });
+                trace.push(Decision {
+                    kind: last.kind,
+                    chosen,
+                    remaining,
+                });
                 return Some(trace);
             }
         }
@@ -286,65 +370,125 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// Run `f` under the model checker, exploring thread interleavings until the
-/// schedule tree is exhausted. Panics (re-raising the failure) on the first
-/// schedule where an assertion inside `f` fails, a spawned thread panics, or
-/// a join deadlock is detected.
+fn env_bool(name: &str, default: bool) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.as_str(), "0" | "false" | "off" | "no"),
+        Err(_) => default,
+    }
+}
+
+/// Configuration for a model run — the shim's analogue of
+/// `loom::model::Builder`.
+///
+/// ```
+/// let mut b = loom::Builder::new();
+/// b.weak_memory = false; // legacy SeqCst-only exploration
+/// b.check(|| { /* model body */ });
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Preemption bound per execution (CHESS-style). Defaults to 2,
+    /// overridable with `LOOM_MAX_PREEMPTIONS`.
+    pub max_preemptions: usize,
+    /// Schedule-count ceiling before the run fails loudly. Defaults to
+    /// 100 000, overridable with `LOOM_MAX_ITERATIONS`.
+    pub max_iterations: usize,
+    /// Explore weak-memory behaviors (stale reads permitted by the
+    /// `Ordering` arguments)? Defaults to true, overridable with
+    /// `LOOM_WEAK_MEMORY=0`. When false, every load reads the newest
+    /// store: the legacy sequentially-consistent-only exploration, which
+    /// provably misses relaxed-publication bugs.
+    pub weak_memory: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+impl Builder {
+    /// A builder with the environment-derived defaults.
+    pub fn new() -> Builder {
+        Builder {
+            max_preemptions: env_usize("LOOM_MAX_PREEMPTIONS", 2),
+            max_iterations: env_usize("LOOM_MAX_ITERATIONS", 100_000),
+            weak_memory: env_bool("LOOM_WEAK_MEMORY", true),
+        }
+    }
+
+    /// Run `f` under the model checker, exploring the configured space
+    /// until the schedule tree is exhausted. Panics (re-raising the
+    /// failure) on the first schedule where an assertion inside `f` fails,
+    /// a spawned thread panics, or a join deadlock is detected.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut replay: Vec<Decision> = Vec::new();
+        let mut iterations = 0usize;
+        loop {
+            iterations += 1;
+            assert!(
+                iterations <= self.max_iterations,
+                "loom: exceeded {} schedules; shrink the model or raise LOOM_MAX_ITERATIONS",
+                self.max_iterations
+            );
+            let sched = Arc::new(Scheduler::new(
+                std::mem::take(&mut replay),
+                self.max_preemptions,
+                self.weak_memory,
+            ));
+            let root_sched = Arc::clone(&sched);
+            let root_f = Arc::clone(&f);
+            let root = std::thread::Builder::new()
+                .name("loom-root".into())
+                .spawn(move || {
+                    set_context(Some(Context {
+                        sched: Arc::clone(&root_sched),
+                        id: 0,
+                    }));
+                    let result = catch_unwind(AssertUnwindSafe(|| root_f()));
+                    root_sched.thread_finished(0, result.is_err());
+                    set_context(None);
+                    if let Err(payload) = result {
+                        resume_unwind(payload);
+                    }
+                })
+                .expect("spawn loom root thread");
+            sched.wait_all_finished();
+            let root_result = root.join();
+            if let Err(payload) = root_result {
+                eprintln!(
+                    "loom: schedule #{iterations} failed (decisions: {})",
+                    sched.schedule_string()
+                );
+                resume_unwind(payload);
+            }
+            assert!(
+                !sched.deadlocked(),
+                "loom: deadlock on schedule #{iterations} (decisions: {})",
+                sched.schedule_string()
+            );
+            assert!(
+                !sched.failed(),
+                "loom: a spawned thread panicked on schedule #{iterations} (decisions: {})",
+                sched.schedule_string()
+            );
+            match sched.next_replay() {
+                Some(r) => replay = r,
+                None => break,
+            }
+        }
+    }
+}
+
+/// Run `f` under the model checker with the default configuration (weak
+/// memory on, preemption bound 2). See [`Builder`] for the knobs.
 pub fn model<F>(f: F)
 where
     F: Fn() + Send + Sync + 'static,
 {
-    let f = Arc::new(f);
-    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
-    let max_iterations = env_usize("LOOM_MAX_ITERATIONS", 100_000);
-    let mut replay: Vec<Decision> = Vec::new();
-    let mut iterations = 0usize;
-    loop {
-        iterations += 1;
-        assert!(
-            iterations <= max_iterations,
-            "loom: exceeded {max_iterations} schedules; shrink the model or raise LOOM_MAX_ITERATIONS"
-        );
-        let sched = Arc::new(Scheduler::new(std::mem::take(&mut replay), max_preemptions));
-        let root_sched = Arc::clone(&sched);
-        let root_f = Arc::clone(&f);
-        let root = std::thread::Builder::new()
-            .name("loom-root".into())
-            .spawn(move || {
-                set_context(Some(Context {
-                    sched: Arc::clone(&root_sched),
-                    id: 0,
-                }));
-                let result = catch_unwind(AssertUnwindSafe(|| root_f()));
-                root_sched.thread_finished(0, result.is_err());
-                set_context(None);
-                if let Err(payload) = result {
-                    resume_unwind(payload);
-                }
-            })
-            .expect("spawn loom root thread");
-        sched.wait_all_finished();
-        let root_result = root.join();
-        if let Err(payload) = root_result {
-            eprintln!(
-                "loom: schedule #{iterations} failed (thread order: {})",
-                sched.schedule_string()
-            );
-            resume_unwind(payload);
-        }
-        assert!(
-            !sched.deadlocked(),
-            "loom: deadlock on schedule #{iterations} (thread order: {})",
-            sched.schedule_string()
-        );
-        assert!(
-            !sched.failed(),
-            "loom: a spawned thread panicked on schedule #{iterations} (thread order: {})",
-            sched.schedule_string()
-        );
-        match sched.next_replay() {
-            Some(r) => replay = r,
-            None => break,
-        }
-    }
+    Builder::new().check(f)
 }

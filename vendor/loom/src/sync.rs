@@ -1,53 +1,74 @@
 //! Model-aware replacements for `std::sync` types.
 //!
 //! Each atomic operation is a scheduling point: the model checker may switch
-//! threads immediately before the operation executes. The value itself sits
-//! behind a `Mutex`, which is uncontended because the scheduler runs exactly
-//! one model thread at a time; outside a model the types degrade to plain
+//! threads immediately before the operation executes. In weak-memory mode
+//! (the default) a load is additionally a *value* branch point: it may read
+//! any store its `Ordering` permits, not just the newest one — see
+//! [`crate::mem`] for the model. Outside a model the types degrade to plain
 //! mutex-backed atomics.
 
 pub use std::sync::Arc;
 
-/// Model-aware atomic integer types.
+/// Model-aware atomic types and fences.
 pub mod atomic {
+    use std::sync::Mutex;
+
     pub use std::sync::atomic::Ordering;
+
+    use crate::mem::{self, Cell};
+
+    /// A model-aware memory fence, following the C11 fence rules (release
+    /// fences arm later relaxed stores, acquire fences claim earlier
+    /// relaxed loads, `SeqCst` fences join the global SC order). Outside a
+    /// model this is `std::sync::atomic::fence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Ordering::Relaxed`, like the `std` fence.
+    pub fn fence(order: Ordering) {
+        assert!(
+            order != Ordering::Relaxed,
+            "there is no such thing as a relaxed fence"
+        );
+        mem::fence(order);
+    }
 
     macro_rules! shim_atomic {
         ($(#[$doc:meta])* $name:ident, $ty:ty) => {
             $(#[$doc])*
-            #[derive(Debug, Default)]
+            #[derive(Debug)]
             pub struct $name {
-                value: std::sync::Mutex<$ty>,
+                cell: Mutex<Cell<$ty>>,
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
             }
 
             impl $name {
                 /// Create a new atomic with the given initial value.
-                pub fn new(value: $ty) -> Self {
+                pub const fn new(value: $ty) -> Self {
                     Self {
-                        value: std::sync::Mutex::new(value),
+                        cell: Mutex::new(Cell::new(value)),
                     }
                 }
 
-                fn op<R>(&self, f: impl FnOnce(&mut $ty) -> R) -> R {
-                    crate::sched::sync_point();
-                    let mut v = self.value.lock().unwrap_or_else(|p| p.into_inner());
-                    f(&mut v)
-                }
-
-                /// Load the current value. The ordering is accepted for API
-                /// compatibility; the model explores SC interleavings only.
-                pub fn load(&self, _order: Ordering) -> $ty {
-                    self.op(|v| *v)
+                /// Load a value the given ordering permits: inside a model
+                /// with weak memory enabled, possibly a stale one.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    mem::load(&self.cell, order)
                 }
 
                 /// Store a new value.
-                pub fn store(&self, value: $ty, _order: Ordering) {
-                    self.op(|v| *v = value)
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    mem::store(&self.cell, value, order)
                 }
 
                 /// Swap in a new value, returning the previous one.
-                pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
-                    self.op(|v| std::mem::replace(v, value))
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    mem::rmw(&self.cell, order, |_| value)
                 }
 
                 /// Compare-and-exchange; returns `Ok(previous)` on success.
@@ -55,17 +76,10 @@ pub mod atomic {
                     &self,
                     current: $ty,
                     new: $ty,
-                    _success: Ordering,
-                    _failure: Ordering,
+                    success: Ordering,
+                    failure: Ordering,
                 ) -> Result<$ty, $ty> {
-                    self.op(|v| {
-                        if *v == current {
-                            *v = new;
-                            Ok(current)
-                        } else {
-                            Err(*v)
-                        }
-                    })
+                    mem::compare_exchange(&self.cell, current, new, success, failure)
                 }
 
                 /// Weak compare-and-exchange (never fails spuriously here).
@@ -81,7 +95,10 @@ pub mod atomic {
 
                 /// Consume the atomic and return the inner value.
                 pub fn into_inner(self) -> $ty {
-                    self.value.into_inner().unwrap_or_else(|p| p.into_inner())
+                    self.cell
+                        .into_inner()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .into_value()
                 }
             }
         };
@@ -95,46 +112,34 @@ pub mod atomic {
         /// Model-aware `AtomicUsize`.
         AtomicUsize, usize
     );
+    shim_atomic!(
+        /// Model-aware `AtomicBool`.
+        AtomicBool, bool
+    );
 
     macro_rules! shim_fetch_arith {
         ($name:ident, $ty:ty) => {
             impl $name {
                 /// Add, returning the previous value (wrapping).
-                pub fn fetch_add(&self, delta: $ty, _order: Ordering) -> $ty {
-                    self.op(|v| {
-                        let old = *v;
-                        *v = v.wrapping_add(delta);
-                        old
-                    })
+                pub fn fetch_add(&self, delta: $ty, order: Ordering) -> $ty {
+                    mem::rmw(&self.cell, order, |v| v.wrapping_add(delta))
                 }
 
                 /// Subtract, returning the previous value (wrapping).
-                pub fn fetch_sub(&self, delta: $ty, _order: Ordering) -> $ty {
-                    self.op(|v| {
-                        let old = *v;
-                        *v = v.wrapping_sub(delta);
-                        old
-                    })
+                pub fn fetch_sub(&self, delta: $ty, order: Ordering) -> $ty {
+                    mem::rmw(&self.cell, order, |v| v.wrapping_sub(delta))
                 }
 
                 /// Store the minimum of the current and given value,
                 /// returning the previous value.
-                pub fn fetch_min(&self, value: $ty, _order: Ordering) -> $ty {
-                    self.op(|v| {
-                        let old = *v;
-                        *v = old.min(value);
-                        old
-                    })
+                pub fn fetch_min(&self, value: $ty, order: Ordering) -> $ty {
+                    mem::rmw(&self.cell, order, |v| v.min(value))
                 }
 
                 /// Store the maximum of the current and given value,
                 /// returning the previous value.
-                pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
-                    self.op(|v| {
-                        let old = *v;
-                        *v = old.max(value);
-                        old
-                    })
+                pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                    mem::rmw(&self.cell, order, |v| v.max(value))
                 }
             }
         };
@@ -142,9 +147,4 @@ pub mod atomic {
 
     shim_fetch_arith!(AtomicU64, u64);
     shim_fetch_arith!(AtomicUsize, usize);
-
-    shim_atomic!(
-        /// Model-aware `AtomicBool`.
-        AtomicBool, bool
-    );
 }

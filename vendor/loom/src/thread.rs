@@ -14,6 +14,8 @@ impl<T> JoinHandle<T> {
     /// panic payload, as with `std::thread`).
     pub fn join(self) -> std::thread::Result<T> {
         if let Some(ctx) = &self.ctx {
+            // join_wait blocks until the target finishes and then records
+            // the join happens-before edge into the joiner's clock.
             ctx.sched.join_wait(ctx.id, self.id);
         }
         self.inner.join()
@@ -34,7 +36,7 @@ where
             inner: std::thread::spawn(f),
         },
         Some(ctx) => {
-            let id = ctx.sched.register();
+            let id = ctx.sched.register(ctx.id);
             let child_ctx = Context {
                 sched: std::sync::Arc::clone(&ctx.sched),
                 id,

@@ -62,18 +62,20 @@ fn finds_publication_ordering_bug() {
 }
 
 #[test]
-fn publish_last_ordering_is_clean() {
-    // Correct version of the above: payload first, flag last. Under the SC
-    // interleavings the shim explores, no schedule can fail.
+fn publish_last_with_release_acquire_is_clean() {
+    // Correct version of the above: payload first, then a Release store of
+    // the flag, gated by an Acquire load. No schedule and no weak-memory
+    // behavior can fail. (The all-Relaxed variant is *not* clean any more —
+    // that is the point of the weak-memory upgrade; see tests/weak.rs.)
     loom::model(|| {
         let ready = Arc::new(AtomicU64::new(0));
         let data = Arc::new(AtomicU64::new(0));
         let (r2, d2) = (Arc::clone(&ready), Arc::clone(&data));
         let t = loom::thread::spawn(move || {
             d2.store(42, Ordering::Relaxed);
-            r2.store(1, Ordering::Relaxed);
+            r2.store(1, Ordering::Release);
         });
-        if ready.load(Ordering::Relaxed) == 1 {
+        if ready.load(Ordering::Acquire) == 1 {
             assert_eq!(data.load(Ordering::Relaxed), 42);
         }
         t.join().unwrap();

@@ -1,0 +1,261 @@
+//! Weak-memory litmus suite: the checker must exhibit the relaxed
+//! behaviors real hardware allows, respect the synchronization that
+//! `Release`/`Acquire`/`SeqCst` provide, and — the headline regression —
+//! catch a relaxed-publication bug that the legacy sequentially-consistent
+//! exploration provably misses.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use loom::sync::atomic::{fence, AtomicU64, Ordering};
+use loom::sync::Arc;
+
+/// The seeded bug: publish a payload with two Relaxed stores and gate the
+/// reader on the flag with a Relaxed load. Correct under sequential
+/// consistency (flag is stored after data), broken on weak hardware.
+fn relaxed_publication() {
+    let ready = Arc::new(AtomicU64::new(0));
+    let data = Arc::new(AtomicU64::new(0));
+    let (r2, d2) = (Arc::clone(&ready), Arc::clone(&data));
+    let t = loom::thread::spawn(move || {
+        d2.store(42, Ordering::Relaxed);
+        r2.store(1, Ordering::Relaxed); // bug: no release on the flag
+    });
+    if ready.load(Ordering::Relaxed) == 1 {
+        // bug: no acquire
+        assert_eq!(data.load(Ordering::Relaxed), 42, "stale payload observed");
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn relaxed_publication_passes_the_legacy_sc_only_exploration() {
+    // Under SC-only exploration every load reads the newest store, so the
+    // store order (data before flag) is enough and no schedule fails. This
+    // is exactly the false confidence the weak-memory upgrade removes.
+    let mut b = loom::Builder::new();
+    b.weak_memory = false;
+    b.check(relaxed_publication);
+}
+
+#[test]
+fn relaxed_publication_is_caught_by_weak_memory_exploration() {
+    let result = std::panic::catch_unwind(|| {
+        let mut b = loom::Builder::new();
+        b.weak_memory = true;
+        b.check(relaxed_publication);
+    });
+    assert!(
+        result.is_err(),
+        "weak-memory exploration missed the relaxed-publication bug"
+    );
+}
+
+#[test]
+fn store_buffering_relaxed_allows_both_threads_to_read_zero() {
+    // The classic SB litmus: with relaxed accesses, both threads may read
+    // the other's location as 0 — impossible under any interleaving of
+    // sequentially consistent operations. The checker must reach it.
+    let outcomes: &'static Mutex<HashSet<(u64, u64)>> =
+        Box::leak(Box::new(Mutex::new(HashSet::new())));
+    loom::model(move || {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            y2.load(Ordering::Relaxed)
+        });
+        y.store(1, Ordering::Relaxed);
+        let r0 = x.load(Ordering::Relaxed);
+        let r1 = t.join().unwrap();
+        outcomes.lock().unwrap().insert((r0, r1));
+    });
+    let seen = outcomes.lock().unwrap();
+    assert!(
+        seen.contains(&(0, 0)),
+        "store buffering (both read 0) never explored: {seen:?}"
+    );
+    assert!(seen.contains(&(1, 1)), "fully ordered outcome missing");
+}
+
+#[test]
+fn store_buffering_seqcst_forbids_both_zero() {
+    // With SeqCst accesses the total order makes (0, 0) impossible; the
+    // checker must never produce it (the assertion runs on every schedule).
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let y = Arc::new(AtomicU64::new(0));
+        let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+        let t = loom::thread::spawn(move || {
+            x2.store(1, Ordering::SeqCst);
+            y2.load(Ordering::SeqCst)
+        });
+        y.store(1, Ordering::SeqCst);
+        let r0 = x.load(Ordering::SeqCst);
+        let r1 = t.join().unwrap();
+        assert!(
+            r0 == 1 || r1 == 1,
+            "SeqCst store buffering produced the forbidden (0, 0)"
+        );
+    });
+}
+
+#[test]
+fn seqcst_fences_restore_relaxed_publication() {
+    // The Chase–Lev pattern: relaxed accesses ordered by SeqCst fences on
+    // both sides must publish correctly.
+    loom::model(|| {
+        let ready = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let (r2, d2) = (Arc::clone(&ready), Arc::clone(&data));
+        let t = loom::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            fence(Ordering::SeqCst);
+            r2.store(1, Ordering::Relaxed);
+        });
+        if ready.load(Ordering::Relaxed) == 1 {
+            fence(Ordering::SeqCst);
+            assert_eq!(data.load(Ordering::Relaxed), 42, "fences failed to order");
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn per_location_coherence_holds_even_relaxed() {
+    // Coherence: a thread that read a newer store of a location can never
+    // subsequently read an older one, orderings notwithstanding.
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        let x2 = Arc::clone(&x);
+        let t = loom::thread::spawn(move || {
+            x2.store(1, Ordering::Relaxed);
+            x2.store(2, Ordering::Relaxed);
+        });
+        let first = x.load(Ordering::Relaxed);
+        let second = x.load(Ordering::Relaxed);
+        assert!(
+            second >= first,
+            "coherence violated: read {first} then the older {second}"
+        );
+        t.join().unwrap();
+        // Post-join, everything the writer did happens-before us.
+        assert_eq!(x.load(Ordering::Relaxed), 2);
+    });
+}
+
+#[test]
+fn rmw_continues_the_release_sequence() {
+    // A Release store followed by a Relaxed CAS chain: an Acquire reader of
+    // the *last* link must still synchronize with the head of the sequence
+    // and see the payload.
+    loom::model(|| {
+        let payload = Arc::new(AtomicU64::new(0));
+        let head = Arc::new(AtomicU64::new(0));
+        let (p2, h2) = (Arc::clone(&payload), Arc::clone(&head));
+        let t = loom::thread::spawn(move || {
+            p2.store(7, Ordering::Relaxed);
+            h2.store(1, Ordering::Release);
+            // Relaxed RMW: continues (not breaks) the release sequence.
+            h2.fetch_add(1, Ordering::Relaxed);
+        });
+        if head.load(Ordering::Acquire) == 2 {
+            assert_eq!(
+                payload.load(Ordering::Relaxed),
+                7,
+                "release sequence broken by the relaxed RMW"
+            );
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn plain_relaxed_store_breaks_the_release_sequence() {
+    // Contrast with the above: if the second link is a plain Relaxed
+    // *store* (not an RMW), the acquire reader synchronizes with nothing
+    // and the stale payload must be observable.
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let payload = Arc::new(AtomicU64::new(0));
+            let head = Arc::new(AtomicU64::new(0));
+            let (p2, h2) = (Arc::clone(&payload), Arc::clone(&head));
+            let t = loom::thread::spawn(move || {
+                p2.store(7, Ordering::Relaxed);
+                h2.store(1, Ordering::Release);
+                h2.store(2, Ordering::Relaxed); // breaks the sequence
+            });
+            if head.load(Ordering::Acquire) == 2 {
+                assert_eq!(payload.load(Ordering::Relaxed), 7);
+            }
+            t.join().unwrap();
+        });
+    });
+    assert!(
+        result.is_err(),
+        "checker failed to break the release sequence at a plain relaxed store"
+    );
+}
+
+#[test]
+fn spawn_and_join_are_synchronization_edges() {
+    // Everything before spawn is visible to the child relaxed; everything
+    // the child does is visible after join relaxed.
+    loom::model(|| {
+        let x = Arc::new(AtomicU64::new(0));
+        x.store(1, Ordering::Relaxed);
+        let x2 = Arc::clone(&x);
+        let t = loom::thread::spawn(move || {
+            assert_eq!(x2.load(Ordering::Relaxed), 1, "spawn edge lost");
+            x2.store(2, Ordering::Relaxed);
+        });
+        t.join().unwrap();
+        assert_eq!(x.load(Ordering::Relaxed), 2, "join edge lost");
+    });
+}
+
+#[test]
+fn seeded_weak_counter_bug_is_found_quickly() {
+    // A "publication via Relaxed fetch_add counter" bug: the reader gates
+    // on a relaxed counter instead of an acquire one. Ensures RMWs do not
+    // accidentally over-synchronize in the model.
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let count = Arc::new(AtomicU64::new(0));
+            let slot = Arc::new(AtomicU64::new(0));
+            let (c2, s2) = (Arc::clone(&count), Arc::clone(&slot));
+            let t = loom::thread::spawn(move || {
+                s2.store(9, Ordering::Relaxed);
+                c2.fetch_add(1, Ordering::Relaxed); // bug: should be Release
+            });
+            if count.load(Ordering::Acquire) == 1 {
+                assert_eq!(slot.load(Ordering::Relaxed), 9);
+            }
+            t.join().unwrap();
+        });
+    });
+    assert!(
+        result.is_err(),
+        "relaxed fetch_add publication slipped past the checker"
+    );
+}
+
+#[test]
+fn release_fetch_add_publication_is_clean() {
+    // The fixed version of the counter bug — and exactly the histogram's
+    // `count` publication discipline after this PR.
+    loom::model(|| {
+        let count = Arc::new(AtomicU64::new(0));
+        let slot = Arc::new(AtomicU64::new(0));
+        let (c2, s2) = (Arc::clone(&count), Arc::clone(&slot));
+        let t = loom::thread::spawn(move || {
+            s2.store(9, Ordering::Relaxed);
+            c2.fetch_add(1, Ordering::Release);
+        });
+        if count.load(Ordering::Acquire) == 1 {
+            assert_eq!(slot.load(Ordering::Relaxed), 9);
+        }
+        t.join().unwrap();
+    });
+}

@@ -1,0 +1,130 @@
+//! [`RacyCell`]: an instrumented cell for data that is *supposed* to be
+//! protected by some external synchronization protocol. Every access is
+//! checked against the happens-before relation; an unordered conflicting
+//! pair panics with both stacks.
+
+use std::backtrace::Backtrace;
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{epoch_visible, VectorClock};
+use crate::runtime;
+
+struct Access {
+    tid: usize,
+    at: u64,
+    op: &'static str,
+    stack: Arc<Backtrace>,
+}
+
+impl Access {
+    fn capture(tid: usize, at: u64, op: &'static str) -> Self {
+        Self {
+            tid,
+            at,
+            op,
+            stack: Arc::new(Backtrace::force_capture()),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Shadow {
+    write: Option<Access>,
+    reads: Vec<Access>,
+}
+
+/// A cell whose reads and writes are checked for data races.
+///
+/// The payload lives behind a private mutex, so even a program whose
+/// protocol is broken never performs a *physical* race (no undefined
+/// behavior while diagnosing); the detector instead reports the pair of
+/// accesses that the protocol failed to order. Replace `RacyCell<T>` with
+/// plain `T` (or `UnsafeCell`) in the uninstrumented build.
+pub struct RacyCell<T> {
+    data: Mutex<T>,
+    shadow: Mutex<Shadow>,
+}
+
+impl<T> RacyCell<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            data: Mutex::new(value),
+            shadow: Mutex::new(Shadow {
+                write: None,
+                reads: Vec::new(),
+            }),
+        }
+    }
+
+    /// Read access: panics if a write that does not happen-before this
+    /// thread has been recorded.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let me = runtime::tid();
+        let now = runtime::snapshot();
+        {
+            let mut sh = self.shadow.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(w) = &sh.write {
+                if !epoch_visible(w.tid, w.at, &now) {
+                    report(self, "read", w, &now);
+                }
+            }
+            let at = now.get(me);
+            match sh.reads.iter_mut().find(|a| a.tid == me) {
+                Some(slot) => *slot = Access::capture(me, at, "read"),
+                None => sh.reads.push(Access::capture(me, at, "read")),
+            }
+        }
+        f(&self.data.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Write access: panics if any prior read or write does not
+    /// happen-before this thread.
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let me = runtime::tid();
+        let now = runtime::snapshot();
+        {
+            let mut sh = self.shadow.lock().unwrap_or_else(|p| p.into_inner());
+            if let Some(w) = &sh.write {
+                if !epoch_visible(w.tid, w.at, &now) {
+                    report(self, "write", w, &now);
+                }
+            }
+            if let Some(r) = sh.reads.iter().find(|r| !epoch_visible(r.tid, r.at, &now)) {
+                report(self, "write", r, &now);
+            }
+            sh.write = Some(Access::capture(me, now.get(me), "write"));
+            sh.reads.clear();
+        }
+        f(&mut self.data.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Consume the cell (exclusive by ownership, so no check needed).
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Exclusive access through a unique reference (statically race-free).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+fn report<T>(cell: &RacyCell<T>, op: &'static str, prior: &Access, now: &VectorClock) -> ! {
+    let here = Backtrace::force_capture();
+    panic!(
+        "tsan: data race detected on RacyCell<{ty}> at {addr:p}\n\
+         \n  conflicting {op} by thread t{me} (clock {now:?}) at:\n{here}\n\
+         \n  previous unsynchronized {pop} by thread t{ptid} (epoch {pat}) at:\n{pstack}\n",
+        ty = std::any::type_name::<T>(),
+        addr = cell as *const _,
+        op = op,
+        me = runtime::tid(),
+        now = now,
+        here = here,
+        pop = prior.op,
+        ptid = prior.tid,
+        pat = prior.at,
+        pstack = prior.stack,
+    );
+}

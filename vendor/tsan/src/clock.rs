@@ -1,0 +1,78 @@
+//! Vector clocks: the partial order underlying happens-before detection.
+
+/// A growable vector clock. Component `t` counts the number of release
+/// operations thread `t` has performed; `clock_a ⊑ clock_b` (pointwise)
+/// means everything thread `a` had done happens-before thread `b`'s
+/// current point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    slots: Vec<u64>,
+}
+
+impl VectorClock {
+    /// The empty clock (all components zero).
+    pub const fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Component for thread `tid` (zero if never ticked).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Increment `tid`'s own component; called at release points so later
+    /// accesses by `tid` are distinguishable from the released prefix.
+    pub fn tick(&mut self, tid: usize) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards everything visible to `other` is
+    /// visible to `self`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// Does an access recorded by `tid` at epoch `at` happen-before the thread
+/// whose clock is `clock`? This is the FastTrack epoch test: the full
+/// vector comparison collapses to one component because an access only
+/// advances its own thread's clock.
+pub fn epoch_visible(tid: usize, at: u64, clock: &VectorClock) -> bool {
+    at <= clock.get(tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_grows() {
+        let mut a = VectorClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VectorClock::new();
+        b.tick(2);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 0);
+        assert_eq!(a.get(2), 1);
+    }
+
+    #[test]
+    fn epoch_visibility_follows_the_component() {
+        let mut c = VectorClock::new();
+        c.tick(3);
+        assert!(epoch_visible(3, 1, &c));
+        assert!(!epoch_visible(3, 2, &c));
+        assert!(epoch_visible(5, 0, &c), "zero epochs are always visible");
+        assert!(!epoch_visible(5, 1, &c));
+    }
+}

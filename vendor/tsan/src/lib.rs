@@ -1,0 +1,47 @@
+//! A vector-clock happens-before data race detector for *real*
+//! multithreaded runs, in the style of ThreadSanitizer / FastTrack.
+//!
+//! Where the vendored `loom` shim model-checks small closures under a
+//! cooperative scheduler, this crate instruments ordinary executions:
+//! code compiled with `--cfg race` routes its `Mutex`/atomic/cell types
+//! through the wrappers here, runs its normal multithreaded tests at full
+//! speed, and any pair of conflicting accesses not ordered by the
+//! recorded happens-before relation panics with **both** stack traces.
+//!
+//! # What creates happens-before edges
+//!
+//! - [`thread::spawn`] / [`thread::JoinHandle::join`] (fork and join),
+//! - [`sync::Mutex`] unlock → the next lock,
+//! - release-capable atomic stores/RMWs → acquire-capable loads/RMWs on
+//!   the same atomic ([`sync::atomic`]),
+//! - release fences → acquire fences ([`sync::atomic::fence`]).
+//!
+//! `Relaxed` operations create **no** edges — exactly the property the
+//! detector exists to check: data published under a relaxed flag is
+//! flagged when the consumer touches it.
+//!
+//! # Soundness direction
+//!
+//! Atomics use a tail approximation (one clock per atomic joined by every
+//! release-capable op; failed CAS still releases) and fences share one
+//! global clock. Both over-approximate the C11 synchronizes-with relation,
+//! so the detector can miss races (false negatives) but a reported race is
+//! always a real happens-before violation on the recorded run. Detection
+//! is also per-run: only interleavings that actually execute are checked —
+//! use loom for exhaustive schedule coverage, this crate for realistic
+//! full-speed runs of code too large to model-check.
+//!
+//! The payload of a [`cell::RacyCell`] is physically serialized by a
+//! private mutex, so diagnosing a broken protocol never executes undefined
+//! behavior.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod clock;
+pub mod runtime;
+pub mod sync;
+pub mod thread;
+
+pub use cell::RacyCell;

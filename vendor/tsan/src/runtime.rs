@@ -1,0 +1,91 @@
+//! Per-thread detector state: thread ids, the current thread's vector
+//! clock, and the acquire/release primitives the wrappers are built from.
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::clock::VectorClock;
+
+// relaxed-ok: unique id allocation only; no data is published through this.
+static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+    static CLOCK: RefCell<VectorClock> = const { RefCell::new(VectorClock::new()) };
+}
+
+/// This thread's detector id, assigned on first use. Threads spawned via
+/// [`crate::thread::spawn`] are registered eagerly so the spawn edge lands
+/// before their first access; any other thread gets a fresh clock with no
+/// incoming edges, which is sound (it can only make more pairs look racy,
+/// never fewer).
+pub fn tid() -> usize {
+    TID.with(|t| match t.get() {
+        Some(id) => id,
+        None => {
+            // relaxed-ok: unique-id allocation; nothing is published
+            // through this counter, only distinctness matters.
+            let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+            t.set(Some(id));
+            CLOCK.with(|c| c.borrow_mut().tick(id));
+            id
+        }
+    })
+}
+
+/// Run `f` with this thread's clock.
+pub fn with_clock<R>(f: impl FnOnce(&mut VectorClock) -> R) -> R {
+    let _ = tid();
+    CLOCK.with(|c| f(&mut c.borrow_mut()))
+}
+
+/// Acquire edge: join the sync object's clock into this thread's.
+pub fn acquire(sync: &Mutex<VectorClock>) {
+    let theirs = sync.lock().unwrap_or_else(|p| p.into_inner()).clone();
+    with_clock(|mine| mine.join(&theirs));
+}
+
+/// Release edge: join this thread's clock into the sync object's, then
+/// tick so later accesses by this thread are not covered by the release.
+pub fn release(sync: &Mutex<VectorClock>) {
+    let me = tid();
+    with_clock(|mine| {
+        sync.lock().unwrap_or_else(|p| p.into_inner()).join(mine);
+        mine.tick(me);
+    });
+}
+
+/// Fork edge for [`crate::thread::spawn`]: snapshot the parent clock (the
+/// child starts with everything the parent has done visible) and tick the
+/// parent.
+pub fn fork() -> VectorClock {
+    let me = tid();
+    with_clock(|mine| {
+        let snapshot = mine.clone();
+        mine.tick(me);
+        snapshot
+    })
+}
+
+/// Install the parent snapshot in a freshly spawned child; returns the
+/// child's tid.
+pub fn adopt(parent: VectorClock) -> usize {
+    let me = tid();
+    with_clock(|mine| {
+        mine.join(&parent);
+        mine.tick(me);
+    });
+    me
+}
+
+/// Join edge: everything the finished child did is now visible here.
+pub fn join_with(child_final: &VectorClock) {
+    with_clock(|mine| mine.join(child_final));
+}
+
+/// Snapshot this thread's clock (used by exiting threads to publish their
+/// final clock for the joiner).
+pub fn snapshot() -> VectorClock {
+    with_clock(|mine| mine.clone())
+}

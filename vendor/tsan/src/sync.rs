@@ -1,0 +1,328 @@
+//! Instrumented synchronization primitives: a `Mutex` that records
+//! acquire/release edges, atomics whose `Ordering` arguments create (or
+//! withhold) happens-before edges, and fences.
+//!
+//! The atomics are *real* atomics — runs execute at full speed on real
+//! threads — with a per-object vector clock alongside. The clock follows a
+//! tail approximation: every release-capable operation joins into one
+//! clock per atomic and every acquire-capable operation joins out of it,
+//! which can only add happens-before edges relative to C11 (release
+//! sequences and failed CAS over-synchronize). The detector therefore errs
+//! exclusively toward false *negatives*; a reported race is always real.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+pub use std::sync::{Arc, Weak};
+
+use crate::clock::VectorClock;
+use crate::runtime;
+
+/// A mutex recording the release edge at unlock and the acquire edge at
+/// lock, mirroring the `std::sync::Mutex` poison API.
+pub struct Mutex<T: ?Sized> {
+    clock: std::sync::Mutex<VectorClock>,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]; records the release edge on drop (while the
+/// lock is still held, so no later locker can miss it).
+pub struct MutexGuard<'a, T: ?Sized> {
+    clock: &'a std::sync::Mutex<VectorClock>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            clock: std::sync::Mutex::new(VectorClock::new()),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex and return the value.
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Lock, recording the acquire edge from the previous holder.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let (guard, poisoned) = match self.inner.lock() {
+            Ok(g) => (g, false),
+            Err(p) => (p.into_inner(), true),
+        };
+        runtime::acquire(&self.clock);
+        let guard = MutexGuard {
+            clock: &self.clock,
+            inner: Some(guard),
+        };
+        if poisoned {
+            Err(PoisonError::new(guard))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Try to lock without blocking.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let (guard, poisoned) = match self.inner.try_lock() {
+            Ok(g) => (g, false),
+            Err(TryLockError::WouldBlock) => return Err(TryLockError::WouldBlock),
+            Err(TryLockError::Poisoned(p)) => (p.into_inner(), true),
+        };
+        runtime::acquire(&self.clock);
+        let guard = MutexGuard {
+            clock: &self.clock,
+            inner: Some(guard),
+        };
+        if poisoned {
+            Err(TryLockError::Poisoned(PoisonError::new(guard)))
+        } else {
+            Ok(guard)
+        }
+    }
+
+    /// Exclusive access through a unique reference (no edges needed).
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("inner", &self.inner).finish()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard still held")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard still held")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release edge while the inner lock is still held: the next locker
+        // acquires strictly after this join, so it cannot miss the edge.
+        runtime::release(self.clock);
+        self.inner = None;
+    }
+}
+
+/// Instrumented atomics and fences.
+pub mod atomic {
+    use std::sync::Mutex;
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::clock::VectorClock;
+    use crate::runtime;
+
+    fn is_acquire(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn is_release(order: Ordering) -> bool {
+        matches!(
+            order,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    static FENCE_CLOCK: Mutex<VectorClock> = Mutex::new(VectorClock::new());
+
+    /// An instrumented fence. Fences synchronize through one global clock
+    /// (all release fences join in, all acquire fences join out) — an
+    /// over-approximation of C11 fence pairing in the false-negative
+    /// direction only.
+    pub fn fence(order: Ordering) {
+        assert!(
+            order != Ordering::Relaxed,
+            "there is no such thing as a relaxed fence"
+        );
+        std::sync::atomic::fence(order);
+        if is_release(order) {
+            runtime::release(&FENCE_CLOCK);
+        }
+        if is_acquire(order) {
+            runtime::acquire(&FENCE_CLOCK);
+        }
+    }
+
+    macro_rules! instrumented_atomic {
+        ($(#[$doc:meta])* $name:ident, $std:ident, $ty:ty) => {
+            $(#[$doc])*
+            #[derive(Debug)]
+            pub struct $name {
+                clock: Mutex<VectorClock>,
+                value: std::sync::atomic::$std,
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub const fn new(value: $ty) -> Self {
+                    Self {
+                        clock: Mutex::new(VectorClock::new()),
+                        value: std::sync::atomic::$std::new(value),
+                    }
+                }
+
+                fn pre(&self, order: Ordering) {
+                    if is_release(order) {
+                        runtime::release(&self.clock);
+                    }
+                }
+
+                fn post(&self, order: Ordering) {
+                    if is_acquire(order) {
+                        runtime::acquire(&self.clock);
+                    }
+                }
+
+                /// Load; acquire-capable orderings join the atomic's clock.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    let v = self.value.load(order);
+                    self.post(order);
+                    v
+                }
+
+                /// Store; release-capable orderings publish this thread's
+                /// clock through the atomic.
+                pub fn store(&self, value: $ty, order: Ordering) {
+                    self.pre(order);
+                    self.value.store(value, order);
+                }
+
+                /// Swap, returning the previous value.
+                pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                    self.pre(order);
+                    let v = self.value.swap(value, order);
+                    self.post(order);
+                    v
+                }
+
+                /// Compare-and-exchange; `Ok(previous)` on success. The
+                /// release edge is recorded conservatively even on failure
+                /// (false-negative direction only).
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.pre(success);
+                    let r = self.value.compare_exchange(current, new, success, failure);
+                    match &r {
+                        Ok(_) => self.post(success),
+                        Err(_) => self.post(failure),
+                    }
+                    r
+                }
+
+                /// Weak compare-and-exchange (may fail spuriously).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.pre(success);
+                    let r = self
+                        .value
+                        .compare_exchange_weak(current, new, success, failure);
+                    match &r {
+                        Ok(_) => self.post(success),
+                        Err(_) => self.post(failure),
+                    }
+                    r
+                }
+
+                /// Consume the atomic and return the inner value.
+                pub fn into_inner(self) -> $ty {
+                    self.value.into_inner()
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(
+        /// Instrumented `AtomicU64`.
+        AtomicU64, AtomicU64, u64
+    );
+    instrumented_atomic!(
+        /// Instrumented `AtomicUsize`.
+        AtomicUsize, AtomicUsize, usize
+    );
+    instrumented_atomic!(
+        /// Instrumented `AtomicBool`.
+        AtomicBool, AtomicBool, bool
+    );
+
+    macro_rules! instrumented_fetch_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                /// Add, returning the previous value (wrapping).
+                pub fn fetch_add(&self, delta: $ty, order: Ordering) -> $ty {
+                    self.pre(order);
+                    let v = self.value.fetch_add(delta, order);
+                    self.post(order);
+                    v
+                }
+
+                /// Subtract, returning the previous value (wrapping).
+                pub fn fetch_sub(&self, delta: $ty, order: Ordering) -> $ty {
+                    self.pre(order);
+                    let v = self.value.fetch_sub(delta, order);
+                    self.post(order);
+                    v
+                }
+
+                /// Store the minimum, returning the previous value.
+                pub fn fetch_min(&self, value: $ty, order: Ordering) -> $ty {
+                    self.pre(order);
+                    let v = self.value.fetch_min(value, order);
+                    self.post(order);
+                    v
+                }
+
+                /// Store the maximum, returning the previous value.
+                pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                    self.pre(order);
+                    let v = self.value.fetch_max(value, order);
+                    self.post(order);
+                    v
+                }
+            }
+        };
+    }
+
+    instrumented_fetch_arith!(AtomicU64, u64);
+    instrumented_fetch_arith!(AtomicUsize, usize);
+}

@@ -1,0 +1,57 @@
+//! Thread wrappers recording the fork and join happens-before edges.
+
+use std::sync::{Arc, Mutex};
+
+use crate::clock::VectorClock;
+use crate::runtime;
+
+/// Handle to a spawned instrumented thread.
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    final_clock: Arc<Mutex<Option<VectorClock>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread, recording the join edge (everything the child
+    /// did happens-before the code after `join`). The edge is recorded
+    /// even if the child panicked, as long as it got far enough to run.
+    pub fn join(self) -> std::thread::Result<T> {
+        let result = self.inner.join();
+        if let Some(final_clock) = self
+            .final_clock
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+        {
+            runtime::join_with(&final_clock);
+        }
+        result
+    }
+}
+
+/// Spawn an instrumented thread. The child inherits the parent's clock
+/// (spawn edge); the handle's `join` records the reverse edge.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let parent = runtime::fork();
+    let final_clock = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&final_clock);
+    let inner = std::thread::spawn(move || {
+        runtime::adopt(parent);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+        *slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(runtime::snapshot());
+        match result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    });
+    JoinHandle { inner, final_clock }
+}
+
+/// Plain yield (no detector semantics).
+pub fn yield_now() {
+    std::thread::yield_now();
+}

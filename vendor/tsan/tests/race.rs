@@ -1,0 +1,198 @@
+//! Self-tests: the detector must catch seeded races (reporting both
+//! stacks) and stay silent on correctly synchronized protocols.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+
+use tsan::sync::atomic::{fence, AtomicU64};
+use tsan::sync::{Arc, Mutex};
+use tsan::RacyCell;
+
+/// Extract the panic message from a `catch_unwind` payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => String::from("<non-string panic payload>"),
+        },
+    }
+}
+
+#[test]
+fn write_write_race_is_caught_with_both_stacks() {
+    let cell = Arc::new(RacyCell::new(0u64));
+    let c2 = Arc::clone(&cell);
+    let (tx, rx) = mpsc::channel();
+    let t = tsan::thread::spawn(move || {
+        c2.write(|v| *v = 1);
+        // A std channel orders the accesses physically but records no
+        // detector edge — exactly a "worked by luck" schedule.
+        tx.send(()).unwrap();
+    });
+    rx.recv().unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cell.write(|v| *v = 2);
+    }));
+    let msg = panic_message(result.expect_err("write-write race not detected"));
+    assert!(msg.contains("data race detected"), "message: {msg}");
+    assert!(msg.contains("conflicting write"), "message: {msg}");
+    assert!(
+        msg.contains("previous unsynchronized write"),
+        "missing the first access's stack: {msg}"
+    );
+    t.join().unwrap();
+}
+
+#[test]
+fn write_read_race_is_caught() {
+    let cell = Arc::new(RacyCell::new(0u64));
+    let c2 = Arc::clone(&cell);
+    let (tx, rx) = mpsc::channel();
+    let t = tsan::thread::spawn(move || {
+        c2.write(|v| *v = 1);
+        tx.send(()).unwrap();
+    });
+    rx.recv().unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cell.read(|v| *v);
+    }));
+    let msg = panic_message(result.expect_err("write-read race not detected"));
+    assert!(msg.contains("conflicting read"), "message: {msg}");
+    assert!(
+        msg.contains("previous unsynchronized write"),
+        "message: {msg}"
+    );
+    t.join().unwrap();
+}
+
+#[test]
+fn read_write_race_is_caught() {
+    let cell = Arc::new(RacyCell::new(0u64));
+    let c2 = Arc::clone(&cell);
+    let (tx, rx) = mpsc::channel();
+    let t = tsan::thread::spawn(move || {
+        c2.read(|v| *v);
+        tx.send(()).unwrap();
+    });
+    rx.recv().unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        cell.write(|v| *v = 2);
+    }));
+    let msg = panic_message(result.expect_err("read-write race not detected"));
+    assert!(msg.contains("conflicting write"), "message: {msg}");
+    assert!(
+        msg.contains("previous unsynchronized read"),
+        "message: {msg}"
+    );
+    t.join().unwrap();
+}
+
+#[test]
+fn relaxed_publication_is_flagged() {
+    // The seeded protocol bug from the loom suite, on real threads: data
+    // published under a Relaxed flag creates no happens-before edge, so
+    // the consumer's read races with the producer's write.
+    let cell = Arc::new(RacyCell::new(0u64));
+    let flag = Arc::new(AtomicU64::new(0));
+    let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+    let t = tsan::thread::spawn(move || {
+        while f2.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        c2.read(|v| *v)
+    });
+    cell.write(|v| *v = 42);
+    flag.store(1, Ordering::Relaxed); // bug: should be Release
+    assert!(
+        t.join().is_err(),
+        "relaxed-flag publication raced but was not flagged"
+    );
+}
+
+#[test]
+fn release_acquire_publication_is_clean() {
+    let cell = Arc::new(RacyCell::new(0u64));
+    let flag = Arc::new(AtomicU64::new(0));
+    let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+    let t = tsan::thread::spawn(move || {
+        while f2.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        c2.read(|v| *v)
+    });
+    cell.write(|v| *v = 42);
+    flag.store(1, Ordering::Release);
+    assert_eq!(t.join().unwrap(), 42);
+}
+
+#[test]
+fn fence_ordered_publication_is_clean() {
+    // Relaxed accesses ordered by explicit fences on both sides (the
+    // Chase–Lev pattern) must not be flagged.
+    let cell = Arc::new(RacyCell::new(0u64));
+    let flag = Arc::new(AtomicU64::new(0));
+    let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+    let t = tsan::thread::spawn(move || {
+        while f2.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        fence(Ordering::Acquire);
+        c2.read(|v| *v)
+    });
+    cell.write(|v| *v = 7);
+    fence(Ordering::Release);
+    flag.store(1, Ordering::Relaxed);
+    assert_eq!(t.join().unwrap(), 7);
+}
+
+#[test]
+fn mutex_protected_accesses_are_clean() {
+    let cell = Arc::new(Mutex::new(RacyCell::new(0u64)));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let c = Arc::clone(&cell);
+            tsan::thread::spawn(move || {
+                for _ in 0..100 {
+                    let guard = c.lock().unwrap();
+                    guard.write(|v| *v += 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(cell.lock().unwrap().read(|v| *v), 400);
+}
+
+#[test]
+fn fork_and_join_edges_are_clean() {
+    let cell = Arc::new(RacyCell::new(0u64));
+    cell.write(|v| *v = 1);
+    let c2 = Arc::clone(&cell);
+    let t = tsan::thread::spawn(move || {
+        assert_eq!(c2.read(|v| *v), 1); // spawn edge covers the parent write
+        c2.write(|v| *v = 2);
+    });
+    t.join().unwrap();
+    assert_eq!(cell.read(|v| *v), 2); // join edge covers the child write
+}
+
+#[test]
+fn release_fetch_add_gates_cleanly() {
+    // The histogram discipline: payload writes published by a Release
+    // fetch_add on a counter, readers gated by an Acquire load.
+    let cell = Arc::new(RacyCell::new(0u64));
+    let count = Arc::new(AtomicU64::new(0));
+    let (c2, n2) = (Arc::clone(&cell), Arc::clone(&count));
+    let t = tsan::thread::spawn(move || {
+        c2.write(|v| *v = 9);
+        n2.fetch_add(1, Ordering::Release);
+    });
+    while count.load(Ordering::Acquire) == 0 {
+        std::thread::yield_now();
+    }
+    assert_eq!(cell.read(|v| *v), 9);
+    t.join().unwrap();
+}
