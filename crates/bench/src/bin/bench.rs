@@ -228,7 +228,7 @@ fn cmd_run(args: &[String]) -> Result<ExitCode, String> {
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("creating {out_dir}: {e}"))?;
     for report in &reports {
         let path = format!("{out_dir}/BENCH_{}.json", report.suite);
-        std::fs::write(&path, report.to_json().to_pretty())
+        cirlearn_telemetry::persist::write_atomic(&path, report.to_json().to_pretty())
             .map_err(|e| format!("writing {path}: {e}"))?;
         eprintln!("wrote {path} ({} record(s))", report.records.len());
     }

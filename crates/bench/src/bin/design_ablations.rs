@@ -55,7 +55,7 @@ fn main() {
             ("command", Json::Str("design_ablations".to_owned())),
             ("runs", Json::Array(runs)),
         ]);
-        if let Err(err) = std::fs::write(&path, doc.to_pretty()) {
+        if let Err(err) = cirlearn_telemetry::persist::write_atomic(&path, doc.to_pretty()) {
             eprintln!("error: cannot write report to {path}: {err}");
             std::process::exit(1);
         }

@@ -5,12 +5,17 @@
 //! cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
 //!                [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
 //!                [--check off|lint|sim|sat]
+//!                [--checkpoint ckpt.clck] [--checkpoint-interval SECS]
+//!                [--resume ckpt.clck] [--deadline SECS]
 //!                [--report report.json] [--log-level LEVEL] [--verbose]
 //! cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
 //!                [--oracle-timeout SECS] [--oracle-retries N]
 //!                [--oracle-backoff SECS] [--oracle-respawn on|off]
+//!                [--checkpoint ckpt.clck] [--resume ckpt.clck] [--deadline SECS]
 //! cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
 //! cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
+//! cirlearn blackbox <neq|eco|diag|data> <#PI> <#PO> [--seed N]
+//!                [--support K] [--flake-every N]
 //! cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check off|lint|sim|sat]
 //! cirlearn lint <input.aag> [...] [--allow-dangling]
 //! cirlearn analyze <input.aag> [...] [--deny info|warning|error]
@@ -43,6 +48,20 @@
 //! report, and exits nonzero when any finding reaches the `--deny`
 //! severity (default `warning`), making it a drop-in CI quality gate
 //! for exported circuits.
+//!
+//! Crash safety: `--checkpoint <path>` makes `learn`/`learn-bb` write
+//! a versioned, checksummed snapshot of the full learning state at
+//! every `--checkpoint-interval` (default 30s) safe point, atomically
+//! (tmp + fsync + rename); SIGINT/SIGTERM suspend the run into the
+//! same checkpoint and exit 130. `--resume <path>` continues such a
+//! run bit-identically — query and time budgets carry across segments.
+//! `--deadline SECS` bounds the *total* wall clock across all
+//! segments: past it, unfinished FBDT outputs are synthesized from
+//! their already-collected cubes (unstarted ones fall back to majority
+//! constants) and reported in `degraded` rather than aborting. The
+//! `blackbox` subcommand serves a deterministic synthetic benchmark
+//! over the `learn-bb` line protocol, so kill/resume drills need no
+//! external tooling.
 //!
 //! Fault tolerance: `learn-bb` wraps the external process in a
 //! [`cirlearn_oracle::ResilientOracle`] — `--oracle-timeout` arms a
@@ -77,14 +96,72 @@ use std::process::ExitCode;
 use std::str::FromStr;
 use std::time::Duration;
 
-use cirlearn::{LearnResult, Learner, LearnerConfig};
+use cirlearn::{LearnOutcome, LearnResult, LearnState, Learner, LearnerConfig, RunControl};
 use cirlearn_aig::Aig;
 use cirlearn_oracle::{
     evaluate_accuracy, generate, CircuitOracle, EvalConfig, Oracle, ResilientOracle, RetryPolicy,
 };
-use cirlearn_telemetry::{Level, StderrReporter, Telemetry, TraceWriter};
+use cirlearn_telemetry::{persist, Level, StderrReporter, Telemetry, TraceWriter};
 
 mod trace_cmd;
+
+/// Graceful-interrupt plumbing: SIGINT/SIGTERM set a shared flag the
+/// learner polls at its safe points, so an interrupted run suspends
+/// into a checkpoint instead of dying mid-stage.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only lock-free atomics here: a signal handler may interrupt
+        // arbitrary code, so it must stay async-signal-safe.
+        if let Some(flag) = STOP.get() {
+            // relaxed-ok: a standalone stop flag; the learner polls it
+            // at safe points, no other memory is published through it.
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    // SAFETY: `signal(2)` is called with a valid signal number and a
+    // non-capturing `extern "C"` handler that performs only
+    // async-signal-safe operations (atomic load + atomic store).
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Installs the SIGINT/SIGTERM handler (idempotent) and returns
+    /// the stop flag it raises.
+    pub fn install_stop_flag() -> Arc<AtomicBool> {
+        let flag = STOP
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        // SAFETY: the handler is async-signal-safe (see `on_signal`)
+        // and stays valid for the process lifetime (it is a plain fn).
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// Non-Unix fallback: no handler; the flag never fires and runs
+    /// rely on the checkpoint cadence alone.
+    pub fn install_stop_flag() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,24 +178,32 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   cirlearn learn <hidden.aag> [-o learned.aag] [--verilog out.v]
-                 [--budget SECS] [--seed N] [--no-preprocessing] [--paper-scale]
+                 [--budget SECS] [--max-queries N] [--seed N]
+                 [--no-preprocessing] [--paper-scale]
                  [--check off|lint|sim|sat]
+                 [--checkpoint ckpt.clck] [--checkpoint-interval SECS]
+                 [--resume ckpt.clck] [--deadline SECS]
                  [--report report.json] [--trace trace.jsonl]
                  [--log-level LEVEL] [--verbose]
   cirlearn learn-bb --cmd <program> [--args ARGSTR] --inputs a,b,c --outputs y,z
-                 [-o learned.aag] [--budget SECS] [--seed N] [--check LEVEL]
+                 [-o learned.aag] [--budget SECS] [--max-queries N]
+                 [--seed N] [--check LEVEL]
                  [--oracle-timeout SECS] [--oracle-retries N]
                  [--oracle-backoff SECS] [--oracle-respawn on|off]
+                 [--checkpoint ckpt.clck] [--checkpoint-interval SECS]
+                 [--resume ckpt.clck] [--deadline SECS]
                  [--report report.json] [--trace trace.jsonl]
                  [--log-level LEVEL] [--verbose]
   cirlearn eval <golden.aag> <candidate.aag> [--patterns N] [--seed N]
   cirlearn gen <neq|eco|diag|data> <#PI> <#PO> [--seed N] [-o out.aag]
+  cirlearn blackbox <neq|eco|diag|data> <#PI> <#PO> [--seed N]
+                 [--support K] [--flake-every N]
   cirlearn opt <input.aag> [-o out.aag] [--budget SECS] [--check LEVEL]
   cirlearn lint <input.aag> [...] [--allow-dangling]
   cirlearn analyze <input.aag> [...] [--deny info|warning|error]
                  [--report out.json] [--fanout-threshold N]
   cirlearn stats <input.aag>
-  cirlearn trace summary <trace.jsonl> [--top N]
+  cirlearn trace summary <trace.jsonl> [...] [--top N]
   cirlearn trace export <trace.jsonl> --chrome [-o out.json]
   cirlearn trace diff <old.jsonl> <new.jsonl>
                  [--pct P] [--min-ms N] [--min-queries N]";
@@ -191,6 +276,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => cmd_analyze(rest),
         "stats" => cmd_stats(rest),
         "trace" => trace_cmd::cmd_trace(rest),
+        "blackbox" => cmd_blackbox(rest),
         other => Err(format!("unknown subcommand {other}")),
     }
 }
@@ -200,8 +286,95 @@ fn read_aig(path: &str) -> Result<Aig, String> {
     Aig::from_aiger_ascii(&text).map_err(|e| format!("parsing {path}: {e}"))
 }
 
+/// All CLI artifacts (learned AIGER, reports, exports) go through the
+/// tmp + fsync + rename protocol, so a crash mid-write can never leave
+/// a torn half-file where a previous good artifact used to be.
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
-    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+    persist::write_atomic(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Parses the crash-safety flags shared by `learn` and `learn-bb` into
+/// the learner's [`RunControl`]. The SIGINT/SIGTERM handler is only
+/// installed when there is a `--checkpoint` path to suspend into;
+/// without one, the default die-on-signal behavior is the honest
+/// choice (suspending would silently discard the progress anyway).
+fn run_control_of(opts: &Opts) -> Result<RunControl, String> {
+    let mut ctl = RunControl::default();
+    if let Some(path) = opts.value("checkpoint") {
+        ctl.checkpoint_path = Some(std::path::PathBuf::from(path));
+        ctl.checkpoint_interval =
+            Duration::from_secs_f64(opts.number("checkpoint-interval", 30.0)?);
+        ctl.stop = Some(sig::install_stop_flag());
+    }
+    if let Some(secs) = opts.value("deadline") {
+        let secs: f64 = secs
+            .parse()
+            .map_err(|_| format!("--deadline expects seconds, got {secs}"))?;
+        ctl.deadline = Some(Duration::from_secs_f64(secs));
+    }
+    // Deterministic suspension for tests and scripts: stop at the Nth
+    // safe point instead of on a signal.
+    if opts.value("stop-after-safe-points").is_some() {
+        ctl.stop_after_safe_points = Some(opts.number("stop-after-safe-points", 0u64)?);
+    }
+    Ok(ctl)
+}
+
+/// Terminal path of a suspended run. The engine already wrote the
+/// checkpoint at the safe point it stopped on (when `--checkpoint` was
+/// given); flush the report/trace and exit 130 so scripts can tell a
+/// suspension from a completed run.
+fn suspend_exit(
+    state: &LearnState,
+    ctl: &RunControl,
+    telemetry: &Telemetry,
+    opts: &Opts,
+    guard: &mut ReportGuard,
+) -> Result<(), String> {
+    telemetry.set_meta("suspended", true);
+    match &ctl.checkpoint_path {
+        Some(path) => eprintln!(
+            "interrupted at a safe point ({}/{} outputs done, {} queries spent); \
+             resume with --resume {}",
+            state.outputs_done(),
+            state.output_names.len(),
+            state.queries_used,
+            path.display()
+        ),
+        None => eprintln!("interrupted at a safe point; no --checkpoint path, progress discarded"),
+    }
+    finish_run(telemetry, opts, guard)?;
+    std::process::exit(130);
+}
+
+/// Runs the learner fresh or — with `--resume <checkpoint>` — from a
+/// suspended state, returning the completed result or exiting through
+/// [`suspend_exit`] on a mid-run suspension.
+fn drive_learner<O: Oracle>(
+    learner: &mut Learner,
+    oracle: &mut O,
+    ctl: &RunControl,
+    telemetry: &Telemetry,
+    opts: &Opts,
+    guard: &mut ReportGuard,
+) -> Result<LearnResult, String> {
+    let outcome = match opts.value("resume") {
+        Some(rpath) => {
+            let state =
+                LearnState::load(rpath).map_err(|e| format!("loading checkpoint {rpath}: {e}"))?;
+            learner
+                .resume(state, oracle, ctl)
+                .map_err(|e| format!("resuming from {rpath}: {e}"))?
+        }
+        None => learner.learn_with(oracle, ctl),
+    };
+    match outcome {
+        LearnOutcome::Completed(result) => Ok(*result),
+        LearnOutcome::Suspended(state) => {
+            suspend_exit(&state, ctl, telemetry, opts, guard)?;
+            unreachable!("suspend_exit never returns")
+        }
+    }
 }
 
 /// Parses `--check <off|lint|sim|sat>`; `None` when the flag is absent.
@@ -273,7 +446,7 @@ impl Drop for ReportGuard {
                 .event(Level::Warn, "run aborted; flushing partial report");
             if let Some(path) = &self.report_path {
                 let json = self.telemetry.report().to_json().to_pretty();
-                if std::fs::write(path, json).is_ok() {
+                if persist::write_atomic(path, json).is_ok() {
                     eprintln!("wrote partial report to {path}");
                 }
             }
@@ -329,6 +502,12 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
             "report",
             "trace",
             "log-level",
+            "max-queries",
+            "checkpoint",
+            "checkpoint-interval",
+            "resume",
+            "deadline",
+            "stop-after-safe-points",
         ],
     )?;
     let [input] = opts.positional.as_slice() else {
@@ -344,6 +523,9 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
     };
     config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
     config.seed = opts.number("seed", config.seed)?;
+    if opts.value("max-queries").is_some() {
+        config.max_queries = Some(opts.number("max-queries", 0u64)?);
+    }
     if opts.present("no-preprocessing") {
         config.preprocessing = false;
     }
@@ -367,8 +549,23 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
         oracle.num_inputs(),
         oracle.num_outputs()
     );
-    let result = Learner::with_telemetry(config, telemetry.clone()).learn(&mut oracle);
+    let ctl = run_control_of(&opts)?;
+    let mut learner = Learner::with_telemetry(config, telemetry.clone());
+    let result = drive_learner(
+        &mut learner,
+        &mut oracle,
+        &ctl,
+        &telemetry,
+        &opts,
+        &mut guard,
+    )?;
     print_output_summary(&result);
+    if !result.degraded.is_empty() {
+        eprintln!(
+            "degraded outputs {:?}: synthesized from partial evidence or constants",
+            result.degraded
+        );
+    }
     eprintln!(
         "learned {} gates in {:.1?} with {} queries",
         result.circuit.gate_count(),
@@ -424,6 +621,12 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
             "oracle-retries",
             "oracle-backoff",
             "oracle-respawn",
+            "max-queries",
+            "checkpoint",
+            "checkpoint-interval",
+            "resume",
+            "deadline",
+            "stop-after-safe-points",
         ],
     )?;
     let program = opts.value("cmd").ok_or("learn-bb requires --cmd")?;
@@ -460,6 +663,9 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
     let mut config = LearnerConfig::fast();
     config.time_budget = Duration::from_secs_f64(opts.number("budget", 60.0)?);
     config.seed = opts.number("seed", config.seed)?;
+    if opts.value("max-queries").is_some() {
+        config.max_queries = Some(opts.number("max-queries", 0u64)?);
+    }
     if let Some(level) = check_level_of(&opts)? {
         config
             .optimize
@@ -482,7 +688,16 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
     };
     let mut oracle = ResilientOracle::with_telemetry(inner, policy, telemetry.clone());
     oracle.set_deadline(Some(std::time::Instant::now() + config.time_budget));
-    let result = Learner::with_telemetry(config, telemetry.clone()).learn(&mut oracle);
+    let ctl = run_control_of(&opts)?;
+    let mut learner = Learner::with_telemetry(config, telemetry.clone());
+    let result = drive_learner(
+        &mut learner,
+        &mut oracle,
+        &ctl,
+        &telemetry,
+        &opts,
+        &mut guard,
+    )?;
     print_output_summary(&result);
     let stats = oracle.fault_stats();
     if stats.retries > 0 || stats.respawns > 0 {
@@ -722,6 +937,78 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
             "{dirty} of {} file(s) failed analysis at --deny {deny}",
             opts.positional.len()
         ));
+    }
+    Ok(())
+}
+
+/// Serves a deterministic synthetic benchmark over the
+/// [`cirlearn_oracle::ProcessOracle`] line protocol (one line of 0/1
+/// input bits in, one line of output bits out), so `learn-bb` — and
+/// the kill/resume chaos harness — have a real external black box to
+/// talk to without any extra tooling.
+///
+/// `--support K` picks the per-output cone size for the `neq`/`eco`
+/// generators (the FBDT difficulty knob); `--flake-every N` answers
+/// every Nth query with a deliberately malformed line, exercising the
+/// resilient transport's retry path deterministically.
+fn cmd_blackbox(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+
+    let opts = Opts::parse(args, &["seed", "support", "flake-every"])?;
+    let [category, pi, po] = opts.positional.as_slice() else {
+        return Err("blackbox expects: <category> <#PI> <#PO>".to_owned());
+    };
+    let pi: usize = pi.parse().map_err(|_| format!("bad #PI {pi}"))?;
+    let po: usize = po.parse().map_err(|_| format!("bad #PO {po}"))?;
+    let seed = opts.number("seed", 1u64)?;
+    let flake_every: u64 = opts.number("flake-every", 0u64)?;
+    let mut oracle = match (
+        category.to_ascii_lowercase().as_str(),
+        opts.value("support"),
+    ) {
+        ("neq", Some(_)) => {
+            generate::neq_case_with_support(pi, po, opts.number("support", 0usize)?, seed)
+        }
+        ("eco", Some(_)) => {
+            generate::eco_case_with_support(pi, po, opts.number("support", 0usize)?, seed)
+        }
+        (_, Some(_)) => {
+            return Err("--support only applies to the neq|eco categories".to_owned());
+        }
+        ("neq", None) => generate::case(generate::Category::Neq, pi, po, seed),
+        ("eco", None) => generate::case(generate::Category::Eco, pi, po, seed),
+        ("diag", None) => generate::case(generate::Category::Diag, pi, po, seed),
+        ("data", None) => generate::case(generate::Category::Data, pi, po, seed),
+        (other, None) => return Err(format!("unknown category {other} (neq|eco|diag|data)")),
+    };
+    let stdin = std::io::stdin().lock();
+    let mut stdout = std::io::stdout().lock();
+    let mut served = 0u64;
+    for line in stdin.lines() {
+        let line = line.map_err(|e| format!("reading query: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.len() != pi || !line.bytes().all(|b| b == b'0' || b == b'1') {
+            return Err(format!("malformed query (want {pi} bits of 0/1): {line}"));
+        }
+        served += 1;
+        let answer = if flake_every > 0 && served.is_multiple_of(flake_every) {
+            // A deliberately bad answer: wrong width, non-binary.
+            "?".to_owned()
+        } else {
+            let assignment = cirlearn_logic::Assignment::from_bits(line.bytes().map(|b| b == b'1'));
+            oracle
+                .query(&assignment)
+                .into_iter()
+                .map(|b| if b { '1' } else { '0' })
+                .collect()
+        };
+        writeln!(stdout, "{answer}").map_err(|e| format!("writing answer: {e}"))?;
+        stdout
+            .flush()
+            .map_err(|e| format!("flushing answer: {e}"))?;
     }
     Ok(())
 }

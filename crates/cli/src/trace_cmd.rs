@@ -2,14 +2,17 @@
 //! trace streams written by `--trace`.
 //!
 //! ```text
-//! cirlearn trace summary <trace.jsonl> [--top N]
+//! cirlearn trace summary <trace.jsonl> [...] [--top N]
 //! cirlearn trace export <trace.jsonl> --chrome [-o out.json]
 //! cirlearn trace diff <old.jsonl> <new.jsonl>
 //!                     [--pct P] [--min-ms N] [--min-queries N]
 //! ```
 //!
 //! `summary` prints the hot-span table, the per-(stage, output)
-//! attribution table and the critical path; `export --chrome` converts
+//! attribution table and the critical path; given several files it
+//! treats them as the segments of one checkpoint/resume run and merges
+//! their accounts (summing the per-segment ledgers, so the query total
+//! matches the resumed run's final count); `export --chrome` converts
 //! the stream into Chrome trace-event JSON loadable in Perfetto or
 //! `chrome://tracing`; `diff` compares two traces with the same
 //! noise-floor discipline as `bench compare` and exits nonzero when a
@@ -47,12 +50,33 @@ fn load_summary(path: &str) -> Result<TraceSummary, String> {
 
 fn cmd_summary(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(args, &["top"])?;
-    let [input] = opts.positional.as_slice() else {
-        return Err("trace summary expects exactly one trace file".to_owned());
-    };
+    if opts.positional.is_empty() {
+        return Err("trace summary expects one or more trace files".to_owned());
+    }
     let top = opts.number("top", 12usize)?;
-    let summary = load_summary(input)?;
-    print!("{}", summary.render(top));
+    if let [input] = opts.positional.as_slice() {
+        print!("{}", load_summary(input)?.render(top));
+        return Ok(());
+    }
+    // Several files = the segments of one checkpoint/resume run, in
+    // order. Per-segment ledgers restart from zero, so the merge sums
+    // them; the total then matches the resumed run's final query count.
+    let segments = opts
+        .positional
+        .iter()
+        .map(|p| load_summary(p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let resumes: u64 = segments
+        .iter()
+        .map(|s| s.counts_by_kind.get("resume").copied().unwrap_or(0))
+        .sum();
+    let merged = analysis::merge_summaries(&segments);
+    println!(
+        "merged {} trace segment(s) ({} resume event(s))",
+        segments.len(),
+        resumes
+    );
+    print!("{}", merged.render(top));
     Ok(())
 }
 
@@ -74,7 +98,8 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
         .map_or(0, <[Json]>::len);
     match opts.value("o") {
         Some(path) => {
-            std::fs::write(path, chrome.to_pretty()).map_err(|e| format!("writing {path}: {e}"))?;
+            cirlearn_telemetry::persist::write_atomic(path, chrome.to_pretty())
+                .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("wrote {path} ({written} events)");
         }
         None => println!("{}", chrome.to_pretty()),

@@ -131,7 +131,7 @@ impl FbdtConfig {
 }
 
 /// Statistics of one tree construction.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FbdtStats {
     /// Internal nodes expanded (splits performed).
     pub splits: usize,
@@ -154,49 +154,165 @@ impl FbdtStats {
     }
 }
 
-/// Builds the FBDT for `output` over the given (approximate) support
-/// and returns the learned cover plus statistics.
+/// A serializable snapshot of an in-progress tree construction.
 ///
-/// `truth_ratio_hint` is the unconstrained truth ratio from support
-/// identification; it drives the onset/offset selection (more 1s →
-/// collect offset cubes).
-///
-/// Per-node expansion cost lands in the `fbdt.node_ns` histogram (via
-/// a per-call local recorder merged on return), each expansion emits a
-/// `node` trace event through a per-thread buffer when a trace stream
-/// is attached, and queries issued during node sampling are tagged
-/// with the current tree depth in the attribution ledger; pass
-/// [`Telemetry::disabled`] to observe nothing.
-#[allow(clippy::too_many_arguments)]
-pub fn build_fbdt<O: Oracle + ?Sized>(
-    oracle: &mut O,
+/// Captures everything [`FbdtBuilder::restore`] needs to continue the
+/// construction bit-identically: the collected onset/offset cubes, the
+/// unexpanded frontier in queue order, and the running statistics.
+/// The builder's configuration is *not* part of the snapshot — a
+/// resumed run re-derives it from the (fingerprint-checked) learner
+/// config, the same way the original segment did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FbdtSnapshot {
+    /// Output being learned.
+    pub output: usize,
+    /// The (approximate) support over which the tree splits.
+    pub support: Vec<usize>,
+    /// Unconstrained truth ratio from support identification.
+    pub truth_ratio_hint: f64,
+    /// Whether offset cubes are collected (cover complemented).
+    pub collect_offset: bool,
+    /// Constant-1 leaf cubes collected so far.
+    pub onset: Vec<Cube>,
+    /// Constant-0 leaf cubes collected so far.
+    pub offset: Vec<Cube>,
+    /// Unexpanded nodes, in queue order (front first).
+    pub frontier: Vec<Cube>,
+    /// Splits performed so far.
+    pub splits: usize,
+    /// Leaves declared so far.
+    pub leaves: usize,
+    /// Budget-forced leaves so far.
+    pub forced_leaves: usize,
+    /// Oracle queries spent on this tree so far.
+    pub queries: u64,
+}
+
+/// Incremental FBDT construction: the loop of [`build_fbdt`] exposed
+/// one node expansion at a time, so the learner can suspend between
+/// steps, snapshot the frontier into a checkpoint, and resume later.
+#[derive(Debug)]
+pub struct FbdtBuilder {
     output: usize,
-    support: &[usize],
+    support: Vec<usize>,
     truth_ratio_hint: f64,
-    config: &FbdtConfig,
-    budget: &Budget,
-    rng: &mut StdRng,
-    telemetry: &Telemetry,
-) -> (LearnedCover, FbdtStats) {
-    let mut stats = FbdtStats::default();
-    let collect_offset = config.onset_offset_selection && truth_ratio_hint > 0.5;
-    // Thread-friendly recording: node costs accumulate in a local
-    // histogram (merged into the shared one on drop) and node trace
-    // events buffer in a per-thread chunk, so the hot loop takes no
-    // shared locks.
-    let node_cost = telemetry.local_recorder(histograms::FBDT_NODE_NS);
-    let trace = telemetry.trace_local();
+    collect_offset: bool,
+    config: FbdtConfig,
+    onset: Vec<Cube>,
+    offset: Vec<Cube>,
+    queue: VecDeque<Cube>,
+    stats: FbdtStats,
+}
 
-    let mut onset: Vec<Cube> = Vec::new();
-    let mut offset: Vec<Cube> = Vec::new();
-    let mut queue: VecDeque<Cube> = VecDeque::new();
-    queue.push_back(Cube::top());
+impl FbdtBuilder {
+    /// Starts a fresh tree rooted at the unconstrained cube.
+    ///
+    /// `truth_ratio_hint` is the unconstrained truth ratio from support
+    /// identification; it drives the onset/offset selection (more 1s →
+    /// collect offset cubes).
+    pub fn new(
+        output: usize,
+        support: &[usize],
+        truth_ratio_hint: f64,
+        config: &FbdtConfig,
+    ) -> Self {
+        let mut queue = VecDeque::new();
+        queue.push_back(Cube::top());
+        FbdtBuilder {
+            output,
+            support: support.to_vec(),
+            truth_ratio_hint,
+            collect_offset: config.onset_offset_selection && truth_ratio_hint > 0.5,
+            config: config.clone(),
+            onset: Vec::new(),
+            offset: Vec::new(),
+            queue,
+            stats: FbdtStats::default(),
+        }
+    }
 
-    while let Some(cube) = match config.exploration {
-        Exploration::Levelized => queue.pop_front(),
-        Exploration::DepthFirst => queue.pop_back(),
-    } {
-        let free: Vec<usize> = support
+    /// Rebuilds a suspended tree from its checkpoint snapshot.
+    ///
+    /// `collect_offset` is taken from the snapshot (not re-derived from
+    /// the config) so the cover polarity decided by the first segment
+    /// is honored verbatim.
+    pub fn restore(snapshot: FbdtSnapshot, config: &FbdtConfig) -> Self {
+        FbdtBuilder {
+            output: snapshot.output,
+            support: snapshot.support,
+            truth_ratio_hint: snapshot.truth_ratio_hint,
+            collect_offset: snapshot.collect_offset,
+            config: config.clone(),
+            onset: snapshot.onset,
+            offset: snapshot.offset,
+            queue: snapshot.frontier.into(),
+            stats: FbdtStats {
+                splits: snapshot.splits,
+                leaves: snapshot.leaves,
+                forced_leaves: snapshot.forced_leaves,
+                queries: snapshot.queries,
+            },
+        }
+    }
+
+    /// Captures the construction state for checkpointing.
+    pub fn snapshot(&self) -> FbdtSnapshot {
+        FbdtSnapshot {
+            output: self.output,
+            support: self.support.clone(),
+            truth_ratio_hint: self.truth_ratio_hint,
+            collect_offset: self.collect_offset,
+            onset: self.onset.clone(),
+            offset: self.offset.clone(),
+            frontier: self.queue.iter().cloned().collect(),
+            splits: self.stats.splits,
+            leaves: self.stats.leaves,
+            forced_leaves: self.stats.forced_leaves,
+            queries: self.stats.queries,
+        }
+    }
+
+    /// Output being learned.
+    pub fn output(&self) -> usize {
+        self.output
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> &FbdtStats {
+        &self.stats
+    }
+
+    /// Whether the frontier is exhausted (every region is a leaf).
+    pub fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Expands one tree node: samples the next frontier cube and
+    /// declares it a leaf or splits it. Returns `false` when the
+    /// frontier was already empty (nothing left to do).
+    ///
+    /// Per-node expansion cost lands in the `fbdt.node_ns` histogram,
+    /// each expansion emits a `node` trace event when a trace stream is
+    /// attached, and queries issued during node sampling are tagged
+    /// with the current tree depth in the attribution ledger; pass
+    /// [`Telemetry::disabled`] to observe nothing.
+    pub fn step<O: Oracle + ?Sized>(
+        &mut self,
+        oracle: &mut O,
+        budget: &Budget,
+        rng: &mut StdRng,
+        telemetry: &Telemetry,
+    ) -> bool {
+        let Some(cube) = (match self.config.exploration {
+            Exploration::Levelized => self.queue.pop_front(),
+            Exploration::DepthFirst => self.queue.pop_back(),
+        }) else {
+            return false;
+        };
+        let node_cost = telemetry.local_recorder(histograms::FBDT_NODE_NS);
+        let trace = telemetry.trace_local();
+        let free: Vec<usize> = self
+            .support
             .iter()
             .copied()
             .filter(|&i| !cube.contains_var(Var::new(i as u32)))
@@ -204,22 +320,32 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
         let depth = cube.literals().len();
         telemetry.set_fbdt_depth(Some(depth as u64));
         let node_start = Instant::now();
-        let node = pattern_sampling(oracle, output, &cube, &free, &config.node_sampling, rng);
-        stats.queries += node.queries;
+        let node = pattern_sampling(
+            oracle,
+            self.output,
+            &cube,
+            &free,
+            &self.config.node_sampling,
+            rng,
+        );
+        self.stats.queries += node.queries;
 
         let disposition;
-        if node.truth_ratio >= 1.0 - config.epsilon {
-            onset.push(cube);
-            stats.leaves += 1;
+        if node.truth_ratio >= 1.0 - self.config.epsilon {
+            self.onset.push(cube);
+            self.stats.leaves += 1;
             disposition = "leaf_one";
-        } else if node.truth_ratio <= config.epsilon {
-            offset.push(cube);
-            stats.leaves += 1;
+        } else if node.truth_ratio <= self.config.epsilon {
+            self.offset.push(cube);
+            self.stats.leaves += 1;
             disposition = "leaf_zero";
         } else {
             let out_of_budget = budget.exhausted()
-                || stats.splits >= config.max_nodes
-                || config.max_queries.is_some_and(|cap| stats.queries >= cap)
+                || self.stats.splits >= self.config.max_nodes
+                || self
+                    .config
+                    .max_queries
+                    .is_some_and(|cap| self.stats.queries >= cap)
                 || free.is_empty();
             let split = if out_of_budget {
                 None
@@ -228,21 +354,23 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
             };
             match split {
                 Some(i) => {
-                    stats.splits += 1;
+                    self.stats.splits += 1;
                     let v = Var::new(i as u32);
-                    queue.push_back(cube.and_literal(v.negative()).expect("fresh variable"));
-                    queue.push_back(cube.and_literal(v.positive()).expect("fresh variable"));
+                    self.queue
+                        .push_back(cube.and_literal(v.negative()).expect("fresh variable"));
+                    self.queue
+                        .push_back(cube.and_literal(v.positive()).expect("fresh variable"));
                     disposition = "split";
                 }
                 None => {
                     // Forced leaf: majority vote (Algorithm 2, timeout arm).
                     if node.truth_ratio > 0.5 {
-                        onset.push(cube);
+                        self.onset.push(cube);
                     } else {
-                        offset.push(cube);
+                        self.offset.push(cube);
                     }
-                    stats.leaves += 1;
-                    stats.forced_leaves += 1;
+                    self.stats.leaves += 1;
+                    self.stats.forced_leaves += 1;
                     disposition = "forced_leaf";
                 }
             }
@@ -253,7 +381,7 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
             trace.emit(
                 "node",
                 &[
-                    ("output", Json::from(output)),
+                    ("output", Json::from(self.output)),
                     ("depth", Json::from(depth)),
                     ("truth_ratio", Json::from(node.truth_ratio)),
                     ("queries", Json::from(node.queries)),
@@ -265,22 +393,71 @@ pub fn build_fbdt<O: Oracle + ?Sized>(
                 ],
             );
         }
+        true
     }
-    telemetry.set_fbdt_depth(None);
 
-    let mut cover = if collect_offset {
-        LearnedCover {
-            sop: Sop::from_cubes(offset),
-            complemented: true,
-        }
-    } else {
-        LearnedCover {
-            sop: Sop::from_cubes(onset),
-            complemented: false,
-        }
-    };
-    cover.sop.make_single_cube_minimal();
-    (cover, stats)
+    /// Abandons the remaining frontier: each unexpanded region falls
+    /// back to the cover's default polarity, which (by onset/offset
+    /// selection) is the output's global majority value — the same
+    /// guess a budget-forced leaf would make with zero extra samples.
+    /// Used by deadline degradation to turn a half-built tree into a
+    /// usable cover immediately.
+    pub fn finish_now(&mut self) {
+        let dropped = self.queue.len();
+        self.stats.leaves += dropped;
+        self.stats.forced_leaves += dropped;
+        self.queue.clear();
+    }
+
+    /// Assembles the learned cover from the collected cubes.
+    ///
+    /// Call after the frontier is exhausted (or [`finish_now`]
+    /// abandoned it); any cubes still queued are dropped to the default
+    /// polarity *without* being counted as forced leaves.
+    ///
+    /// [`finish_now`]: FbdtBuilder::finish_now
+    pub fn finish(self) -> (LearnedCover, FbdtStats) {
+        let mut cover = if self.collect_offset {
+            LearnedCover {
+                sop: Sop::from_cubes(self.offset),
+                complemented: true,
+            }
+        } else {
+            LearnedCover {
+                sop: Sop::from_cubes(self.onset),
+                complemented: false,
+            }
+        };
+        cover.sop.make_single_cube_minimal();
+        (cover, self.stats)
+    }
+}
+
+/// Builds the FBDT for `output` over the given (approximate) support
+/// and returns the learned cover plus statistics.
+///
+/// `truth_ratio_hint` is the unconstrained truth ratio from support
+/// identification; it drives the onset/offset selection (more 1s →
+/// collect offset cubes).
+///
+/// This is the run-to-completion convenience wrapper over
+/// [`FbdtBuilder`]; the learner drives the builder directly so it can
+/// checkpoint between node expansions.
+#[allow(clippy::too_many_arguments)]
+pub fn build_fbdt<O: Oracle + ?Sized>(
+    oracle: &mut O,
+    output: usize,
+    support: &[usize],
+    truth_ratio_hint: f64,
+    config: &FbdtConfig,
+    budget: &Budget,
+    rng: &mut StdRng,
+    telemetry: &Telemetry,
+) -> (LearnedCover, FbdtStats) {
+    let mut builder = FbdtBuilder::new(output, support, truth_ratio_hint, config);
+    while builder.step(oracle, budget, rng, telemetry) {}
+    telemetry.set_fbdt_depth(None);
+    builder.finish()
 }
 
 /// Conquers a small-support function exhaustively (paper §IV-D trick 1):
@@ -507,6 +684,95 @@ mod tests {
         let (cover, queries) = learn_exhaustive(&mut o, 0, &[], &mut rng);
         assert_eq!(queries, 1);
         assert!(exact_match(&o, &cover, 3));
+    }
+
+    #[test]
+    fn suspend_snapshot_restore_is_bit_identical() {
+        // Reference: uninterrupted run.
+        let mut o = oracle_of(
+            |g, i| {
+                let t = g.xor(i[0], i[2]);
+                g.xor(t, i[4])
+            },
+            5,
+        );
+        let cfg = FbdtConfig::fast();
+        let mut rng = seeded_rng(23);
+        let (want_cover, want_stats) = build_fbdt(
+            &mut o,
+            0,
+            &[0, 2, 4],
+            0.5,
+            &cfg,
+            &Budget::unlimited(),
+            &mut rng,
+            &Telemetry::disabled(),
+        );
+
+        // Suspend after k steps, serialize the frontier + RNG words,
+        // restore into a fresh builder and run to completion: the
+        // result must be identical for every suspension point.
+        for k in 0..16 {
+            let mut o = oracle_of(
+                |g, i| {
+                    let t = g.xor(i[0], i[2]);
+                    g.xor(t, i[4])
+                },
+                5,
+            );
+            let mut rng = seeded_rng(23);
+            let mut builder = FbdtBuilder::new(0, &[0, 2, 4], 0.5, &cfg);
+            for _ in 0..k {
+                builder.step(
+                    &mut o,
+                    &Budget::unlimited(),
+                    &mut rng,
+                    &Telemetry::disabled(),
+                );
+            }
+            let snapshot = builder.snapshot();
+            let rng_words = rng.state();
+            drop(builder);
+
+            // The original `rng` is shadowed below: the restored run
+            // may only see the serialized state words.
+            let mut restored = FbdtBuilder::restore(snapshot, &cfg);
+            let mut rng = rand::rngs::StdRng::from_state(rng_words);
+            while restored.step(
+                &mut o,
+                &Budget::unlimited(),
+                &mut rng,
+                &Telemetry::disabled(),
+            ) {}
+            let (cover, stats) = restored.finish();
+            assert_eq!(cover, want_cover, "suspended at step {k}");
+            assert_eq!(stats, want_stats, "suspended at step {k}");
+        }
+    }
+
+    #[test]
+    fn finish_now_degrades_frontier_to_majority() {
+        // 1-heavy OR: after a couple of steps abandon the frontier; the
+        // cover must still predict the majority value everywhere the
+        // frontier was dropped.
+        let mut o = oracle_of(|g, i| g.or_many(&i[..3]), 4);
+        let mut rng = seeded_rng(31);
+        let cfg = FbdtConfig::fast();
+        let mut builder = FbdtBuilder::new(0, &[0, 1, 2], 0.875, &cfg);
+        builder.step(
+            &mut o,
+            &Budget::unlimited(),
+            &mut rng,
+            &Telemetry::disabled(),
+        );
+        builder.finish_now();
+        assert!(builder.is_done());
+        let frontier_dropped = builder.stats().forced_leaves;
+        let (cover, stats) = builder.finish();
+        assert_eq!(stats.forced_leaves, frontier_dropped);
+        // Dropped regions default to the majority (1 for an OR), so the
+        // all-ones input must evaluate true.
+        assert!(cover.eval_with(|_| true));
     }
 
     /// Paper Fig. 4: FBDT construction of

@@ -114,6 +114,14 @@ impl<O: Oracle> Oracle for OracleGuard<O> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+
+    fn checkpoint_state(&self) -> Option<cirlearn_telemetry::json::Json> {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: &cirlearn_telemetry::json::Json) -> Result<(), OracleError> {
+        self.inner.restore_state(state)
+    }
 }
 
 #[cfg(test)]

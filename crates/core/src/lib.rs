@@ -44,6 +44,7 @@
 
 pub mod baseline;
 mod budget;
+pub mod checkpoint;
 pub mod compress;
 pub mod fbdt;
 mod guard;
@@ -54,5 +55,9 @@ pub mod support;
 pub mod template;
 
 pub use budget::Budget;
+pub use checkpoint::{config_fingerprint, CheckpointError, Cursor, LearnState};
 pub use guard::OracleGuard;
-pub use learner::{FaultSummary, LearnResult, Learner, LearnerConfig, OutputStats, Strategy};
+pub use learner::{
+    FaultSummary, LearnOutcome, LearnResult, Learner, LearnerConfig, OutputStats, RunControl,
+    Strategy,
+};

@@ -24,6 +24,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 use cirlearn_logic::Assignment;
+use cirlearn_telemetry::json::Json;
 
 use crate::oracle::{Oracle, OracleError};
 use crate::resilient::Respawn;
@@ -231,6 +232,70 @@ impl<O: Oracle> Oracle for FaultyOracle<O> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+
+    /// Persists the injector's position in its fault schedule (the
+    /// served-slot counter plus crash/injection state) and nests the
+    /// inner oracle's state, so a resumed chaos run replays the exact
+    /// remaining schedule.
+    fn checkpoint_state(&self) -> Option<Json> {
+        let mut fields = vec![
+            ("kind", Json::from("faulty")),
+            ("served", Json::from(self.served)),
+            ("crashed", Json::Bool(self.crashed)),
+            (
+                "injected",
+                Json::object([
+                    ("crashes", Json::from(self.injected.crashes)),
+                    ("hangs", Json::from(self.injected.hangs)),
+                    ("malformed", Json::from(self.injected.malformed)),
+                    ("bit_flips", Json::from(self.injected.bit_flips)),
+                ]),
+            ),
+        ];
+        if let Some(inner) = self.inner.checkpoint_state() {
+            fields.push(("inner", inner));
+        }
+        Some(Json::object(fields))
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), OracleError> {
+        let field = |name: &str| {
+            state
+                .get(name)
+                .ok_or_else(|| OracleError::State(format!("faulty oracle state missing `{name}`")))
+        };
+        if field("kind")?.as_str() != Some("faulty") {
+            return Err(OracleError::State(
+                "state was not captured from a FaultyOracle".into(),
+            ));
+        }
+        let served = field("served")?
+            .as_u64()
+            .ok_or_else(|| OracleError::State("faulty `served` is not a count".into()))?;
+        let crashed = match field("crashed")? {
+            Json::Bool(b) => *b,
+            _ => return Err(OracleError::State("faulty `crashed` is not a bool".into())),
+        };
+        let injected = field("injected")?;
+        let count = |name: &str| {
+            injected
+                .get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| OracleError::State(format!("faulty injected `{name}` missing")))
+        };
+        self.injected = InjectedFaults {
+            crashes: count("crashes")?,
+            hangs: count("hangs")?,
+            malformed: count("malformed")?,
+            bit_flips: count("bit_flips")?,
+        };
+        self.served = served;
+        self.crashed = crashed;
+        if let Some(inner) = state.get("inner") {
+            self.inner.restore_state(inner)?;
+        }
+        Ok(())
+    }
 }
 
 impl<O: Oracle + Respawn> Respawn for FaultyOracle<O> {
@@ -286,6 +351,53 @@ mod tests {
         assert!(a.len() <= 10);
         let c = FaultSchedule::random(100, 1000, 10, &kinds);
         assert_ne!(a.faults, c.faults, "different seeds should differ");
+    }
+
+    #[test]
+    fn checkpointed_state_resumes_the_schedule_in_lockstep() {
+        let kinds = [FaultKind::Malformed, FaultKind::BitFlip, FaultKind::Hang];
+        let schedule = FaultSchedule::random(7, 40, 12, &kinds);
+        let mut original = FaultyOracle::new(generate::eco_case(8, 1, 9), schedule.clone());
+        let z = Assignment::zeros(8);
+        for _ in 0..17 {
+            let _ = original.try_query(&z);
+        }
+        let state = original.checkpoint_state().expect("faulty state exists");
+
+        // A fresh oracle restored from the checkpoint must replay the
+        // exact remaining schedule, matching the original step for step.
+        let mut resumed = FaultyOracle::new(generate::eco_case(8, 1, 9), schedule);
+        resumed.restore_state(&state).expect("state round-trips");
+        assert_eq!(resumed.injected(), original.injected());
+        for step in 0..40 {
+            let a = original.try_query(&z);
+            let b = resumed.try_query(&z);
+            assert_eq!(a.is_ok(), b.is_ok(), "step {step} diverged");
+            if let (Ok(a), Ok(b)) = (a, b) {
+                assert_eq!(a, b, "step {step} answers diverged");
+            }
+        }
+        assert_eq!(resumed.injected(), original.injected());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_and_malformed_state() {
+        let mut o = FaultyOracle::new(generate::eco_case(8, 1, 9), FaultSchedule::new());
+        let foreign = Json::object([("kind", Json::from("resilient"))]);
+        assert!(matches!(
+            o.restore_state(&foreign),
+            Err(OracleError::State(_))
+        ));
+        let malformed = Json::object([
+            ("kind", Json::from("faulty")),
+            ("served", Json::from("not a number")),
+        ]);
+        assert!(matches!(
+            o.restore_state(&malformed),
+            Err(OracleError::State(_))
+        ));
+        // A failed restore leaves the oracle usable.
+        assert!(o.try_query(&Assignment::zeros(8)).is_ok());
     }
 
     #[test]

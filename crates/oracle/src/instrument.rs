@@ -135,6 +135,17 @@ impl<O: Oracle> Oracle for InstrumentedOracle<O> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+
+    fn checkpoint_state(&self) -> Option<cirlearn_telemetry::json::Json> {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &cirlearn_telemetry::json::Json,
+    ) -> Result<(), crate::oracle::OracleError> {
+        self.inner.restore_state(state)
+    }
 }
 
 /// Attributes a batch's elapsed time across its items: `n` samples of
@@ -188,6 +199,17 @@ impl<O: Oracle + ?Sized> Oracle for &mut O {
 
     fn queries(&self) -> u64 {
         (**self).queries()
+    }
+
+    fn checkpoint_state(&self) -> Option<cirlearn_telemetry::json::Json> {
+        (**self).checkpoint_state()
+    }
+
+    fn restore_state(
+        &mut self,
+        state: &cirlearn_telemetry::json::Json,
+    ) -> Result<(), crate::oracle::OracleError> {
+        (**self).restore_state(state)
     }
 }
 

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use cirlearn_aig::Aig;
 use cirlearn_logic::Assignment;
+use cirlearn_telemetry::json::Json;
 
 /// A fault observed while serving an oracle query.
 ///
@@ -38,6 +39,9 @@ pub enum OracleError {
     Inconsistent(String),
     /// The oracle cannot be respawned (it has no recovery mechanism).
     RespawnUnsupported,
+    /// A checkpointed oracle state could not be restored (missing
+    /// fields, wrong shape, or a mismatched oracle stack).
+    State(String),
 }
 
 impl std::fmt::Display for OracleError {
@@ -54,6 +58,7 @@ impl std::fmt::Display for OracleError {
                 write!(f, "respawned oracle is inconsistent: {why}")
             }
             OracleError::RespawnUnsupported => f.write_str("oracle cannot be respawned"),
+            OracleError::State(why) => write!(f, "invalid oracle resume state: {why}"),
         }
     }
 }
@@ -77,7 +82,9 @@ impl OracleError {
             OracleError::Timeout(_) | OracleError::Died(_) | OracleError::Io(_) => true,
             OracleError::Malformed(_) => false,
             OracleError::Exhausted(last) => last.needs_respawn(),
-            OracleError::Inconsistent(_) | OracleError::RespawnUnsupported => false,
+            OracleError::Inconsistent(_)
+            | OracleError::RespawnUnsupported
+            | OracleError::State(_) => false,
         }
     }
 
@@ -88,6 +95,7 @@ impl OracleError {
             OracleError::Exhausted(_)
                 | OracleError::Inconsistent(_)
                 | OracleError::RespawnUnsupported
+                | OracleError::State(_)
         )
     }
 }
@@ -152,6 +160,31 @@ pub trait Oracle {
     /// Number of single-pattern queries served so far (batches count
     /// per pattern).
     fn queries(&self) -> u64;
+
+    /// Serializable resume state of the oracle stack, if any.
+    ///
+    /// Wrappers that hold a position in a deterministic stream — fault
+    /// injectors, retry-jitter salts — return it here so a checkpointed
+    /// learning run resumes with the exact same fault schedule.
+    /// Stateless transports return `None` (the default); wrapper
+    /// oracles nest their inner oracle's state so the whole stack
+    /// round-trips.
+    fn checkpoint_state(&self) -> Option<Json> {
+        None
+    }
+
+    /// Restores state captured by [`Oracle::checkpoint_state`].
+    ///
+    /// The default accepts anything and restores nothing, matching the
+    /// default `checkpoint_state` of stateless oracles.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`OracleError::State`] when the value
+    /// does not describe this oracle stack.
+    fn restore_state(&mut self, _state: &Json) -> Result<(), OracleError> {
+        Ok(())
+    }
 }
 
 /// An oracle wrapping a hidden combinational circuit.

@@ -426,6 +426,39 @@ impl<O: Oracle + Respawn> Oracle for ResilientOracle<O> {
     fn queries(&self) -> u64 {
         self.inner.queries()
     }
+
+    /// Persists the jitter-salt position (`fault_seq`) plus the inner
+    /// oracle's state. The dead flag and probe set are *not* persisted:
+    /// a resumed run gets a fresh chance at a transport that may have
+    /// recovered, and probes repopulate deterministically from the
+    /// first successful queries of the new segment.
+    fn checkpoint_state(&self) -> Option<Json> {
+        let mut fields = vec![
+            ("kind", Json::from("resilient")),
+            ("fault_seq", Json::from(self.fault_seq)),
+        ];
+        if let Some(inner) = self.inner.checkpoint_state() {
+            fields.push(("inner", inner));
+        }
+        Some(Json::object(fields))
+    }
+
+    fn restore_state(&mut self, state: &Json) -> Result<(), OracleError> {
+        if state.get("kind").and_then(Json::as_str) != Some("resilient") {
+            return Err(OracleError::State(
+                "state was not captured from a ResilientOracle".into(),
+            ));
+        }
+        let fault_seq = state
+            .get("fault_seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| OracleError::State("resilient `fault_seq` is not a count".into()))?;
+        self.fault_seq = fault_seq;
+        if let Some(inner) = state.get("inner") {
+            self.inner.restore_state(inner)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -604,6 +637,48 @@ mod tests {
             "slept past the deadline: {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn checkpoint_state_nests_and_restores_the_stack() {
+        let schedule = FaultSchedule::new()
+            .at(1, FaultKind::Malformed)
+            .at(3, FaultKind::Malformed);
+        let inner = FaultyOracle::new(generate::eco_case(8, 1, 5), schedule.clone());
+        let mut o = ResilientOracle::new(inner, fast_policy());
+        for _ in 0..4 {
+            o.try_query(&Assignment::zeros(8)).expect("retried through");
+        }
+        let state = o.checkpoint_state().expect("resilient state exists");
+        assert_eq!(state.get("kind").and_then(Json::as_str), Some("resilient"));
+        assert_eq!(
+            state
+                .get("inner")
+                .and_then(|i| i.get("kind"))
+                .and_then(Json::as_str),
+            Some("faulty"),
+            "inner FaultyOracle state must nest"
+        );
+
+        let inner2 = FaultyOracle::new(generate::eco_case(8, 1, 5), schedule);
+        let mut restored = ResilientOracle::new(inner2, fast_policy());
+        restored.restore_state(&state).expect("state round-trips");
+        assert_eq!(restored.fault_seq, o.fault_seq);
+        assert_eq!(restored.inner().injected(), o.inner().injected());
+        // Dead flag is intentionally not persisted: a resumed run gets a
+        // fresh chance on the transport.
+        assert!(!restored.is_dead());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_state() {
+        let inner = generate::eco_case(6, 1, 2);
+        let mut o = ResilientOracle::new(inner, fast_policy());
+        let foreign = Json::object([("kind", Json::from("faulty"))]);
+        assert!(matches!(
+            o.restore_state(&foreign),
+            Err(OracleError::State(_))
+        ));
     }
 
     #[test]

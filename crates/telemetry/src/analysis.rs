@@ -398,6 +398,68 @@ impl TraceSummary {
     }
 }
 
+/// Merges the summaries of a multi-segment run (one trace stream per
+/// checkpoint/resume segment) into one account of the whole run.
+///
+/// Each segment's attribution ledger is cumulative *within* that
+/// segment only — a resumed process restarts its telemetry from zero —
+/// so per-(stage, output) queries, times and gates are *summed* across
+/// segments, as are span statistics and event counts. The merged query
+/// total therefore equals the final `LearnResult::queries` of the
+/// resumed run. The critical path of the longest segment (by wall
+/// clock) is kept, since paths from different processes cannot be
+/// spliced.
+pub fn merge_summaries(segments: &[TraceSummary]) -> TraceSummary {
+    let mut merged = TraceSummary::default();
+    let mut spans: BTreeMap<String, SpanStat> = BTreeMap::new();
+    let mut attr: BTreeMap<(String, Option<u64>), AttributionRow> = BTreeMap::new();
+    let mut longest: Option<&TraceSummary> = None;
+    for seg in segments {
+        merged.events += seg.events;
+        merged.duration_us += seg.duration_us;
+        for tid in &seg.tids {
+            if !merged.tids.contains(tid) {
+                merged.tids.push(*tid);
+            }
+        }
+        for (kind, n) in &seg.counts_by_kind {
+            *merged.counts_by_kind.entry(kind.clone()).or_insert(0) += n;
+        }
+        for s in &seg.spans {
+            let e = spans.entry(s.path.clone()).or_insert_with(|| SpanStat {
+                path: s.path.clone(),
+                ..SpanStat::default()
+            });
+            e.calls += s.calls;
+            e.total_us += s.total_us;
+            e.self_us += s.self_us;
+            e.max_us = e.max_us.max(s.max_us);
+        }
+        for a in &seg.attribution {
+            let e = attr
+                .entry((a.stage.clone(), a.output))
+                .or_insert_with(|| AttributionRow {
+                    stage: a.stage.clone(),
+                    output: a.output,
+                    ..AttributionRow::default()
+                });
+            e.queries += a.queries;
+            e.query_ns += a.query_ns;
+            e.gates += a.gates;
+        }
+        if longest.is_none_or(|l| seg.duration_us > l.duration_us) {
+            longest = Some(seg);
+        }
+    }
+    merged.tids.sort_unstable();
+    let mut span_stats: Vec<SpanStat> = spans.into_values().collect();
+    span_stats.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.path.cmp(&b.path)));
+    merged.spans = span_stats;
+    merged.attribution = attr.into_values().collect();
+    merged.critical_path = longest.map(|l| l.critical_path.clone()).unwrap_or_default();
+    merged
+}
+
 /// Builds the full [`TraceSummary`] for a parsed event stream.
 pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
     let forest = span_forest(events);
@@ -771,6 +833,30 @@ mod tests {
             diff(&old, &new, &cfg).is_empty(),
             "under the 64-query floor"
         );
+    }
+
+    #[test]
+    fn merged_segments_sum_attribution_and_spans() {
+        let events = parse_trace(&sample_trace()).expect("parses");
+        let seg = summarize(&events);
+        let merged = merge_summaries(&[seg.clone(), seg.clone()]);
+        assert_eq!(merged.events, 2 * seg.events);
+        assert_eq!(merged.duration_us, 2 * seg.duration_us);
+        assert_eq!(
+            merged.total_attributed_queries(),
+            2 * seg.total_attributed_queries(),
+            "segments are cumulative only within themselves, so merge sums"
+        );
+        let fbdt = merged
+            .spans
+            .iter()
+            .find(|s| s.path == "fbdt")
+            .expect("fbdt");
+        assert_eq!(fbdt.calls, 2);
+        assert_eq!(fbdt.total_us, 400);
+        assert_eq!(merged.counts_by_kind["attr"], 4);
+        // One critical path survives (the longest segment's), unspliced.
+        assert_eq!(merged.critical_path, seg.critical_path);
     }
 
     #[test]

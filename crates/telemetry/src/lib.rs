@@ -44,6 +44,7 @@
 pub mod analysis;
 pub mod histogram;
 pub mod json;
+pub mod persist;
 mod report;
 mod reporter;
 pub mod sync;
@@ -51,6 +52,7 @@ mod telemetry;
 mod trace;
 
 pub use crate::histogram::{Histogram, HistogramSummary, RawHistogram};
+pub use crate::persist::write_atomic;
 pub use crate::report::{
     AttributionRecord, CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport,
     StageReport, SCHEMA_VERSION,

@@ -59,6 +59,16 @@ pub mod counters {
     /// Structural lint errors observed by the pass audit (graphs unsafe
     /// to run semantic analyses on).
     pub const ANALYZE_STRUCTURAL_ERRORS: &str = "analyze.structural_errors";
+    /// Checkpoints written (atomic tmp + fsync + rename completed).
+    pub const CKPT_WRITES: &str = "ckpt.writes";
+    /// Bytes in the most recently written checkpoint payload.
+    pub const CKPT_BYTES: &str = "ckpt.bytes";
+    /// Runs resumed from a checkpoint (1 per resumed segment).
+    pub const CKPT_RESUMES: &str = "ckpt.resumes";
+    /// Outputs synthesized from partial covers because the deadline
+    /// expired mid-FBDT (deadline-aware degradation, step above the
+    /// majority-constant fallback).
+    pub const CKPT_DEADLINE_PARTIAL_OUTPUTS: &str = "ckpt.deadline_partial_outputs";
 }
 
 /// Well-known latency histogram names used across the pipeline. All
