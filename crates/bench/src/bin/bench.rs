@@ -102,6 +102,7 @@ fn bench_record(
         accuracy: row.accuracy,
         histograms,
         attribution,
+        budget_limited: row.budget_limited,
     }
 }
 

@@ -60,6 +60,12 @@ pub struct Row {
     pub seconds: f64,
     /// Oracle queries spent.
     pub queries: u64,
+    /// Whether the learner ran into the scale's time budget (some
+    /// output's FBDT had to force leaves instead of expanding them).
+    /// Budget-limited rows stop at a machine-speed-dependent point, so
+    /// their query/gate counts are noisy across runs — `bench compare`
+    /// widens its noise floors for records carrying this tag.
+    pub budget_limited: bool,
 }
 
 /// Harness effort scale.
@@ -185,6 +191,7 @@ fn finish_row(
         accuracy: acc.percent(),
         seconds,
         queries: result.queries,
+        budget_limited: result.outputs.iter().any(|o| o.forced_leaves > 0),
     }
 }
 
@@ -246,6 +253,7 @@ mod tests {
             accuracy: 100.0,
             seconds: 0.1,
             queries: 42,
+            budget_limited: false,
         }];
         // Must not panic with a contestant that has no row.
         print_table(&rows, &[Contestant::Ours, Contestant::GreedyDt]);

@@ -110,12 +110,21 @@ pub struct BenchRecord {
     /// Per-stage cost attribution (queries, oracle time, gates built),
     /// keyed by top-level stage name. Empty for version-1 documents.
     pub attribution: BTreeMap<String, StageCost>,
+    /// Whether the run stopped on the scale's wall-clock budget rather
+    /// than finishing naturally. Budget-limited cases (quick scale:
+    /// case_9, case_14) stop the FBDT at a machine-speed-dependent
+    /// node, so their query/gate counts drift far beyond the default
+    /// noise floors — [`compare`] widens the floors to
+    /// [`CompareConfig::budget_min_queries`] /
+    /// [`CompareConfig::budget_min_gates`] when either side is tagged.
+    /// Absent in older documents (parses as `false`).
+    pub budget_limited: bool,
 }
 
 impl BenchRecord {
     /// Serializes the record into its schema JSON object.
     pub fn to_json(&self) -> Json {
-        Json::object([
+        let mut json = Json::object([
             ("name", Json::Str(self.name.clone())),
             ("contestant", Json::Str(self.contestant.clone())),
             ("wall_s", Json::Number(self.wall_s)),
@@ -140,7 +149,15 @@ impl BenchRecord {
                         .collect(),
                 ),
             ),
-        ])
+        ]);
+        // Additive tag: emitted only when set, so untagged documents
+        // stay byte-identical to the pre-tag schema.
+        if self.budget_limited {
+            if let Json::Object(pairs) = &mut json {
+                pairs.push(("budget_limited".to_owned(), Json::Bool(true)));
+            }
+        }
+        json
     }
 
     /// Parses a record from its schema JSON object.
@@ -193,6 +210,10 @@ impl BenchRecord {
             accuracy: num_field("accuracy")?,
             histograms,
             attribution,
+            budget_limited: json
+                .get("budget_limited")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         })
     }
 }
@@ -317,6 +338,28 @@ pub struct CompareConfig {
     /// re-run before trusting a gate regression on a case whose wall
     /// time sits at the scale's budget.
     pub min_gates: f64,
+    /// Query floor used in place of [`CompareConfig::min_queries`]
+    /// when either record is tagged [`BenchRecord::budget_limited`].
+    /// Sized from observed drift: case_14's largest same-binary A/B
+    /// swing was 556 k queries, so the default floor sits above it.
+    pub budget_min_queries: f64,
+    /// Gate floor used in place of [`CompareConfig::min_gates`] when
+    /// either record is tagged [`BenchRecord::budget_limited`].
+    /// Case_9 once drifted +800 gates (+47 %), and a later same-binary
+    /// A/B produced a 1 397-gate swing (1 674 → 3 071), purely from
+    /// where the budget cut the FBDT; the default floor absorbs that
+    /// class of jitter while still catching order-of-magnitude
+    /// blowups.
+    pub budget_min_gates: f64,
+    /// Accuracy drop (percentage points) tolerated in place of
+    /// [`CompareConfig::accuracy_drop`] when either record is tagged
+    /// [`BenchRecord::budget_limited`]. Accuracy on budget-limited
+    /// cases is not monotone in work done: same-binary A/B runs of
+    /// case_9 landed at 77.9 / 77.2 / 75.9 % against a 79.5 %
+    /// baseline (a 3.6-point spread with *more* queries on the lower
+    /// scores). The default absorbs that band; a genuine collapse
+    /// still trips it.
+    pub budget_accuracy_drop: f64,
 }
 
 impl Default for CompareConfig {
@@ -327,6 +370,9 @@ impl Default for CompareConfig {
             min_wall_s: 0.25,
             min_queries: 200.0,
             min_gates: 8.0,
+            budget_min_queries: 600_000.0,
+            budget_min_gates: 2_000.0,
+            budget_accuracy_drop: 5.0,
         }
     }
 }
@@ -400,18 +446,27 @@ pub fn compare(old: &BenchReport, new: &BenchReport, cfg: &CompareConfig) -> Vec
                 });
             }
         };
+        // Budget-limited runs stop the FBDT at a machine-speed-
+        // dependent node, so their query/gate drift dwarfs the normal
+        // noise floors; the tag (on either side — a case can cross
+        // the budget line between commits) selects the wider ones.
+        let limited = o.budget_limited || n.budget_limited;
+        let (q_floor, g_floor, acc_drop) = if limited {
+            (
+                cfg.budget_min_queries,
+                cfg.budget_min_gates,
+                cfg.budget_accuracy_drop,
+            )
+        } else {
+            (cfg.min_queries, cfg.min_gates, cfg.accuracy_drop)
+        };
         worse("wall_s", o.wall_s, n.wall_s, cfg.min_wall_s);
         // Integer metrics: the configured absolute floors keep one-off
         // timing drift on tiny benchmarks from tripping the
         // percentage gate (see the CompareConfig field docs).
-        worse(
-            "queries",
-            o.queries as f64,
-            n.queries as f64,
-            cfg.min_queries,
-        );
-        worse("gates", o.gates as f64, n.gates as f64, cfg.min_gates);
-        if o.accuracy - n.accuracy > cfg.accuracy_drop {
+        worse("queries", o.queries as f64, n.queries as f64, q_floor);
+        worse("gates", o.gates as f64, n.gates as f64, g_floor);
+        if o.accuracy - n.accuracy > acc_drop {
             regressions.push(Regression {
                 name: o.name.clone(),
                 contestant: o.contestant.clone(),
@@ -468,6 +523,7 @@ mod tests {
             accuracy: 99.9,
             histograms,
             attribution,
+            budget_limited: false,
         }
     }
 
@@ -602,6 +658,77 @@ mod tests {
             regressions.iter().any(|r| r.metric == "queries"),
             "got {regressions:?}"
         );
+    }
+
+    #[test]
+    fn budget_limited_tag_round_trips_and_defaults_to_false() {
+        let mut record = sample_record("case_9");
+        record.budget_limited = true;
+        let text = record.to_json().to_pretty();
+        assert!(text.contains("\"budget_limited\": true"));
+        let back = BenchRecord::from_json(&Json::parse(&text).unwrap()).expect("parses");
+        assert!(back.budget_limited);
+        // Untagged records omit the key entirely and parse as false.
+        let plain = sample_record("case_a");
+        let text = plain.to_json().to_pretty();
+        assert!(!text.contains("budget_limited"));
+        let back = BenchRecord::from_json(&Json::parse(&text).unwrap()).expect("parses");
+        assert!(!back.budget_limited);
+    }
+
+    #[test]
+    fn budget_limited_records_get_the_wider_noise_floors() {
+        let mut old = sample_report();
+        let mut new = sample_report();
+        // Realistic budget-limited magnitudes: the drift clears the
+        // percentage gate and the default floors, but stays under the
+        // budget floors.
+        old.records[0].queries = 2_600_000;
+        new.records[0].queries = 3_156_000; // +556k, +21% — case_14's observed swing
+        old.records[0].gates = 1_700;
+        new.records[0].gates = 3_100; // +1400, +82% — case_9's observed A/B swing
+        old.records[0].accuracy = 79.5;
+        new.records[0].accuracy = 75.9; // −3.6 points — case_9's observed swing
+        let cfg = CompareConfig {
+            pct_threshold: 15.0,
+            ..CompareConfig::default()
+        };
+        // Untagged, the same drift is a regression on both metrics…
+        let metrics: Vec<String> = compare(&old, &new, &cfg)
+            .into_iter()
+            .map(|r| r.metric)
+            .collect();
+        assert_eq!(
+            metrics,
+            ["queries", "gates", "accuracy"],
+            "untagged drift must trip"
+        );
+        // …and the tag (on either side) absorbs it.
+        old.records[0].budget_limited = true;
+        assert!(compare(&old, &new, &cfg).is_empty(), "old-side tag");
+        old.records[0].budget_limited = false;
+        new.records[0].budget_limited = true;
+        assert!(compare(&old, &new, &cfg).is_empty(), "new-side tag");
+        // The widened floor is still a floor, not a blank check.
+        new.records[0].queries = 30_000_000;
+        let metrics: Vec<String> = compare(&old, &new, &cfg)
+            .into_iter()
+            .map(|r| r.metric)
+            .collect();
+        assert_eq!(
+            metrics,
+            ["queries"],
+            "order-of-magnitude blowups still trip"
+        );
+        // A genuine accuracy collapse also trips through the widened
+        // tolerance.
+        new.records[0].queries = 3_156_000;
+        new.records[0].accuracy = 40.0;
+        let metrics: Vec<String> = compare(&old, &new, &cfg)
+            .into_iter()
+            .map(|r| r.metric)
+            .collect();
+        assert_eq!(metrics, ["accuracy"], "collapses still trip when tagged");
     }
 
     #[test]

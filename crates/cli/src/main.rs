@@ -103,6 +103,7 @@ use cirlearn_oracle::{
 };
 use cirlearn_telemetry::{persist, Level, StderrReporter, Telemetry, TraceWriter};
 
+mod top_cmd;
 mod trace_cmd;
 
 /// Graceful-interrupt plumbing: SIGINT/SIGTERM set a shared flag the
@@ -114,15 +115,28 @@ mod sig {
     use std::sync::{Arc, OnceLock};
 
     const SIGINT: i32 = 2;
+    const SIGUSR1: i32 = 10; // Linux numbering; this module is cfg(unix) for Linux CI.
     const SIGTERM: i32 = 15;
 
     static STOP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    static DUMP: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
     extern "C" fn on_signal(_signum: i32) {
         // Only lock-free atomics here: a signal handler may interrupt
         // arbitrary code, so it must stay async-signal-safe.
         if let Some(flag) = STOP.get() {
             // relaxed-ok: a standalone stop flag; the learner polls it
+            // at safe points, no other memory is published through it.
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    extern "C" fn on_dump_signal(_signum: i32) {
+        // Store-only, same async-signal-safety discipline as
+        // `on_signal`: the flight-recorder dump itself happens at the
+        // learner's next safe point, never inside the handler.
+        if let Some(flag) = DUMP.get() {
+            // relaxed-ok: a standalone dump flag; the learner swaps it
             // at safe points, no other memory is published through it.
             flag.store(true, Ordering::Relaxed);
         }
@@ -149,6 +163,21 @@ mod sig {
         }
         flag
     }
+
+    /// Installs the SIGUSR1 handler (idempotent) and returns the
+    /// flight-dump flag it raises. The learner clears the flag and
+    /// dumps the flight recorder at its next safe point.
+    pub fn install_dump_flag() -> Arc<AtomicBool> {
+        let flag = DUMP
+            .get_or_init(|| Arc::new(AtomicBool::new(false)))
+            .clone();
+        // SAFETY: the handler is async-signal-safe (see
+        // `on_dump_signal`) and stays valid for the process lifetime.
+        unsafe {
+            signal(SIGUSR1, on_dump_signal);
+        }
+        flag
+    }
 }
 
 #[cfg(not(unix))]
@@ -159,6 +188,12 @@ mod sig {
     /// Non-Unix fallback: no handler; the flag never fires and runs
     /// rely on the checkpoint cadence alone.
     pub fn install_stop_flag() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
+    }
+
+    /// Non-Unix fallback: no handler; flight dumps still happen on
+    /// panic, fault, deadline and suspension.
+    pub fn install_dump_flag() -> Arc<AtomicBool> {
         Arc::new(AtomicBool::new(false))
     }
 }
@@ -203,10 +238,15 @@ const USAGE: &str = "usage:
   cirlearn analyze <input.aag> [...] [--deny info|warning|error]
                  [--report out.json] [--fanout-threshold N]
   cirlearn stats <input.aag>
+  cirlearn top <status.json> [--once] [--interval SECS]
   cirlearn trace summary <trace.jsonl> [...] [--top N]
   cirlearn trace export <trace.jsonl> --chrome [-o out.json]
   cirlearn trace diff <old.jsonl> <new.jsonl>
-                 [--pct P] [--min-ms N] [--min-queries N]";
+                 [--pct P] [--min-ms N] [--min-queries N]
+
+  learn/learn-bb also accept [--status status.json] (live progress
+  snapshots for `cirlearn top`) and [--flight <path|off>] (where the
+  always-on flight recorder dumps on panic/fault/deadline/SIGUSR1).";
 
 /// Minimal flag parser: returns positional arguments and a lookup for
 /// `--flag value` / `--flag` options.
@@ -276,6 +316,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "analyze" => cmd_analyze(rest),
         "stats" => cmd_stats(rest),
         "trace" => trace_cmd::cmd_trace(rest),
+        "top" => top_cmd::cmd_top(rest),
         "blackbox" => cmd_blackbox(rest),
         other => Err(format!("unknown subcommand {other}")),
     }
@@ -306,6 +347,9 @@ fn run_control_of(opts: &Opts) -> Result<RunControl, String> {
             Duration::from_secs_f64(opts.number("checkpoint-interval", 30.0)?);
         ctl.stop = Some(sig::install_stop_flag());
     }
+    // SIGUSR1 is observability, not suspension: always armed, so any
+    // running `learn`/`learn-bb` can be asked for a flight dump.
+    ctl.dump = Some(sig::install_dump_flag());
     if let Some(secs) = opts.value("deadline") {
         let secs: f64 = secs
             .parse()
@@ -402,6 +446,29 @@ fn telemetry_of(opts: &Opts) -> Result<Telemetry, String> {
             .map_err(|e| format!("opening trace file {path}: {e}"))?;
         telemetry.set_trace(writer);
     }
+    if let Some(path) = opts.value("status") {
+        telemetry.set_status_path(Some(std::path::PathBuf::from(path)));
+    }
+    // The flight recorder is always on; `--flight <path>` picks where
+    // dumps land, `--flight off` turns the recorder off entirely. With
+    // neither, dumps go next to the report or trace artifact when one
+    // exists, otherwise to the temp dir — a panicking run always
+    // leaves a black box somewhere.
+    match opts.value("flight") {
+        Some("off") => telemetry.disable_flight(),
+        Some(path) => telemetry.set_flight_dump_path(Some(std::path::PathBuf::from(path))),
+        None => {
+            let derived = opts
+                .value("report")
+                .or_else(|| opts.value("trace"))
+                .map(|p| std::path::PathBuf::from(format!("{p}.flight.jsonl")))
+                .unwrap_or_else(|| {
+                    std::env::temp_dir()
+                        .join(format!("cirlearn-{}.flight.jsonl", std::process::id()))
+                });
+            telemetry.set_flight_dump_path(Some(derived));
+        }
+    }
     Ok(telemetry)
 }
 
@@ -435,6 +502,17 @@ impl ReportGuard {
 impl Drop for ReportGuard {
     fn drop(&mut self) {
         if self.armed {
+            // The armed path is the black-box moment: dump the flight
+            // recorder first (it drains the trace buffers itself, so
+            // the ring snapshot includes the run's final events).
+            let reason = if std::thread::panicking() {
+                "panic"
+            } else {
+                "abort"
+            };
+            if let Some(path) = self.telemetry.dump_flight(reason) {
+                eprintln!("wrote flight-recorder dump to {}", path.display());
+            }
             // Drain buffered per-thread trace chunks (node events,
             // metrics snapshots) *before* appending the abort marker,
             // so the JSONL stream stays well-formed: everything the
@@ -481,6 +559,9 @@ fn finish_run(telemetry: &Telemetry, opts: &Opts, guard: &mut ReportGuard) -> Re
     // land after every buffered node/metrics event in the stream.
     telemetry.flush_trace();
     telemetry.trace_attribution();
+    // The final status snapshot: progress pinned, `done: true`, so
+    // `cirlearn top --follow` knows to stop.
+    telemetry.finalize_status();
     let report = telemetry.report();
     eprint!("{}", report.stage_breakdown());
     if let Some(path) = opts.value("report") {
@@ -508,6 +589,8 @@ fn cmd_learn(args: &[String]) -> Result<(), String> {
             "resume",
             "deadline",
             "stop-after-safe-points",
+            "status",
+            "flight",
         ],
     )?;
     let [input] = opts.positional.as_slice() else {
@@ -627,6 +710,8 @@ fn cmd_learn_bb(args: &[String]) -> Result<(), String> {
             "resume",
             "deadline",
             "stop-after-safe-points",
+            "status",
+            "flight",
         ],
     )?;
     let program = opts.value("cmd").ok_or("learn-bb requires --cmd")?;

@@ -461,3 +461,164 @@ fn missing_file_is_a_clean_error() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error: reading"), "{stderr}");
 }
+
+#[test]
+fn status_channel_feeds_the_top_subcommand() {
+    use cirlearn_telemetry::{json::Json, StatusSnapshot};
+
+    // A learn run with --status leaves a finalized snapshot behind;
+    // `top --once` renders it (the live-follow loop exercises exactly
+    // the same read path, then waits — --once is the scriptable mode).
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-status-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let hidden = dir.join("hidden.aag");
+    let status = dir.join("status.json");
+
+    let out = bin()
+        .args(["gen", "eco", "16", "2", "--seed", "31", "-o"])
+        .arg(&hidden)
+        .output()
+        .expect("run gen");
+    assert!(out.status.success());
+
+    let out = bin()
+        .arg("learn")
+        .arg(&hidden)
+        .args(["--budget", "20"])
+        .arg("--status")
+        .arg(&status)
+        .output()
+        .expect("run learn");
+    assert!(
+        out.status.success(),
+        "learn failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(status.exists(), "--status wrote a snapshot");
+
+    // The snapshot parses through the public API and is finalized.
+    let text = std::fs::read_to_string(&status).expect("read status");
+    let snap = StatusSnapshot::parse(&text).expect("status parses");
+    assert!(snap.done, "finished runs leave a done snapshot");
+    assert_eq!(snap.outputs_done, snap.outputs_total);
+    assert!(snap.queries > 0, "query gauge advanced");
+    assert!(
+        Json::parse(&text).is_ok(),
+        "snapshot stays plain JSON for other tooling"
+    );
+
+    // `top --once` renders it without error.
+    let out = bin()
+        .args(["top"])
+        .arg(&status)
+        .arg("--once")
+        .output()
+        .expect("run top");
+    assert!(
+        out.status.success(),
+        "top failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("done"), "{stdout}");
+    assert!(stdout.contains("outputs"), "{stdout}");
+    assert!(stdout.contains("queries"), "{stdout}");
+
+    // A missing file is a clean error in --once mode.
+    let out = bin()
+        .args(["top", "/nonexistent/status.json", "--once"])
+        .output()
+        .expect("run top");
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+#[cfg(unix)]
+fn faulted_run_leaves_a_flight_dump_black_box() {
+    use cirlearn_telemetry::json::Json;
+
+    // The oracle fault-dump hook: a black box that dies mid-run and
+    // refuses to respawn latches a terminal failure, and the latch
+    // dumps the flight recorder — the events leading up to the fault
+    // are exactly what a post-mortem needs. The wrapper script serves
+    // 200 queries on its first life, then refuses every respawn (the
+    // marker file), so the resilient layer's respawn + replay probe
+    // path runs and still ends in a terminal fault.
+    let dir = std::env::temp_dir().join(format!("cirlearn-cli-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let flight = dir.join("dead.flight.jsonl");
+    let marker = dir.join("spawned-once");
+    let script = dir.join("mortal-oracle.sh");
+    // The relay must forward line by line (`head` would block-buffer
+    // into the pipe and stall the query/answer lockstep), and it must
+    // cut the feed after 200 queries so the blackbox sees EOF and
+    // dies mid-run.
+    std::fs::write(
+        &script,
+        format!(
+            concat!(
+                "#!/bin/sh\n",
+                "if [ -e \"{m}\" ]; then exit 1; fi\n",
+                "touch \"{m}\"\n",
+                "n=0\n",
+                "while [ $n -lt 200 ] && read -r line; do\n",
+                "  echo \"$line\"\n",
+                "  n=$((n+1))\n",
+                "done | \"{bin}\" blackbox neq 16 2 --seed 9\n",
+            ),
+            m = marker.display(),
+            bin = env!("CARGO_BIN_EXE_cirlearn"),
+        ),
+    )
+    .expect("write wrapper script");
+    use std::os::unix::fs::PermissionsExt as _;
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("chmod wrapper");
+
+    let out = bin()
+        .arg("learn-bb")
+        .args(["--cmd"])
+        .arg(&script)
+        .args([
+            "--inputs",
+            &(0..16)
+                .map(|k| format!("i{k}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            "--outputs",
+            "y0,y1",
+        ])
+        .args(["--seed", "5", "--budget", "60", "--check", "off"])
+        .args(["--oracle-timeout", "5"])
+        .arg("--flight")
+        .arg(&flight)
+        .arg("-o")
+        .arg(dir.join("dead.aag"))
+        .output()
+        .expect("run learn-bb");
+    // The run degrades and finishes (whatever the exit code policy for
+    // faulted runs is); what matters here is the black box it left.
+    assert!(
+        flight.exists(),
+        "the terminal fault left a flight dump (stderr: {})",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&flight).expect("read dump");
+    let mut reasons = Vec::new();
+    for line in text.lines() {
+        let parsed = Json::parse(line).expect("dump lines are valid JSON");
+        if parsed.get("kind").and_then(Json::as_str) == Some("flight") {
+            if let Some(r) = parsed.get("reason").and_then(Json::as_str) {
+                reasons.push(r.to_owned());
+            }
+        }
+    }
+    assert!(
+        reasons.iter().any(|r| r == "fault"),
+        "dump marker names the fault trigger, got {reasons:?}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -174,6 +174,128 @@ fn sigkilled_run_resumes_to_the_reference_circuit() {
 }
 
 #[test]
+fn sigusr1_mid_run_dumps_a_parseable_flight_recording() {
+    use cirlearn_telemetry::json::Json;
+
+    // SIGUSR1 is observability, not suspension: the run must dump the
+    // flight recorder at the next safe point and then finish normally,
+    // and the dump must be readable by the offline trace tooling.
+    let dir = std::env::temp_dir().join(format!("cirlearn-usr1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = dir.join("usr1.aag");
+    let flight = dir.join("usr1.flight.jsonl");
+
+    let mut child = Command::new(BIN)
+        .arg("learn-bb")
+        .args(["--cmd", BIN, "--args", BLACKBOX_ARGS])
+        .args(["--inputs", &input_names(), "--outputs", "y0,y1"])
+        .args(["--seed", "7", "--budget", "600", "--max-queries", "60000"])
+        .args(["--check", "off"])
+        .arg("--flight")
+        .arg(&flight)
+        .arg("-o")
+        .arg(&out)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn learn-bb");
+
+    // Let the run get going, then poke it until a dump lands (the
+    // signal is re-sent on a short cadence so the test is robust to
+    // machine speed; each dump atomically replaces the file).
+    std::thread::sleep(Duration::from_millis(100));
+    let mut signalled = false;
+    for _ in 0..100 {
+        if child.try_wait().expect("try_wait").is_some() {
+            break;
+        }
+        let sent = Command::new("kill")
+            .args(["-USR1", &child.id().to_string()])
+            .status()
+            .expect("send SIGUSR1");
+        signalled |= sent.success();
+        if flight.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        signalled,
+        "never managed to signal the run; it exited too fast"
+    );
+    let status = child.wait().expect("wait learn-bb");
+    assert!(
+        status.success(),
+        "SIGUSR1 must not disturb the run: {status:?}"
+    );
+    assert!(flight.exists(), "signal dump was written");
+
+    // The dump is well-formed JSONL in the trace envelope: every line
+    // parses, t_us is monotone per tid, and the flight marker names
+    // the trigger.
+    let text = std::fs::read_to_string(&flight).expect("read dump");
+    let mut last_by_tid: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut kinds = std::collections::BTreeSet::new();
+    let mut reason = None;
+    for line in text.lines() {
+        let parsed = Json::parse(line).expect("dump lines are valid JSON");
+        let tid = parsed.get("tid").and_then(Json::as_u64).expect("tid");
+        let t_us = parsed.get("t_us").and_then(Json::as_u64).expect("t_us");
+        let last = last_by_tid.entry(tid).or_insert(0);
+        assert!(*last <= t_us, "t_us went backwards within tid {tid}");
+        *last = t_us;
+        let kind = parsed.get("kind").and_then(Json::as_str).expect("kind");
+        kinds.insert(kind.to_owned());
+        if kind == "flight" {
+            reason = parsed
+                .get("reason")
+                .and_then(Json::as_str)
+                .map(str::to_owned);
+        }
+    }
+    assert!(kinds.contains("flight"), "dump carries the flight marker");
+    assert_eq!(
+        reason.as_deref(),
+        Some("signal"),
+        "marker names the trigger"
+    );
+    assert!(kinds.contains("metrics"), "dump carries a metrics trailer");
+
+    // The offline tooling accepts the dump unchanged.
+    let summary = Command::new(BIN)
+        .args(["trace", "summary"])
+        .arg(&flight)
+        .output()
+        .expect("run trace summary");
+    assert!(
+        summary.status.success(),
+        "trace summary rejected the dump: {}",
+        String::from_utf8_lossy(&summary.stderr)
+    );
+    let export = Command::new(BIN)
+        .args(["trace", "export", "--chrome"])
+        .arg(&flight)
+        .output()
+        .expect("run trace export");
+    assert!(
+        export.status.success(),
+        "trace export rejected the dump: {}",
+        String::from_utf8_lossy(&export.stderr)
+    );
+    let chrome =
+        Json::parse(&String::from_utf8(export.stdout).expect("utf-8")).expect("chrome JSON");
+    assert!(
+        chrome
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .is_some_and(|evs| !evs.is_empty()),
+        "chrome export carries events"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn flaky_transport_and_checkpointing_compose() {
     // The retry path (malformed answers every 97th query) and the
     // checkpoint cadence running together must still converge and

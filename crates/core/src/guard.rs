@@ -18,6 +18,7 @@
 
 use cirlearn_logic::Assignment;
 use cirlearn_oracle::{Oracle, OracleError};
+use cirlearn_telemetry::Telemetry;
 
 /// A fail-fast adapter: fallible queries in, infallible answers out,
 /// with the first failure latched for the learner to inspect.
@@ -27,18 +28,33 @@ pub struct OracleGuard<O> {
     num_outputs: usize,
     failure: Option<OracleError>,
     fallback_answers: u64,
+    telemetry: Telemetry,
 }
 
 impl<O: Oracle> OracleGuard<O> {
     /// Wraps `inner`; queries flow through its fallible path.
     pub fn new(inner: O) -> Self {
+        OracleGuard::with_telemetry(inner, Telemetry::disabled())
+    }
+
+    /// Like [`OracleGuard::new`], but the moment a failure latches the
+    /// guard dumps the flight recorder through `telemetry` — the ring
+    /// still holds the events leading up to the fault, which is
+    /// exactly the context a post-mortem needs.
+    pub fn with_telemetry(inner: O, telemetry: Telemetry) -> Self {
         let num_outputs = inner.num_outputs();
         OracleGuard {
             inner,
             num_outputs,
             failure: None,
             fallback_answers: 0,
+            telemetry,
         }
+    }
+
+    fn latch(&mut self, e: OracleError) {
+        self.failure = Some(e);
+        self.telemetry.dump_flight("fault");
     }
 
     /// Whether the oracle has failed; once true, every answer since the
@@ -92,7 +108,7 @@ impl<O: Oracle> Oracle for OracleGuard<O> {
         match self.inner.try_query(input) {
             Ok(bits) => bits,
             Err(e) => {
-                self.failure = Some(e);
+                self.latch(e);
                 self.fallback()
             }
         }
@@ -105,7 +121,7 @@ impl<O: Oracle> Oracle for OracleGuard<O> {
         match self.inner.try_query_batch(inputs) {
             Ok(rows) => rows,
             Err(e) => {
-                self.failure = Some(e);
+                self.latch(e);
                 inputs.iter().map(|_| self.fallback()).collect()
             }
         }
@@ -158,6 +174,28 @@ mod tests {
         assert_eq!(guarded.queries(), before);
         assert_eq!(guarded.fallback_answers(), 4);
         assert!(guarded.failure().is_some());
+    }
+
+    #[test]
+    fn latching_a_failure_dumps_the_flight_recorder() {
+        let dir = std::env::temp_dir().join(format!("cirlearn-guard-dump-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        let path = dir.join("flight.jsonl");
+        let telemetry = Telemetry::recording();
+        telemetry.set_flight_dump_path(Some(path.clone()));
+        let schedule = FaultSchedule::new().at(0, FaultKind::Crash);
+        let mut guarded = OracleGuard::with_telemetry(
+            FaultyOracle::new(generate::eco_case(8, 2, 3), schedule),
+            telemetry,
+        );
+        guarded.query(&Assignment::zeros(8));
+        assert!(guarded.failed());
+        let text = std::fs::read_to_string(&path).expect("fault dump written");
+        assert!(
+            text.contains("\"reason\":\"fault\""),
+            "dump names the trigger: {text}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -181,6 +181,11 @@ pub struct RunControl {
     /// Cooperative stop flag (typically set from a signal handler):
     /// when it reads `true` at a safe point, the run suspends.
     pub stop: Option<Arc<AtomicBool>>,
+    /// Cooperative flight-dump flag (typically set from a SIGUSR1
+    /// handler): when it reads `true` at a safe point, the flag is
+    /// cleared and the flight recorder is dumped — the run continues
+    /// undisturbed.
+    pub dump: Option<Arc<AtomicBool>>,
     /// Hard deadline on *cumulative* run time across all segments.
     /// Once exceeded, in-flight FBDT construction stops and each
     /// unfinished output is synthesized from its already-collected
@@ -200,6 +205,7 @@ impl Default for RunControl {
             checkpoint_path: None,
             checkpoint_interval: Duration::from_secs(30),
             stop: None,
+            dump: None,
             deadline: None,
             stop_after_safe_points: None,
         }
@@ -544,8 +550,12 @@ impl Learner {
         // from here on lands on the `oracle.queries` counter and is
         // attributed to the stage span active when it was served.
         // The guard outside routes them through the fallible path and
-        // latches the first terminal failure for per-output isolation.
-        let mut oracle = OracleGuard::new(InstrumentedOracle::new(oracle, telemetry.clone()));
+        // latches the first terminal failure for per-output isolation,
+        // dumping the flight recorder at the moment of the fault.
+        let mut oracle = OracleGuard::with_telemetry(
+            InstrumentedOracle::new(oracle, telemetry.clone()),
+            telemetry.clone(),
+        );
         let resuming = restored.is_some();
         let num_outputs = oracle.num_outputs();
         let input_names: Vec<String> = oracle.input_names().to_vec();
@@ -672,16 +682,34 @@ impl Learner {
             );
         }
 
+        telemetry.set_progress(
+            progress.edges.iter().filter(|e| e.is_some()).count() as u64,
+            num_outputs as u64,
+        );
+
         let stop_flag = ctl.stop.clone();
         let stop_requested = move || {
             stop_flag
                 .as_ref()
                 .is_some_and(|s| s.load(Ordering::Relaxed))
         };
+        let dump_flag = ctl.dump.clone();
+        let dump_requested = move || {
+            // Swap, not load: the flag is an edge trigger — each
+            // SIGUSR1 produces exactly one dump at the next safe point.
+            // relaxed-ok: the flag is a standalone edge trigger; no
+            // other memory is published through it, and the swap's
+            // read-modify-write atomicity alone guarantees one dump
+            // per signal.
+            dump_flag
+                .as_ref()
+                .is_some_and(|d| d.swap(false, Ordering::Relaxed))
+        };
         let deadline_hit = |budget: &Budget| {
             ctl.deadline
                 .is_some_and(|d| elapsed_before + budget.elapsed() >= d)
         };
+        let mut deadline_dumped = false;
         let mut safe_points: u64 = 0;
         let mut last_ckpt = Instant::now();
         let mut suspended: Option<Box<LearnState>> = None;
@@ -691,6 +719,9 @@ impl Learner {
 
         'outputs: for (k, &o) in remaining.iter().enumerate() {
             // Safe point: output boundary.
+            if dump_requested() {
+                telemetry.dump_flight("signal");
+            }
             let reached = safe_points;
             safe_points += 1;
             let want_stop =
@@ -731,6 +762,10 @@ impl Learner {
                 .as_ref()
                 .is_some_and(|f| f.builder.output() == o);
             if deadline_hit(&budget) && !has_resumed_tree {
+                if !deadline_dumped {
+                    deadline_dumped = true;
+                    telemetry.dump_flight("deadline");
+                }
                 // Degradation ladder, bottom rung: outputs not yet
                 // started get the majority constant below. An in-flight
                 // resumed tree still enters its arm so the cubes it
@@ -833,6 +868,9 @@ impl Learner {
                     let mut cut_short = false;
                     loop {
                         // Safe point: between node expansions.
+                        if dump_requested() {
+                            telemetry.dump_flight("signal");
+                        }
                         let reached = safe_points;
                         safe_points += 1;
                         let want_stop = stop_requested()
@@ -868,6 +906,10 @@ impl Learner {
                             }
                         }
                         if deadline_hit(&budget) {
+                            if !deadline_dumped {
+                                deadline_dumped = true;
+                                telemetry.dump_flight("deadline");
+                            }
                             builder.finish_now();
                             cut_short = true;
                             break;
@@ -917,8 +959,15 @@ impl Learner {
             // until after the loop, so reachability-based counts would
             // read zero here.
             telemetry.set_aig_nodes(circuit.and_count() as u64);
+            telemetry.set_progress(
+                progress.edges.iter().filter(|e| e.is_some()).count() as u64,
+                num_outputs as u64,
+            );
         }
         if let Some(state) = suspended {
+            // The ring holds the run's last moments; a suspension is
+            // exactly when a post-mortem wants them on disk.
+            telemetry.dump_flight("suspend");
             return LearnOutcome::Suspended(state);
         }
         budget.checkpoint(&telemetry, "learning");
@@ -947,6 +996,8 @@ impl Learner {
         // leaf tolerance.
         degraded.extend(deadline_partials);
         degraded.sort_unstable();
+        // Every output now has an edge (learned or degraded).
+        telemetry.set_progress(num_outputs as u64, num_outputs as u64);
 
         for (o, name) in output_names.iter().enumerate() {
             circuit.add_output(progress.edges[o].unwrap_or(Edge::FALSE), name.clone());

@@ -41,6 +41,7 @@
 //! box round-trip and justified by the raw layer's exactly-once
 //! delivery, which is the property the model checker establishes.
 
+use crate::stats::DequeStats;
 use crate::sync::atomic::{fence, AtomicU64, Ordering};
 use crate::sync::Arc;
 use std::marker::PhantomData;
@@ -101,6 +102,16 @@ impl RawDeque {
     /// The fixed slot count.
     pub fn capacity(&self) -> usize {
         self.slots.len()
+    }
+
+    /// An approximate current length, for gauges and heuristics only:
+    /// both ends move concurrently, so the value may be stale the
+    /// moment it is computed (and is clamped to zero when the racing
+    /// reads cross).
+    pub fn len_hint(&self) -> usize {
+        let t = self.top.load(Ordering::Relaxed);
+        let b = self.bottom.load(Ordering::Relaxed);
+        (b.wrapping_sub(t) as i64).max(0) as usize
     }
 
     fn slot(&self, index: u64) -> &AtomicU64 {
@@ -209,6 +220,7 @@ impl<T> Drop for Shared<T> {
 /// raw layer's single-writer slot discipline hold.
 pub struct Worker<T> {
     shared: Arc<Shared<T>>,
+    stats: Option<Arc<DequeStats>>,
 }
 
 impl<T> std::fmt::Debug for Worker<T> {
@@ -226,13 +238,25 @@ impl<T: Send> Worker<T> {
                 raw: RawDeque::new(capacity),
                 _marker: PhantomData,
             }),
+            stats: None,
         }
+    }
+
+    /// A new deque whose operations are counted into `stats` (shared
+    /// with the stealers this worker hands out). The counters live on
+    /// this typed layer, so the raw algorithm the loom suite checks
+    /// is unchanged.
+    pub fn with_stats(capacity: usize, stats: Arc<DequeStats>) -> Worker<T> {
+        let mut worker = Worker::new(capacity);
+        worker.stats = Some(stats);
+        worker
     }
 
     /// A stealer handle for the other end; cheap, cloneable, `Send`.
     pub fn stealer(&self) -> Stealer<T> {
         Stealer {
             shared: Arc::clone(&self.shared),
+            stats: self.stats.clone(),
         }
     }
 
@@ -240,7 +264,12 @@ impl<T: Send> Worker<T> {
     pub fn push(&self, value: T) -> Result<(), T> {
         let ptr = Box::into_raw(Box::new(value));
         match self.shared.raw.push(ptr as usize as u64) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let Some(stats) = &self.stats {
+                    stats.on_push(self.shared.raw.len_hint() as u64);
+                }
+                Ok(())
+            }
             // SAFETY: the raw layer rejected the value without storing
             // it, so `ptr` is still the unaliased pointer created two
             // lines up; reboxing it reclaims ownership.
@@ -251,6 +280,9 @@ impl<T: Send> Worker<T> {
     /// Pops the newest task (LIFO), `None` when empty.
     pub fn pop(&self) -> Option<T> {
         self.shared.raw.pop().map(|bits| {
+            if let Some(stats) = &self.stats {
+                stats.on_pop();
+            }
             // SAFETY: the raw layer delivers each pushed value exactly
             // once (the property the loom suite model-checks), and
             // every value it holds came from `Box::into_raw` in
@@ -263,12 +295,14 @@ impl<T: Send> Worker<T> {
 /// The stealing end of a deque: FIFO, any thread, cloneable.
 pub struct Stealer<T> {
     shared: Arc<Shared<T>>,
+    stats: Option<Arc<DequeStats>>,
 }
 
 impl<T> Clone for Stealer<T> {
     fn clone(&self) -> Stealer<T> {
         Stealer {
             shared: Arc::clone(&self.shared),
+            stats: self.stats.clone(),
         }
     }
 }
@@ -282,7 +316,15 @@ impl<T> std::fmt::Debug for Stealer<T> {
 impl<T: Send> Stealer<T> {
     /// Steals the oldest task (FIFO).
     pub fn steal(&self) -> Steal<T> {
-        match self.shared.raw.steal() {
+        let outcome = self.shared.raw.steal();
+        if let Some(stats) = &self.stats {
+            match &outcome {
+                Steal::Empty => stats.on_steal_empty(),
+                Steal::Retry => stats.on_steal_retry(),
+                Steal::Success(_) => stats.on_steal(),
+            }
+        }
+        match outcome {
             Steal::Empty => Steal::Empty,
             Steal::Retry => Steal::Retry,
             Steal::Success(bits) => {

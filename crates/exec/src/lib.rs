@@ -8,6 +8,11 @@
 //! - [`Worker`] / [`Stealer`] ([`deque`]): a fixed-capacity Chase–Lev
 //!   work-stealing deque. The owner pushes and pops LIFO (keeping the
 //!   hottest task local); stealers take FIFO from the far end.
+//! - [`DequeStats`] / [`WorkerObserver`] ([`stats`]): executor
+//!   observability — push/pop/steal outcome counters, a queue-depth
+//!   high-water gauge and per-worker busy/idle span accounting, folded
+//!   into the telemetry crate's `exec.*` counters and histograms and
+//!   surfaced in the run report's `exec` section.
 //!
 //! Every synchronized type routes through the [`sync`] alias, so the
 //! same source compiles against three backends: real `std` atomics
@@ -21,6 +26,8 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod deque;
+pub mod stats;
 pub mod sync;
 
 pub use deque::{RawDeque, Steal, Stealer, Worker};
+pub use stats::{DequeStats, WorkerObserver};

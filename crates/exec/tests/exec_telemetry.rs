@@ -1,0 +1,102 @@
+//! End-to-end executor observability: a multi-worker steal workload
+//! whose counters surface through the telemetry crate's run report.
+
+#![cfg(not(any(loom, race)))]
+
+use cirlearn_exec::sync::Arc;
+use cirlearn_exec::{DequeStats, Steal, Worker, WorkerObserver};
+use cirlearn_telemetry::Telemetry;
+
+#[test]
+fn multi_worker_run_reports_nonzero_exec_counters() {
+    let telemetry = Telemetry::recording();
+    let stats = Arc::new(DequeStats::new());
+    let worker: Worker<u64> = Worker::with_stats(2048, Arc::clone(&stats));
+
+    const ITEMS: u64 = 1000;
+    for v in 0..ITEMS {
+        worker.push(v).expect("capacity covers the workload");
+    }
+
+    // Drain a batch before the stealers exist so `pops > 0` holds
+    // regardless of how the steal race plays out.
+    let mut got = Vec::new();
+    let mut observer = WorkerObserver::new(&telemetry);
+    for _ in 0..100 {
+        observer.busy();
+        got.push(worker.pop().expect("batch fits the backlog"));
+    }
+
+    let stealers: Vec<_> = (0..2)
+        .map(|_| {
+            let stealer = worker.stealer();
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                let mut observer = WorkerObserver::new(&telemetry);
+                let mut got = Vec::new();
+                loop {
+                    match stealer.steal() {
+                        Steal::Success(v) => {
+                            observer.busy();
+                            got.push(v);
+                        }
+                        Steal::Retry => {
+                            observer.idle();
+                            std::thread::yield_now();
+                        }
+                        Steal::Empty => break,
+                    }
+                }
+                observer.idle();
+                got
+            })
+        })
+        .collect();
+
+    // Pop a second bounded batch concurrently with the stealers, then
+    // stop: the stealers are the only consumers of the remainder, so
+    // `steals > 0` is guaranteed rather than race-dependent.
+    for _ in 0..100 {
+        let Some(v) = worker.pop() else { break };
+        observer.busy();
+        got.push(v);
+    }
+    observer.idle();
+    drop(observer);
+    for handle in stealers {
+        got.extend(handle.join().expect("stealer thread"));
+    }
+    got.sort_unstable();
+    assert_eq!(got, (0..ITEMS).collect::<Vec<_>>(), "exactly-once delivery");
+
+    stats.publish(&telemetry);
+    let exec = telemetry.report().exec;
+    assert!(exec.any(), "exec section is populated");
+    assert_eq!(exec.pushes, ITEMS);
+    assert_eq!(
+        exec.pops + exec.steals,
+        ITEMS,
+        "every item popped or stolen"
+    );
+    assert!(exec.steals > 0, "stealers drained from a 1000-item backlog");
+    assert!(exec.pops > 0, "the worker kept some items local");
+    assert!(exec.steal_empty >= 2, "each stealer terminated on Empty");
+    assert_eq!(exec.workers, 3);
+    assert!(exec.depth_max >= ITEMS, "backlog high-water mark");
+    assert!(exec.steal_ratio() > 0.0 && exec.steal_ratio() < 1.0);
+
+    let histograms = telemetry.report().histograms;
+    let busy = histograms
+        .get(cirlearn_telemetry::histograms::EXEC_BUSY_NS)
+        .expect("busy spans merged");
+    assert!(busy.count > 0);
+}
+
+#[test]
+fn stats_free_worker_reports_an_empty_exec_section() {
+    let telemetry = Telemetry::recording();
+    let worker: Worker<u64> = Worker::new(8);
+    worker.push(1).unwrap();
+    assert_eq!(worker.pop(), Some(1));
+    assert!(!telemetry.report().exec.any());
+}

@@ -487,11 +487,37 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
 /// "JSON Array Format" with a `traceEvents` wrapper), loadable in
 /// Perfetto and `chrome://tracing`:
 ///
+/// - every `tid` gets a `"ph": "M"` `thread_name` metadata event (so
+///   Perfetto labels the tracks `main` / `cirlearn-N` instead of bare
+///   numbers),
 /// - spans become `"ph": "X"` complete events with `ts`/`dur`,
 /// - `metrics` snapshots become `"ph": "C"` counter tracks,
 /// - every other kind becomes a `"ph": "i"` thread-scoped instant.
 pub fn to_chrome_trace(events: &[TraceEvent]) -> Json {
     let mut trace_events: Vec<Json> = Vec::new();
+    let mut tids: Vec<u64> = Vec::new();
+    for ev in events {
+        if !tids.contains(&ev.tid) {
+            tids.push(ev.tid);
+        }
+    }
+    tids.sort_unstable();
+    for &tid in &tids {
+        // tid 0 is the process's first telemetry thread — the main
+        // thread in every current producer.
+        let name = if tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("cirlearn-{tid}")
+        };
+        trace_events.push(Json::object([
+            ("name", Json::from("thread_name")),
+            ("ph", Json::from("M")),
+            ("pid", Json::from(1u64)),
+            ("tid", Json::from(tid)),
+            ("args", Json::object([("name", Json::from(name))])),
+        ]));
+    }
     fn emit_span(node: &SpanNode, out: &mut Vec<Json>) {
         out.push(Json::object([
             ("name", Json::from(node.name.clone())),
@@ -775,11 +801,25 @@ mod tests {
         assert!(!trace_events.is_empty());
         let mut complete = 0;
         let mut counters = 0;
+        let mut metadata = 0;
         for ev in trace_events {
             let ph = ev.get("ph").and_then(Json::as_str).expect("ph");
-            assert!(ev.get("ts").and_then(Json::as_u64).is_some(), "ts required");
             assert!(ev.get("pid").and_then(Json::as_u64).is_some());
+            if ph != "M" {
+                assert!(ev.get("ts").and_then(Json::as_u64).is_some(), "ts required");
+            }
             match ph {
+                "M" => {
+                    metadata += 1;
+                    assert_eq!(ev.get("name").and_then(Json::as_str), Some("thread_name"));
+                    assert!(ev.get("tid").and_then(Json::as_u64).is_some());
+                    let thread = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("args.name carries the thread name");
+                    assert!(!thread.is_empty());
+                }
                 "X" => {
                     complete += 1;
                     assert!(ev.get("dur").and_then(Json::as_u64).is_some());
@@ -798,6 +838,38 @@ mod tests {
         }
         assert_eq!(complete, 3, "three spans become X events");
         assert_eq!(counters, 1, "one metrics snapshot becomes a counter");
+        assert_eq!(metadata, 1, "one thread_name event per distinct tid");
+        assert_eq!(
+            trace_events[0].get("ph").and_then(Json::as_str),
+            Some("M"),
+            "metadata leads the stream"
+        );
+    }
+
+    #[test]
+    fn chrome_export_names_every_thread() {
+        let mut text = sample_trace();
+        text.push('\n');
+        text.push_str(
+            r#"{"t_us":400,"kind":"node","stage":"fbdt","tid":3,"depth":1,"disposition":"leaf"}"#,
+        );
+        let events = parse_trace(&text).expect("parses");
+        let chrome = to_chrome_trace(&events);
+        let names: Vec<String> = chrome
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents")
+            .iter()
+            .filter(|ev| ev.get("ph").and_then(Json::as_str) == Some("M"))
+            .map(|ev| {
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .expect("thread name")
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(names, vec!["main".to_owned(), "cirlearn-3".to_owned()]);
     }
 
     #[test]

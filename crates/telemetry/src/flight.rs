@@ -1,0 +1,504 @@
+//! The always-on flight recorder: bounded per-thread rings of recent
+//! trace events.
+//!
+//! A [`FlightRecorder`] keeps the last ~N bytes of trace-event lines
+//! *per thread*, even when no `--trace` stream is attached, so a
+//! crashed, faulted or signalled run can dump what it was doing right
+//! before the incident — an aircraft black box for learning runs. The
+//! dump is well-formed JSONL in the same envelope as the trace stream
+//! (`t_us` / `kind` / `stage` / `tid`), so `trace summary` and
+//! `trace export --chrome` read it unchanged.
+//!
+//! # Design
+//!
+//! Each thread that records gets its own [`FlightRing`]: a fixed
+//! power-of-two byte ring packed into `AtomicU64` words, written only
+//! by its owner thread and snapshot by any thread (the dumper) under a
+//! seqlock:
+//!
+//! - **writer** (owner thread only): store an odd sequence number
+//!   (Relaxed), `fence(Release)`, write the line's bytes as relaxed
+//!   word stores, store the new head (Relaxed), then store the even
+//!   sequence number (Release).
+//! - **reader** (any thread): load the sequence with Acquire (retry on
+//!   odd), copy every word and the head with relaxed loads,
+//!   `fence(Acquire)`, re-load the sequence (Relaxed); the copy is
+//!   consistent iff the two sequence reads agree.
+//!
+//! The fence pair is what makes this sound under weak memory (Boehm,
+//! *Can seqlocks get along with programming language memory models?*):
+//! if any relaxed word load observes a store from write session *k*,
+//! the release fence before that store and the acquire fence after the
+//! load synchronize, so the reader's second sequence load must observe
+//! at least session *k*'s odd store and the check fails. Conversely a
+//! successful check means every word the reader copied predates the
+//! even publication it acquired. Both directions are model-checked by
+//! the weak-memory loom suite (`tests/loom_flight.rs`) and the race
+//! detector (`tests/race_paths.rs`).
+//!
+//! Because a whole line is appended inside one write session, a
+//! consistent snapshot always ends on a line boundary; after the ring
+//! wraps, the (possibly torn) oldest line is trimmed at the first
+//! newline. Oldest events are evicted, never torn — pinned by the
+//! wraparound property test.
+
+use std::cell::RefCell;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::sync::atomic::{fence, AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
+use crate::trace::{current_tid, format_line};
+
+/// Default per-thread ring capacity in bytes (~a few hundred recent
+/// events per thread).
+pub const DEFAULT_RING_BYTES: usize = 32 * 1024;
+
+/// How many consistent-copy attempts a snapshot makes before giving up
+/// on a ring whose owner is writing continuously.
+#[cfg(not(loom))]
+const SNAPSHOT_RETRIES: usize = 1_000;
+/// Tiny retry budget under the model checker: every load in an attempt
+/// is a value branch point, so the production budget would explode the
+/// state space without adding coverage (the protocol's correctness
+/// does not depend on how often the reader retries).
+#[cfg(loom)]
+const SNAPSHOT_RETRIES: usize = 3;
+
+/// A single-writer byte ring of recent trace lines under a seqlock
+/// (see the [module docs](self) for the protocol and its correctness
+/// argument).
+///
+/// `append` must only be called by the ring's owner thread;
+/// [`FlightRecorder`] enforces that by handing each thread its own
+/// ring. `snapshot` is safe from any thread at any time.
+pub struct FlightRing {
+    /// Seqlock generation: odd while the owner is mid-append.
+    seq: AtomicU64,
+    /// Total bytes ever appended; the live window is
+    /// `[head - min(head, capacity), head)`.
+    head: AtomicU64,
+    /// The ring bytes, packed little-endian into words. The byte at
+    /// absolute position `p` lives in `words[(p % capacity) / 8]` at
+    /// bit offset `8 * (p % 8)` (capacity is a multiple of 8, so a
+    /// word never spans the wrap).
+    words: Box<[AtomicU64]>,
+    /// Lines skipped because they exceeded the ring capacity.
+    oversize: AtomicU64,
+}
+
+impl FlightRing {
+    /// A ring holding the most recent `capacity` bytes of lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `capacity` is a power of two and at least 8 (so
+    /// bytes pack into whole words and `% capacity` stays cheap).
+    pub fn new(capacity: usize) -> FlightRing {
+        assert!(
+            capacity >= 8 && capacity.is_power_of_two(),
+            "ring capacity must be a power of two >= 8, got {capacity}"
+        );
+        FlightRing {
+            seq: AtomicU64::new(0),
+            head: AtomicU64::new(0),
+            words: (0..capacity / 8).map(|_| AtomicU64::new(0)).collect(),
+            oversize: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Lines dropped because they were larger than the whole ring.
+    pub fn oversize_dropped(&self) -> u64 {
+        self.oversize.load(Ordering::Relaxed)
+    }
+
+    /// Appends one `\n`-terminated line, evicting the oldest bytes.
+    ///
+    /// Owner thread only (single writer): concurrent `append`s on the
+    /// same ring would corrupt the seqlock generation.
+    pub fn append(&self, line: &[u8]) {
+        let capacity = self.capacity();
+        if line.is_empty() {
+            return;
+        }
+        if line.len() > capacity {
+            // relaxed-ok: an owner-thread statistic read back over the
+            // same seqlock-published ring handle; no ordering needed.
+            self.oversize.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // Single writer: these two reads observe our own last stores.
+        let head = self.head.load(Ordering::Relaxed);
+        let seq = self.seq.load(Ordering::Relaxed);
+        // relaxed-ok: the odd marker needs no ordering of its own — the
+        // Release fence below orders it before every data store, which
+        // is what readers rely on (see the module docs).
+        self.seq.store(seq.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        let mut pos = (head as usize) % capacity;
+        let mut src = line;
+        while !src.is_empty() {
+            let word = pos / 8;
+            let offset = pos % 8;
+            let n = (8 - offset).min(src.len());
+            let mut bits: u64 = 0;
+            for (i, &b) in src[..n].iter().enumerate() {
+                bits |= u64::from(b) << ((offset + i) * 8);
+            }
+            if n == 8 {
+                // relaxed-ok: seqlock data store; published by the even
+                // sequence store below, torn reads rejected by the
+                // reader's sequence recheck.
+                self.words[word].store(bits, Ordering::Relaxed);
+            } else {
+                let mask = ((1u64 << (n * 8)) - 1) << (offset * 8);
+                let old = self.words[word].load(Ordering::Relaxed);
+                // relaxed-ok: seqlock data store (single writer, so the
+                // read-modify-write needs no atomicity); see above.
+                self.words[word].store((old & !mask) | bits, Ordering::Relaxed);
+            }
+            pos = (pos + n) % capacity;
+            src = &src[n..];
+        }
+        // relaxed-ok: seqlock data store — the head is part of the
+        // protected payload, published by the Release store below.
+        self.head.store(head + line.len() as u64, Ordering::Relaxed);
+        self.seq.store(seq.wrapping_add(2), Ordering::Release);
+    }
+
+    /// A consistent copy of the ring's current contents: whole lines,
+    /// oldest first, ending at the most recently appended line.
+    ///
+    /// Returns `None` when the owner kept writing through all retry
+    /// attempts (the dump then skips this ring rather than block).
+    pub fn snapshot(&self) -> Option<Vec<u8>> {
+        let capacity = self.capacity();
+        let mut copy: Vec<u64> = Vec::with_capacity(self.words.len());
+        for _ in 0..SNAPSHOT_RETRIES {
+            let seq1 = self.seq.load(Ordering::Acquire);
+            if seq1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            copy.clear();
+            for w in self.words.iter() {
+                copy.push(w.load(Ordering::Relaxed));
+            }
+            let head = self.head.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            let seq2 = self.seq.load(Ordering::Relaxed);
+            if seq1 != seq2 {
+                continue;
+            }
+            let len = head.min(capacity as u64);
+            let mut bytes = Vec::with_capacity(len as usize);
+            for p in (head - len)..head {
+                let b = (p % capacity as u64) as usize;
+                bytes.push((copy[b / 8] >> ((b % 8) * 8)) as u8);
+            }
+            if head > capacity as u64 {
+                // Wrapped: the window may start mid-line; evict the
+                // (partial) oldest line up to its newline. The newest
+                // line is always *whole* in the window (its length is
+                // at most the capacity), so a lone newline at the very
+                // end means the window is exactly that line, aligned —
+                // trimming would evict the newest event, not a stale
+                // fragment.
+                match bytes.iter().position(|&b| b == b'\n') {
+                    Some(i) if i + 1 == bytes.len() => {}
+                    Some(i) => {
+                        bytes.drain(..=i);
+                    }
+                    None => bytes.clear(),
+                }
+            }
+            return Some(bytes);
+        }
+        None
+    }
+}
+
+/// Unique ids for recorder instances, so the per-thread ring cache can
+/// never confuse two recorders (not even after an allocation reuses an
+/// address).
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's `(recorder id, ring)` cache: resolving the ring on
+    /// the hot path is a TLS hit plus a short scan, no lock.
+    static RING_CACHE: RefCell<Vec<(u64, Arc<FlightRing>)>> = const { RefCell::new(Vec::new()) };
+}
+
+struct FlightShared {
+    id: u64,
+    start: Instant,
+    ring_bytes: usize,
+    /// Every ring ever handed out, tagged with its owner's trace tid.
+    rings: Mutex<Vec<(u64, Arc<FlightRing>)>>,
+}
+
+/// The cheap-to-clone handle behind the always-on flight recorder: one
+/// bounded [`FlightRing`] per recording thread, created lazily on the
+/// thread's first event.
+///
+/// # Examples
+///
+/// ```
+/// use cirlearn_telemetry::FlightRecorder;
+///
+/// let recorder = FlightRecorder::new(1024);
+/// recorder.record_line("{\"t_us\":0,\"kind\":\"event\",\"stage\":\"\",\"tid\":0}\n");
+/// let rings = recorder.snapshot_lines();
+/// assert_eq!(rings.len(), 1);
+/// assert!(rings[0].1.contains("\"kind\":\"event\""));
+/// ```
+#[derive(Clone)]
+pub struct FlightRecorder {
+    shared: Arc<FlightShared>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FlightRecorder")
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder whose per-thread rings hold `ring_bytes` each
+    /// (rounded up to a power of two, minimum 64). The monotonic event
+    /// clock starts now.
+    pub fn new(ring_bytes: usize) -> FlightRecorder {
+        FlightRecorder {
+            shared: Arc::new(FlightShared {
+                // relaxed-ok: allocates a unique id; nothing is
+                // published through it.
+                id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+                start: Instant::now(),
+                ring_bytes: ring_bytes.next_power_of_two().max(64),
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Microseconds since the recorder was created — the `t_us` clock
+    /// every flight line is stamped with, so a dump is monotone per
+    /// tid.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The calling thread's ring, created and registered on first use.
+    fn ring(&self) -> Arc<FlightRing> {
+        RING_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.shared.id) {
+                return Arc::clone(ring);
+            }
+            let ring = Arc::new(FlightRing::new(self.shared.ring_bytes));
+            self.shared
+                .rings
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((current_tid(), Arc::clone(&ring)));
+            // Bound the cache: a thread outliving many recorders (test
+            // runners) would otherwise pin every dead recorder's ring.
+            if cache.len() >= 8 {
+                cache.remove(0);
+            }
+            cache.push((self.shared.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    /// Appends one pre-formatted `\n`-terminated JSONL line to the
+    /// calling thread's ring.
+    pub fn record_line(&self, line: &str) {
+        self.ring().append(line.as_bytes());
+    }
+
+    /// Formats and records one event in the standard trace envelope,
+    /// stamped with the flight clock and the calling thread's tid.
+    pub fn record_event(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
+        let line = format_line(self.now_us(), current_tid(), kind, stage, fields);
+        self.record_line(&line);
+    }
+
+    /// Formats one event line in the standard envelope *without*
+    /// recording it — for dump trailers that must not mutate the rings
+    /// they were snapshot from.
+    pub fn format_event(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) -> String {
+        format_line(self.now_us(), current_tid(), kind, stage, fields)
+    }
+
+    /// Total lines dropped (across rings) for exceeding the ring size.
+    pub fn oversize_dropped(&self) -> u64 {
+        let rings = self.shared.rings.lock().unwrap_or_else(|p| p.into_inner());
+        rings.iter().map(|(_, r)| r.oversize_dropped()).sum()
+    }
+
+    /// Consistent snapshots of every thread's ring, sorted by tid:
+    /// `(tid, whole JSONL lines oldest-first)`. Rings whose owners kept
+    /// writing through every retry are skipped.
+    pub fn snapshot_lines(&self) -> Vec<(u64, String)> {
+        let rings: Vec<(u64, Arc<FlightRing>)> = {
+            let rings = self.shared.rings.lock().unwrap_or_else(|p| p.into_inner());
+            rings.iter().map(|(tid, r)| (*tid, Arc::clone(r))).collect()
+        };
+        let mut out: Vec<(u64, String)> = rings
+            .iter()
+            .filter_map(|(tid, ring)| {
+                let bytes = ring.snapshot()?;
+                if bytes.is_empty() {
+                    return None;
+                }
+                Some((*tid, String::from_utf8_lossy(&bytes).into_owned()))
+            })
+            .collect();
+        out.sort_by_key(|(tid, _)| *tid);
+        out
+    }
+
+    /// Assembles a complete dump: every ring's recent lines (sorted by
+    /// tid) followed by `trailer` (lines the dumper formats *after*
+    /// snapshotting, e.g. the `flight` marker and final
+    /// `metrics`/`attr` events — appended rather than recorded so they
+    /// cannot race the snapshot they describe).
+    pub fn dump_to_string(&self, trailer: &str) -> String {
+        let mut out = String::new();
+        for (_, text) in self.snapshot_lines() {
+            out.push_str(&text);
+        }
+        out.push_str(trailer);
+        out
+    }
+
+    /// Writes a dump atomically (tmp + fsync + rename) to `path`.
+    pub fn dump_to_file(&self, path: &PathBuf, trailer: &str) -> std::io::Result<()> {
+        crate::persist::write_atomic(path, self.dump_to_string(trailer))
+    }
+}
+
+#[cfg(all(test, not(any(loom, race))))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_lines_survive_and_oldest_are_evicted_whole() {
+        let ring = FlightRing::new(64);
+        for i in 0..100u32 {
+            ring.append(format!("line-{i:04}\n").as_bytes());
+        }
+        let bytes = ring.snapshot().expect("no writer racing");
+        let text = String::from_utf8(bytes).expect("valid utf-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        // The newest line is always the last one, intact.
+        assert_eq!(*lines.last().expect("nonempty"), "line-0099");
+        // Every surviving line is whole (no torn prefix survived the
+        // wrap trim) and they are consecutive.
+        for (k, line) in lines.iter().enumerate() {
+            let i: u32 = line
+                .strip_prefix("line-")
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("torn line {line:?}"));
+            assert_eq!(i as usize, 100 - lines.len() + k, "lines are consecutive");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_an_unwrapped_ring_is_exact() {
+        let ring = FlightRing::new(1024);
+        ring.append(b"alpha\n");
+        ring.append(b"beta\n");
+        let text = String::from_utf8(ring.snapshot().expect("consistent")).expect("utf-8");
+        assert_eq!(text, "alpha\nbeta\n");
+    }
+
+    #[test]
+    fn oversize_lines_are_counted_and_dropped() {
+        let ring = FlightRing::new(8);
+        ring.append(b"this line is far larger than the ring\n");
+        assert_eq!(ring.oversize_dropped(), 1);
+        assert_eq!(ring.snapshot().expect("consistent"), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn recorder_registers_one_ring_per_thread() {
+        let recorder = FlightRecorder::new(256);
+        recorder.record_line("{\"t_us\":1,\"kind\":\"a\",\"stage\":\"\",\"tid\":0}\n");
+        recorder.record_line("{\"t_us\":2,\"kind\":\"b\",\"stage\":\"\",\"tid\":0}\n");
+        let r2 = recorder.clone();
+        std::thread::spawn(move || {
+            r2.record_line("{\"t_us\":1,\"kind\":\"c\",\"stage\":\"\",\"tid\":1}\n");
+        })
+        .join()
+        .expect("join");
+        let rings = recorder.snapshot_lines();
+        assert_eq!(rings.len(), 2, "one ring per recording thread");
+        assert!(rings[0].0 < rings[1].0, "sorted by tid");
+        let all: String = rings.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(all.lines().count(), 3);
+    }
+
+    #[test]
+    fn record_event_lines_parse_with_the_standard_envelope() {
+        let recorder = FlightRecorder::new(1024);
+        recorder.record_event("event", "learn/fbdt", &[("message", Json::from("hi"))]);
+        let rings = recorder.snapshot_lines();
+        assert_eq!(rings.len(), 1);
+        let parsed = Json::parse(rings[0].1.trim()).expect("valid JSON");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("event"));
+        assert_eq!(
+            parsed.get("stage").and_then(Json::as_str),
+            Some("learn/fbdt")
+        );
+        assert_eq!(
+            parsed.get("tid").and_then(Json::as_u64),
+            Some(rings[0].0),
+            "the registered tid matches the stamped one"
+        );
+        assert!(parsed.get("t_us").and_then(Json::as_u64).is_some());
+    }
+
+    #[test]
+    fn dump_appends_the_trailer_after_every_ring() {
+        let recorder = FlightRecorder::new(1024);
+        recorder.record_event("node", "fbdt", &[]);
+        let trailer = recorder.format_event("flight", "", &[("reason", Json::from("test"))]);
+        let dump = recorder.dump_to_string(&trailer);
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].contains("\"flight\""));
+        // Per-tid monotone: the trailer is stamped later than the ring
+        // lines of the same (dumping) thread.
+        let t0 = Json::parse(lines[0])
+            .expect("parses")
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .expect("t_us");
+        let t1 = Json::parse(lines[1])
+            .expect("parses")
+            .get("t_us")
+            .and_then(Json::as_u64)
+            .expect("t_us");
+        assert!(t0 <= t1);
+    }
+
+    #[test]
+    fn distinct_recorders_do_not_share_rings() {
+        let a = FlightRecorder::new(256);
+        let b = FlightRecorder::new(256);
+        a.record_line("{\"t_us\":1,\"kind\":\"a\",\"stage\":\"\",\"tid\":0}\n");
+        b.record_line("{\"t_us\":1,\"kind\":\"b\",\"stage\":\"\",\"tid\":0}\n");
+        let at: String = a.snapshot_lines().into_iter().map(|(_, t)| t).collect();
+        let bt: String = b.snapshot_lines().into_iter().map(|(_, t)| t).collect();
+        assert!(at.contains("\"kind\":\"a\"") && !at.contains("\"kind\":\"b\""));
+        assert!(bt.contains("\"kind\":\"b\"") && !bt.contains("\"kind\":\"a\""));
+    }
+}

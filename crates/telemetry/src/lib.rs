@@ -33,6 +33,13 @@
 //!   streams into span trees, hot-span summaries, critical paths,
 //!   Chrome trace-event exports and noise-floored run diffs — the
 //!   engine behind the `cirlearn trace` subcommands.
+//! - **Flight recorder** ([`FlightRecorder`]): always-on bounded
+//!   per-thread rings of recent trace events, dumped atomically as
+//!   JSONL on panic, fault, deadline, suspension or SIGUSR1 — a black
+//!   box for runs that were not started with `--trace`.
+//! - **Live status** ([`StatusSnapshot`]): the compact run-progress
+//!   snapshot `--status <path>` rewrites atomically every 250ms and
+//!   `cirlearn top` renders.
 //!
 //! The [`Telemetry`] handle is cheap to clone and share;
 //! [`Telemetry::disabled`] is a no-op handle so instrumented code pays
@@ -42,22 +49,26 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod flight;
 pub mod histogram;
 pub mod json;
 pub mod persist;
 mod report;
 mod reporter;
+mod status;
 pub mod sync;
 mod telemetry;
 mod trace;
 
+pub use crate::flight::{FlightRecorder, FlightRing, DEFAULT_RING_BYTES};
 pub use crate::histogram::{Histogram, HistogramSummary, RawHistogram};
 pub use crate::persist::write_atomic;
 pub use crate::report::{
-    AttributionRecord, CheckpointReport, FaultsReport, OutputReport, PassReport, RunReport,
-    StageReport, SCHEMA_VERSION,
+    AttributionRecord, CheckpointReport, ExecReport, FaultsReport, OutputReport, PassReport,
+    RunReport, StageReport, SCHEMA_VERSION,
 };
 pub use crate::reporter::{BufferReporter, Level, NullReporter, Reporter, StderrReporter};
+pub use crate::status::{StatusAttr, StatusSnapshot, STATUS_SCHEMA_VERSION};
 pub use crate::telemetry::{
     counters, histograms, HistogramHandle, LocalRecorder, OutputScope, Span, Telemetry,
 };

@@ -2,15 +2,18 @@
 //! latency histograms, trace emission and events.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use crate::flight::FlightRecorder;
 use crate::histogram::Histogram;
 use crate::json::Json;
 use crate::report::{
     AttributionRecord, CheckpointReport, OutputReport, PassReport, RunReport, StageReport,
 };
 use crate::reporter::{Level, Reporter};
-use crate::sync::{Arc, Mutex, MutexGuard};
+use crate::status::{StatusAttr, StatusSnapshot};
+use crate::sync::{Arc, Mutex, MutexGuard, Weak};
 use crate::trace::{TraceLocal, TraceWriter};
 
 /// Well-known counter names used across the pipeline.
@@ -69,6 +72,22 @@ pub mod counters {
     /// expired mid-FBDT (deadline-aware degradation, step above the
     /// majority-constant fallback).
     pub const CKPT_DEADLINE_PARTIAL_OUTPUTS: &str = "ckpt.deadline_partial_outputs";
+    /// Tasks pushed onto work-stealing deques (owner side).
+    pub const EXEC_PUSHES: &str = "exec.pushes";
+    /// Tasks popped from the owner end of work-stealing deques.
+    pub const EXEC_POPS: &str = "exec.pops";
+    /// Tasks successfully stolen from other workers' deques.
+    pub const EXEC_STEALS: &str = "exec.steals";
+    /// Steal attempts that found the victim's deque empty.
+    pub const EXEC_STEAL_EMPTY: &str = "exec.steal_empty";
+    /// Steal attempts that lost a race and had to retry.
+    pub const EXEC_STEAL_RETRY: &str = "exec.steal_retry";
+    /// High-water mark of any single deque's queue depth.
+    pub const EXEC_DEPTH_MAX: &str = "exec.depth_max";
+    /// Worker observers that published executor statistics.
+    pub const EXEC_WORKERS: &str = "exec.workers";
+    /// Flight-recorder dumps written (by any trigger).
+    pub const FLIGHT_DUMPS: &str = "flight.dumps";
 }
 
 /// Well-known latency histogram names used across the pipeline. All
@@ -87,6 +106,10 @@ pub mod histograms {
     pub const SYNTH_PASS_NS: &str = "synth.pass_ns";
     /// Per-pass static-analysis audit time (the pre-SAT gate).
     pub const ANALYZE_AUDIT_NS: &str = "analyze.audit_ns";
+    /// Per-task busy time on executor workers (task execution spans).
+    pub const EXEC_BUSY_NS: &str = "exec.busy_ns";
+    /// Per-gap idle time on executor workers (empty pop/steal spans).
+    pub const EXEC_IDLE_NS: &str = "exec.idle_ns";
 }
 
 struct ActiveSpan {
@@ -123,6 +146,60 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
+/// Writes a status payload produced under the telemetry lock (see
+/// [`Inner::maybe_emit_metrics`]). Best-effort: a full disk or an
+/// unlinked directory must not take the run down.
+fn write_status(payload: Option<(PathBuf, String)>) {
+    if let Some((path, contents)) = payload {
+        let _ = crate::persist::write_atomic(&path, contents);
+    }
+}
+
+/// Summarizes the shared histograms with any still-live per-thread
+/// recorder samples folded in — *without* mutating the shared
+/// histograms, so the eventual drop-merge cannot double-count. This is
+/// what makes a mid-run report snapshot (the panic / dump path)
+/// include samples that have not reached their join point yet.
+fn fold_histograms(
+    shared: &BTreeMap<String, Arc<Histogram>>,
+    live: &[(String, Weak<Histogram>)],
+) -> BTreeMap<String, crate::HistogramSummary> {
+    let mut pending: BTreeMap<&str, Vec<Arc<Histogram>>> = BTreeMap::new();
+    for (name, weak) in live {
+        if let Some(h) = weak.upgrade() {
+            if h.count() > 0 {
+                pending.entry(name.as_str()).or_default().push(h);
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (name, h) in shared {
+        match pending.remove(name.as_str()) {
+            None => {
+                if h.count() > 0 {
+                    out.insert(name.clone(), h.summary());
+                }
+            }
+            Some(locals) => {
+                let folded = Histogram::new();
+                folded.merge(h);
+                for local in &locals {
+                    folded.merge(local);
+                }
+                out.insert(name.clone(), folded.summary());
+            }
+        }
+    }
+    for (name, locals) in pending {
+        let folded = Histogram::new();
+        for local in &locals {
+            folded.merge(local);
+        }
+        out.insert(name.to_owned(), folded.summary());
+    }
+    out
+}
+
 struct Inner {
     reporter: Box<dyn Reporter>,
     start: Instant,
@@ -148,6 +225,23 @@ struct Inner {
     gauge_aig_nodes: u64,
     metrics_last: Instant,
     metrics_last_queries: u64,
+    /// Queries/s over the last metrics interval (a gauge for status
+    /// snapshots, refreshed by [`Inner::maybe_emit_metrics`]).
+    gauge_queries_per_s: u64,
+    /// The always-on flight recorder (None only for handles that
+    /// explicitly opted out).
+    flight: Option<FlightRecorder>,
+    /// Where [`Telemetry::dump_flight`] writes its JSONL snapshot.
+    flight_dump_path: Option<PathBuf>,
+    /// Where the live status snapshot is atomically rewritten (the
+    /// `--status <path>` channel), on the metrics throttle.
+    status_path: Option<PathBuf>,
+    /// Learner progress cursor: (outputs done, outputs total).
+    progress: (u64, u64),
+    /// Live per-thread histogram recorders (weak, pruned on insert) so
+    /// a report snapshot taken mid-run — the panic path — can fold in
+    /// samples that have not drop-merged yet.
+    local_recorders: Vec<(String, Weak<Histogram>)>,
 }
 
 impl Inner {
@@ -170,16 +264,22 @@ impl Inner {
         self.stack.first().map(|s| s.name.as_str()).unwrap_or("")
     }
 
-    /// Emits a `metrics` snapshot event if tracing and (unless
-    /// `force`d) at most once per [`METRICS_INTERVAL`].
-    fn maybe_emit_metrics(&mut self, force: bool) {
-        if self.trace.is_none() {
-            return;
+    /// Emits a `metrics` snapshot event — to the trace stream and the
+    /// flight recorder — if any sink wants it and (unless `force`d) at
+    /// most once per [`METRICS_INTERVAL`].
+    ///
+    /// Returns the status-channel payload to write, if a `--status`
+    /// path is set and the throttle fired. The *caller* must write it
+    /// after releasing the telemetry mutex: the atomic rewrite fsyncs,
+    /// and that must never happen under the lock.
+    fn maybe_emit_metrics(&mut self, force: bool) -> Option<(PathBuf, String)> {
+        if self.trace.is_none() && self.flight.is_none() && self.status_path.is_none() {
+            return None;
         }
         let now = Instant::now();
         let dt = now.duration_since(self.metrics_last);
         if !force && dt < METRICS_INTERVAL {
-            return;
+            return None;
         }
         let queries = self
             .counters
@@ -203,11 +303,62 @@ impl Inner {
         self.trace("metrics", &stage, &fields);
         self.metrics_last = now;
         self.metrics_last_queries = queries;
+        self.gauge_queries_per_s = qps;
+        self.status_payload(false)
     }
 
+    /// Builds the `--status` channel payload (path + serialized
+    /// snapshot) for the caller to `write_atomic` outside the lock.
+    fn status_payload(&self, done: bool) -> Option<(PathBuf, String)> {
+        let path = self.status_path.clone()?;
+        Some((path, self.status_snapshot(done).to_json().to_pretty()))
+    }
+
+    /// The current run state as a compact [`StatusSnapshot`].
+    fn status_snapshot(&self, done: bool) -> StatusSnapshot {
+        let counter = |name: &str| self.counters.get(name).copied().unwrap_or(0);
+        let mut attribution: Vec<StatusAttr> = self
+            .ledger
+            .iter()
+            .map(|((stage, output), cell)| StatusAttr {
+                stage: stage.clone(),
+                output: *output,
+                queries: cell.queries,
+                query_ns: cell.query_ns,
+                gates: cell.gates,
+            })
+            .collect();
+        attribution.sort_by_key(|cell| std::cmp::Reverse(cell.query_ns));
+        attribution.truncate(StatusSnapshot::TOP_K);
+        StatusSnapshot {
+            pid: std::process::id() as u64,
+            meta: self.meta.clone(),
+            elapsed_s: self.start.elapsed().as_secs_f64(),
+            stage: self.current_path(),
+            queries: counter(counters::ORACLE_QUERIES),
+            queries_per_s: self.gauge_queries_per_s,
+            aig_nodes: self.gauge_aig_nodes,
+            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+            outputs_done: self.progress.0,
+            outputs_total: self.progress.1,
+            ckpt_writes: counter(counters::CKPT_WRITES),
+            ckpt_bytes: counter(counters::CKPT_BYTES),
+            degraded_outputs: counter(counters::FAULT_DEGRADED_OUTPUTS),
+            attribution,
+            done,
+        }
+    }
+
+    /// The tee point: every structural event goes to the attached
+    /// trace stream (if any) *and* into the calling thread's flight
+    /// ring (if the recorder is on). The flight copy is re-stamped
+    /// with the recorder's own clock so a dump has one timeline.
     fn trace(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
         if let Some(trace) = &self.trace {
             trace.emit(kind, stage, fields);
+        }
+        if let Some(flight) = &self.flight {
+            flight.record_event(kind, stage, fields);
         }
     }
 
@@ -321,6 +472,12 @@ impl Telemetry {
                 gauge_aig_nodes: 0,
                 metrics_last: Instant::now(),
                 metrics_last_queries: 0,
+                gauge_queries_per_s: 0,
+                flight: Some(FlightRecorder::new(crate::flight::DEFAULT_RING_BYTES)),
+                flight_dump_path: None,
+                status_path: None,
+                progress: (0, 0),
+                local_recorders: Vec::new(),
             }))),
         }
     }
@@ -420,7 +577,7 @@ impl Telemetry {
         if n == 0 {
             return;
         }
-        if let Some(mut inner) = self.lock() {
+        let status = if let Some(mut inner) = self.lock() {
             match inner.counters.get_mut(counters::ORACLE_QUERIES) {
                 Some(v) => *v += n,
                 None => {
@@ -438,8 +595,11 @@ impl Telemetry {
             if let Some(d) = depth {
                 *cell.by_depth.entry(d).or_insert(0) += n;
             }
-            inner.maybe_emit_metrics(false);
-        }
+            inner.maybe_emit_metrics(false)
+        } else {
+            None
+        };
+        write_status(status);
     }
 
     /// Marks the output the pipeline is about to learn; queries and
@@ -490,25 +650,168 @@ impl Telemetry {
         }
     }
 
-    /// Emits a `metrics` snapshot immediately (ignoring the periodic
-    /// throttle) — a no-op unless a trace stream is attached.
-    pub fn emit_metrics_snapshot(&self) {
+    /// Publishes the learner's progress cursor: `done` of `total`
+    /// outputs finished — surfaced on the status channel.
+    pub fn set_progress(&self, done: u64, total: u64) {
         if let Some(mut inner) = self.lock() {
-            inner.maybe_emit_metrics(true);
+            inner.progress = (done, total);
         }
     }
 
-    /// Flushes the attribution ledger onto the trace stream: one final
-    /// `metrics` snapshot, then one `attr` event per ledger cell. Safe
-    /// to call more than once (events repeat; the ledger itself is
-    /// unchanged) — the CLI calls it right before writing the report,
-    /// and the panic drop-guard calls it before the `aborted` marker.
-    pub fn trace_attribution(&self) {
+    /// Raises `counter` to at least `value` — for high-water-mark
+    /// gauges (for example the executor's maximum queue depth) that
+    /// several workers publish independently.
+    pub fn set_counter_max(&self, counter: &str, value: u64) {
+        if value == 0 {
+            return;
+        }
         if let Some(mut inner) = self.lock() {
-            if inner.trace.is_none() {
+            match inner.counters.get_mut(counter) {
+                Some(v) => *v = (*v).max(value),
+                None => {
+                    inner.counters.insert(counter.to_owned(), value);
+                }
+            }
+        }
+    }
+
+    /// Points the live status channel at `path` (or detaches it with
+    /// `None`): the run then atomically rewrites a compact JSON
+    /// [`StatusSnapshot`](crate::StatusSnapshot) there, at most once
+    /// per metrics interval, plus a final one from
+    /// [`Telemetry::finalize_status`].
+    pub fn set_status_path(&self, path: Option<PathBuf>) {
+        if let Some(mut inner) = self.lock() {
+            inner.status_path = path;
+        }
+    }
+
+    /// Sets (or clears) where [`Telemetry::dump_flight`] writes its
+    /// JSONL snapshot. With no path set, dumps are skipped.
+    pub fn set_flight_dump_path(&self, path: Option<PathBuf>) {
+        if let Some(mut inner) = self.lock() {
+            inner.flight_dump_path = path;
+        }
+    }
+
+    /// Turns the always-on flight recorder off for this handle — the
+    /// escape hatch behind `--flight off` (overhead experiments).
+    pub fn disable_flight(&self) {
+        if let Some(mut inner) = self.lock() {
+            inner.flight = None;
+        }
+    }
+
+    /// The flight recorder handle, if recording (tests and executor
+    /// instrumentation use it directly).
+    pub fn flight(&self) -> Option<FlightRecorder> {
+        self.lock().and_then(|inner| inner.flight.clone())
+    }
+
+    /// Writes a final status snapshot marked `done` (ignoring the
+    /// throttle) so `cirlearn top` followers see the run finish.
+    pub fn finalize_status(&self) {
+        let payload = self.lock().and_then(|inner| inner.status_payload(true));
+        write_status(payload);
+    }
+
+    /// Dumps the flight recorder to the configured dump path: every
+    /// thread's recent events (consistent ring snapshots, sorted by
+    /// tid) plus a trailer — a `flight` marker carrying `reason`, a
+    /// final `metrics` snapshot and the attribution ledger — written
+    /// atomically as well-formed JSONL that `trace summary` and
+    /// `trace export --chrome` accept.
+    ///
+    /// Returns the path written, or `None` when the recorder is off,
+    /// no dump path is set, or the write failed. Called on panic
+    /// (drop-guard), fault degradation, deadline expiry, checkpoint
+    /// suspension and SIGUSR1.
+    pub fn dump_flight(&self, reason: &str) -> Option<PathBuf> {
+        // Ordering matters (the same bug class as the PR 6 drop-guard
+        // fix): drain per-thread trace buffers first so the trace
+        // stream on disk is not behind the dump that accompanies it.
+        self.flush_trace();
+        let (flight, path, trailer) = {
+            let mut inner = self.lock()?;
+            let flight = inner.flight.clone()?;
+            let path = inner.flight_dump_path.clone()?;
+            let stage = inner.current_path();
+            // Trailer lines are formatted with the flight clock but
+            // never recorded into a ring: they must sit *after* the
+            // ring snapshots in the dump, and the dumping thread's own
+            // ring lines all predate them, so per-tid monotonicity
+            // holds.
+            let mut trailer = String::new();
+            trailer.push_str(&flight.format_event(
+                "flight",
+                &stage,
+                &[
+                    ("reason", Json::from(reason)),
+                    ("pid", Json::from(std::process::id() as u64)),
+                ],
+            ));
+            let queries = inner
+                .counters
+                .get(counters::ORACLE_QUERIES)
+                .copied()
+                .unwrap_or(0);
+            let mut fields = vec![
+                ("queries", Json::from(queries)),
+                ("queries_per_s", Json::from(inner.gauge_queries_per_s)),
+                ("aig_nodes", Json::from(inner.gauge_aig_nodes)),
+            ];
+            if let Some(kb) = peak_rss_kb() {
+                fields.push(("peak_rss_kb", Json::from(kb)));
+            }
+            trailer.push_str(&flight.format_event("metrics", &stage, &fields));
+            for ((lstage, output), cell) in &inner.ledger {
+                trailer.push_str(&flight.format_event(
+                    "attr",
+                    lstage,
+                    &[
+                        ("output", output.map(Json::from).unwrap_or(Json::Null)),
+                        ("queries", Json::from(cell.queries)),
+                        ("query_ns", Json::from(cell.query_ns)),
+                        ("gates", Json::from(cell.gates)),
+                    ],
+                ));
+            }
+            *inner
+                .counters
+                .entry(counters::FLIGHT_DUMPS.to_owned())
+                .or_insert(0) += 1;
+            (flight, path, trailer)
+        };
+        // Snapshot + atomic write happen outside the lock: the fsync
+        // pair can be slow and must never stall recording threads.
+        match flight.dump_to_file(&path, &trailer) {
+            Ok(()) => Some(path),
+            Err(_) => None,
+        }
+    }
+
+    /// Emits a `metrics` snapshot immediately (ignoring the periodic
+    /// throttle) — a no-op unless a trace stream, the flight recorder
+    /// or a status path is attached.
+    pub fn emit_metrics_snapshot(&self) {
+        let status = self
+            .lock()
+            .and_then(|mut inner| inner.maybe_emit_metrics(true));
+        write_status(status);
+    }
+
+    /// Flushes the attribution ledger onto the trace stream and the
+    /// flight recorder: one final `metrics` snapshot, then one `attr`
+    /// event per ledger cell. Safe to call more than once (events
+    /// repeat; the ledger itself is unchanged) — the CLI calls it
+    /// right before writing the report, and the panic drop-guard calls
+    /// it before the `aborted` marker.
+    pub fn trace_attribution(&self) {
+        let status = if let Some(mut inner) = self.lock() {
+            if inner.trace.is_none() && inner.flight.is_none() {
                 return;
             }
-            inner.maybe_emit_metrics(true);
+            let status = inner.maybe_emit_metrics(true);
             for ((stage, output), cell) in &inner.ledger {
                 let fields = [
                     ("output", output.map(Json::from).unwrap_or(Json::Null)),
@@ -518,7 +821,11 @@ impl Telemetry {
                 ];
                 inner.trace("attr", stage, &fields);
             }
-        }
+            status
+        } else {
+            None
+        };
+        write_status(status);
     }
 
     /// The current value of a counter (0 when absent or disabled).
@@ -563,10 +870,10 @@ impl Telemetry {
     }
 
     /// Emits a custom trace event tagged with the current stage —
-    /// a no-op unless a trace stream is attached.
+    /// to the trace stream (if attached) and the flight recorder.
     pub fn trace(&self, kind: &str, fields: &[(&'static str, Json)]) {
         if let Some(inner) = self.lock() {
-            if inner.trace.is_some() {
+            if inner.trace.is_some() || inner.flight.is_some() {
                 let stage = inner.current_path();
                 inner.trace(kind, &stage, fields);
             }
@@ -584,13 +891,24 @@ impl Telemetry {
     }
 
     /// A per-thread buffered trace emitter bound to the current span
-    /// path, or `None` when no trace stream is attached. Hot loops
-    /// (the FBDT node loop) emit through it without touching the
-    /// telemetry mutex per event; dropping it flushes the buffer.
+    /// path, or `None` when neither a trace stream nor the flight
+    /// recorder is attached. Hot loops (the FBDT node loop) emit
+    /// through it without touching the telemetry mutex per event;
+    /// dropping it flushes the buffer.
+    ///
+    /// With the always-on flight recorder this returns `Some` even
+    /// when `--trace` is off: the local then records only into the
+    /// calling thread's bounded flight ring, which is what makes the
+    /// black box capture hot-path `node` events for free.
     pub fn trace_local(&self) -> Option<TraceLocal> {
         let inner = self.lock()?;
-        let trace = inner.trace.as_ref()?;
-        Some(trace.local(&inner.current_path()))
+        let stage = inner.current_path();
+        match (&inner.trace, &inner.flight) {
+            (Some(trace), Some(flight)) => Some(trace.local(&stage).with_flight(flight.clone())),
+            (Some(trace), None) => Some(trace.local(&stage)),
+            (None, Some(flight)) => Some(TraceLocal::flight_only(flight.clone(), &stage)),
+            (None, None) => None,
+        }
     }
 
     /// A lock-free recording handle for the named histogram, creating
@@ -630,10 +948,38 @@ impl Telemetry {
     /// recorder drops (the join point). Worker threads use this to
     /// record without sharing a cache line; the merge path is the one
     /// model-checked by the loom suite.
+    ///
+    /// Live recorders are also weak-registered so a report snapshot
+    /// taken mid-run (the panic / dump path) folds their samples in
+    /// without waiting for the drop-merge — without double counting,
+    /// because the fold never mutates the shared histogram.
     pub fn local_recorder(&self, name: &str) -> LocalRecorder {
-        LocalRecorder {
-            local: Histogram::new(),
-            shared: self.histogram_handle(name).0,
+        match self.lock() {
+            None => LocalRecorder::default(),
+            Some(mut inner) => {
+                let shared = Arc::clone(
+                    inner
+                        .histograms
+                        .entry(name.to_owned())
+                        .or_insert_with(|| Arc::new(Histogram::new())),
+                );
+                let local = Arc::new(Histogram::new());
+                // Hot loops create a recorder per iteration; prune dead
+                // registrations before inserting so the registry stays
+                // bounded by the number of *live* recorders.
+                if inner.local_recorders.len() >= 16 {
+                    inner
+                        .local_recorders
+                        .retain(|(_, weak)| weak.strong_count() > 0);
+                }
+                inner
+                    .local_recorders
+                    .push((name.to_owned(), Arc::downgrade(&local)));
+                LocalRecorder {
+                    local,
+                    shared: Some(shared),
+                }
+            }
         }
     }
 
@@ -775,13 +1121,9 @@ impl Telemetry {
                 meta: inner.meta.clone(),
                 elapsed: inner.start.elapsed(),
                 faults: crate::report::FaultsReport::from_counters(&inner.counters),
+                exec: crate::report::ExecReport::from_counters(&inner.counters),
                 counters: inner.counters.clone(),
-                histograms: inner
-                    .histograms
-                    .iter()
-                    .filter(|(_, h)| h.count() > 0)
-                    .map(|(name, h)| (name.clone(), h.summary()))
-                    .collect(),
+                histograms: fold_histograms(&inner.histograms, &inner.local_recorders),
                 stages: inner.stages.values().cloned().collect(),
                 passes: inner.passes.clone(),
                 checkpoints: inner.checkpoints.clone(),
@@ -884,9 +1226,14 @@ impl Drop for OutputScope {
 /// Samples accumulate in a thread-private [`Histogram`] and are merged
 /// into the shared named histogram exactly once, when the recorder
 /// drops. With disabled telemetry every call is a no-op.
+///
+/// While live, the recorder is weak-registered with its telemetry so
+/// mid-run report snapshots can fold its samples in (see
+/// [`Telemetry::local_recorder`]); the `Arc` exists only for that
+/// registration — the owning thread is the sole writer.
 #[derive(Debug, Default)]
 pub struct LocalRecorder {
-    local: Histogram,
+    local: Arc<Histogram>,
     shared: Option<Arc<Histogram>>,
 }
 
@@ -1333,11 +1680,39 @@ mod tests {
             assert!(local.is_enabled());
             local.record(1_000);
             local.record_duration(Duration::from_micros(2));
-            // Not yet merged: the shared histogram is still empty.
-            assert!(t.report().histograms.is_empty());
+            // Not yet drop-merged, but a mid-run snapshot (the panic /
+            // dump path) folds the live recorder's samples in.
+            let mid = t.report();
+            assert_eq!(mid.histograms[crate::histograms::FBDT_NODE_NS].count, 2);
         }
+        // After the drop-merge the count is unchanged: the fold never
+        // mutates the shared histogram, so nothing double-counts.
         let report = t.report();
         assert_eq!(report.histograms[crate::histograms::FBDT_NODE_NS].count, 2);
+    }
+
+    #[test]
+    fn live_recorder_registry_is_pruned_not_leaked() {
+        let t = Telemetry::recording();
+        // Simulate a hot loop creating one recorder per iteration.
+        for _ in 0..10_000 {
+            let local = t.local_recorder(crate::histograms::FBDT_NODE_NS);
+            local.record(1);
+        }
+        let held = t.local_recorder(crate::histograms::FBDT_NODE_NS);
+        held.record(7);
+        let inner = t.inner.as_ref().expect("enabled").lock().expect("lock");
+        assert!(
+            inner.local_recorders.len() <= 17,
+            "dead registrations must be pruned, found {}",
+            inner.local_recorders.len()
+        );
+        drop(inner);
+        let report = t.report();
+        assert_eq!(
+            report.histograms[crate::histograms::FBDT_NODE_NS].count,
+            10_001
+        );
     }
 
     #[test]
@@ -1349,6 +1724,191 @@ mod tests {
         drop(local);
         let standalone = LocalRecorder::disabled();
         standalone.record_n(1, 2);
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cirlearn-telemetry-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn flight_recorder_captures_events_without_a_trace_stream() {
+        let t = Telemetry::recording();
+        assert!(!t.is_tracing(), "no --trace attached");
+        {
+            let _span = t.span("learn");
+            t.event(Level::Debug, "expanding");
+            let local = t.trace_local().expect("flight-only local exists");
+            local.emit("node", &[("depth", Json::from(2u64))]);
+        }
+        let lines: String = t
+            .flight()
+            .expect("always-on recorder")
+            .snapshot_lines()
+            .into_iter()
+            .map(|(_, text)| text)
+            .collect();
+        for expected in ["span_open", "event", "node", "span_close"] {
+            assert!(
+                lines.contains(&format!("\"kind\":\"{expected}\"")),
+                "flight ring is missing {expected}: {lines}"
+            );
+        }
+        for line in lines.lines() {
+            Json::parse(line).expect("every ring line is valid JSON");
+        }
+    }
+
+    #[test]
+    fn dump_flight_writes_a_parseable_jsonl_snapshot() {
+        let dir = scratch_dir("dump");
+        let path = dir.join("flight.jsonl");
+        let t = Telemetry::recording();
+        t.set_flight_dump_path(Some(path.clone()));
+        {
+            let _scope = t.output_scope(1);
+            let _span = t.span("fbdt");
+            t.record_oracle_queries(10, 500);
+        }
+        t.set_aig_nodes(7);
+        let written = t.dump_flight("test").expect("dump path set");
+        assert_eq!(written, path);
+        assert_eq!(t.counter(counters::FLIGHT_DUMPS), 1);
+        let text = std::fs::read_to_string(&path).expect("dump exists");
+        let mut kinds = Vec::new();
+        let mut last_t_us_by_tid: BTreeMap<u64, u64> = BTreeMap::new();
+        for line in text.lines() {
+            let parsed = Json::parse(line).expect("dump line parses");
+            kinds.push(
+                parsed
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .expect("kind")
+                    .to_owned(),
+            );
+            let tid = parsed.get("tid").and_then(Json::as_u64).expect("tid");
+            let t_us = parsed.get("t_us").and_then(Json::as_u64).expect("t_us");
+            let prev = last_t_us_by_tid.entry(tid).or_insert(0);
+            assert!(t_us >= *prev, "per-tid timestamps are monotone: {line}");
+            *prev = t_us;
+        }
+        let flight_pos = kinds.iter().position(|k| k == "flight");
+        assert!(flight_pos.is_some(), "dump carries the flight marker");
+        assert!(kinds.iter().any(|k| k == "metrics"), "final metrics line");
+        assert!(kinds.iter().any(|k| k == "attr"), "attribution trailer");
+        assert!(kinds.iter().any(|k| k == "span_open"), "ring content");
+        let flight_line = text.lines().find(|l| l.contains("\"flight\"")).expect("");
+        let parsed = Json::parse(flight_line).expect("parses");
+        assert_eq!(parsed.get("reason").and_then(Json::as_str), Some("test"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_flight_without_a_path_is_a_clean_no_op() {
+        let t = Telemetry::recording();
+        t.event(Level::Info, "hello");
+        assert_eq!(t.dump_flight("test"), None);
+        assert_eq!(Telemetry::disabled().dump_flight("test"), None);
+    }
+
+    #[test]
+    fn disabled_flight_recorder_stops_the_tee() {
+        let t = Telemetry::recording();
+        t.disable_flight();
+        assert!(t.flight().is_none());
+        assert!(
+            t.trace_local().is_none(),
+            "no trace stream and no flight: nothing to record into"
+        );
+        let dir = scratch_dir("flight-off");
+        t.set_flight_dump_path(Some(dir.join("never.jsonl")));
+        assert_eq!(t.dump_flight("test"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_channel_rewrites_snapshots_and_finalizes_done() {
+        let dir = scratch_dir("status");
+        let path = dir.join("status.json");
+        let t = Telemetry::recording();
+        t.set_status_path(Some(path.clone()));
+        t.set_meta("case", "case_42");
+        t.set_progress(2, 8);
+        {
+            let _scope = t.output_scope(3);
+            let _span = t.span("fbdt");
+            t.record_oracle_queries(50, 2_000);
+        }
+        t.emit_metrics_snapshot();
+        let snap = crate::StatusSnapshot::parse(
+            &std::fs::read_to_string(&path).expect("status file written"),
+        )
+        .expect("status parses");
+        assert_eq!(snap.pid, std::process::id() as u64);
+        assert_eq!(snap.meta.get("case").map(String::as_str), Some("case_42"));
+        assert_eq!(snap.queries, 50);
+        assert_eq!(snap.outputs_done, 2);
+        assert_eq!(snap.outputs_total, 8);
+        assert!(!snap.done);
+        assert_eq!(snap.attribution.len(), 1);
+        assert_eq!(snap.attribution[0].stage, "fbdt");
+        assert_eq!(snap.attribution[0].output, Some(3));
+        t.finalize_status();
+        let done = crate::StatusSnapshot::parse(
+            &std::fs::read_to_string(&path).expect("final status written"),
+        )
+        .expect("final status parses");
+        assert!(done.done);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_attribution_is_top_k_by_query_ns() {
+        let dir = scratch_dir("status-topk");
+        let path = dir.join("status.json");
+        let t = Telemetry::recording();
+        t.set_status_path(Some(path.clone()));
+        for output in 0..10u64 {
+            let _scope = t.output_scope(output as usize);
+            let _span = t.span("fbdt");
+            // Later outputs are more expensive, so they must win.
+            t.record_oracle_queries(1, 1_000 * (output + 1));
+        }
+        t.emit_metrics_snapshot();
+        let snap = crate::StatusSnapshot::parse(&std::fs::read_to_string(&path).expect("written"))
+            .expect("parses");
+        assert_eq!(snap.attribution.len(), crate::StatusSnapshot::TOP_K);
+        assert_eq!(snap.attribution[0].output, Some(9));
+        assert!(snap
+            .attribution
+            .windows(2)
+            .all(|w| w[0].query_ns >= w[1].query_ns));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_and_flight_both_see_hot_path_events() {
+        use crate::trace::TraceWriter;
+        let (trace, sink) = TraceWriter::to_shared_buffer();
+        let t = Telemetry::recording();
+        t.set_trace(trace);
+        {
+            let _span = t.span("fbdt");
+            let local = t.trace_local().expect("tracing");
+            local.emit("node", &[("depth", Json::from(1u64))]);
+        }
+        t.flush_trace();
+        assert!(sink.take_string().contains("\"node\""));
+        let ring: String = t
+            .flight()
+            .expect("recorder on")
+            .snapshot_lines()
+            .into_iter()
+            .map(|(_, text)| text)
+            .collect();
+        assert!(ring.contains("\"node\""), "flight ring also got it");
     }
 
     #[test]

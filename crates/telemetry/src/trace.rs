@@ -105,7 +105,7 @@ struct TraceShared {
 }
 
 /// Formats one event line (without writing it anywhere).
-fn format_line(
+pub(crate) fn format_line(
     t_us: u64,
     tid: u64,
     kind: &str,
@@ -231,8 +231,11 @@ impl TraceWriter {
             .unwrap_or_else(|p| p.into_inner())
             .push(Arc::downgrade(&buf));
         TraceLocal {
-            shared: Arc::clone(&self.shared),
-            buf,
+            sink: Some(LocalSink {
+                shared: Arc::clone(&self.shared),
+                buf,
+            }),
+            flight: None,
             stage: stage.to_owned(),
         }
     }
@@ -272,41 +275,81 @@ impl TraceWriter {
 /// its chunk to the shared sink.
 const LOCAL_FLUSH_BYTES: usize = 16 * 1024;
 
+/// The trace-stream half of a [`TraceLocal`]: the shared sink plus the
+/// thread's registered chunk buffer.
+struct LocalSink {
+    shared: Arc<TraceShared>,
+    buf: Arc<Mutex<String>>,
+}
+
 /// A per-thread buffered trace emitter (see [`TraceWriter::local`]).
 ///
 /// Events are stamped with the monotonic timestamp and the emitting
 /// thread's `tid` at [`TraceLocal::emit`] time, then buffered; the
 /// shared sink's mutex is touched only per ~16 KiB chunk. Dropping the
 /// local flushes it — that is the merge-at-join point.
+///
+/// A local can also (or only) feed the always-on
+/// [`FlightRecorder`](crate::FlightRecorder): when no `--trace` stream
+/// is attached, [`Telemetry::trace_local`](crate::Telemetry::trace_local)
+/// hands out flight-only locals so the hot path keeps recording into
+/// the bounded per-thread rings. Flight events are stamped with the
+/// flight recorder's own clock (the one the rest of the dump uses), so
+/// each sink sees a consistent timeline.
 pub struct TraceLocal {
-    shared: Arc<TraceShared>,
-    buf: Arc<Mutex<String>>,
+    sink: Option<LocalSink>,
+    flight: Option<crate::FlightRecorder>,
     stage: String,
 }
 
 impl TraceLocal {
+    /// A local that records only into the flight recorder's rings.
+    pub(crate) fn flight_only(flight: crate::FlightRecorder, stage: &str) -> TraceLocal {
+        TraceLocal {
+            sink: None,
+            flight: Some(flight),
+            stage: stage.to_owned(),
+        }
+    }
+
+    /// Attaches a flight recorder: subsequent events go to both the
+    /// trace stream and the calling thread's flight ring.
+    pub(crate) fn with_flight(mut self, flight: crate::FlightRecorder) -> TraceLocal {
+        self.flight = Some(flight);
+        self
+    }
+
     /// Buffers one event line under the local's captured stage path.
     pub fn emit(&self, kind: &str, fields: &[(&'static str, Json)]) {
-        let t_us = u64::try_from(self.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let line = format_line(t_us, current_tid(), kind, &self.stage, fields);
-        let full = {
-            let mut buf = self.buf.lock().unwrap_or_else(|p| p.into_inner());
-            buf.push_str(&line);
-            buf.len() >= LOCAL_FLUSH_BYTES
-        };
-        if full {
-            self.flush();
+        if let Some(sink) = &self.sink {
+            let t_us = u64::try_from(sink.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+            let line = format_line(t_us, current_tid(), kind, &self.stage, fields);
+            let full = {
+                let mut buf = sink.buf.lock().unwrap_or_else(|p| p.into_inner());
+                buf.push_str(&line);
+                buf.len() >= LOCAL_FLUSH_BYTES
+            };
+            if full {
+                self.flush();
+            }
+        }
+        if let Some(flight) = &self.flight {
+            // Re-stamped with the flight clock so the ring's timeline
+            // matches the other lines in an eventual dump.
+            flight.record_event(kind, &self.stage, fields);
         }
     }
 
     /// Hands the buffered chunk to the shared sink (without forcing
     /// the sink itself to disk — buffered kinds ride the `BufWriter`).
+    /// Flight-ring events need no flushing (the ring is the store).
     pub fn flush(&self) {
-        let chunk = std::mem::take(&mut *self.buf.lock().unwrap_or_else(|p| p.into_inner()));
+        let Some(sink) = &self.sink else { return };
+        let chunk = std::mem::take(&mut *sink.buf.lock().unwrap_or_else(|p| p.into_inner()));
         if chunk.is_empty() {
             return;
         }
-        let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
+        let mut inner = sink.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.write_text(&chunk);
     }
 }
@@ -314,13 +357,14 @@ impl TraceLocal {
 impl Drop for TraceLocal {
     fn drop(&mut self) {
         self.flush();
+        let Some(sink) = &self.sink else { return };
         // Unregister eagerly so the writer's registry stays small even
         // if flush() is never called on the writer itself.
-        self.shared
+        sink.shared
             .locals
             .lock()
             .unwrap_or_else(|p| p.into_inner())
-            .retain(|w| w.strong_count() > 0 && !w.ptr_eq(&Arc::downgrade(&self.buf)));
+            .retain(|w| w.strong_count() > 0 && !w.ptr_eq(&Arc::downgrade(&sink.buf)));
     }
 }
 

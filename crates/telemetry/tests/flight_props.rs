@@ -1,0 +1,108 @@
+//! Property tests for the flight-recorder ring (tier-1, default
+//! backend).
+//!
+//! Randomized evidence on real `std` atomics for the recorder's core
+//! bounded-history contract: however line lengths and ring capacities
+//! interleave across the wrap boundary, a snapshot is always a whole-
+//! line **suffix** of the append history — oldest events are evicted,
+//! never torn, and the newest line always survives.
+
+#![cfg(not(any(loom, race)))]
+
+use cirlearn_telemetry::FlightRing;
+use proptest::prelude::*;
+
+/// An append history: each entry is one line's payload length (the
+/// line is `"<index>:<'x' * len>\n"`, so every line is unique and
+/// self-identifying).
+fn lines(lens: &[usize]) -> Vec<String> {
+    lens.iter()
+        .enumerate()
+        .map(|(i, len)| format!("{i}:{}\n", "x".repeat(*len)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn snapshot_is_a_whole_line_suffix_of_the_history(
+        cap_pow in 3u32..9,                                    // 8..256 bytes
+        lens in proptest::collection::vec(0usize..40, 1..60),
+    ) {
+        let capacity = 1usize << cap_pow;
+        let ring = FlightRing::new(capacity);
+        let history = lines(&lens);
+        for line in &history {
+            ring.append(line.as_bytes());
+        }
+        let fits: Vec<&String> =
+            history.iter().filter(|l| l.len() <= capacity).collect();
+        let dropped = history.len() - fits.len();
+        prop_assert_eq!(
+            ring.oversize_dropped(),
+            dropped as u64,
+            "lines wider than the whole ring are counted, not wedged"
+        );
+        let bytes = ring.snapshot().expect("no concurrent writer");
+        let text = String::from_utf8(bytes).expect("snapshots are whole UTF-8 lines");
+        // The snapshot must be exactly the longest suffix of the
+        // appended (non-oversize) lines that fits the live window —
+        // whole lines only, so a torn or reordered byte anywhere
+        // breaks the equality.
+        let mut expected = String::new();
+        for line in fits.iter().rev() {
+            if expected.len() + line.len() > ring.capacity() {
+                break;
+            }
+            expected.insert_str(0, line);
+        }
+        // The trim-at-newline after a wrap may evict one extra whole
+        // line when the window boundary lands exactly on a line start;
+        // accept either the maximal suffix or the same suffix minus
+        // its oldest line — but never anything torn.
+        let minus_oldest = match expected.find('\n') {
+            Some(i) => &expected[i + 1..],
+            None => "",
+        };
+        prop_assert!(
+            text == expected || text == minus_oldest,
+            "snapshot {text:?} is not a whole-line suffix (expected {expected:?} \
+             or {minus_oldest:?})"
+        );
+        if let Some(newest) = fits.last() {
+            prop_assert!(
+                text.ends_with(newest.as_str()),
+                "the newest line always survives: {text:?} vs {newest:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrapped_ring_never_reports_stale_or_duplicate_lines(
+        lens in proptest::collection::vec(0usize..12, 20..80),
+    ) {
+        // Small fixed ring, many small lines: maximal wrap churn.
+        let ring = FlightRing::new(64);
+        let history = lines(&lens);
+        for line in &history {
+            ring.append(line.as_bytes());
+        }
+        let text = String::from_utf8(ring.snapshot().expect("quiescent"))
+            .expect("utf-8");
+        let mut indices = Vec::new();
+        for line in text.lines() {
+            let (idx, _) = line.split_once(':').expect("self-identifying line");
+            indices.push(idx.parse::<usize>().expect("intact index"));
+        }
+        // Surviving lines are a contiguous, strictly increasing run
+        // ending at the newest append: no duplicates, no resurrection
+        // of evicted lines, no gaps.
+        for pair in indices.windows(2) {
+            prop_assert_eq!(pair[1], pair[0] + 1, "consecutive survivors");
+        }
+        if let Some(&last) = indices.last() {
+            prop_assert_eq!(last, history.len() - 1, "newest line survives");
+        }
+    }
+}

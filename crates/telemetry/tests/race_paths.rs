@@ -112,6 +112,46 @@ fn trace_local_drains_are_race_free() {
 }
 
 #[test]
+fn flight_ring_appends_and_snapshots_are_race_free() {
+    // The flight recorder's dump path: worker threads append into
+    // their per-thread rings at full speed while a dumper snapshots
+    // them. All cross-thread traffic rides the seqlock's atomics, so
+    // the detector must stay quiet — and every snapshot it takes must
+    // still be whole lines.
+    let recorder = cirlearn_telemetry::FlightRecorder::new(256);
+    let writers: Vec<_> = (0..3)
+        .map(|k| {
+            let recorder = recorder.clone();
+            tsan::thread::spawn(move || {
+                for i in 0..200u64 {
+                    recorder.record_line(&format!(
+                        "{{\"t_us\":{i},\"kind\":\"node\",\"stage\":\"w{k}\",\"tid\":0}}\n"
+                    ));
+                }
+            })
+        })
+        .collect();
+    let dumper = {
+        let recorder = recorder.clone();
+        tsan::thread::spawn(move || {
+            for _ in 0..50 {
+                for (_, text) in recorder.snapshot_lines() {
+                    for line in text.lines() {
+                        Json::parse(line).expect("snapshot lines are never torn");
+                    }
+                }
+            }
+        })
+    };
+    for w in writers {
+        w.join().expect("no race on the append path");
+    }
+    dumper.join().expect("no race on the snapshot path");
+    let rings = recorder.snapshot_lines();
+    assert_eq!(rings.len(), 3, "one ring per appending thread");
+}
+
+#[test]
 fn the_detector_is_live_on_this_configuration() {
     // A seeded race: two sibling threads write a RacyCell with no
     // synchronization between them. Fork edges order each against the
