@@ -381,6 +381,7 @@ impl Aig {
     /// `(node, fanin0, fanin1)`.
     pub fn ands(&self) -> impl Iterator<Item = (NodeId, Edge, Edge)> + '_ {
         (self.num_inputs + 1..self.fanins.len())
+            // panic-ok: `i` ranges over `fanins` indices by construction.
             .map(move |i| (NodeId(i as u32), self.fanins[i][0], self.fanins[i][1]))
     }
 
@@ -391,19 +392,30 @@ impl Aig {
     ///
     /// Panics if `bits.len() != num_inputs`.
     pub fn eval_bits(&self, bits: &[bool]) -> Vec<bool> {
+        // panic-ok: documented `# Panics` contract guard, once per
+        // evaluation (not per node).
         assert_eq!(bits.len(), self.num_inputs, "wrong input width");
         let mut values = vec![false; self.fanins.len()];
         for (i, &b) in bits.iter().enumerate() {
+            // panic-ok: `i < num_inputs ≤ fanins.len() - 1` after the
+            // width guard; slot 0 is the constant node.
             values[i + 1] = b;
         }
         for i in self.num_inputs + 1..self.fanins.len() {
+            // panic-ok: `i` ranges over `fanins` indices.
             let [a, b] = self.fanins[i];
+            // panic-ok: fanin edges point at earlier nodes (the graph
+            // is topologically ordered by construction).
             let va = values[a.node().index()] != a.is_complemented();
+            // panic-ok: same topological-order invariant.
             let vb = values[b.node().index()] != b.is_complemented();
+            // panic-ok: `i < fanins.len() == values.len()`.
             values[i] = va && vb;
         }
         self.outputs
             .iter()
+            // panic-ok: output edges point at existing nodes (checked
+            // when the output was added).
             .map(|(e, _)| values[e.node().index()] != e.is_complemented())
             .collect()
     }

@@ -15,16 +15,23 @@ impl Aig {
     ///
     /// Panics if `inputs.len() != num_inputs` or pattern counts differ.
     pub fn simulate_nodes(&self, inputs: &[SimVector]) -> Vec<SimVector> {
+        // panic-ok: documented `# Panics` contract guard, once per
+        // simulated block (not per pattern).
         assert_eq!(inputs.len(), self.num_inputs(), "wrong input count");
         let patterns = inputs.first().map_or(0, SimVector::len);
         let mut values = Vec::with_capacity(self.node_count());
         values.push(SimVector::zeros(patterns));
         for v in inputs {
+            // panic-ok: documented `# Panics` contract guard, once per
+            // input vector.
             assert_eq!(v.len(), patterns, "pattern counts differ across inputs");
             values.push(v.clone());
         }
         for (_, a, b) in self.ands() {
+            // panic-ok: fanin edges point at earlier nodes (topological
+            // order by construction), all already pushed.
             let va = &values[a.node().index()];
+            // panic-ok: same topological-order invariant.
             let vb = &values[b.node().index()];
             let v = SimVector::and2(va, a.is_complemented(), vb, b.is_complemented());
             values.push(v);
@@ -58,6 +65,8 @@ impl Aig {
     /// Panics if any assignment is not exactly `num_inputs` wide.
     pub fn eval_batch(&self, patterns: &[Assignment]) -> Vec<Vec<bool>> {
         for p in patterns {
+            // panic-ok: documented `# Panics` contract guard, once per
+            // row (not per bit).
             assert_eq!(p.len(), self.num_inputs(), "wrong assignment width");
         }
         let inputs: Vec<SimVector> = (0..self.num_inputs() as u32)
@@ -81,6 +90,8 @@ impl Aig {
 }
 
 fn resolve(values: &[SimVector], e: Edge) -> SimVector {
+    // panic-ok: `values` holds one vector per node and edges point at
+    // existing nodes (checked when the edge was created).
     let mut v = values[e.node().index()].clone();
     if e.is_complemented() {
         v.not_assign();

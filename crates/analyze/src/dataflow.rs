@@ -52,6 +52,8 @@ pub struct DataflowResult<V> {
 impl<V: Clone> DataflowResult<V> {
     /// The fixpoint value of `node`.
     pub fn value(&self, node: NodeId) -> &V {
+        // panic-ok: `values` holds one slot per node of the analyzed
+        // graph; node ids come from that same graph.
         &self.values[node.index()]
     }
 

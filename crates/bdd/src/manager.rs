@@ -111,6 +111,7 @@ impl Bdd {
     ///
     /// Panics if `index ≥ num_vars`.
     pub fn var(&mut self, index: u32) -> BddRef {
+        // panic-ok: documented `# Panics` contract guard.
         assert!((index as usize) < self.num_vars, "variable out of range");
         self.mk(index, BddRef::FALSE, BddRef::TRUE)
     }

@@ -292,6 +292,9 @@ impl LearnState {
     /// I/O failures surface as [`CheckpointError::Io`]; every form of
     /// corruption as the matching typed variant.
     pub fn load(path: impl AsRef<Path>) -> Result<LearnState, CheckpointError> {
+        // blocking-ok: checkpoint load runs once at resume, before the
+        // learning loop starts; the hot-graph edge here is a widened
+        // `.load()` (atomic) call, not a real hot-path caller.
         let bytes = std::fs::read(path)?;
         LearnState::from_file_bytes(&bytes)
     }

@@ -356,8 +356,13 @@ impl FbdtBuilder {
                 Some(i) => {
                     self.stats.splits += 1;
                     let v = Var::new(i as u32);
+                    // panic-ok: `v` comes from `free`, which holds only
+                    // variables the cube leaves unconstrained, so
+                    // `and_literal` cannot conflict (Algorithm 2 splits
+                    // on fresh variables by construction).
                     self.queue
                         .push_back(cube.and_literal(v.negative()).expect("fresh variable"));
+                    // panic-ok: same invariant as the negative branch.
                     self.queue
                         .push_back(cube.and_literal(v.positive()).expect("fresh variable"));
                     disposition = "split";

@@ -76,7 +76,10 @@ impl SampleStats {
     pub fn most_significant(&self, free: &[usize]) -> Option<usize> {
         free.iter()
             .copied()
+            // panic-ok: callers pass `free ⊆ 0..num_inputs` and
+            // `dependency` has exactly `num_inputs` slots.
             .max_by_key(|&i| self.dependency[i])
+            // panic-ok: same bound as the `max_by_key` line.
             .filter(|&i| self.dependency[i] > 0)
     }
 
@@ -111,21 +114,31 @@ pub fn pattern_sampling<O: Oracle + ?Sized>(
     config: &SamplingConfig,
     rng: &mut StdRng,
 ) -> SampleStats {
+    // panic-ok: entry contract guard, once per sampling call (not per
+    // pattern); everything below relies on `output` being in range.
     assert!(output < oracle.num_outputs(), "output index out of range");
+    let n = oracle.num_inputs();
     for &i in probe {
+        // panic-ok: entry contract guard — bounds every later
+        // `dependency[i]` write and `flip` call.
+        assert!(i < n, "probe input {i} out of range");
+        // panic-ok: entry contract guard, once per probe input.
         assert!(
             !cube.contains_var(Var::new(i as u32)),
             "probe input {i} is fixed by the cube"
         );
     }
-    let n = oracle.num_inputs();
     let r = config.rounds.max(1);
 
     // Base block: r assignments satisfying the cube, with cycling
-    // 1-ratios.
+    // 1-ratios (an empty ratio list falls back to unbiased 0.5).
     let mut base: Vec<Assignment> = Vec::with_capacity(r);
     for k in 0..r {
-        let ratio = config.ratios[k % config.ratios.len().max(1)];
+        let ratio = config
+            .ratios
+            .get(k % config.ratios.len().max(1))
+            .copied()
+            .unwrap_or(0.5);
         let mut a = if (ratio - 0.5).abs() < f64::EPSILON {
             Assignment::random(n, rng)
         } else {
@@ -135,6 +148,8 @@ pub fn pattern_sampling<O: Oracle + ?Sized>(
         base.push(a);
     }
     let base_out = oracle.query_batch(&base);
+    // panic-ok: `output` is bounded by the entry guard and oracle rows
+    // have `num_outputs` entries by the Oracle contract.
     let mut ones: u64 = base_out.iter().filter(|row| row[output]).count() as u64;
     let mut total: u64 = r as u64;
     let mut queries = r as u64;
@@ -155,14 +170,19 @@ pub fn pattern_sampling<O: Oracle + ?Sized>(
         queries += r as u64;
         let mut d = 0u64;
         for (b, f) in base_out.iter().zip(&flip_out) {
+            // panic-ok: `output` bounded by the entry guard; rows have
+            // `num_outputs` entries by the Oracle contract.
             if b[output] != f[output] {
                 d += 1;
             }
+            // panic-ok: same bound as the comparison above.
             if f[output] {
                 ones += 1;
             }
             total += 1;
         }
+        // panic-ok: `i < n` checked by the entry guard and
+        // `dependency` has exactly `n` slots.
         dependency[i] = d;
     }
 
@@ -183,6 +203,9 @@ pub fn sample_output<O: Oracle + ?Sized>(
     count: usize,
     rng: &mut StdRng,
 ) -> Vec<bool> {
+    // panic-ok: entry contract guard, once per leaf test; bounds the
+    // `row[output]` projection below.
+    assert!(output < oracle.num_outputs(), "output index out of range");
     let n = oracle.num_inputs();
     let patterns: Vec<Assignment> = (0..count)
         .map(|k| {
@@ -198,6 +221,8 @@ pub fn sample_output<O: Oracle + ?Sized>(
     oracle
         .query_batch(&patterns)
         .into_iter()
+        // panic-ok: `output` bounded by the entry guard; rows have
+        // `num_outputs` entries by the Oracle contract.
         .map(|row| row[output])
         .collect()
 }

@@ -115,6 +115,8 @@ impl RawDeque {
     }
 
     fn slot(&self, index: u64) -> &AtomicU64 {
+        // panic-ok: `mask == capacity - 1` with a power-of-two
+        // capacity, so the masked index is always in bounds.
         &self.slots[(index & self.mask) as usize]
     }
 

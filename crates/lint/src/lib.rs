@@ -41,6 +41,32 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub mod graph;
+
+/// How severe a violated rule is.
+///
+/// `Deny` rules gate exit codes (a panic or a blocking call in a hot
+/// loop is a correctness hazard for the parallel executor); `Warn`
+/// rules are advisory (an allocation in a hot loop costs throughput,
+/// not safety) and never fail a build on their own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Gates the exit code.
+    Deny,
+    /// Advisory only.
+    Warn,
+}
+
+impl Severity {
+    /// The lowercase name printed in diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
 /// Which lint rule a violation belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
@@ -52,6 +78,18 @@ pub enum Rule {
     RelaxedStore,
     /// A direct atomic import in an alias-enforced crate.
     AtomicAlias,
+    /// A panic-capable construct (`unwrap`/`expect`/`panic!`/`assert!`/
+    /// `unreachable!`/slice indexing) in a function reachable from a
+    /// hot-path root, without a `// panic-ok:` justification.
+    HotPanic,
+    /// A heap allocation (`Vec::new`/`Box::new`/`format!`/`clone`/…)
+    /// in a function reachable from a hot-path root, without an
+    /// `// alloc-ok:` justification.
+    HotAlloc,
+    /// A blocking call (`Mutex::lock`, file/process I/O, `println!`)
+    /// in a hot function or anywhere in `crates/exec/src`, without a
+    /// `// blocking-ok:` justification.
+    HotBlocking,
 }
 
 impl Rule {
@@ -62,6 +100,23 @@ impl Rule {
             Rule::StaticMut => "static-mut",
             Rule::RelaxedStore => "relaxed-store",
             Rule::AtomicAlias => "atomic-alias",
+            Rule::HotPanic => "hot-panic",
+            Rule::HotAlloc => "hot-alloc",
+            Rule::HotBlocking => "hot-blocking",
+        }
+    }
+
+    /// The rule's severity. All line rules and two of the three
+    /// hot-path families gate; allocation findings advise.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::UnsafeSafetyComment
+            | Rule::StaticMut
+            | Rule::RelaxedStore
+            | Rule::AtomicAlias
+            | Rule::HotPanic
+            | Rule::HotBlocking => Severity::Deny,
+            Rule::HotAlloc => Severity::Warn,
         }
     }
 }
@@ -108,9 +163,9 @@ pub struct Report {
 /// suppress a rule; comment text is preserved separately because two of
 /// the rules key off `SAFETY:` / `relaxed-ok:` annotations.
 #[derive(Debug, Default, Clone)]
-struct SplitLine {
-    code: String,
-    comment: String,
+pub(crate) struct SplitLine {
+    pub(crate) code: String,
+    pub(crate) comment: String,
 }
 
 impl SplitLine {
@@ -135,7 +190,7 @@ enum State {
 }
 
 /// Split a whole file into per-line (code, comment) pairs.
-fn split_lines(contents: &str) -> Vec<SplitLine> {
+pub(crate) fn split_lines(contents: &str) -> Vec<SplitLine> {
     let mut out = Vec::new();
     let mut cur = SplitLine::default();
     let mut state = State::Code;
@@ -286,7 +341,7 @@ fn split_lines(contents: &str) -> Vec<SplitLine> {
 /// walk also passes through code lines that are mid-statement (no
 /// terminating `;`/`{`/`}`), checking their trailing comments on the
 /// way. A blank line or a completed statement breaks contiguity.
-fn annotated(lines: &[SplitLine], idx: usize, needle: &str) -> bool {
+pub(crate) fn annotated(lines: &[SplitLine], idx: usize, needle: &str) -> bool {
     if lines[idx].comment.contains(needle) {
         return true;
     }
@@ -315,7 +370,7 @@ fn annotated(lines: &[SplitLine], idx: usize, needle: &str) -> bool {
 }
 
 /// Find word-boundary occurrences of `word` in `code`.
-fn word_positions(code: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_positions(code: &str, word: &str) -> Vec<usize> {
     let bytes = code.as_bytes();
     let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
     let mut out = Vec::new();
@@ -454,7 +509,7 @@ pub fn scan_source(path: &str, contents: &str) -> Vec<Violation> {
 
 /// Recursively collect `.rs` files under `dir`, skipping build output
 /// and hidden directories.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

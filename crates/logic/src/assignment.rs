@@ -87,6 +87,8 @@ impl Assignment {
     ///
     /// Panics if `ratio` is not in `[0, 1]`.
     pub fn random_biased<R: Rng + ?Sized>(len: usize, ratio: f64, rng: &mut R) -> Self {
+        // panic-ok: documented `# Panics` contract guard, once per
+        // assignment draw.
         assert!(
             (0.0..=1.0).contains(&ratio),
             "bias ratio {ratio} outside [0, 1]"
@@ -117,11 +119,14 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn get(&self, var: Var) -> bool {
         let i = var.index() as usize;
+        // panic-ok: documented `# Panics` contract guard.
         assert!(
             i < self.len,
             "variable {var} out of range ({} vars)",
             self.len
         );
+        // panic-ok: `i < len` above implies `i / 64 < words.len()`
+        // (words holds ceil(len / 64) limbs).
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
 
@@ -132,6 +137,7 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn set(&mut self, var: Var, value: bool) {
         let i = var.index() as usize;
+        // panic-ok: documented `# Panics` contract guard.
         assert!(
             i < self.len,
             "variable {var} out of range ({} vars)",
@@ -139,8 +145,10 @@ impl Assignment {
         );
         let mask = 1u64 << (i % 64);
         if value {
+            // panic-ok: `i < len` implies `i / 64 < words.len()`.
             self.words[i / 64] |= mask;
         } else {
+            // panic-ok: `i < len` implies `i / 64 < words.len()`.
             self.words[i / 64] &= !mask;
         }
     }
@@ -156,11 +164,13 @@ impl Assignment {
     /// Panics if `var` is out of range.
     pub fn flip(&mut self, var: Var) {
         let i = var.index() as usize;
+        // panic-ok: documented `# Panics` contract guard.
         assert!(
             i < self.len,
             "variable {var} out of range ({} vars)",
             self.len
         );
+        // panic-ok: `i < len` implies `i / 64 < words.len()`.
         self.words[i / 64] ^= 1u64 << (i % 64);
     }
 
@@ -224,6 +234,8 @@ impl Assignment {
     ///
     /// Panics if more than 64 variables are given or any is out of range.
     pub fn write_vector(&mut self, msb_first: &[Var], value: u64) {
+        // panic-ok: documented `# Panics` contract guard, once per
+        // vector write.
         assert!(msb_first.len() <= 64, "vector wider than 64 bits");
         for (k, &v) in msb_first.iter().rev().enumerate() {
             self.set(v, value >> k & 1 == 1);

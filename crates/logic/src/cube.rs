@@ -135,6 +135,7 @@ impl Cube {
         self.literals
             .binary_search_by_key(&var, |l| l.var())
             .ok()
+            // panic-ok: `binary_search` returns in-bounds indices.
             .map(|i| self.literals[i].polarity())
     }
 

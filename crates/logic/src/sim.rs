@@ -106,11 +106,13 @@ impl SimVector {
     ///
     /// Panics if `k ≥ len`.
     pub fn bit(&self, k: usize) -> bool {
+        // panic-ok: documented `# Panics` contract guard.
         assert!(
             k < self.len,
             "pattern {k} out of range ({} patterns)",
             self.len
         );
+        // panic-ok: `k < len` implies `k / 64 < words.len()`.
         self.words[k / 64] >> (k % 64) & 1 == 1
     }
 
@@ -139,6 +141,8 @@ impl SimVector {
             self.words.push(0);
         }
         if bit {
+            // panic-ok: the branch above pushed a limb whenever
+            // `len % 64 == 0`, so `words` is non-empty here.
             *self.words.last_mut().expect("just ensured") |= 1u64 << (self.len % 64);
         }
         self.len += 1;
@@ -218,6 +222,8 @@ impl SimVector {
     }
 
     fn assert_same_len(&self, other: &SimVector) {
+        // panic-ok: bitwise-op contract guard, once per vector op (not
+        // per bit) — mixing pattern counts is a construction bug.
         assert_eq!(
             self.len, other.len,
             "simulation vectors have different pattern counts"

@@ -122,6 +122,8 @@ impl TruthTable {
             });
         }
         let words = if i < 6 {
+            // panic-ok: `i < 6` on this branch and VAR_MASKS has 6
+            // entries.
             vec![VAR_MASKS[i] & Self::tail_mask(num_vars); Self::word_count(num_vars)]
         } else {
             let stride = 1usize << (i - 6);
@@ -177,7 +179,9 @@ impl TruthTable {
     ///
     /// Panics if `m ≥ 2^num_vars`.
     pub fn get(&self, m: u64) -> bool {
+        // panic-ok: documented `# Panics` contract guard.
         assert!(m < 1u64 << self.num_vars, "minterm {m} out of range");
+        // panic-ok: `m < 2^num_vars` implies `m / 64 < words.len()`.
         self.words[(m / 64) as usize] >> (m % 64) & 1 == 1
     }
 
@@ -187,11 +191,14 @@ impl TruthTable {
     ///
     /// Panics if `m ≥ 2^num_vars`.
     pub fn set(&mut self, m: u64, value: bool) {
+        // panic-ok: documented `# Panics` contract guard.
         assert!(m < 1u64 << self.num_vars, "minterm {m} out of range");
         let mask = 1u64 << (m % 64);
         if value {
+            // panic-ok: `m < 2^num_vars` implies `m / 64 < words.len()`.
             self.words[(m / 64) as usize] |= mask;
         } else {
+            // panic-ok: `m < 2^num_vars` implies `m / 64 < words.len()`.
             self.words[(m / 64) as usize] &= !mask;
         }
     }

@@ -189,6 +189,7 @@ impl<O: Oracle> FaultyOracle<O> {
                 let mut bits = self.inner.try_query(input)?;
                 if !bits.is_empty() {
                     let victim = (slot % bits.len() as u64) as usize;
+                    // panic-ok: `victim < bits.len()` by the modulo.
                     bits[victim] = !bits[victim];
                 }
                 self.injected.bit_flips += 1;
@@ -222,6 +223,9 @@ impl<O: Oracle> Oracle for FaultyOracle<O> {
     /// [`ResilientOracle`](crate::ResilientOracle)).
     fn query(&mut self, input: &Assignment) -> Vec<bool> {
         self.serve(input)
+            // panic-ok: documented `# Panics` contract — the infallible
+            // entry point cannot swallow an injected fault; chaos tests
+            // drive `try_query` instead.
             .unwrap_or_else(|e| panic!("injected fault was not handled: {e}"))
     }
 

@@ -126,6 +126,8 @@ struct Transport {
 
 impl Transport {
     fn open(program: &str, args: &[String]) -> Result<Transport, ProcessOracleError> {
+        // blocking-ok: spawning the black-box process IS this oracle's
+        // transport; it happens once per (re)connect, not per query.
         let mut child = Command::new(program)
             .args(args)
             .stdin(Stdio::piped())
@@ -135,6 +137,8 @@ impl Transport {
             .map_err(ProcessOracleError::Spawn)?;
         let Some(stdin) = child.stdin.take() else {
             let _ = child.kill();
+            // blocking-ok: reaping a just-killed child on the failure
+            // path of a once-per-connect setup.
             let _ = child.wait();
             return Err(ProcessOracleError::Spawn(std::io::Error::other(
                 "child stdin was not piped",
@@ -142,6 +146,8 @@ impl Transport {
         };
         let Some(stdout) = child.stdout.take() else {
             let _ = child.kill();
+            // blocking-ok: reaping a just-killed child on the failure
+            // path of a once-per-connect setup.
             let _ = child.wait();
             return Err(ProcessOracleError::Spawn(std::io::Error::other(
                 "child stdout was not piped",
@@ -158,6 +164,9 @@ impl Transport {
                 let mut reader = BufReader::new(stdout);
                 loop {
                     let mut line = String::new();
+                    // blocking-ok: this is the dedicated reader thread
+                    // whose whole job is to block on the child's
+                    // stdout so the query path can time out instead.
                     let send = match reader.read_line(&mut line) {
                         Ok(0) => break, // EOF: child is gone.
                         Ok(_) => tx.send(Ok(line)),
@@ -182,6 +191,8 @@ impl Transport {
     /// Reads one answer line, honouring the optional deadline.
     fn read_answer(&mut self, timeout: Option<Duration>) -> Result<String, ProcessOracleError> {
         let received = match timeout {
+            // blocking-ok: waiting for the black box's answer IS the
+            // oracle query; the deadline bounds the wait.
             Some(deadline) => match self.answers.recv_timeout(deadline) {
                 Ok(r) => r,
                 Err(RecvTimeoutError::Timeout) => {
@@ -194,6 +205,8 @@ impl Transport {
                     )))
                 }
             },
+            // blocking-ok: deliberately unbounded wait when the caller
+            // configured no deadline — the black box is the clock.
             None => match self.answers.recv() {
                 Ok(r) => r,
                 Err(_) => {
@@ -209,7 +222,9 @@ impl Transport {
 
     fn shutdown(&mut self) {
         let _ = self.child.kill();
-        let _ = self.child.wait(); // Reap: no zombies across respawns.
+        // blocking-ok: reaping a just-killed child once per teardown —
+        // no zombies across respawns.
+        let _ = self.child.wait();
     }
 }
 
@@ -292,6 +307,8 @@ impl ProcessOracle {
         &mut self,
         input: &Assignment,
     ) -> Result<Vec<bool>, ProcessOracleError> {
+        // panic-ok: entry contract guard, once per query — a wrong
+        // width is a caller bug, not a transport fault.
         assert_eq!(input.len(), self.input_names.len(), "wrong input width");
         let line: String = input.iter().map(|b| if b { '1' } else { '0' }).collect();
         writeln!(self.transport.stdin, "{line}").map_err(ProcessOracleError::Io)?;
@@ -341,6 +358,9 @@ impl Oracle for ProcessOracle {
     /// [`Oracle::try_query`] for a fallible call.
     fn query(&mut self, input: &Assignment) -> Vec<bool> {
         self.try_query_process(input)
+            // panic-ok: documented `# Panics` contract — the infallible
+            // entry point cannot absorb transport failures; fallible
+            // callers use `try_query`.
             .unwrap_or_else(|e| panic!("black-box process failed: {e}"))
     }
 

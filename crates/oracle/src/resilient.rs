@@ -300,7 +300,9 @@ impl<O: Oracle + Respawn> ResilientOracle<O> {
     /// Replays the probe set against a freshly respawned transport.
     fn check_probes(&mut self) -> Result<(), OracleError> {
         for k in 0..self.probes.len() {
+            // panic-ok: `k` ranges over `probes` indices.
             let pattern = self.probes[k].0.clone();
+            // panic-ok: `k` ranges over `probes` indices.
             let want = self.probes[k].1.clone();
             let got = self.inner.try_query(&pattern)?;
             if got != want {
@@ -364,6 +366,9 @@ impl<O: Oracle + Respawn> ResilientOracle<O> {
                         return Err(OracleError::Exhausted(Box::new(e)));
                     };
                     if !delay.is_zero() {
+                        // blocking-ok: deliberate backoff between retry
+                        // attempts against a faulted transport — the
+                        // deadline check above bounds the total sleep.
                         std::thread::sleep(delay);
                     }
                     if e.needs_respawn() {
@@ -416,6 +421,9 @@ impl<O: Oracle + Respawn> Oracle for ResilientOracle<O> {
     /// [`Oracle::try_query`] for the fallible path.
     fn query(&mut self, input: &Assignment) -> Vec<bool> {
         self.query_guarded(input)
+            // panic-ok: documented `# Panics` contract — the infallible
+            // entry point surfaces an exhausted fault budget; fallible
+            // callers use `try_query`.
             .unwrap_or_else(|e| panic!("oracle failed beyond recovery: {e}"))
     }
 

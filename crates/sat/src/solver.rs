@@ -323,6 +323,8 @@ impl Solver {
     // ----- internals -------------------------------------------------
 
     fn lit_value(&self, l: Lit) -> VarValue {
+        // panic-ok: literals are validated against `num_vars` when
+        // clauses are added; `assign` holds one slot per variable.
         match self.assign[l.var() as usize] {
             VarValue::Unassigned => VarValue::Unassigned,
             VarValue::True => VarValue::of(!l.is_negated()),

@@ -135,18 +135,27 @@ impl GateNetlist {
                 MappedSignal::Input {
                     position,
                     complement,
+                    // panic-ok: documented `# Panics` contract — callers
+                    // pass a full input row.
                 } => bits[position] ^ complement,
+                // panic-ok: gate signals reference earlier gates only
+                // (the netlist is emitted in topological order).
                 MappedSignal::Gate { index, complement } => values[index] ^ complement,
             }
         };
         for g in &self.gates {
             let v = match g.kind {
+                // panic-ok: And/Xor gates carry two pinned inputs.
                 GateKind::And => read(g.inputs[0], &values) && read(g.inputs[1], &values),
+                // panic-ok: And/Xor gates carry two pinned inputs.
                 GateKind::Xor => read(g.inputs[0], &values) != read(g.inputs[1], &values),
                 GateKind::Mux => {
+                    // panic-ok: Mux gates carry three pinned inputs.
                     if read(g.inputs[0], &values) {
+                        // panic-ok: Mux gates carry three pinned inputs.
                         read(g.inputs[1], &values)
                     } else {
+                        // panic-ok: Mux gates carry three pinned inputs.
                         read(g.inputs[2], &values)
                     }
                 }

@@ -96,6 +96,8 @@ impl FlightRing {
     /// Panics unless `capacity` is a power of two and at least 8 (so
     /// bytes pack into whole words and `% capacity` stays cheap).
     pub fn new(capacity: usize) -> FlightRing {
+        // panic-ok: documented `# Panics` contract guard, once per ring
+        // construction (not per append).
         assert!(
             capacity >= 8 && capacity.is_power_of_two(),
             "ring capacity must be a power of two >= 8, got {capacity}"
@@ -148,6 +150,7 @@ impl FlightRing {
             let offset = pos % 8;
             let n = (8 - offset).min(src.len());
             let mut bits: u64 = 0;
+            // panic-ok: `n <= src.len()` by the `min` above.
             for (i, &b) in src[..n].iter().enumerate() {
                 bits |= u64::from(b) << ((offset + i) * 8);
             }
@@ -155,15 +158,20 @@ impl FlightRing {
                 // relaxed-ok: seqlock data store; published by the even
                 // sequence store below, torn reads rejected by the
                 // reader's sequence recheck.
+                // panic-ok: `pos < capacity`, so `word < capacity / 8
+                // == words.len()`.
                 self.words[word].store(bits, Ordering::Relaxed);
             } else {
                 let mask = ((1u64 << (n * 8)) - 1) << (offset * 8);
+                // panic-ok: same `word < words.len()` bound as above.
                 let old = self.words[word].load(Ordering::Relaxed);
                 // relaxed-ok: seqlock data store (single writer, so the
                 // read-modify-write needs no atomicity); see above.
+                // panic-ok: same `word < words.len()` bound as above.
                 self.words[word].store((old & !mask) | bits, Ordering::Relaxed);
             }
             pos = (pos + n) % capacity;
+            // panic-ok: `n <= src.len()` by the `min` above.
             src = &src[n..];
         }
         // relaxed-ok: seqlock data store — the head is part of the
@@ -200,6 +208,7 @@ impl FlightRing {
             let mut bytes = Vec::with_capacity(len as usize);
             for p in (head - len)..head {
                 let b = (p % capacity as u64) as usize;
+                // panic-ok: `b < capacity`, so `b / 8 < copy.len()`.
                 bytes.push((copy[b / 8] >> ((b % 8) * 8)) as u8);
             }
             if head > capacity as u64 {
@@ -301,6 +310,9 @@ impl FlightRecorder {
                 return Arc::clone(ring);
             }
             let ring = Arc::new(FlightRing::new(self.shared.ring_bytes));
+            // blocking-ok: registry lock taken once per thread's FIRST
+            // event (ring creation); steady-state appends go through
+            // the cached lock-free ring.
             self.shared
                 .rings
                 .lock()
@@ -347,6 +359,8 @@ impl FlightRecorder {
     /// writing through every retry are skipped.
     pub fn snapshot_lines(&self) -> Vec<(u64, String)> {
         let rings: Vec<(u64, Arc<FlightRing>)> = {
+            // blocking-ok: snapshot/dump path (crash or debug dump),
+            // not the per-event append path.
             let rings = self.shared.rings.lock().unwrap_or_else(|p| p.into_inner());
             rings.iter().map(|(tid, r)| (*tid, Arc::clone(r))).collect()
         };

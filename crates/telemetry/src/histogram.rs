@@ -117,11 +117,14 @@ impl<const N: usize> Default for RawHistogram<N> {
 impl<const N: usize> RawHistogram<N> {
     /// An empty histogram.
     pub fn new() -> Self {
+        // panic-ok: compile-time-constant guard, once per histogram
+        // construction.
         assert!(N > 0 && N <= NUM_BUCKETS, "bucket count {N} out of range");
         // Atomics are not Copy; build the array through a Vec.
         let buckets: Vec<AtomicU64> = (0..N).map(|_| AtomicU64::new(0)).collect();
         let buckets: Box<[AtomicU64; N]> = match buckets.into_boxed_slice().try_into() {
             Ok(b) => b,
+            // panic-ok: the Vec was built with exactly N entries.
             Err(_) => unreachable!("length matches N"),
         };
         RawHistogram {
@@ -154,6 +157,7 @@ impl<const N: usize> RawHistogram<N> {
         // relaxed-ok: published by the Release `count` increment below.
         self.max.fetch_max(value, Ordering::Relaxed);
         // relaxed-ok: published by the Release `count` increment below.
+        // panic-ok: the `.min(N - 1)` clamps the bucket in bounds.
         self.buckets[bucket_of(value).min(N - 1)].fetch_add(n, Ordering::Relaxed);
         // relaxed-ok: published by the Release `count` increment below.
         self.sum

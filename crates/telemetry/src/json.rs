@@ -323,6 +323,8 @@ impl Parser<'_> {
     }
 
     fn eat_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        // panic-ok: `pos <= bytes.len()` is the parser's cursor
+        // invariant (advanced only by matched lengths).
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(())
@@ -436,8 +438,11 @@ impl Parser<'_> {
                 }
                 Some(_) => {
                     // Consume one UTF-8 scalar.
+                    // panic-ok: cursor invariant, as in `eat_keyword`.
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    // panic-ok: the `Some(_)` peek guarantees at least
+                    // one byte, hence one scalar after the UTF-8 check.
                     let c = s.chars().next().expect("nonempty");
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -88,8 +88,11 @@ impl Reporter for StderrReporter {
     fn event(&mut self, level: Level, stage: &str, message: &str) {
         if level <= self.max_level {
             if stage.is_empty() {
+                // blocking-ok: stderr IS this reporter's sink; events
+                // are level-filtered and structural, never per-query.
                 eprintln!("[cirlearn {level}] {message}");
             } else {
+                // blocking-ok: same as above.
                 eprintln!("[cirlearn {level} {stage}] {message}");
             }
         }

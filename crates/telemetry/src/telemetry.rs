@@ -141,6 +141,8 @@ fn peak_rss_kb() -> Option<u64> {
     if !cfg!(target_os = "linux") {
         return None;
     }
+    // blocking-ok: procfs read taken at snapshot/finish points, not on
+    // the per-query path.
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     line.split_whitespace().nth(1)?.parse().ok()
@@ -246,6 +248,8 @@ struct Inner {
 
 impl Inner {
     fn path_of(&self, upto: usize) -> String {
+        // panic-ok: callers pass `upto <= stack.len()` (span indices
+        // come from the same stack).
         self.stack[..upto]
             .iter()
             .map(|s| s.name.as_str())
@@ -501,6 +505,10 @@ impl Telemetry {
     fn lock(&self) -> Option<MutexGuard<'_, Inner>> {
         self.inner
             .as_ref()
+            // blocking-ok: the telemetry mutex is the documented
+            // aggregation point — uncontended in the single-threaded
+            // learner, skipped entirely when telemetry is disabled,
+            // and bypassed by hot loops via `trace_local` buffers.
             .map(|m| m.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
@@ -553,6 +561,8 @@ impl Telemetry {
         if delta == 0 {
             return;
         }
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(mut inner) = self.lock() {
             match inner.counters.get_mut(counter) {
                 Some(v) => *v += delta,
@@ -577,6 +587,8 @@ impl Telemetry {
         if n == 0 {
             return;
         }
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         let status = if let Some(mut inner) = self.lock() {
             match inner.counters.get_mut(counters::ORACLE_QUERIES) {
                 Some(v) => *v += n,
@@ -625,6 +637,8 @@ impl Telemetry {
     /// queries issued while expanding a node are tagged with its
     /// depth.
     pub fn set_fbdt_depth(&self, depth: Option<u64>) {
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(mut inner) = self.lock() {
             inner.context_depth = depth;
         }
@@ -665,6 +679,8 @@ impl Telemetry {
         if value == 0 {
             return;
         }
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(mut inner) = self.lock() {
             match inner.counters.get_mut(counter) {
                 Some(v) => *v = (*v).max(value),
@@ -732,6 +748,8 @@ impl Telemetry {
         // stream on disk is not behind the dump that accompanies it.
         self.flush_trace();
         let (flight, path, trailer) = {
+            // blocking-ok: flight dump path (crash/debug), not the
+            // per-query path.
             let mut inner = self.lock()?;
             let flight = inner.flight.clone()?;
             let path = inner.flight_dump_path.clone()?;
@@ -807,6 +825,8 @@ impl Telemetry {
     /// right before writing the report, and the panic drop-guard calls
     /// it before the `aborted` marker.
     pub fn trace_attribution(&self) {
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         let status = if let Some(mut inner) = self.lock() {
             if inner.trace.is_none() && inner.flight.is_none() {
                 return;
@@ -841,6 +861,8 @@ impl Telemetry {
     /// regardless of the reporter's level filter, so `Debug`-level
     /// fault events reach the trace without making stderr noisy.
     pub fn event(&self, level: Level, message: &str) {
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(mut inner) = self.lock() {
             let stage = inner.current_path();
             inner.trace(
@@ -872,6 +894,8 @@ impl Telemetry {
     /// Emits a custom trace event tagged with the current stage —
     /// to the trace stream (if attached) and the flight recorder.
     pub fn trace(&self, kind: &str, fields: &[(&'static str, Json)]) {
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(inner) = self.lock() {
             if inner.trace.is_some() || inner.flight.is_some() {
                 let stage = inner.current_path();
@@ -883,6 +907,8 @@ impl Telemetry {
     /// Flushes the attached trace stream, if any — draining any
     /// outstanding per-thread buffers first.
     pub fn flush_trace(&self) {
+        // blocking-ok: `Telemetry::lock` — uncontended telemetry
+        // mutex, justified at its definition.
         if let Some(inner) = self.lock() {
             if let Some(trace) = &inner.trace {
                 trace.flush();
@@ -901,6 +927,8 @@ impl Telemetry {
     /// calling thread's bounded flight ring, which is what makes the
     /// black box capture hot-path `node` events for free.
     pub fn trace_local(&self) -> Option<TraceLocal> {
+        // blocking-ok: `Telemetry::lock` taken once per span to mint
+        // the buffered local; per-event emits then bypass the mutex.
         let inner = self.lock()?;
         let stage = inner.current_path();
         match (&inner.trace, &inner.flight) {
@@ -954,6 +982,8 @@ impl Telemetry {
     /// without waiting for the drop-merge — without double counting,
     /// because the fold never mutates the shared histogram.
     pub fn local_recorder(&self, name: &str) -> LocalRecorder {
+        // blocking-ok: `Telemetry::lock` taken once per recorder
+        // creation; per-sample records go to the local histogram.
         match self.lock() {
             None => LocalRecorder::default(),
             Some(mut inner) => {
@@ -1282,6 +1312,8 @@ impl Drop for LocalRecorder {
 
 impl<R: Reporter> Reporter for Arc<Mutex<R>> {
     fn event(&mut self, level: Level, stage: &str, message: &str) {
+        // blocking-ok: test/fan-in adapter — reporter events are
+        // already rate-limited by level upstream.
         self.lock()
             .unwrap_or_else(|p| p.into_inner())
             .event(level, stage, message);

@@ -85,6 +85,8 @@ impl TraceInner {
         }
         if self.out.write_all(text.as_bytes()).is_err() {
             if !self.failed {
+                // blocking-ok: one-shot failure notice on a sticky
+                // error path, never repeated.
                 eprintln!("cirlearn: trace stream write failed; further events dropped");
             }
             self.failed = true;
@@ -204,6 +206,8 @@ impl TraceWriter {
     pub fn emit(&self, kind: &str, stage: &str, fields: &[(&'static str, Json)]) {
         let t_us = u64::try_from(self.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
         let line = format_line(t_us, current_tid(), kind, stage, fields);
+        // blocking-ok: direct emit is for rare structural events; hot
+        // loops emit through the lock-free `TraceLocal` buffer.
         let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
         if !inner.write_text(&line) {
             return;
@@ -225,6 +229,8 @@ impl TraceWriter {
     /// can drain buffers the owning threads have not flushed yet.
     pub fn local(&self, stage: &str) -> TraceLocal {
         let buf = Arc::new(Mutex::new(String::new()));
+        // blocking-ok: registration lock taken once per span, not per
+        // event.
         self.shared
             .locals
             .lock()
@@ -243,6 +249,8 @@ impl TraceWriter {
     /// Lines successfully written so far (thread-local buffers count
     /// once drained).
     pub fn lines(&self) -> u64 {
+        // blocking-ok: stats accessor used by tests and reports, not
+        // the per-event path.
         self.shared
             .inner
             .lock()
@@ -254,15 +262,19 @@ impl TraceWriter {
     /// flushes the underlying writer.
     pub fn flush(&self) {
         let chunks: Vec<String> = {
+            // blocking-ok: flush is a join point (span close, dump,
+            // finish), not the per-event path.
             let mut locals = self.shared.locals.lock().unwrap_or_else(|p| p.into_inner());
             locals.retain(|w| w.strong_count() > 0);
             locals
                 .iter()
                 .filter_map(Weak::upgrade)
+                // blocking-ok: same join point as above.
                 .map(|buf| std::mem::take(&mut *buf.lock().unwrap_or_else(|p| p.into_inner())))
                 .filter(|s| !s.is_empty())
                 .collect()
         };
+        // blocking-ok: same join point as above.
         let mut inner = self.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
         for chunk in &chunks {
             inner.write_text(chunk);
@@ -325,6 +337,9 @@ impl TraceLocal {
             let t_us = u64::try_from(sink.shared.start.elapsed().as_micros()).unwrap_or(u64::MAX);
             let line = format_line(t_us, current_tid(), kind, &self.stage, fields);
             let full = {
+                // blocking-ok: per-thread buffer mutex — only this
+                // thread and the draining flusher ever touch it, so it
+                // is uncontended in steady state.
                 let mut buf = sink.buf.lock().unwrap_or_else(|p| p.into_inner());
                 buf.push_str(&line);
                 buf.len() >= LOCAL_FLUSH_BYTES
@@ -345,10 +360,13 @@ impl TraceLocal {
     /// Flight-ring events need no flushing (the ring is the store).
     pub fn flush(&self) {
         let Some(sink) = &self.sink else { return };
+        // blocking-ok: buffer hand-off at the fill/close boundary, not
+        // per event.
         let chunk = std::mem::take(&mut *sink.buf.lock().unwrap_or_else(|p| p.into_inner()));
         if chunk.is_empty() {
             return;
         }
+        // blocking-ok: same fill/close boundary as above.
         let mut inner = sink.shared.inner.lock().unwrap_or_else(|p| p.into_inner());
         inner.write_text(&chunk);
     }
@@ -386,6 +404,7 @@ impl SharedBuffer {
 
 impl Write for SharedBuffer {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        // blocking-ok: in-memory test sink; the mutex guards a Vec.
         self.bytes
             .lock()
             .unwrap_or_else(|p| p.into_inner())
